@@ -1,0 +1,96 @@
+// E3 — §3: "An LFTA can perform aggregation, but it uses a small
+// direct-mapped hash table. [...] Because of temporal locality, aggregation
+// even with a small hash table is effective in early data reduction."
+//
+// Sweep: table size × flow-popularity skew. Reports eviction rate and the
+// output-tuple volume relative to input (the data-reduction factor).
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "ops/lfta_agg.h"
+
+namespace {
+
+using gigascope::Rng;
+using gigascope::ZipfSampler;
+using gigascope::expr::AggFn;
+using gigascope::expr::AggregateSpec;
+using gigascope::expr::Value;
+using gigascope::ops::DirectMappedAggTable;
+
+struct Cell {
+  double eviction_rate;
+  double reduction;  // input tuples per output tuple
+};
+
+Cell Run(int log2_slots, double skew, uint64_t flows, uint64_t updates) {
+  std::vector<AggregateSpec> specs;
+  AggregateSpec count;
+  count.fn = AggFn::kCount;
+  count.result_type = gigascope::gsql::DataType::kUint;
+  specs.push_back(count);
+
+  DirectMappedAggTable table(log2_slots, &specs);
+  Rng rng(7);
+  ZipfSampler sampler(flows, skew);
+  std::vector<std::optional<Value>> args(1);
+  uint64_t outputs = 0;
+  // Epoch structure: drain once per 1/16th of the run, as a time bucket
+  // close would.
+  uint64_t epoch_len = updates / 16;
+  for (uint64_t i = 0; i < updates; ++i) {
+    uint64_t flow = sampler.Sample(rng);
+    if (table.Upsert({Value::Uint(flow)}, args).has_value()) ++outputs;
+    if (epoch_len > 0 && i % epoch_len == epoch_len - 1) {
+      outputs += table.DrainAll().size();
+    }
+  }
+  outputs += table.DrainAll().size();
+  Cell cell;
+  cell.eviction_rate =
+      static_cast<double>(table.evictions()) / static_cast<double>(updates);
+  cell.reduction = static_cast<double>(updates) /
+                   static_cast<double>(outputs == 0 ? 1 : outputs);
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t kFlows = 100000;
+  const uint64_t kUpdates = 1000000;
+  const double skews[] = {0.0, 0.8, 1.2};
+  const int sizes[] = {6, 8, 10, 12, 14, 16};
+
+  std::printf(
+      "E3: direct-mapped LFTA hash table, %llu updates over %llu flows,\n"
+      "    16 epochs; eviction rate and data-reduction factor vs table "
+      "size\n\n",
+      static_cast<unsigned long long>(kUpdates),
+      static_cast<unsigned long long>(kFlows));
+  std::printf("%-10s", "slots");
+  for (int size : sizes) std::printf("%12d", 1 << size);
+  std::printf("\n");
+
+  for (double skew : skews) {
+    std::printf("zipf=%.1f\n", skew);
+    std::printf("  %-8s", "evict");
+    std::vector<Cell> cells;
+    for (int size : sizes) {
+      cells.push_back(Run(size, skew, kFlows, kUpdates));
+      std::printf("%11.1f%%", cells.back().eviction_rate * 100);
+    }
+    std::printf("\n  %-8s", "reduce");
+    for (const Cell& cell : cells) {
+      std::printf("%11.1fx", cell.reduction);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected shape: higher skew (more temporal locality) gives useful\n"
+      "reduction even at small tables; eviction rate falls with table "
+      "size.\n");
+  return 0;
+}

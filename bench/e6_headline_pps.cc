@@ -1,0 +1,169 @@
+// E6 — §5 headline: "At peak periods, Gigascope processes 1.2 million
+// packets per second using an inexpensive dual 2.4 Ghz CPU server."
+//
+// Measures this repository's packets/second through the full engine path
+// (packet interpretation → LFTA evaluation → channels) for representative
+// LFTA queries. Absolute numbers reflect this machine; the point is that a
+// filter-only LFTA runs at millions of packets/second.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "workload/traffic_gen.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using gigascope::core::Engine;
+using gigascope::net::Packet;
+
+double MeasurePps(const std::string& query, int packets) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  auto info = engine.AddQuery(query);
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  // Pre-generate packets so generation cost stays out of the measurement.
+  gigascope::workload::TrafficConfig config;
+  config.seed = 17;
+  config.num_flows = 1000;
+  config.port80_fraction = 0.1;
+  config.http_fraction = 0.5;
+  config.offered_bits_per_sec = 500e6;
+  gigascope::workload::TrafficGenerator gen(config);
+  std::vector<Packet> batch;
+  batch.reserve(static_cast<size_t>(packets));
+  for (int i = 0; i < packets; ++i) batch.push_back(gen.Next());
+
+  auto start = Clock::now();
+  for (const Packet& packet : batch) {
+    engine.InjectPacket("eth0", packet).ok();
+    // Keep channels drained like the RTS does.
+    if ((&packet - batch.data()) % 4096 == 4095) engine.PumpUntilIdle();
+  }
+  engine.PumpUntilIdle();
+  engine.FlushAll();
+  auto end = Clock::now();
+  return packets / std::chrono::duration<double>(end - start).count();
+}
+
+/// Pipeline parallelism: the paper's LFTAs and HFTAs are separate
+/// processes on a dual-CPU server; here an injector thread feeds packets
+/// while a pumper thread drives the operator nodes (the ring channels are
+/// thread-safe).
+double MeasurePpsThreaded(const std::string& query, int packets) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  auto info = engine.AddQuery(query);
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    std::exit(1);
+  }
+  gigascope::workload::TrafficConfig config;
+  config.seed = 17;
+  config.num_flows = 1000;
+  config.port80_fraction = 0.1;
+  config.http_fraction = 0.5;
+  config.offered_bits_per_sec = 500e6;
+  gigascope::workload::TrafficGenerator gen(config);
+  std::vector<Packet> batch;
+  batch.reserve(static_cast<size_t>(packets));
+  for (int i = 0; i < packets; ++i) batch.push_back(gen.Next());
+
+  std::atomic<bool> done{false};
+  auto start = Clock::now();
+  std::thread pumper([&engine, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      if (engine.Pump(4096) == 0) std::this_thread::yield();
+    }
+    engine.PumpUntilIdle();
+  });
+  // Inject with backpressure: never run more than half a channel ahead of
+  // the pumper, so nothing drops and the measurement stays honest.
+  uint64_t injected = 0;
+  for (const Packet& packet : batch) {
+    engine.InjectPacket("eth0", packet).ok();
+    ++injected;
+    if (injected % 1024 == 0) {
+      while (true) {
+        auto stats = engine.GetNodeStats();
+        uint64_t consumed = stats.empty() ? injected : stats[0].tuples_in;
+        if (injected - consumed < 4096) break;
+        std::this_thread::yield();
+      }
+    }
+  }
+  done.store(true, std::memory_order_relaxed);
+  pumper.join();
+  engine.FlushAll();
+  auto end = Clock::now();
+  return packets / std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  const int kPackets = 200000;
+  struct Workload {
+    const char* label;
+    const char* query;
+  };
+  const Workload workloads[] = {
+      {"filter-only (LFTA)",
+       "DEFINE { query_name q1; } "
+       "SELECT time, destIP, destPort FROM eth0.PKT "
+       "WHERE ipVersion = 4 AND protocol = 6"},
+      {"port filter (LFTA)",
+       "DEFINE { query_name q2; } "
+       "SELECT time, len FROM eth0.PKT "
+       "WHERE protocol = 6 AND destPort = 80"},
+      {"split aggregation",
+       "DEFINE { query_name q3; } "
+       "SELECT tb, destIP, count(*), sum(len) FROM eth0.PKT "
+       "GROUP BY time AS tb, destIP"},
+      {"regex split query",
+       "DEFINE { query_name q4; } "
+       "SELECT time, len FROM eth0.PKT "
+       "WHERE protocol = 6 AND destPort = 80 "
+       "AND match_regex(payload, '^[^\\n]*HTTP/1.*')"},
+  };
+
+  std::printf(
+      "E6: engine throughput, %d packets per workload (paper headline:\n"
+      "    1.2M pps on 2003 hardware for deployed query sets)\n\n",
+      kPackets);
+  std::printf("%-22s %16s\n", "workload", "packets/sec");
+  for (const Workload& workload : workloads) {
+    double pps = MeasurePps(workload.query, kPackets);
+    std::printf("%-22s %16.0f\n", workload.label, pps);
+  }
+  std::printf(
+      "\nexpected shape: cheap LFTA-only filters are fastest; the regex\n"
+      "query is slower but its LFTA pre-filter keeps the expensive work\n"
+      "on ~10%% of the packets.\n");
+
+  // Pipeline parallelism across the LFTA/HFTA boundary (the paper ran on
+  // a dual-CPU server with LFTAs linked into the RTS and HFTAs as
+  // separate processes).
+  double single = MeasurePps(workloads[3].query, kPackets);
+  double threaded = MeasurePpsThreaded(workloads[3].query, kPackets);
+  std::printf(
+      "\npipeline parallelism (regex split query):\n"
+      "%-22s %16.0f\n%-22s %16.0f   (%.2fx)\n", "single-threaded", single,
+      "injector + pumper", threaded, threaded / single);
+  std::printf(
+      "\nobservation: splitting capture and query work across threads buys\n"
+      "little here — the channel hop costs about as much as the per-tuple\n"
+      "work it overlaps. This echoes the paper's actual lesson: the\n"
+      "LFTA/HFTA win comes from early data *reduction* (E2/E5), not from\n"
+      "parallelism.\n");
+  return 0;
+}

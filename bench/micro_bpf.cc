@@ -1,0 +1,53 @@
+// Microbenchmark: the mini-BPF interpreter — the on-NIC pre-filter cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bpf/interpreter.h"
+#include "bpf/program.h"
+#include "net/headers.h"
+
+namespace {
+
+gigascope::ByteBuffer MakePacket(uint16_t dst_port) {
+  gigascope::net::TcpPacketSpec spec;
+  spec.src_addr = 0x0a000001;
+  spec.dst_addr = 0x0a000002;
+  spec.dst_port = dst_port;
+  spec.payload = std::string(400, 'p');
+  return gigascope::net::BuildTcpPacket(spec);
+}
+
+void BM_PortFilterMatch(benchmark::State& state) {
+  auto program = gigascope::bpf::BuildTcpDstPortFilter(80, 0);
+  auto packet = MakePacket(80);
+  gigascope::ByteSpan view(packet.data(), packet.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gigascope::bpf::Run(program, view));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PortFilterMatch);
+
+void BM_PortFilterReject(benchmark::State& state) {
+  auto program = gigascope::bpf::BuildTcpDstPortFilter(80, 0);
+  auto packet = MakePacket(443);
+  gigascope::ByteSpan view(packet.data(), packet.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gigascope::bpf::Run(program, view));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PortFilterReject);
+
+void BM_AcceptAll(benchmark::State& state) {
+  auto program = gigascope::bpf::BuildAcceptAll(96);
+  auto packet = MakePacket(80);
+  gigascope::ByteSpan view(packet.data(), packet.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gigascope::bpf::Run(program, view));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AcceptAll);
+
+}  // namespace

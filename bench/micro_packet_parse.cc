@@ -1,0 +1,46 @@
+// Microbenchmark: packet decode + protocol interpretation — the cost of
+// turning raw bytes into a PKT tuple (the RTS "interpretation functions").
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "gsql/catalog.h"
+#include "net/headers.h"
+
+namespace {
+
+gigascope::net::Packet MakePacket(size_t payload_len) {
+  gigascope::net::TcpPacketSpec spec;
+  spec.src_addr = 0x0a000001;
+  spec.dst_addr = 0x0a000002;
+  spec.dst_port = 80;
+  spec.payload = std::string(payload_len, 'p');
+  gigascope::net::Packet packet;
+  packet.bytes = gigascope::net::BuildTcpPacket(spec);
+  packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+  packet.timestamp = 123456789;
+  return packet;
+}
+
+void BM_DecodePacket(benchmark::State& state) {
+  auto packet = MakePacket(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto decoded = gigascope::net::DecodePacket(packet.view());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodePacket)->Arg(0)->Arg(400)->Arg(1400);
+
+void BM_InterpretPacket(benchmark::State& state) {
+  auto schema = gigascope::gsql::Catalog::BuiltinPacketSchema();
+  auto packet = MakePacket(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto row = gigascope::core::InterpretPacket(schema, packet);
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpretPacket)->Arg(0)->Arg(400)->Arg(1400);
+
+}  // namespace

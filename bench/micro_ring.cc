@@ -1,0 +1,41 @@
+// Microbenchmark: ring-channel push/pop — the shared-memory hop between
+// query nodes.
+
+#include <benchmark/benchmark.h>
+
+#include "rts/ring.h"
+
+namespace {
+
+using gigascope::rts::RingChannel;
+using gigascope::rts::StreamMessage;
+
+void BM_PushPop(benchmark::State& state) {
+  RingChannel channel(1024);
+  StreamMessage message;
+  message.payload.resize(static_cast<size_t>(state.range(0)));
+  StreamMessage out;
+  for (auto _ : state) {
+    channel.TryPush(message);
+    channel.TryPop(&out);
+    benchmark::DoNotOptimize(out.payload.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PushPop)->Arg(24)->Arg(256)->Arg(1500);
+
+void BM_BurstThenDrain(benchmark::State& state) {
+  RingChannel channel(4096);
+  StreamMessage message;
+  message.payload.resize(64);
+  StreamMessage out;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) channel.TryPush(message);
+    while (channel.TryPop(&out)) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_BurstThenDrain);
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Microbenchmark: tuple pack/unpack — the cost of crossing a query-node
+// channel ("fields are packed in a standard fashion", §2.2).
+
+#include <benchmark/benchmark.h>
+
+#include "rts/tuple.h"
+
+namespace {
+
+using gigascope::expr::Value;
+using gigascope::gsql::DataType;
+using gigascope::gsql::FieldDef;
+using gigascope::gsql::OrderSpec;
+using gigascope::gsql::StreamKind;
+using gigascope::gsql::StreamSchema;
+using gigascope::rts::Row;
+using gigascope::rts::TupleCodec;
+
+StreamSchema NarrowSchema() {
+  std::vector<FieldDef> fields;
+  fields.push_back({"time", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"destIP", DataType::kIp, OrderSpec::None()});
+  fields.push_back({"destPort", DataType::kUint, OrderSpec::None()});
+  return StreamSchema("narrow", StreamKind::kStream, fields);
+}
+
+StreamSchema PayloadSchema() {
+  std::vector<FieldDef> fields = NarrowSchema().fields();
+  fields.push_back({"payload", DataType::kString, OrderSpec::None()});
+  return StreamSchema("payload", StreamKind::kStream, fields);
+}
+
+void BM_EncodeNarrow(benchmark::State& state) {
+  TupleCodec codec(NarrowSchema());
+  Row row = {Value::Uint(12345), Value::Ip(0x0a000001), Value::Uint(80)};
+  gigascope::ByteBuffer buffer;
+  for (auto _ : state) {
+    buffer.clear();
+    codec.Encode(row, &buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeNarrow);
+
+void BM_DecodeNarrow(benchmark::State& state) {
+  TupleCodec codec(NarrowSchema());
+  Row row = {Value::Uint(12345), Value::Ip(0x0a000001), Value::Uint(80)};
+  gigascope::ByteBuffer buffer;
+  codec.Encode(row, &buffer);
+  for (auto _ : state) {
+    auto decoded =
+        codec.Decode(gigascope::ByteSpan(buffer.data(), buffer.size()));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeNarrow);
+
+void BM_RoundTripWithPayload(benchmark::State& state) {
+  TupleCodec codec(PayloadSchema());
+  Row row = {Value::Uint(12345), Value::Ip(0x0a000001), Value::Uint(80),
+             Value::String(std::string(
+                 static_cast<size_t>(state.range(0)), 'x'))};
+  gigascope::ByteBuffer buffer;
+  for (auto _ : state) {
+    buffer.clear();
+    codec.Encode(row, &buffer);
+    auto decoded =
+        codec.Decode(gigascope::ByteSpan(buffer.data(), buffer.size()));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(buffer.size()));
+}
+BENCHMARK(BM_RoundTripWithPayload)->Arg(64)->Arg(512)->Arg(1400);
+
+}  // namespace

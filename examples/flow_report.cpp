@@ -1,0 +1,78 @@
+// flow_report — the paper's §2.2 getlpmid example:
+//
+//   Select peerid, tb, count(*) FROM tcpdest
+//   Group by time/60 as tb, getlpmid(destIP, 'peerid.tbl') as peerid
+//
+// getlpmid performs longest-prefix matching of the destination address
+// against a routing table loaded once at query instantiation (the
+// pass-by-handle parameter). Unmatched addresses produce no result — the
+// partial function acts as a foreign-key join and the tuple is discarded.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "workload/traffic_gen.h"
+
+int main() {
+  using gigascope::core::Engine;
+
+  Engine engine;
+  engine.AddInterface("eth0");
+
+  // The intermediate stream, as in the paper (tcpdest feeds the report).
+  auto tcpdest = engine.AddQuery(
+      "DEFINE { query_name tcpdest; } "
+      "SELECT time, destIP, len FROM eth0.PKT WHERE protocol = 6");
+  if (!tcpdest.ok()) {
+    std::fprintf(stderr, "%s\n", tcpdest.status().ToString().c_str());
+    return 1;
+  }
+
+  // Peer table: in a deployment this is a file derived from BGP; here an
+  // inline literal with three AT&T-style peers covering 10/8's subnets.
+  auto report = engine.AddQuery(
+      "DEFINE { query_name peer_report; } "
+      "SELECT peerid, tb, count(*), sum(len) FROM tcpdest "
+      "GROUP BY time/60 AS tb, "
+      "getlpmid(destIP, 'inline:"
+      "10.0.0.0/14 101\n"
+      "10.4.0.0/14 102\n"
+      "10.8.0.0/13 103\n"
+      "10.8.0.0/14 104') AS peerid");
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  auto subscription = engine.Subscribe("peer_report");
+  if (!subscription.ok()) return 1;
+
+  gigascope::workload::TrafficConfig config;
+  config.seed = 4;
+  config.num_flows = 500;
+  config.tcp_fraction = 1.0;
+  config.offered_bits_per_sec = 10e6;
+  config.dst_network = 0x0a000000;  // destinations in 10/8
+  gigascope::workload::TrafficGenerator generator(config);
+
+  for (int i = 0; i < 30000; ++i) {
+    engine.InjectPacket("eth0", generator.Next()).ok();
+    if (i % 1000 == 999) engine.PumpUntilIdle();
+  }
+  engine.PumpUntilIdle();
+  engine.FlushAll();
+
+  std::printf("%-8s %-8s %-10s %-12s\n", "peerid", "minute", "packets",
+              "bytes");
+  while (auto row = (*subscription)->NextRow()) {
+    std::printf("%-8llu %-8llu %-10llu %-12llu\n",
+                static_cast<unsigned long long>((*row)[0].uint_value()),
+                static_cast<unsigned long long>((*row)[1].uint_value()),
+                static_cast<unsigned long long>((*row)[2].uint_value()),
+                static_cast<unsigned long long>((*row)[3].uint_value()));
+  }
+  std::printf(
+      "-- note: peer 104's /14 nests inside peer 103's /13; longest prefix "
+      "wins.\n");
+  return 0;
+}

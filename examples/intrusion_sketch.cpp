@@ -1,0 +1,98 @@
+// intrusion_sketch — a SYN-flood detector in GSQL, showing query
+// composition (§2.2) and on-the-fly parameters (§3): count TCP SYNs per
+// destination per second, then alert on destinations whose SYN rate
+// exceeds a tunable threshold.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "net/headers.h"
+#include "workload/traffic_gen.h"
+
+int main() {
+  using gigascope::core::Engine;
+  using gigascope::expr::Value;
+
+  Engine engine;
+  engine.AddInterface("eth0");
+
+  // Stage 1 (LFTA-friendly): SYN packets only. tcpFlags & 2 selects SYN;
+  // excluding ACKs (flag 16) keeps only connection attempts.
+  auto syns = engine.AddQuery(
+      "DEFINE { query_name syns; } "
+      "SELECT time, destIP FROM eth0.PKT "
+      "WHERE protocol = 6 AND tcpFlags & 2 = 2 AND tcpFlags & 16 = 0");
+  // Stage 2: per-second per-destination SYN counts with a HAVING alert
+  // threshold as a query parameter.
+  auto alerts = engine.AddQuery(
+      "DEFINE { query_name syn_alerts; param threshold UINT = 20; } "
+      "SELECT time, destIP, count(*) AS syn_count FROM syns "
+      "GROUP BY time, destIP HAVING count(*) > $threshold");
+  if (!syns.ok() || !alerts.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 (!syns.ok() ? syns : alerts).status().ToString().c_str());
+    return 1;
+  }
+
+  auto subscription = engine.Subscribe("syn_alerts");
+  if (!subscription.ok()) return 1;
+
+  // Background traffic plus an attack burst against one victim.
+  gigascope::workload::TrafficConfig config;
+  config.seed = 2;
+  config.num_flows = 100;
+  config.tcp_fraction = 1.0;
+  config.offered_bits_per_sec = 5e6;
+  gigascope::workload::TrafficGenerator generator(config);
+
+  auto make_syn = [](gigascope::SimTime when, uint32_t src, uint32_t dst) {
+    gigascope::net::TcpPacketSpec spec;
+    spec.src_addr = src;
+    spec.dst_addr = dst;
+    spec.src_port = static_cast<uint16_t>(1024 + (src & 0x3fff));
+    spec.dst_port = 80;
+    spec.flags = gigascope::net::kTcpFlagSyn;
+    gigascope::net::Packet packet;
+    packet.bytes = gigascope::net::BuildTcpPacket(spec);
+    packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+    packet.timestamp = when;
+    return packet;
+  };
+
+  const uint32_t kVictim = 0x0a00002a;  // 10.0.0.42
+  for (int second = 0; second < 8; ++second) {
+    // Normal traffic.
+    while (generator.NextArrivalTime() <
+           (second + 1) * gigascope::kNanosPerSecond) {
+      engine.InjectPacket("eth0", generator.Next()).ok();
+    }
+    // Attack: 60 spoofed SYNs per second during seconds 3-5.
+    if (second >= 3 && second <= 5) {
+      for (int i = 0; i < 60; ++i) {
+        engine.InjectPacket(
+            "eth0", make_syn(second * gigascope::kNanosPerSecond + i * 1000,
+                             0xc6000000 + static_cast<uint32_t>(i), kVictim))
+            .ok();
+      }
+    }
+    engine.PumpUntilIdle();
+  }
+  engine.InjectHeartbeat("eth0", 10 * gigascope::kNanosPerSecond).ok();
+  engine.PumpUntilIdle();
+
+  std::printf("alerts with threshold=20:\n");
+  std::printf("%-8s %-18s %-10s\n", "second", "destIP", "syn_count");
+  while (auto row = (*subscription)->NextRow()) {
+    std::printf("%-8llu %-18s %-10llu\n",
+                static_cast<unsigned long long>((*row)[0].uint_value()),
+                (*row)[1].ToString().c_str(),
+                static_cast<unsigned long long>((*row)[2].uint_value()));
+  }
+
+  // Operators can tighten the threshold live, without recompiling (§3).
+  engine.SetParam("syn_alerts", "threshold", Value::Uint(1000)).ok();
+  std::printf(
+      "\nthreshold raised to 1000 on the fly; later alerts now require a\n"
+      "much larger flood (no query restart needed).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// link_merge — the paper's motivating MERGE scenario (§2.2): optical links
+// are simplex, so observing a full-duplex logical link means monitoring two
+// interfaces and merging the two tuple streams while preserving the time
+// order. "This operator is surprisingly important — we implemented it
+// before the join operator."
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "workload/traffic_gen.h"
+
+int main() {
+  using gigascope::core::Engine;
+
+  Engine engine;
+  engine.AddInterface("eth0");  // eastbound fiber
+  engine.AddInterface("eth1");  // westbound fiber
+
+  const char* queries[] = {
+      "DEFINE { query_name tcpdest0; } "
+      "SELECT time, destIP, destPort, len FROM eth0.PKT WHERE protocol = 6",
+      "DEFINE { query_name tcpdest1; } "
+      "SELECT time, destIP, destPort, len FROM eth1.PKT WHERE protocol = 6",
+      // The paper's merge, verbatim structure:
+      //   Merge tcpdest0.time : tcpdest1.time From tcpdest0, tcpdest1
+      "DEFINE { query_name tcpdest; } "
+      "MERGE tcpdest0.time : tcpdest1.time FROM tcpdest0, tcpdest1",
+  };
+  for (const char* query : queries) {
+    auto info = engine.AddQuery(query);
+    if (!info.ok()) {
+      std::fprintf(stderr, "compile error: %s\n",
+                   info.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto subscription = engine.Subscribe("tcpdest");
+  if (!subscription.ok()) return 1;
+
+  // Two directions with different rates (traffic is rarely symmetric).
+  gigascope::workload::TrafficConfig east;
+  east.seed = 10;
+  east.num_flows = 10;
+  east.tcp_fraction = 1.0;
+  east.offered_bits_per_sec = 4e6;
+  gigascope::workload::TrafficConfig west = east;
+  west.seed = 20;
+  west.offered_bits_per_sec = 1e6;
+
+  gigascope::workload::TrafficGenerator east_gen(east);
+  gigascope::workload::TrafficGenerator west_gen(west);
+
+  // Feed packets in global timestamp order, as two capture cards would.
+  for (int i = 0; i < 120; ++i) {
+    if (east_gen.NextArrivalTime() <= west_gen.NextArrivalTime()) {
+      engine.InjectPacket("eth0", east_gen.Next()).ok();
+    } else {
+      engine.InjectPacket("eth1", west_gen.Next()).ok();
+    }
+  }
+  // Heartbeats release any tuples parked behind the slower direction.
+  engine.InjectHeartbeat("eth0", 3600 * gigascope::kNanosPerSecond).ok();
+  engine.InjectHeartbeat("eth1", 3600 * gigascope::kNanosPerSecond).ok();
+  engine.PumpUntilIdle();
+
+  std::printf("%-6s %-18s %-10s %-8s\n", "time", "destIP", "destPort",
+              "len");
+  uint64_t last_time = 0;
+  bool sorted = true;
+  int rows = 0;
+  while (auto row = (*subscription)->NextRow()) {
+    if (rows < 15) {
+      std::printf("%-6llu %-18s %-10llu %-8llu\n",
+                  static_cast<unsigned long long>((*row)[0].uint_value()),
+                  (*row)[1].ToString().c_str(),
+                  static_cast<unsigned long long>((*row)[2].uint_value()),
+                  static_cast<unsigned long long>((*row)[3].uint_value()));
+    }
+    sorted = sorted && (*row)[0].uint_value() >= last_time;
+    last_time = (*row)[0].uint_value();
+    ++rows;
+  }
+  std::printf("-- merged %d tuples from 2 simplex links; time-ordered: %s\n",
+              rows, sorted ? "yes" : "NO (bug!)");
+  return sorted ? 0 : 1;
+}

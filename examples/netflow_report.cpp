@@ -1,0 +1,96 @@
+// netflow_report — the §2.1 scenario end to end: a router's flow cache
+// exports Netflow records whose endTime is monotone but whose startTime is
+// only banded-increasing(30); "most queries on Netflow data will refer to
+// the start timestamp rather than the end timestamp". The banded ordering
+// property is what lets the aggregation below stay a stream operator
+// without losing late records.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "workload/netflow_gen.h"
+#include "workload/traffic_gen.h"
+
+int main() {
+  using gigascope::core::Engine;
+  using gigascope::expr::Value;
+  using gigascope::gsql::DataType;
+  using gigascope::gsql::FieldDef;
+  using gigascope::gsql::OrderSpec;
+
+  Engine engine;
+  std::vector<FieldDef> fields;
+  fields.push_back({"endTime", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"startTime", DataType::kUint, OrderSpec::Banded(30)});
+  fields.push_back({"srcIP", DataType::kIp, OrderSpec::None()});
+  fields.push_back({"destIP", DataType::kIp, OrderSpec::None()});
+  fields.push_back({"packets", DataType::kUint, OrderSpec::None()});
+  fields.push_back({"bytes", DataType::kUint, OrderSpec::None()});
+  if (!engine
+           .DeclareStream(gigascope::gsql::StreamSchema(
+               "netflow", gigascope::gsql::StreamKind::kStream, fields))
+           .ok()) {
+    return 1;
+  }
+
+  // Per-minute traffic report keyed on the flows' *start* minute.
+  auto info = engine.AddQuery(
+      "DEFINE { query_name start_minutes; } "
+      "SELECT tb, count(*), sum(packets), sum(bytes) FROM netflow "
+      "GROUP BY startTime/60 AS tb");
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  auto subscription = engine.Subscribe("start_minutes");
+  if (!subscription.ok()) return 1;
+
+  // A simulated router: packets in, Netflow records out every 30 seconds.
+  gigascope::workload::TrafficConfig config;
+  config.seed = 8;
+  config.num_flows = 60;
+  config.offered_bits_per_sec = 1e6;
+  gigascope::workload::TrafficGenerator packets(config);
+  gigascope::workload::NetflowGenerator router(30);
+
+  uint64_t exported = 0;
+  for (int i = 0; i < 60000; ++i) {
+    for (const auto& record : router.OnPacket(packets.Next())) {
+      engine.InjectRow("netflow",
+                       {Value::Uint(record.end_time),
+                        Value::Uint(record.start_time),
+                        Value::Ip(record.src_addr),
+                        Value::Ip(record.dst_addr),
+                        Value::Uint(record.packets),
+                        Value::Uint(record.bytes)})
+          .ok();
+      ++exported;
+    }
+    if (i % 2048 == 2047) engine.PumpUntilIdle();
+  }
+  for (const auto& record : router.FlushAll()) {
+    engine.InjectRow("netflow",
+                     {Value::Uint(record.end_time),
+                      Value::Uint(record.start_time),
+                      Value::Ip(record.src_addr), Value::Ip(record.dst_addr),
+                      Value::Uint(record.packets),
+                      Value::Uint(record.bytes)})
+        .ok();
+    ++exported;
+  }
+  engine.PumpUntilIdle();
+  engine.FlushAll();
+
+  std::printf("router exported %llu flow records (30s dumps)\n\n",
+              static_cast<unsigned long long>(exported));
+  std::printf("%-12s %-8s %-10s %-12s\n", "start min", "flows", "packets",
+              "bytes");
+  while (auto row = (*subscription)->NextRow()) {
+    std::printf("%-12llu %-8llu %-10llu %-12llu\n",
+                static_cast<unsigned long long>((*row)[0].uint_value()),
+                static_cast<unsigned long long>((*row)[1].uint_value()),
+                static_cast<unsigned long long>((*row)[2].uint_value()),
+                static_cast<unsigned long long>((*row)[3].uint_value()));
+  }
+  return 0;
+}

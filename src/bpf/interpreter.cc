@@ -1,0 +1,148 @@
+#include "bpf/interpreter.h"
+
+namespace gigascope::bpf {
+
+namespace {
+
+bool LoadByte(ByteSpan pkt, uint64_t off, uint32_t* out) {
+  if (off >= pkt.size()) return false;
+  *out = pkt[off];
+  return true;
+}
+
+bool LoadHalf(ByteSpan pkt, uint64_t off, uint32_t* out) {
+  if (off + 2 > pkt.size()) return false;
+  *out = static_cast<uint32_t>(pkt[off]) << 8 | pkt[off + 1];
+  return true;
+}
+
+bool LoadWord(ByteSpan pkt, uint64_t off, uint32_t* out) {
+  if (off + 4 > pkt.size()) return false;
+  *out = static_cast<uint32_t>(pkt[off]) << 24 |
+         static_cast<uint32_t>(pkt[off + 1]) << 16 |
+         static_cast<uint32_t>(pkt[off + 2]) << 8 | pkt[off + 3];
+  return true;
+}
+
+}  // namespace
+
+uint32_t Run(const Program& program, ByteSpan packet) {
+  uint32_t a = 0;
+  uint32_t x = 0;
+  size_t pc = 0;
+  const auto& code = program.instructions;
+
+  while (pc < code.size()) {
+    const Instruction& inst = code[pc];
+    ++pc;
+    switch (inst.op) {
+      case OpCode::kLdByteAbs:
+        if (!LoadByte(packet, inst.k, &a)) return 0;
+        break;
+      case OpCode::kLdHalfAbs:
+        if (!LoadHalf(packet, inst.k, &a)) return 0;
+        break;
+      case OpCode::kLdWordAbs:
+        if (!LoadWord(packet, inst.k, &a)) return 0;
+        break;
+      case OpCode::kLdByteInd:
+        if (!LoadByte(packet, static_cast<uint64_t>(x) + inst.k, &a)) return 0;
+        break;
+      case OpCode::kLdHalfInd:
+        if (!LoadHalf(packet, static_cast<uint64_t>(x) + inst.k, &a)) return 0;
+        break;
+      case OpCode::kLdWordInd:
+        if (!LoadWord(packet, static_cast<uint64_t>(x) + inst.k, &a)) return 0;
+        break;
+      case OpCode::kLdLen:
+        a = static_cast<uint32_t>(packet.size());
+        break;
+      case OpCode::kLdImm:
+        a = inst.k;
+        break;
+      case OpCode::kLdxImm:
+        x = inst.k;
+        break;
+      case OpCode::kLdxMshIp: {
+        uint32_t byte;
+        if (!LoadByte(packet, inst.k, &byte)) return 0;
+        x = (byte & 0x0f) * 4;
+        break;
+      }
+      case OpCode::kTax:
+        x = a;
+        break;
+      case OpCode::kTxa:
+        a = x;
+        break;
+      case OpCode::kAdd:
+        a += inst.k;
+        break;
+      case OpCode::kSub:
+        a -= inst.k;
+        break;
+      case OpCode::kMul:
+        a *= inst.k;
+        break;
+      case OpCode::kDiv:
+        // Verifier rejects k==0; guard anyway.
+        if (inst.k == 0) return 0;
+        a /= inst.k;
+        break;
+      case OpCode::kAnd:
+        a &= inst.k;
+        break;
+      case OpCode::kOr:
+        a |= inst.k;
+        break;
+      case OpCode::kLsh:
+        a = (inst.k < 32) ? a << inst.k : 0;
+        break;
+      case OpCode::kRsh:
+        a = (inst.k < 32) ? a >> inst.k : 0;
+        break;
+      case OpCode::kAddX:
+        a += x;
+        break;
+      case OpCode::kSubX:
+        a -= x;
+        break;
+      case OpCode::kAndX:
+        a &= x;
+        break;
+      case OpCode::kOrX:
+        a |= x;
+        break;
+      case OpCode::kJEq:
+        pc += (a == inst.k) ? inst.jt : inst.jf;
+        break;
+      case OpCode::kJGt:
+        pc += (a > inst.k) ? inst.jt : inst.jf;
+        break;
+      case OpCode::kJGe:
+        pc += (a >= inst.k) ? inst.jt : inst.jf;
+        break;
+      case OpCode::kJSet:
+        pc += ((a & inst.k) != 0) ? inst.jt : inst.jf;
+        break;
+      case OpCode::kJEqX:
+        pc += (a == x) ? inst.jt : inst.jf;
+        break;
+      case OpCode::kJmp:
+        pc += inst.k;
+        break;
+      case OpCode::kRet:
+        return inst.k;
+      case OpCode::kRetA:
+        return a;
+    }
+  }
+  // Fell off the end: drop.
+  return 0;
+}
+
+bool Matches(const Program& program, ByteSpan packet) {
+  return Run(program, packet) != 0;
+}
+
+}  // namespace gigascope::bpf

@@ -1,0 +1,24 @@
+#ifndef GIGASCOPE_BPF_INTERPRETER_H_
+#define GIGASCOPE_BPF_INTERPRETER_H_
+
+#include <cstdint>
+
+#include "bpf/program.h"
+#include "common/bytes.h"
+
+namespace gigascope::bpf {
+
+/// Runs a (verified) program against one packet.
+///
+/// Returns the number of bytes to keep: 0 means drop, 0xffffffff means the
+/// whole packet. Out-of-bounds packet loads terminate the program with a
+/// drop (0), matching the BSD BPF behaviour for short packets. A program
+/// that falls off the end also drops.
+uint32_t Run(const Program& program, ByteSpan packet);
+
+/// Convenience: true iff Run(...) returns nonzero.
+bool Matches(const Program& program, ByteSpan packet);
+
+}  // namespace gigascope::bpf
+
+#endif  // GIGASCOPE_BPF_INTERPRETER_H_

@@ -1,0 +1,139 @@
+#include "bpf/program.h"
+
+#include <cstdio>
+
+#include "net/headers.h"
+
+namespace gigascope::bpf {
+
+namespace {
+
+const char* OpName(OpCode op) {
+  switch (op) {
+    case OpCode::kLdByteAbs: return "ldb";
+    case OpCode::kLdHalfAbs: return "ldh";
+    case OpCode::kLdWordAbs: return "ld";
+    case OpCode::kLdByteInd: return "ldb[x]";
+    case OpCode::kLdHalfInd: return "ldh[x]";
+    case OpCode::kLdWordInd: return "ld[x]";
+    case OpCode::kLdLen: return "ldlen";
+    case OpCode::kLdImm: return "ldi";
+    case OpCode::kLdxImm: return "ldxi";
+    case OpCode::kLdxMshIp: return "ldxmsh";
+    case OpCode::kTax: return "tax";
+    case OpCode::kTxa: return "txa";
+    case OpCode::kAdd: return "add";
+    case OpCode::kSub: return "sub";
+    case OpCode::kMul: return "mul";
+    case OpCode::kDiv: return "div";
+    case OpCode::kAnd: return "and";
+    case OpCode::kOr: return "or";
+    case OpCode::kLsh: return "lsh";
+    case OpCode::kRsh: return "rsh";
+    case OpCode::kAddX: return "addx";
+    case OpCode::kSubX: return "subx";
+    case OpCode::kAndX: return "andx";
+    case OpCode::kOrX: return "orx";
+    case OpCode::kJEq: return "jeq";
+    case OpCode::kJGt: return "jgt";
+    case OpCode::kJGe: return "jge";
+    case OpCode::kJSet: return "jset";
+    case OpCode::kJEqX: return "jeqx";
+    case OpCode::kJmp: return "jmp";
+    case OpCode::kRet: return "ret";
+    case OpCode::kRetA: return "reta";
+  }
+  return "?";
+}
+
+Instruction Make(OpCode op, uint32_t k = 0, uint8_t jt = 0, uint8_t jf = 0) {
+  Instruction inst;
+  inst.op = op;
+  inst.k = k;
+  inst.jt = jt;
+  inst.jf = jf;
+  return inst;
+}
+
+}  // namespace
+
+std::string Program::ToString() const {
+  std::string out;
+  char line[96];
+  for (size_t i = 0; i < instructions.size(); ++i) {
+    const Instruction& inst = instructions[i];
+    std::snprintf(line, sizeof(line), "%3zu: %-7s k=%-10u jt=%u jf=%u\n", i,
+                  OpName(inst.op), inst.k, inst.jt, inst.jf);
+    out += line;
+  }
+  return out;
+}
+
+Instruction LdByteAbs(uint32_t k) { return Make(OpCode::kLdByteAbs, k); }
+Instruction LdHalfAbs(uint32_t k) { return Make(OpCode::kLdHalfAbs, k); }
+Instruction LdWordAbs(uint32_t k) { return Make(OpCode::kLdWordAbs, k); }
+Instruction LdByteInd(uint32_t k) { return Make(OpCode::kLdByteInd, k); }
+Instruction LdHalfInd(uint32_t k) { return Make(OpCode::kLdHalfInd, k); }
+Instruction LdWordInd(uint32_t k) { return Make(OpCode::kLdWordInd, k); }
+Instruction LdLen() { return Make(OpCode::kLdLen); }
+Instruction LdImm(uint32_t k) { return Make(OpCode::kLdImm, k); }
+Instruction LdxImm(uint32_t k) { return Make(OpCode::kLdxImm, k); }
+Instruction LdxMshIp(uint32_t k) { return Make(OpCode::kLdxMshIp, k); }
+Instruction Tax() { return Make(OpCode::kTax); }
+Instruction Txa() { return Make(OpCode::kTxa); }
+Instruction Alu(OpCode op, uint32_t k) { return Make(op, k); }
+Instruction JEq(uint32_t k, uint8_t jt, uint8_t jf) {
+  return Make(OpCode::kJEq, k, jt, jf);
+}
+Instruction JGt(uint32_t k, uint8_t jt, uint8_t jf) {
+  return Make(OpCode::kJGt, k, jt, jf);
+}
+Instruction JGe(uint32_t k, uint8_t jt, uint8_t jf) {
+  return Make(OpCode::kJGe, k, jt, jf);
+}
+Instruction JSet(uint32_t k, uint8_t jt, uint8_t jf) {
+  return Make(OpCode::kJSet, k, jt, jf);
+}
+Instruction Jmp(uint32_t k) { return Make(OpCode::kJmp, k); }
+Instruction Ret(uint32_t k) { return Make(OpCode::kRet, k); }
+Instruction RetA() { return Make(OpCode::kRetA); }
+
+Program BuildTcpDstPortFilter(uint16_t port, uint32_t snap_len) {
+  // Offsets: ethertype at 12; IP proto at 23; frag field at 20;
+  // TCP dst port at 14 + ip_header_len + 2.
+  Program program;
+  auto& code = program.instructions;
+  code.push_back(LdHalfAbs(12));
+  code.push_back(JEq(net::kEtherTypeIpv4, 0, 8));        // not IPv4 -> drop
+  code.push_back(LdByteAbs(23));
+  code.push_back(JEq(net::kIpProtoTcp, 0, 6));           // not TCP -> drop
+  code.push_back(LdHalfAbs(20));
+  code.push_back(JSet(0x1fff, 4, 0));                    // frag offset != 0 -> drop
+  code.push_back(LdxMshIp(14));                          // X = IP header len
+  code.push_back(LdHalfInd(14 + 2));                     // A = dst port
+  code.push_back(JEq(port, 0, 1));
+  code.push_back(Ret(snap_len == 0 ? 0xffffffff : snap_len));
+  code.push_back(Ret(0));
+  return program;
+}
+
+Program BuildIpProtoFilter(uint8_t proto, uint32_t snap_len) {
+  Program program;
+  auto& code = program.instructions;
+  code.push_back(LdHalfAbs(12));
+  code.push_back(JEq(net::kEtherTypeIpv4, 0, 3));
+  code.push_back(LdByteAbs(23));
+  code.push_back(JEq(proto, 0, 1));
+  code.push_back(Ret(snap_len == 0 ? 0xffffffff : snap_len));
+  code.push_back(Ret(0));
+  return program;
+}
+
+Program BuildAcceptAll(uint32_t snap_len) {
+  Program program;
+  program.instructions.push_back(
+      Ret(snap_len == 0 ? 0xffffffff : snap_len));
+  return program;
+}
+
+}  // namespace gigascope::bpf

@@ -1,0 +1,102 @@
+#ifndef GIGASCOPE_BPF_PROGRAM_H_
+#define GIGASCOPE_BPF_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gigascope::bpf {
+
+/// Instruction opcodes for the Gigascope mini-BPF virtual machine.
+///
+/// This is a from-scratch filter machine in the style of classic BSD BPF:
+/// an accumulator `A`, an index register `X`, absolute/indirect packet
+/// loads, forward-only conditional jumps, and a RET that yields the number
+/// of bytes to keep (0 = drop the packet). The planner compiles NIC-pushable
+/// GSQL predicates to this instruction set (see plan/splitter).
+enum class OpCode : uint8_t {
+  // Loads into A. `k` is the absolute packet offset.
+  kLdByteAbs,   // A = pkt[k]
+  kLdHalfAbs,   // A = be16(pkt[k..k+1])
+  kLdWordAbs,   // A = be32(pkt[k..k+3])
+  kLdByteInd,   // A = pkt[X + k]
+  kLdHalfInd,   // A = be16(pkt[X+k ..])
+  kLdWordInd,   // A = be32(pkt[X+k ..])
+  kLdLen,       // A = packet length
+  kLdImm,       // A = k
+
+  // Loads into X.
+  kLdxImm,      // X = k
+  kLdxMshIp,    // X = 4 * (pkt[k] & 0x0f)  -- IP header length idiom
+  kTax,         // X = A
+  kTxa,         // A = X
+
+  // ALU on A (operand is k, or X for the ...X forms).
+  kAdd, kSub, kMul, kDiv, kAnd, kOr, kLsh, kRsh,
+  kAddX, kSubX, kAndX, kOrX,
+
+  // Conditional jumps: if (A op k) pc += jt else pc += jf. Forward only.
+  kJEq, kJGt, kJGe, kJSet,
+  kJEqX,
+
+  // Unconditional jump: pc += k.
+  kJmp,
+
+  // Return: accept k bytes of the packet (0 = drop). kRetA returns A.
+  kRet, kRetA,
+};
+
+/// One mini-BPF instruction.
+struct Instruction {
+  OpCode op;
+  uint8_t jt = 0;  // jump-if-true displacement
+  uint8_t jf = 0;  // jump-if-false displacement
+  uint32_t k = 0;  // immediate / offset operand
+};
+
+/// A filter program: a flat instruction vector executed from index 0.
+struct Program {
+  std::vector<Instruction> instructions;
+
+  size_t size() const { return instructions.size(); }
+  std::string ToString() const;
+};
+
+/// Convenience constructors (the "assembler").
+Instruction LdByteAbs(uint32_t k);
+Instruction LdHalfAbs(uint32_t k);
+Instruction LdWordAbs(uint32_t k);
+Instruction LdByteInd(uint32_t k);
+Instruction LdHalfInd(uint32_t k);
+Instruction LdWordInd(uint32_t k);
+Instruction LdLen();
+Instruction LdImm(uint32_t k);
+Instruction LdxImm(uint32_t k);
+Instruction LdxMshIp(uint32_t k);
+Instruction Tax();
+Instruction Txa();
+Instruction Alu(OpCode op, uint32_t k);
+Instruction JEq(uint32_t k, uint8_t jt, uint8_t jf);
+Instruction JGt(uint32_t k, uint8_t jt, uint8_t jf);
+Instruction JGe(uint32_t k, uint8_t jt, uint8_t jf);
+Instruction JSet(uint32_t k, uint8_t jt, uint8_t jf);
+Instruction Jmp(uint32_t k);
+Instruction Ret(uint32_t k);
+Instruction RetA();
+
+/// Builds the classic "tcp dst port P" filter over Ethernet/IPv4, the
+/// workhorse NIC pre-filter for LFTA pushdown. Accepts `snap_len` bytes of
+/// matching packets (0 = whole packet).
+Program BuildTcpDstPortFilter(uint16_t port, uint32_t snap_len);
+
+/// Builds an "IPv4 protocol == proto" filter.
+Program BuildIpProtoFilter(uint8_t proto, uint32_t snap_len);
+
+/// Builds an accept-everything program (used when no predicate is pushed).
+Program BuildAcceptAll(uint32_t snap_len);
+
+}  // namespace gigascope::bpf
+
+#endif  // GIGASCOPE_BPF_PROGRAM_H_

@@ -1,0 +1,66 @@
+#include "bpf/verifier.h"
+
+#include <string>
+
+namespace gigascope::bpf {
+
+namespace {
+
+bool IsJump(OpCode op) {
+  return op == OpCode::kJEq || op == OpCode::kJGt || op == OpCode::kJGe ||
+         op == OpCode::kJSet || op == OpCode::kJEqX || op == OpCode::kJmp;
+}
+
+bool IsRet(OpCode op) { return op == OpCode::kRet || op == OpCode::kRetA; }
+
+}  // namespace
+
+Status Verify(const Program& program) {
+  const auto& code = program.instructions;
+  if (code.empty()) {
+    return Status::InvalidArgument("bpf: empty program");
+  }
+  if (code.size() > kMaxProgramLength) {
+    return Status::InvalidArgument("bpf: program too long");
+  }
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Instruction& inst = code[i];
+    if (IsJump(inst.op)) {
+      size_t base = i + 1;
+      if (inst.op == OpCode::kJmp) {
+        if (base + inst.k >= code.size()) {
+          return Status::InvalidArgument(
+              "bpf: jmp target out of range at instruction " +
+              std::to_string(i));
+        }
+      } else {
+        if (base + inst.jt >= code.size()) {
+          return Status::InvalidArgument(
+              "bpf: true-branch target out of range at instruction " +
+              std::to_string(i));
+        }
+        if (base + inst.jf >= code.size()) {
+          return Status::InvalidArgument(
+              "bpf: false-branch target out of range at instruction " +
+              std::to_string(i));
+        }
+      }
+    }
+    if (inst.op == OpCode::kDiv && inst.k == 0) {
+      return Status::InvalidArgument(
+          "bpf: division by zero immediate at instruction " +
+          std::to_string(i));
+    }
+  }
+  // Every non-jump, non-ret instruction must not be the last one, and the
+  // final reachable instruction on straight-line fallthrough must be a RET.
+  // Because displacements are unsigned (forward-only), checking that the
+  // last instruction is a RET suffices to prove no path falls off the end:
+  // any non-RET path strictly advances pc and ends at the last instruction.
+  if (!IsRet(code.back().op)) {
+    return Status::InvalidArgument("bpf: program does not end in RET");
+  }
+  return Status::Ok();
+}
+
+}  // namespace gigascope::bpf

@@ -1,0 +1,23 @@
+#ifndef GIGASCOPE_BPF_VERIFIER_H_
+#define GIGASCOPE_BPF_VERIFIER_H_
+
+#include "bpf/program.h"
+#include "common/status.h"
+
+namespace gigascope::bpf {
+
+/// Statically validates a program before it is "loaded into the NIC".
+///
+/// Guarantees termination and memory safety for any packet:
+///  - the program is non-empty and no longer than kMaxProgramLength;
+///  - every jump target lands inside the program (jumps are forward-only by
+///    construction of the displacement encoding, so there are no loops);
+///  - every path ends in a RET (no falling off the end);
+///  - no division by a zero immediate.
+Status Verify(const Program& program);
+
+constexpr size_t kMaxProgramLength = 4096;
+
+}  // namespace gigascope::bpf
+
+#endif  // GIGASCOPE_BPF_VERIFIER_H_

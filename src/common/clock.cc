@@ -1,0 +1,17 @@
+#include "common/clock.h"
+
+#include "common/logging.h"
+
+namespace gigascope {
+
+void VirtualClock::Advance(SimTime delta) {
+  GS_CHECK(delta >= 0);
+  now_ += delta;
+}
+
+void VirtualClock::AdvanceTo(SimTime t) {
+  GS_CHECK(t >= now_);
+  now_ = t;
+}
+
+}  // namespace gigascope

@@ -1,0 +1,46 @@
+#ifndef GIGASCOPE_COMMON_CLOCK_H_
+#define GIGASCOPE_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace gigascope {
+
+/// Simulated time, in nanoseconds since an arbitrary epoch.
+using SimTime = int64_t;
+
+constexpr SimTime kNanosPerMicro = 1000;
+constexpr SimTime kNanosPerMilli = 1000 * 1000;
+constexpr SimTime kNanosPerSecond = 1000 * 1000 * 1000;
+
+/// Converts simulated nanoseconds to whole seconds (the granularity of the
+/// GSQL `time` attribute, a 1-second timer per the paper).
+constexpr int64_t SimTimeToSeconds(SimTime t) { return t / kNanosPerSecond; }
+
+constexpr SimTime SecondsToSimTime(double seconds) {
+  return static_cast<SimTime>(seconds * static_cast<double>(kNanosPerSecond));
+}
+
+/// A manually-advanced virtual clock.
+///
+/// All of the capture simulator and the RTS take time from a VirtualClock so
+/// experiments are deterministic and decoupled from wall-clock speed.
+class VirtualClock {
+ public:
+  VirtualClock() : now_(0) {}
+  explicit VirtualClock(SimTime start) : now_(start) {}
+
+  SimTime now() const { return now_; }
+
+  /// Moves time forward; `delta` must be non-negative.
+  void Advance(SimTime delta);
+
+  /// Jumps to an absolute time not before the current time.
+  void AdvanceTo(SimTime t);
+
+ private:
+  SimTime now_;
+};
+
+}  // namespace gigascope
+
+#endif  // GIGASCOPE_COMMON_CLOCK_H_

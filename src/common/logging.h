@@ -1,0 +1,69 @@
+#ifndef GIGASCOPE_COMMON_LOGGING_H_
+#define GIGASCOPE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gigascope {
+
+/// Log severity levels, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+
+/// Minimum level that is actually emitted; set via SetLogLevel.
+LogLevel MinLogLevel();
+
+/// Emits one formatted log line to stderr (thread safe).
+void EmitLogLine(LogLevel level, const char* file, int line,
+                 const std::string& message);
+
+/// Stream-style collector used by the GS_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() {
+    if (level_ >= MinLogLevel()) EmitLogLine(level_, file_, line_, out_.str());
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream out_;
+};
+
+}  // namespace internal_logging
+
+/// Raises the emission threshold; messages below `level` are dropped.
+void SetLogLevel(LogLevel level);
+
+#define GS_LOG(severity)                                             \
+  ::gigascope::internal_logging::LogMessage(                         \
+      ::gigascope::LogLevel::k##severity, __FILE__, __LINE__)
+
+/// Fatal check macro: aborts with a message when `cond` is false. Used for
+/// programmer errors (broken invariants), never for data-dependent failures.
+#define GS_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::gigascope::internal_logging::EmitLogLine(                     \
+          ::gigascope::LogLevel::kError, __FILE__, __LINE__,          \
+          std::string("CHECK failed: ") + #cond);                     \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+}  // namespace gigascope
+
+#endif  // GIGASCOPE_COMMON_LOGGING_H_

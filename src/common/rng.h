@@ -1,0 +1,62 @@
+#ifndef GIGASCOPE_COMMON_RNG_H_
+#define GIGASCOPE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gigascope {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**).
+///
+/// All workload generation and simulation randomness flows through this
+/// class so experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  /// True with probability p.
+  bool NextBool(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Pareto distributed with shape `alpha` and minimum `xm`. Heavy-tailed;
+  /// used for burst lengths (network traffic is "notoriously bursty").
+  double NextPareto(double alpha, double xm);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples from a Zipf(s) distribution over {0, ..., n-1}.
+///
+/// Precomputes the CDF once; each sample is a binary search. Used to model
+/// the flow-popularity skew that gives LFTA hash tables temporal locality.
+class ZipfSampler {
+ public:
+  /// `n` ranks, exponent `s` (s=0 is uniform; larger s is more skewed).
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace gigascope
+
+#endif  // GIGASCOPE_COMMON_RNG_H_

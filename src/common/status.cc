@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace gigascope {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kOutOfRange:
+      return "OutOfRange";
+    case Status::Code::kUnimplemented:
+      return "Unimplemented";
+    case Status::Code::kInternal:
+      return "Internal";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kParseError:
+      return "ParseError";
+    case Status::Code::kTypeError:
+      return "TypeError";
+    case Status::Code::kPlanError:
+      return "PlanError";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace gigascope

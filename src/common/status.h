@@ -1,0 +1,146 @@
+#ifndef GIGASCOPE_COMMON_STATUS_H_
+#define GIGASCOPE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gigascope {
+
+/// Result status of an operation that can fail.
+///
+/// Gigascope does not use exceptions; fallible functions return `Status`
+/// (or `Result<T>` when they also produce a value). Statuses carry an error
+/// code and a human-readable message describing the failure.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kUnimplemented,
+    kInternal,
+    kResourceExhausted,
+    kParseError,
+    kTypeError,
+    kPlanError,
+  };
+
+  /// Default status is OK.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(Code::kTypeError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(Code::kPlanError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Code name + message, e.g. "InvalidArgument: bad field".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Like absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` and `return SomeStatus;` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define GS_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::gigascope::Status _gs_status = (expr);      \
+    if (!_gs_status.ok()) return _gs_status;      \
+  } while (0)
+
+/// Evaluates a Result-returning expression; on error propagates the status,
+/// otherwise assigns the value to `lhs`.
+#define GS_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto GS_CONCAT_(_gs_result, __LINE__) = (expr);  \
+  if (!GS_CONCAT_(_gs_result, __LINE__).ok())      \
+    return GS_CONCAT_(_gs_result, __LINE__).status(); \
+  lhs = std::move(GS_CONCAT_(_gs_result, __LINE__)).value()
+
+#define GS_CONCAT_INNER_(a, b) a##b
+#define GS_CONCAT_(a, b) GS_CONCAT_INNER_(a, b)
+
+}  // namespace gigascope
+
+#endif  // GIGASCOPE_COMMON_STATUS_H_

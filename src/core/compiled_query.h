@@ -1,0 +1,45 @@
+#ifndef GIGASCOPE_CORE_COMPILED_QUERY_H_
+#define GIGASCOPE_CORE_COMPILED_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/splitter.h"
+#include "rts/node.h"
+
+namespace gigascope::core {
+
+/// Everything needed to turn plan trees into live operator nodes.
+struct InstantiationContext {
+  rts::StreamRegistry* registry = nullptr;
+  rts::ParamBlock params;
+  /// Instantiation-time parameter values (for pass-by-handle arguments).
+  std::vector<expr::Value> param_values;
+  size_t channel_capacity = 4096;
+  int lfta_hash_log2 = 12;
+  /// Aggregate nodes in this plan use the LFTA direct-mapped table.
+  bool use_lfta_table = false;
+  /// Receives the created nodes, upstream first.
+  std::vector<std::unique_ptr<rts::QueryNode>>* nodes = nullptr;
+};
+
+/// Recursively instantiates a plan: children first (each intermediate
+/// operator publishes a uniquely named stream; the parent subscribes).
+/// The root operator publishes under `output_name`.
+///
+/// Source nodes do not create operators: a Protocol source subscribes to
+/// the engine's `interface.Protocol` packet stream, a Stream source to the
+/// named stream — both must already be declared in the registry.
+Status InstantiatePlan(const plan::PlanPtr& node,
+                       const std::string& output_name,
+                       InstantiationContext* ctx);
+
+/// Stream name carrying interpreted packets of `protocol` captured on
+/// `interface_name` (e.g. "eth0.PKT").
+std::string ProtocolStreamName(const std::string& interface_name,
+                               const std::string& protocol);
+
+}  // namespace gigascope::core
+
+#endif  // GIGASCOPE_CORE_COMPILED_QUERY_H_

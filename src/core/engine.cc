@@ -1,0 +1,480 @@
+#include "core/engine.h"
+
+#include "common/logging.h"
+#include "core/compiled_query.h"
+#include "gsql/parser.h"
+#include "net/headers.h"
+#include "rts/punctuation.h"
+
+namespace gigascope::core {
+
+using expr::Value;
+using gsql::DataType;
+
+TupleSubscription::TupleSubscription(rts::Subscription channel,
+                                     gsql::StreamSchema schema)
+    : channel_(std::move(channel)), codec_(std::move(schema)) {}
+
+std::optional<rts::Row> TupleSubscription::NextRow() {
+  rts::StreamMessage message;
+  while (channel_->TryPop(&message)) {
+    if (message.kind != rts::StreamMessage::Kind::kTuple) continue;
+    auto row = codec_.Decode(
+        ByteSpan(message.payload.data(), message.payload.size()));
+    if (row.ok()) return std::move(row).value();
+  }
+  return std::nullopt;
+}
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  if (options_.functions == nullptr) {
+    options_.functions = udf::FunctionRegistry::Default();
+  }
+  // Built-in protocols.
+  GS_CHECK(catalog_.AddSchema(gsql::Catalog::BuiltinPacketSchema()).ok());
+  GS_CHECK(catalog_.AddSchema(gsql::Catalog::BuiltinNetflowSchema()).ok());
+}
+
+void Engine::AddInterface(const std::string& name) {
+  catalog_.AddInterface(name);
+}
+
+Status Engine::ExecuteDdl(std::string_view ddl) {
+  GS_ASSIGN_OR_RETURN(gsql::ParsedProgram program, gsql::Parse(ddl));
+  for (const gsql::Statement& statement : program.statements) {
+    const auto* create = std::get_if<gsql::CreateStmt>(&statement);
+    if (create == nullptr) {
+      return Status::InvalidArgument(
+          "ExecuteDdl accepts only CREATE statements; use AddQuery for "
+          "queries");
+    }
+    GS_RETURN_IF_ERROR(catalog_.AddSchema(create->schema));
+  }
+  return Status::Ok();
+}
+
+Status Engine::DeclareStream(const gsql::StreamSchema& schema) {
+  if (schema.kind() != gsql::StreamKind::kStream) {
+    return Status::InvalidArgument(
+        "DeclareStream declares Stream schemas; protocols come from DDL");
+  }
+  if (!catalog_.HasSchema(schema.name())) {
+    GS_RETURN_IF_ERROR(catalog_.AddSchema(schema));
+  }
+  return registry_.DeclareStream(schema);
+}
+
+Status Engine::EnsureProtocolSource(const std::string& interface_name,
+                                    const std::string& protocol) {
+  std::string stream_name = ProtocolStreamName(interface_name, protocol);
+  if (protocol_sources_.count(stream_name) > 0) return Status::Ok();
+  GS_ASSIGN_OR_RETURN(gsql::StreamSchema schema,
+                      catalog_.GetSchema(protocol));
+  ProtocolSource source;
+  source.stream_name = stream_name;
+  source.schema = gsql::StreamSchema(stream_name, gsql::StreamKind::kStream,
+                                     schema.fields());
+  source.codec = std::make_unique<rts::TupleCodec>(source.schema);
+  GS_RETURN_IF_ERROR(registry_.DeclareStream(source.schema));
+  protocol_sources_.emplace(stream_name, std::move(source));
+  return Status::Ok();
+}
+
+Status Engine::EnsureSources(const plan::PlanPtr& plan) {
+  if (plan == nullptr) return Status::Ok();
+  if (plan->kind == plan::PlanKind::kSource && plan->source_is_protocol) {
+    GS_RETURN_IF_ERROR(
+        EnsureProtocolSource(plan->interface_name, plan->source_stream));
+  }
+  for (const plan::PlanPtr& child : plan->children) {
+    GS_RETURN_IF_ERROR(EnsureSources(child));
+  }
+  return Status::Ok();
+}
+
+Result<QueryInfo> Engine::AddQuery(
+    std::string_view gsql_text,
+    const std::map<std::string, expr::Value>& params) {
+  GS_ASSIGN_OR_RETURN(gsql::Statement statement,
+                      gsql::ParseStatement(gsql_text));
+
+  // Extract the DEFINE block (shared by SELECT and MERGE).
+  const gsql::DefineBlock* define = nullptr;
+  if (const auto* select = std::get_if<gsql::SelectStmt>(&statement)) {
+    define = &select->define;
+  } else if (const auto* merge = std::get_if<gsql::MergeStmt>(&statement)) {
+    define = &merge->define;
+  } else {
+    return Status::InvalidArgument(
+        "AddQuery accepts SELECT or MERGE statements; use ExecuteDdl for "
+        "CREATE");
+  }
+
+  // Resolve declared parameters to slots and instantiation-time values.
+  plan::PlannerOptions planner_options;
+  planner_options.resolver = options_.functions;
+  std::vector<Value> param_values;
+  std::vector<std::string> param_names;
+  for (const auto& decl : define->params) {
+    planner_options.params.emplace_back(decl.name, decl.type);
+    param_names.push_back(decl.name);
+    auto it = params.find(decl.name);
+    Value value;
+    if (it != params.end()) {
+      GS_ASSIGN_OR_RETURN(value, expr::CastValue(it->second, decl.type));
+    } else if (decl.default_value != nullptr) {
+      const auto* literal =
+          std::get_if<gsql::LiteralExpr>(&decl.default_value->node);
+      if (literal == nullptr) {
+        return Status::InvalidArgument("parameter '" + decl.name +
+                                       "' default must be a literal");
+      }
+      switch (literal->type) {
+        case DataType::kInt:
+          value = Value::Int(literal->int_value);
+          break;
+        case DataType::kUint:
+        case DataType::kIp:
+          value = Value::Uint(literal->uint_value);
+          break;
+        case DataType::kFloat:
+          value = Value::Float(literal->float_value);
+          break;
+        case DataType::kString:
+          value = Value::String(literal->string_value);
+          break;
+        case DataType::kBool:
+          value = Value::Bool(literal->bool_value);
+          break;
+      }
+      GS_ASSIGN_OR_RETURN(value, expr::CastValue(value, decl.type));
+    } else {
+      return Status::InvalidArgument("parameter '" + decl.name +
+                                     "' has no value and no default");
+    }
+    param_values.push_back(std::move(value));
+  }
+
+  // Plan.
+  plan::PlannedQuery planned;
+  if (const auto* select = std::get_if<gsql::SelectStmt>(&statement)) {
+    GS_ASSIGN_OR_RETURN(gsql::ResolvedSelect resolved,
+                        gsql::AnalyzeSelect(*select, catalog_));
+    GS_ASSIGN_OR_RETURN(planned, plan::PlanSelect(resolved, planner_options));
+  } else {
+    const auto& merge = std::get<gsql::MergeStmt>(statement);
+    GS_ASSIGN_OR_RETURN(gsql::ResolvedMerge resolved,
+                        gsql::AnalyzeMerge(merge, catalog_));
+    GS_ASSIGN_OR_RETURN(planned, plan::PlanMerge(resolved, planner_options));
+  }
+  if (registry_.HasStream(planned.name)) {
+    return Status::AlreadyExists("a query named '" + planned.name +
+                                 "' is already running");
+  }
+
+  // Split into LFTA/HFTA.
+  GS_ASSIGN_OR_RETURN(plan::SplitQuery split, plan::SplitPlan(planned));
+
+  QueryInfo info;
+  info.name = split.name;
+  info.lfta_name = split.lfta_name;
+  info.has_lfta = split.lfta != nullptr;
+  info.has_hfta = split.hfta != nullptr;
+  info.split_aggregation = split.split_aggregation;
+  info.unbounded_aggregation = planned.unbounded_aggregation;
+  info.has_nic_program = split.has_nic_program;
+  info.nic_program = split.nic_program;
+  info.snap_len = split.snap_len;
+  info.plan_text = "-- logical --\n" + planned.root->ToString();
+  if (split.lfta != nullptr) {
+    info.plan_text += "-- lfta --\n" + split.lfta->ToString();
+  }
+  if (split.hfta != nullptr) {
+    info.plan_text += "-- hfta --\n" + split.hfta->ToString();
+  }
+
+  // Instantiate: LFTA first (it declares the mangled stream the HFTA
+  // reads), then the HFTA.
+  QueryParams query_params;
+  query_params.block =
+      std::make_shared<std::vector<Value>>(param_values);
+  query_params.names = param_names;
+
+  InstantiationContext ctx;
+  ctx.registry = &registry_;
+  ctx.params = query_params.block;
+  ctx.param_values = param_values;
+  ctx.channel_capacity = options_.channel_capacity;
+  ctx.lfta_hash_log2 = options_.lfta_hash_log2;
+  ctx.nodes = &nodes_;
+
+  if (split.lfta != nullptr) {
+    GS_RETURN_IF_ERROR(EnsureSources(split.lfta));
+    ctx.use_lfta_table = split.split_aggregation;
+    std::string lfta_output =
+        split.hfta == nullptr ? split.name : split.lfta_name;
+    GS_RETURN_IF_ERROR(InstantiatePlan(split.lfta, lfta_output, &ctx));
+  }
+  if (split.hfta != nullptr) {
+    GS_RETURN_IF_ERROR(EnsureSources(split.hfta));
+    ctx.use_lfta_table = false;
+    GS_RETURN_IF_ERROR(InstantiatePlan(split.hfta, split.name, &ctx));
+  }
+
+  // Register the query's output schema in the catalog so later queries can
+  // compose over it (§2.2).
+  catalog_.PutStreamSchema(planned.output_schema);
+  query_params_.emplace(info.name, std::move(query_params));
+  query_infos_.push_back(info);
+  return info;
+}
+
+Status Engine::SetParam(const std::string& query_name,
+                        const std::string& param_name, expr::Value value) {
+  auto it = query_params_.find(query_name);
+  if (it == query_params_.end()) {
+    return Status::NotFound("no query named '" + query_name + "'");
+  }
+  for (size_t i = 0; i < it->second.names.size(); ++i) {
+    if (it->second.names[i] == param_name) {
+      DataType declared = (*it->second.block)[i].type();
+      GS_ASSIGN_OR_RETURN(Value casted, expr::CastValue(value, declared));
+      (*it->second.block)[i] = std::move(casted);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("query '" + query_name + "' has no parameter '" +
+                          param_name + "'");
+}
+
+Result<std::unique_ptr<TupleSubscription>> Engine::Subscribe(
+    const std::string& stream_name, size_t capacity) {
+  GS_ASSIGN_OR_RETURN(gsql::StreamSchema schema,
+                      registry_.GetSchema(stream_name));
+  GS_ASSIGN_OR_RETURN(rts::Subscription channel,
+                      registry_.Subscribe(stream_name, capacity));
+  return std::make_unique<TupleSubscription>(std::move(channel),
+                                             std::move(schema));
+}
+
+rts::Row InterpretPacket(const gsql::StreamSchema& schema,
+                         const net::Packet& packet) {
+  auto decoded_result = net::DecodePacket(packet.view());
+  const net::DecodedPacket* decoded =
+      decoded_result.ok() ? &decoded_result.value() : nullptr;
+
+  rts::Row row;
+  row.reserve(schema.num_fields());
+  for (size_t f = 0; f < schema.num_fields(); ++f) {
+    const gsql::FieldDef& field = schema.field(f);
+    const std::string& name = field.name;
+    if (name == "time") {
+      row.push_back(Value::Uint(
+          static_cast<uint64_t>(SimTimeToSeconds(packet.timestamp))));
+    } else if (name == "timestamp") {
+      row.push_back(Value::Uint(static_cast<uint64_t>(packet.timestamp)));
+    } else if (name == "len") {
+      row.push_back(Value::Uint(packet.orig_len));
+    } else if (decoded != nullptr && decoded->ip.has_value() &&
+               name == "srcIP") {
+      row.push_back(Value::Ip(decoded->ip->src_addr));
+    } else if (decoded != nullptr && decoded->ip.has_value() &&
+               name == "destIP") {
+      row.push_back(Value::Ip(decoded->ip->dst_addr));
+    } else if (decoded != nullptr && name == "srcPort") {
+      uint16_t port = decoded->is_tcp()   ? decoded->tcp->src_port
+                      : decoded->is_udp() ? decoded->udp->src_port
+                                          : 0;
+      row.push_back(Value::Uint(port));
+    } else if (decoded != nullptr && name == "destPort") {
+      uint16_t port = decoded->is_tcp()   ? decoded->tcp->dst_port
+                      : decoded->is_udp() ? decoded->udp->dst_port
+                                          : 0;
+      row.push_back(Value::Uint(port));
+    } else if (decoded != nullptr && decoded->ip.has_value() &&
+               name == "protocol") {
+      row.push_back(Value::Uint(decoded->ip->protocol));
+    } else if (decoded != nullptr && name == "ipVersion") {
+      row.push_back(Value::Uint(decoded->ip.has_value() ? 4 : 0));
+    } else if (decoded != nullptr && name == "tcpFlags") {
+      row.push_back(
+          Value::Uint(decoded->is_tcp() ? decoded->tcp->flags : 0));
+    } else if (decoded != nullptr && name == "tcpSeq") {
+      row.push_back(Value::Uint(decoded->is_tcp() ? decoded->tcp->seq : 0));
+    } else if (decoded != nullptr && decoded->ip.has_value() &&
+               name == "ipId") {
+      row.push_back(Value::Uint(decoded->ip->identification));
+    } else if (decoded != nullptr && decoded->ip.has_value() &&
+               name == "fragOffset") {
+      row.push_back(Value::Uint(decoded->ip->fragment_offset));
+    } else if (decoded != nullptr && decoded->ip.has_value() &&
+               name == "moreFrags") {
+      row.push_back(Value::Uint(decoded->ip->more_fragments() ? 1 : 0));
+    } else if (decoded != nullptr && decoded->ip.has_value() &&
+               name == "ipPayload") {
+      // The IP payload including any transport header — what an IP
+      // defragmenter reassembles.
+      size_t start = net::kEthernetHeaderLen + decoded->ip->header_len;
+      std::string ip_payload;
+      if (packet.bytes.size() > start) {
+        ip_payload.assign(
+            reinterpret_cast<const char*>(packet.bytes.data() + start),
+            packet.bytes.size() - start);
+      }
+      row.push_back(Value::String(std::move(ip_payload)));
+    } else if (name == "payload") {
+      std::string payload;
+      if (decoded != nullptr) {
+        payload.assign(
+            reinterpret_cast<const char*>(decoded->payload.data()),
+            decoded->payload.size());
+      }
+      row.push_back(Value::String(std::move(payload)));
+    } else {
+      row.push_back(Value::Default(field.type));
+    }
+  }
+  return row;
+}
+
+Status Engine::InjectPacket(const std::string& interface_name,
+                            const net::Packet& packet) {
+  bool any = false;
+  for (auto& [stream_name, source] : protocol_sources_) {
+    if (stream_name.rfind(interface_name + ".", 0) != 0) continue;
+    any = true;
+    rts::Row row = InterpretPacket(source.schema, packet);
+    rts::StreamMessage message;
+    message.kind = rts::StreamMessage::Kind::kTuple;
+    source.codec->Encode(row, &message.payload);
+    registry_.Publish(stream_name, message);
+    source.last_row = std::move(row);
+    ++source.packets;
+    if (options_.punctuation_interval > 0 &&
+        source.packets % options_.punctuation_interval == 0) {
+      rts::Punctuation punctuation;
+      for (size_t f = 0; f < source.schema.num_fields(); ++f) {
+        const gsql::OrderSpec& order = source.schema.field(f).order;
+        if (!order.IsIncreasingLike()) continue;
+        if (source.schema.field(f).type == DataType::kString) continue;
+        punctuation.bounds.emplace_back(f, source.last_row[f]);
+      }
+      if (!punctuation.bounds.empty()) {
+        registry_.Publish(stream_name, rts::MakePunctuationMessage(
+                                           punctuation, source.schema));
+      }
+    }
+  }
+  if (!any) {
+    return Status::NotFound("no protocol sources on interface '" +
+                            interface_name + "' (add a query first)");
+  }
+  return Status::Ok();
+}
+
+Status Engine::InjectHeartbeat(const std::string& interface_name,
+                               SimTime now) {
+  bool any = false;
+  for (auto& [stream_name, source] : protocol_sources_) {
+    if (stream_name.rfind(interface_name + ".", 0) != 0) continue;
+    any = true;
+    rts::Punctuation punctuation;
+    for (size_t f = 0; f < source.schema.num_fields(); ++f) {
+      const gsql::FieldDef& field = source.schema.field(f);
+      if (!field.order.IsIncreasingLike()) continue;
+      if (field.name == "time") {
+        punctuation.bounds.emplace_back(
+            f, Value::Uint(static_cast<uint64_t>(SimTimeToSeconds(now))));
+      } else if (field.name == "timestamp") {
+        punctuation.bounds.emplace_back(
+            f, Value::Uint(static_cast<uint64_t>(now)));
+      }
+    }
+    if (!punctuation.bounds.empty()) {
+      registry_.Publish(stream_name, rts::MakePunctuationMessage(
+                                         punctuation, source.schema));
+    }
+  }
+  if (!any) {
+    return Status::NotFound("no protocol sources on interface '" +
+                            interface_name + "'");
+  }
+  return Status::Ok();
+}
+
+Status Engine::InjectRow(const std::string& stream_name,
+                         const rts::Row& row) {
+  GS_ASSIGN_OR_RETURN(gsql::StreamSchema schema,
+                      registry_.GetSchema(stream_name));
+  rts::TupleCodec codec(schema);
+  rts::StreamMessage message;
+  message.kind = rts::StreamMessage::Kind::kTuple;
+  codec.Encode(row, &message.payload);
+  registry_.Publish(stream_name, message);
+  return Status::Ok();
+}
+
+Status Engine::InjectPunctuation(const std::string& stream_name, size_t field,
+                                 const expr::Value& bound) {
+  GS_ASSIGN_OR_RETURN(gsql::StreamSchema schema,
+                      registry_.GetSchema(stream_name));
+  if (field >= schema.num_fields()) {
+    return Status::OutOfRange("punctuation field out of range");
+  }
+  rts::Punctuation punctuation;
+  punctuation.bounds.emplace_back(field, bound);
+  registry_.Publish(stream_name,
+                    rts::MakePunctuationMessage(punctuation, schema));
+  return Status::Ok();
+}
+
+Status Engine::AddNode(std::unique_ptr<rts::QueryNode> node) {
+  if (node == nullptr) return Status::InvalidArgument("null node");
+  if (!registry_.HasStream(node->name())) {
+    return Status::InvalidArgument(
+        "custom node '" + node->name() +
+        "' must declare its output stream before being added");
+  }
+  // Make the node's output visible to GSQL so queries can compose over it
+  // (§3: the defrag operator feeds a query tree).
+  GS_ASSIGN_OR_RETURN(gsql::StreamSchema schema,
+                      registry_.GetSchema(node->name()));
+  catalog_.PutStreamSchema(schema);
+  nodes_.push_back(std::move(node));
+  return Status::Ok();
+}
+
+size_t Engine::Pump(size_t budget_per_node) {
+  size_t processed = 0;
+  for (auto& node : nodes_) {
+    processed += node->Poll(budget_per_node);
+  }
+  return processed;
+}
+
+void Engine::PumpUntilIdle() {
+  while (Pump() > 0) {
+  }
+}
+
+void Engine::FlushAll() {
+  PumpUntilIdle();
+  // Flush upstream-to-downstream, pumping between rounds so flushed state
+  // propagates through the chain.
+  for (auto& node : nodes_) {
+    node->Flush();
+    PumpUntilIdle();
+  }
+}
+
+std::vector<Engine::NodeStats> Engine::GetNodeStats() const {
+  std::vector<NodeStats> stats;
+  stats.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    stats.push_back({node->name(), node->tuples_in(), node->tuples_out(),
+                     node->eval_errors()});
+  }
+  return stats;
+}
+
+}  // namespace gigascope::core

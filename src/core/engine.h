@@ -1,0 +1,213 @@
+#ifndef GIGASCOPE_CORE_ENGINE_H_
+#define GIGASCOPE_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gsql/catalog.h"
+#include "net/packet.h"
+#include "plan/splitter.h"
+#include "rts/node.h"
+#include "rts/registry.h"
+#include "rts/tuple.h"
+#include "udf/registry.h"
+
+namespace gigascope::core {
+
+/// A subscriber-side decoded view of a stream.
+class TupleSubscription {
+ public:
+  TupleSubscription(rts::Subscription channel, gsql::StreamSchema schema);
+
+  /// Next decoded tuple, skipping punctuations; nullopt when drained.
+  std::optional<rts::Row> NextRow();
+
+  /// Number of messages currently queued.
+  size_t pending() const { return channel_->size(); }
+  uint64_t dropped() const { return channel_->dropped(); }
+
+  const gsql::StreamSchema& schema() const { return codec_.schema(); }
+
+ private:
+  rts::Subscription channel_;
+  rts::TupleCodec codec_;
+};
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// UDF registry (defaults to the built-in function library).
+  const expr::FunctionResolver* functions = nullptr;
+  /// Capacity of inter-node channels, messages.
+  size_t channel_capacity = 8192;
+  /// log2 of the LFTA direct-mapped hash table slot count.
+  int lfta_hash_log2 = 12;
+  /// Packet sources emit a punctuation every this many packets.
+  size_t punctuation_interval = 256;
+};
+
+/// Metadata about a compiled, running query.
+struct QueryInfo {
+  std::string name;
+  std::string lfta_name;         // mangled LFTA stream name (if split)
+  bool has_lfta = false;
+  bool has_hfta = false;
+  bool split_aggregation = false;
+  bool unbounded_aggregation = false;
+  bool has_nic_program = false;
+  bpf::Program nic_program;      // for the capture layer to load
+  uint32_t snap_len = 0;
+  std::string plan_text;         // human-readable plan dump
+};
+
+/// The Gigascope engine: catalog + GSQL compiler + stream manager + the
+/// running query network.
+///
+/// Usage:
+///   Engine engine;
+///   engine.AddInterface("eth0");
+///   engine.AddQuery("DEFINE { query_name tcpdest; } SELECT destIP, "
+///                   "destPort, time FROM eth0.PKT WHERE protocol = 6");
+///   auto sub = engine.Subscribe("tcpdest");
+///   engine.InjectPacket("eth0", packet);
+///   engine.PumpUntilIdle();
+///   while (auto row = sub->NextRow()) { ... }
+///
+/// The engine is single-threaded by design: InjectPacket enqueues work and
+/// Pump drives every operator. This makes runs deterministic; throughput
+/// experiments drive Pump from their own loop.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  // -- Setup ---------------------------------------------------------------
+
+  /// Declares a capture interface (e.g. "eth0"). The first interface added
+  /// becomes the default for unqualified Protocol references.
+  void AddInterface(const std::string& name);
+
+  /// Executes DDL statements (CREATE PROTOCOL / CREATE STREAM).
+  Status ExecuteDdl(std::string_view ddl);
+
+  /// Declares an external stream that the caller will feed with InjectRow —
+  /// the paper's "users can write their own query nodes" API.
+  Status DeclareStream(const gsql::StreamSchema& schema);
+
+  const gsql::Catalog& catalog() const { return catalog_; }
+
+  // -- Queries ---------------------------------------------------------------
+
+  /// Compiles and instantiates one GSQL query (SELECT or MERGE). Parameters
+  /// declared in the DEFINE block take `params` values (or their defaults).
+  Result<QueryInfo> AddQuery(
+      std::string_view gsql_text,
+      const std::map<std::string, expr::Value>& params = {});
+
+  /// Changes a query parameter on the fly (§3). Takes effect on the next
+  /// evaluated tuple. Pass-by-handle parameters cannot be changed (their
+  /// handles were built at instantiation).
+  Status SetParam(const std::string& query_name,
+                  const std::string& param_name, expr::Value value);
+
+  const std::vector<QueryInfo>& queries() const { return query_infos_; }
+
+  // -- Subscriptions -----------------------------------------------------------
+
+  /// Subscribes to any registered stream (query outputs, LFTA streams with
+  /// their mangled names, raw protocol streams).
+  Result<std::unique_ptr<TupleSubscription>> Subscribe(
+      const std::string& stream_name, size_t capacity = 8192);
+
+  // -- Data input -----------------------------------------------------------
+
+  /// Feeds one captured packet to all Protocols bound to `interface_name`.
+  Status InjectPacket(const std::string& interface_name,
+                      const net::Packet& packet);
+
+  /// Injects a time-only heartbeat: a punctuation advancing the ordered
+  /// time attributes of every protocol stream on the interface without any
+  /// tuple (§3's ordering-update tokens for slow streams).
+  Status InjectHeartbeat(const std::string& interface_name, SimTime now);
+
+  /// Feeds one tuple into a caller-declared stream.
+  Status InjectRow(const std::string& stream_name, const rts::Row& row);
+
+  /// Injects a punctuation bound on one field of a caller-declared stream.
+  Status InjectPunctuation(const std::string& stream_name, size_t field,
+                           const expr::Value& bound);
+
+  /// Registers a user-written query node (§3: "users can write their own
+  /// query nodes to implement special operators by following this API",
+  /// e.g. the IP defragmentation operator in ops/defrag.h). The node must
+  /// already have declared its output stream in registry(); it is pumped
+  /// together with compiled query nodes.
+  Status AddNode(std::unique_ptr<rts::QueryNode> node);
+
+  // -- Execution ---------------------------------------------------------------
+
+  /// Runs one round over all operator nodes; returns messages processed.
+  size_t Pump(size_t budget_per_node = 1024);
+
+  /// Pumps until no node makes progress.
+  void PumpUntilIdle();
+
+  /// End-of-stream: flushes buffered operator state (open groups, merge
+  /// buffers) downstream, then pumps to idle.
+  void FlushAll();
+
+  // -- Introspection ---------------------------------------------------------
+
+  rts::StreamRegistry& registry() { return registry_; }
+
+  /// Per-node statistics: (name, tuples_in, tuples_out, eval_errors).
+  struct NodeStats {
+    std::string name;
+    uint64_t tuples_in;
+    uint64_t tuples_out;
+    uint64_t eval_errors;
+  };
+  std::vector<NodeStats> GetNodeStats() const;
+
+ private:
+  struct ProtocolSource {
+    std::string stream_name;
+    gsql::StreamSchema schema;
+    std::unique_ptr<rts::TupleCodec> codec;
+    uint64_t packets = 0;
+    rts::Row last_row;
+  };
+
+  /// Ensures a packet stream for (interface, protocol) exists.
+  Status EnsureProtocolSource(const std::string& interface_name,
+                              const std::string& protocol);
+
+  /// Registers sources required by every Source leaf of `plan`.
+  Status EnsureSources(const plan::PlanPtr& plan);
+
+  EngineOptions options_;
+  gsql::Catalog catalog_;
+  rts::StreamRegistry registry_;
+  std::vector<std::unique_ptr<rts::QueryNode>> nodes_;
+  std::vector<QueryInfo> query_infos_;
+  /// Per-query parameter blocks and name->slot maps.
+  struct QueryParams {
+    rts::ParamBlock block;
+    std::vector<std::string> names;
+  };
+  std::map<std::string, QueryParams> query_params_;
+  std::map<std::string, ProtocolSource> protocol_sources_;
+  bool flushed_ = false;
+};
+
+/// Interprets a raw packet into a row of `schema` using the built-in
+/// interpretation-function library (§2.2): fields are extracted by name
+/// (time, timestamp, srcIP, destIP, srcPort, destPort, protocol,
+/// ipVersion, len, tcpFlags, tcpSeq, payload); unknown names get default
+/// values.
+rts::Row InterpretPacket(const gsql::StreamSchema& schema,
+                         const net::Packet& packet);
+
+}  // namespace gigascope::core
+
+#endif  // GIGASCOPE_CORE_ENGINE_H_

@@ -1,0 +1,53 @@
+#include "expr/cost.h"
+
+namespace gigascope::expr {
+
+double EstimateCost(const IrPtr& ir) {
+  if (ir == nullptr) return 0;
+  double cost = 0;
+  switch (ir->kind) {
+    case IrKind::kConst:
+    case IrKind::kParam:
+      cost = 0;  // resolved into the instruction stream / parameter block
+      break;
+    case IrKind::kField:
+      cost = 1;  // one tuple field access
+      break;
+    case IrKind::kCast:
+    case IrKind::kUnary:
+      cost = 1;
+      break;
+    case IrKind::kBinary:
+      // String comparisons are length-dependent; charge a flat premium.
+      cost = ir->children[0]->type == DataType::kString ? 8 : 1;
+      break;
+    case IrKind::kCall:
+      cost = ir->fn != nullptr ? ir->fn->cost : 100;
+      break;
+  }
+  for (const IrPtr& child : ir->children) cost += EstimateCost(child);
+  return cost;
+}
+
+namespace {
+
+bool AllCallsLftaSafe(const IrPtr& ir) {
+  if (ir == nullptr) return true;
+  if (ir->kind == IrKind::kCall &&
+      (ir->fn == nullptr || !ir->fn->lfta_safe)) {
+    return false;
+  }
+  for (const IrPtr& child : ir->children) {
+    if (!AllCallsLftaSafe(child)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsLftaSafe(const IrPtr& ir) {
+  if (ir == nullptr) return true;
+  return AllCallsLftaSafe(ir) && EstimateCost(ir) <= kLftaCostBudget;
+}
+
+}  // namespace gigascope::expr

@@ -1,0 +1,24 @@
+#ifndef GIGASCOPE_EXPR_COST_H_
+#define GIGASCOPE_EXPR_COST_H_
+
+#include "expr/ir.h"
+
+namespace gigascope::expr {
+
+/// Abstract per-evaluation cost of an expression, in units of one
+/// arithmetic operation. Function calls contribute their declared cost.
+double EstimateCost(const IrPtr& ir);
+
+/// Whether an expression may run in an LFTA (§3): every function it calls
+/// must be flagged `lfta_safe`, and its total cost must stay under
+/// `kLftaCostBudget`. Expensive work (regular expressions, prefix-table
+/// joins) is forced up to the HFTA — "regular expression finding is too
+/// expensive for an LFTA" (§4).
+bool IsLftaSafe(const IrPtr& ir);
+
+/// Cost ceiling for LFTA-resident expressions.
+constexpr double kLftaCostBudget = 64;
+
+}  // namespace gigascope::expr
+
+#endif  // GIGASCOPE_EXPR_COST_H_

@@ -1,0 +1,18 @@
+#ifndef GIGASCOPE_EXPR_FOLD_H_
+#define GIGASCOPE_EXPR_FOLD_H_
+
+#include "expr/ir.h"
+
+namespace gigascope::expr {
+
+/// Constant folding: replaces subtrees that reference no fields, parameters,
+/// or function calls with their constant value. Function calls are never
+/// folded (UDFs may be stateful or handle-bound); parameters are never
+/// folded (they can change on the fly, §3). Folding failures (e.g. a literal
+/// division by zero) leave the subtree unchanged so the runtime reports the
+/// error per tuple.
+IrPtr FoldConstants(const IrPtr& ir);
+
+}  // namespace gigascope::expr
+
+#endif  // GIGASCOPE_EXPR_FOLD_H_

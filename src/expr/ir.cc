@@ -1,0 +1,188 @@
+#include "expr/ir.h"
+
+#include <algorithm>
+
+namespace gigascope::expr {
+
+std::string IrNode::ToString() const {
+  switch (kind) {
+    case IrKind::kConst:
+      return constant.ToString();
+    case IrKind::kField:
+      return "$in" + std::to_string(input) + "." + name;
+    case IrKind::kParam:
+      return "$param:" + name;
+    case IrKind::kCall: {
+      std::string out = name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case IrKind::kUnary:
+      return std::string(unary_op == gsql::UnaryOp::kNeg ? "-" : "NOT ") +
+             children[0]->ToString();
+    case IrKind::kBinary:
+      return "(" + children[0]->ToString() + " " +
+             gsql::BinaryOpName(binary_op) + " " + children[1]->ToString() +
+             ")";
+    case IrKind::kCast:
+      return std::string("cast<") + gsql::DataTypeName(type) + ">(" +
+             children[0]->ToString() + ")";
+  }
+  return "?";
+}
+
+IrPtr MakeConst(Value value) {
+  auto node = std::make_shared<IrNode>();
+  node->kind = IrKind::kConst;
+  node->type = value.type();
+  node->constant = std::move(value);
+  return node;
+}
+
+IrPtr MakeFieldRef(size_t input, size_t field, DataType type,
+                   std::string name) {
+  auto node = std::make_shared<IrNode>();
+  node->kind = IrKind::kField;
+  node->type = type;
+  node->input = input;
+  node->field = field;
+  node->name = std::move(name);
+  return node;
+}
+
+IrPtr MakeParamRef(size_t param_index, DataType type, std::string name) {
+  auto node = std::make_shared<IrNode>();
+  node->kind = IrKind::kParam;
+  node->type = type;
+  node->param_index = param_index;
+  node->name = std::move(name);
+  return node;
+}
+
+IrPtr MakeCastIr(IrPtr child, DataType target) {
+  if (child->type == target) return child;
+  auto node = std::make_shared<IrNode>();
+  node->kind = IrKind::kCast;
+  node->type = target;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+IrPtr MakeBinaryIr(gsql::BinaryOp op, DataType type, IrPtr left, IrPtr right) {
+  auto node = std::make_shared<IrNode>();
+  node->kind = IrKind::kBinary;
+  node->type = type;
+  node->binary_op = op;
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  return node;
+}
+
+IrPtr MakeUnaryIr(gsql::UnaryOp op, DataType type, IrPtr child) {
+  auto node = std::make_shared<IrNode>();
+  node->kind = IrKind::kUnary;
+  node->type = type;
+  node->unary_op = op;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+IrPtr MakeCallIr(const FunctionInfo* fn, std::vector<IrPtr> args) {
+  auto node = std::make_shared<IrNode>();
+  node->kind = IrKind::kCall;
+  node->type = fn->return_type;
+  node->fn = fn;
+  node->name = fn->name;
+  node->children = std::move(args);
+  return node;
+}
+
+namespace {
+
+bool AnyNode(const IrPtr& ir, const std::function<bool(const IrNode&)>& pred) {
+  if (ir == nullptr) return false;
+  if (pred(*ir)) return true;
+  for (const IrPtr& child : ir->children) {
+    if (AnyNode(child, pred)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ReferencesInput(const IrPtr& ir, size_t input) {
+  return AnyNode(ir, [input](const IrNode& node) {
+    return node.kind == IrKind::kField && node.input == input;
+  });
+}
+
+bool ReferencesAnyField(const IrPtr& ir) {
+  return AnyNode(ir, [](const IrNode& node) {
+    return node.kind == IrKind::kField;
+  });
+}
+
+bool ContainsCall(const IrPtr& ir) {
+  return AnyNode(ir,
+                 [](const IrNode& node) { return node.kind == IrKind::kCall; });
+}
+
+bool ContainsPartialCall(const IrPtr& ir) {
+  return AnyNode(ir, [](const IrNode& node) {
+    return node.kind == IrKind::kCall && node.fn != nullptr &&
+           node.fn->partial;
+  });
+}
+
+void CollectFieldRefs(const IrPtr& ir,
+                      std::vector<std::pair<size_t, size_t>>* out) {
+  if (ir == nullptr) return;
+  if (ir->kind == IrKind::kField) {
+    auto key = std::make_pair(ir->input, ir->field);
+    if (std::find(out->begin(), out->end(), key) == out->end()) {
+      out->push_back(key);
+    }
+  }
+  for (const IrPtr& child : ir->children) CollectFieldRefs(child, out);
+}
+
+IrPtr CloneIr(
+    const IrPtr& ir,
+    const std::function<std::pair<size_t, size_t>(size_t, size_t)>& remap) {
+  if (ir == nullptr) return nullptr;
+  auto copy = std::make_shared<IrNode>(*ir);
+  if (copy->kind == IrKind::kField && remap != nullptr) {
+    auto [input, field] = remap(copy->input, copy->field);
+    copy->input = input;
+    copy->field = field;
+  }
+  copy->children.clear();
+  for (const IrPtr& child : ir->children) {
+    copy->children.push_back(CloneIr(child, remap));
+  }
+  return copy;
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "count";
+    case AggFn::kSum: return "sum";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+    case AggFn::kAvg: return "avg";
+  }
+  return "?";
+}
+
+std::string AggregateSpec::ToString() const {
+  std::string out = AggFnName(fn);
+  out += "(";
+  out += arg == nullptr ? "*" : arg->ToString();
+  out += ")";
+  return out;
+}
+
+}  // namespace gigascope::expr

@@ -1,0 +1,161 @@
+#ifndef GIGASCOPE_EXPR_IR_H_
+#define GIGASCOPE_EXPR_IR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/type.h"
+#include "gsql/ast.h"
+
+namespace gigascope::expr {
+
+// ---------------------------------------------------------------------------
+// Scalar functions (built-ins and user-defined)
+// ---------------------------------------------------------------------------
+
+/// Descriptor of a scalar function callable from GSQL (§2.2's function
+/// registry). Implementations live in the UDF library; the expression layer
+/// only needs this interface.
+struct FunctionInfo {
+  std::string name;
+  DataType return_type = DataType::kInt;
+  std::vector<DataType> arg_types;
+
+  /// Partial function: may produce no result, in which case the tuple being
+  /// processed is discarded — "the processing is the same as if there is no
+  /// result from a join" (§2.2).
+  bool partial = false;
+
+  /// Per-argument: pass-by-handle parameters require expensive
+  /// pre-processing (e.g. compiling a regex, loading a prefix table) done
+  /// once at query instantiation. Such arguments must be literals or query
+  /// parameters.
+  std::vector<bool> pass_by_handle;
+
+  /// Whether the function is cheap enough to evaluate in an LFTA.
+  bool lfta_safe = false;
+
+  /// Abstract per-call cost units (1 = one arithmetic op) for the planner's
+  /// cost model.
+  double cost = 100;
+
+  /// Builds the pre-processed handle for a pass-by-handle argument.
+  std::function<Result<std::shared_ptr<void>>(const Value& literal)>
+      make_handle;
+
+  /// Invokes the function. `args` has one entry per declared argument;
+  /// entries at pass-by-handle positions are placeholders, with the real
+  /// data in `handles` at the same position. Sets `*has_result=false` (only
+  /// legal for partial functions) to discard the tuple.
+  std::function<Status(const std::vector<Value>& args,
+                       const std::vector<std::shared_ptr<void>>& handles,
+                       Value* out, bool* has_result)>
+      invoke;
+};
+
+/// Resolves function names to descriptors during type checking.
+class FunctionResolver {
+ public:
+  virtual ~FunctionResolver() = default;
+
+  /// Returns the function with this (lower-case) name, or NotFound. The
+  /// caller retains no ownership; the descriptor must outlive all compiled
+  /// queries.
+  virtual Result<const FunctionInfo*> Resolve(
+      const std::string& name) const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Typed intermediate representation
+// ---------------------------------------------------------------------------
+
+enum class IrKind : uint8_t {
+  kConst,   // literal value
+  kField,   // input tuple attribute
+  kParam,   // query parameter
+  kCall,    // scalar function call
+  kUnary,   // NEG / NOT
+  kBinary,  // arithmetic / comparison / logic
+  kCast,    // type conversion (child 0 -> this->type)
+};
+
+struct IrNode;
+using IrPtr = std::shared_ptr<IrNode>;
+
+/// One node of the typed expression IR. After type checking every node has
+/// a definite `type` and children have been cast where needed.
+struct IrNode {
+  IrKind kind;
+  DataType type = DataType::kInt;
+
+  Value constant;                       // kConst
+  size_t input = 0;                     // kField: which input stream (0/1)
+  size_t field = 0;                     // kField: attribute index
+  std::string name;                     // field/param/function name
+  size_t param_index = 0;               // kParam: slot in the param block
+  const FunctionInfo* fn = nullptr;     // kCall
+  gsql::UnaryOp unary_op{};             // kUnary
+  gsql::BinaryOp binary_op{};           // kBinary
+
+  std::vector<IrPtr> children;
+
+  std::string ToString() const;
+};
+
+IrPtr MakeConst(Value value);
+IrPtr MakeFieldRef(size_t input, size_t field, DataType type,
+                   std::string name);
+IrPtr MakeParamRef(size_t param_index, DataType type, std::string name);
+IrPtr MakeCastIr(IrPtr child, DataType target);
+IrPtr MakeBinaryIr(gsql::BinaryOp op, DataType type, IrPtr left, IrPtr right);
+IrPtr MakeUnaryIr(gsql::UnaryOp op, DataType type, IrPtr child);
+IrPtr MakeCallIr(const FunctionInfo* fn, std::vector<IrPtr> args);
+
+/// True if any node in the tree references a field of input `input`.
+bool ReferencesInput(const IrPtr& ir, size_t input);
+
+/// True if the tree references any field at all.
+bool ReferencesAnyField(const IrPtr& ir);
+
+/// True if the tree contains a function call.
+bool ContainsCall(const IrPtr& ir);
+
+/// True if the tree contains a partial function call (tuple-discarding).
+bool ContainsPartialCall(const IrPtr& ir);
+
+/// Collects the distinct (input, field) pairs referenced by the tree.
+void CollectFieldRefs(const IrPtr& ir,
+                      std::vector<std::pair<size_t, size_t>>* out);
+
+/// Structural deep copy, optionally remapping field references through
+/// `remap(input, field) -> (input', field')`.
+IrPtr CloneIr(
+    const IrPtr& ir,
+    const std::function<std::pair<size_t, size_t>(size_t, size_t)>& remap =
+        nullptr);
+
+// ---------------------------------------------------------------------------
+// Aggregates
+// ---------------------------------------------------------------------------
+
+/// GSQL aggregate functions. All are decomposable into sub/superaggregates
+/// (AVG decomposes as SUM+COUNT), which is what makes the paper's LFTA/HFTA
+/// aggregate splitting possible.
+enum class AggFn : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggFnName(AggFn fn);
+
+/// One aggregate in a query: function + scalar argument (null for COUNT(*)).
+struct AggregateSpec {
+  AggFn fn = AggFn::kCount;
+  IrPtr arg;                 // null for COUNT(*)
+  DataType result_type = DataType::kUint;
+
+  std::string ToString() const;
+};
+
+}  // namespace gigascope::expr
+
+#endif  // GIGASCOPE_EXPR_IR_H_

@@ -1,0 +1,82 @@
+#ifndef GIGASCOPE_EXPR_TYPE_H_
+#define GIGASCOPE_EXPR_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "gsql/schema.h"
+
+namespace gigascope::expr {
+
+using gsql::DataType;
+
+/// A runtime scalar value flowing through tuples and the expression VM.
+///
+/// Plain tagged struct rather than std::variant: the VM switches on the
+/// static type of each instruction, so it rarely inspects the tag, and the
+/// flat layout keeps value stacks cache-friendly.
+class Value {
+ public:
+  Value() : type_(DataType::kInt), int_(0) {}
+
+  static Value Bool(bool v);
+  static Value Int(int64_t v);
+  static Value Uint(uint64_t v);
+  static Value Float(double v);
+  static Value String(std::string v);
+  static Value Ip(uint32_t v);
+
+  /// Zero/empty value of the given type.
+  static Value Default(DataType type);
+
+  DataType type() const { return type_; }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  uint64_t uint_value() const { return uint_; }
+  double float_value() const { return float_; }
+  const std::string& string_value() const { return string_; }
+  uint32_t ip_value() const { return static_cast<uint32_t>(uint_); }
+
+  /// Numeric view as double (for AVG and float arithmetic).
+  double AsDouble() const;
+
+  /// Three-way comparison with a value of the same type: -1, 0, +1.
+  /// Comparing different types is a programmer error (checked).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const {
+    return type_ == other.type_ && Compare(other) == 0;
+  }
+
+  /// Stable hash (used for group keys).
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  DataType type_;
+  union {
+    bool bool_;
+    int64_t int_;
+    uint64_t uint_;
+    double float_;
+  };
+  std::string string_;
+};
+
+/// True when `type` is numeric (arithmetic is defined on it).
+bool IsNumericType(DataType type);
+
+/// Binary numeric promotion: float wins, then uint, then int. IP promotes
+/// to uint. Returns TypeError for non-numeric operands.
+Result<DataType> PromoteNumeric(DataType left, DataType right);
+
+/// Casts `value` to `target`, when a lossless-enough conversion exists
+/// (numeric widenings, IP<->UINT). Fails for string<->numeric.
+Result<Value> CastValue(const Value& value, DataType target);
+
+}  // namespace gigascope::expr
+
+#endif  // GIGASCOPE_EXPR_TYPE_H_

@@ -1,0 +1,258 @@
+#include "expr/typecheck.h"
+
+namespace gigascope::expr {
+
+namespace {
+
+using gsql::BinaryOp;
+using gsql::UnaryOp;
+
+bool IsComparison(BinaryOp op) {
+  return op == BinaryOp::kEq || op == BinaryOp::kNeq || op == BinaryOp::kLt ||
+         op == BinaryOp::kLe || op == BinaryOp::kGt || op == BinaryOp::kGe;
+}
+
+bool IsLogical(BinaryOp op) {
+  return op == BinaryOp::kAnd || op == BinaryOp::kOr;
+}
+
+bool IsBitwise(BinaryOp op) {
+  return op == BinaryOp::kBitAnd || op == BinaryOp::kBitOr;
+}
+
+class Checker {
+ public:
+  explicit Checker(const TypeCheckContext& ctx) : ctx_(ctx) {}
+
+  Result<IrPtr> Check(const gsql::ExprPtr& expr) {
+    if (expr == nullptr) return Status::Internal("null expression");
+    if (auto* lit = std::get_if<gsql::LiteralExpr>(&expr->node)) {
+      return CheckLiteral(*lit);
+    }
+    if (auto* ref = std::get_if<gsql::ColumnRefExpr>(&expr->node)) {
+      return CheckColumn(expr.get(), *ref);
+    }
+    if (auto* param = std::get_if<gsql::ParamExpr>(&expr->node)) {
+      return CheckParam(*param);
+    }
+    if (auto* call = std::get_if<gsql::CallExpr>(&expr->node)) {
+      return CheckCall(*call);
+    }
+    if (auto* unary = std::get_if<gsql::UnaryExpr>(&expr->node)) {
+      return CheckUnary(*unary);
+    }
+    if (auto* binary = std::get_if<gsql::BinaryExpr>(&expr->node)) {
+      return CheckBinary(*binary);
+    }
+    return Status::Internal("unknown expression node");
+  }
+
+ private:
+  Result<IrPtr> CheckLiteral(const gsql::LiteralExpr& lit) {
+    switch (lit.type) {
+      case DataType::kBool:
+        return MakeConst(Value::Bool(lit.bool_value));
+      case DataType::kInt:
+        return MakeConst(Value::Int(lit.int_value));
+      case DataType::kUint:
+        return MakeConst(Value::Uint(lit.uint_value));
+      case DataType::kFloat:
+        return MakeConst(Value::Float(lit.float_value));
+      case DataType::kString:
+        return MakeConst(Value::String(lit.string_value));
+      case DataType::kIp:
+        return MakeConst(
+            Value::Ip(static_cast<uint32_t>(lit.uint_value)));
+    }
+    return Status::Internal("unknown literal type");
+  }
+
+  Result<IrPtr> CheckColumn(const gsql::Expr* expr,
+                            const gsql::ColumnRefExpr& ref) {
+    if (ctx_.bindings == nullptr) {
+      return Status::Internal("no column bindings supplied");
+    }
+    auto it = ctx_.bindings->find(expr);
+    if (it == ctx_.bindings->end()) {
+      return Status::Internal("column '" + ref.column +
+                              "' was not resolved by the analyzer");
+    }
+    const gsql::ColumnBinding& binding = it->second;
+    if (binding.input >= ctx_.inputs.size()) {
+      return Status::Internal("column binding input out of range");
+    }
+    const gsql::FieldDef& field =
+        ctx_.inputs[binding.input].field(binding.field);
+    return MakeFieldRef(binding.input, binding.field, field.type, field.name);
+  }
+
+  Result<IrPtr> CheckParam(const gsql::ParamExpr& param) {
+    for (size_t i = 0; i < ctx_.params.size(); ++i) {
+      if (ctx_.params[i].first == param.name) {
+        return MakeParamRef(i, ctx_.params[i].second, param.name);
+      }
+    }
+    return Status::NotFound("undeclared query parameter '$" + param.name +
+                            "' (declare it in the DEFINE block)");
+  }
+
+  Result<IrPtr> CheckCall(const gsql::CallExpr& call) {
+    if (gsql::IsAggregateFunction(call.function)) {
+      return Status::Internal(
+          "aggregate '" + call.function +
+          "' reached the scalar type checker (planner bug)");
+    }
+    if (ctx_.resolver == nullptr) {
+      return Status::NotFound("unknown function '" + call.function +
+                              "' (no function registry)");
+    }
+    GS_ASSIGN_OR_RETURN(const FunctionInfo* fn,
+                        ctx_.resolver->Resolve(call.function));
+    if (call.args.size() != fn->arg_types.size()) {
+      return Status::TypeError(
+          "function '" + call.function + "' expects " +
+          std::to_string(fn->arg_types.size()) + " arguments, got " +
+          std::to_string(call.args.size()));
+    }
+    std::vector<IrPtr> args;
+    for (size_t i = 0; i < call.args.size(); ++i) {
+      GS_ASSIGN_OR_RETURN(IrPtr arg, Check(call.args[i]));
+      if (arg->type != fn->arg_types[i]) {
+        // Strings never convert; numerics cast.
+        if (arg->type == DataType::kString ||
+            fn->arg_types[i] == DataType::kString) {
+          return Status::TypeError(
+              "argument " + std::to_string(i + 1) + " of '" + call.function +
+              "' must be " + gsql::DataTypeName(fn->arg_types[i]) + ", got " +
+              gsql::DataTypeName(arg->type));
+        }
+        arg = MakeCastIr(std::move(arg), fn->arg_types[i]);
+      }
+      bool is_handle = i < fn->pass_by_handle.size() && fn->pass_by_handle[i];
+      if (is_handle && arg->kind != IrKind::kConst &&
+          arg->kind != IrKind::kParam) {
+        return Status::TypeError(
+            "argument " + std::to_string(i + 1) + " of '" + call.function +
+            "' is pass-by-handle and must be a literal or query parameter");
+      }
+      args.push_back(std::move(arg));
+    }
+    return MakeCallIr(fn, std::move(args));
+  }
+
+  Result<IrPtr> CheckUnary(const gsql::UnaryExpr& unary) {
+    GS_ASSIGN_OR_RETURN(IrPtr child, Check(unary.operand));
+    if (unary.op == UnaryOp::kNot) {
+      if (child->type != DataType::kBool) {
+        return Status::TypeError("NOT requires a BOOL operand, got " +
+                                 std::string(gsql::DataTypeName(child->type)));
+      }
+      return MakeUnaryIr(UnaryOp::kNot, DataType::kBool, std::move(child));
+    }
+    // Negation.
+    if (!IsNumericType(child->type) || child->type == DataType::kIp) {
+      return Status::TypeError("unary '-' requires a numeric operand");
+    }
+    DataType type =
+        child->type == DataType::kUint ? DataType::kInt : child->type;
+    child = MakeCastIr(std::move(child), type);
+    return MakeUnaryIr(UnaryOp::kNeg, type, std::move(child));
+  }
+
+  Result<IrPtr> CheckBinary(const gsql::BinaryExpr& binary) {
+    GS_ASSIGN_OR_RETURN(IrPtr left, Check(binary.left));
+    GS_ASSIGN_OR_RETURN(IrPtr right, Check(binary.right));
+
+    if (IsLogical(binary.op)) {
+      if (left->type != DataType::kBool || right->type != DataType::kBool) {
+        return Status::TypeError(
+            std::string(gsql::BinaryOpName(binary.op)) +
+            " requires BOOL operands");
+      }
+      return MakeBinaryIr(binary.op, DataType::kBool, std::move(left),
+                          std::move(right));
+    }
+
+    if (IsComparison(binary.op)) {
+      if (left->type == DataType::kString ||
+          right->type == DataType::kString) {
+        if (left->type != right->type) {
+          return Status::TypeError("cannot compare STRING with " +
+                                   std::string(gsql::DataTypeName(
+                                       left->type == DataType::kString
+                                           ? right->type
+                                           : left->type)));
+        }
+        return MakeBinaryIr(binary.op, DataType::kBool, std::move(left),
+                            std::move(right));
+      }
+      if (left->type == DataType::kBool || right->type == DataType::kBool) {
+        if (left->type != right->type ||
+            (binary.op != BinaryOp::kEq && binary.op != BinaryOp::kNeq)) {
+          return Status::TypeError("BOOL supports only = and <> comparisons");
+        }
+        return MakeBinaryIr(binary.op, DataType::kBool, std::move(left),
+                            std::move(right));
+      }
+      // IP = IP comparisons stay in IP; mixed numerics promote.
+      DataType common;
+      if (left->type == DataType::kIp && right->type == DataType::kIp) {
+        common = DataType::kIp;
+      } else {
+        GS_ASSIGN_OR_RETURN(common, PromoteNumeric(left->type, right->type));
+      }
+      left = MakeCastIr(std::move(left), common);
+      right = MakeCastIr(std::move(right), common);
+      return MakeBinaryIr(binary.op, DataType::kBool, std::move(left),
+                          std::move(right));
+    }
+
+    if (IsBitwise(binary.op)) {
+      if ((left->type != DataType::kInt && left->type != DataType::kUint &&
+           left->type != DataType::kIp) ||
+          (right->type != DataType::kInt && right->type != DataType::kUint &&
+           right->type != DataType::kIp)) {
+        return Status::TypeError("bitwise operators require integer operands");
+      }
+      GS_ASSIGN_OR_RETURN(DataType common,
+                          PromoteNumeric(left->type, right->type));
+      left = MakeCastIr(std::move(left), common);
+      right = MakeCastIr(std::move(right), common);
+      return MakeBinaryIr(binary.op, common, std::move(left),
+                          std::move(right));
+    }
+
+    // Arithmetic.
+    GS_ASSIGN_OR_RETURN(DataType common,
+                        PromoteNumeric(left->type, right->type));
+    if (common == DataType::kIp) common = DataType::kUint;
+    left = MakeCastIr(std::move(left), common);
+    right = MakeCastIr(std::move(right), common);
+    if (binary.op == BinaryOp::kMod && common == DataType::kFloat) {
+      return Status::TypeError("'%' requires integer operands");
+    }
+    return MakeBinaryIr(binary.op, common, std::move(left), std::move(right));
+  }
+
+  const TypeCheckContext& ctx_;
+};
+
+}  // namespace
+
+Result<IrPtr> TypeCheck(const gsql::ExprPtr& expr,
+                        const TypeCheckContext& ctx) {
+  Checker checker(ctx);
+  return checker.Check(expr);
+}
+
+Result<IrPtr> TypeCheckPredicate(const gsql::ExprPtr& expr,
+                                 const TypeCheckContext& ctx) {
+  GS_ASSIGN_OR_RETURN(IrPtr ir, TypeCheck(expr, ctx));
+  if (ir->type != DataType::kBool) {
+    return Status::TypeError("predicate must be BOOL, got " +
+                             std::string(gsql::DataTypeName(ir->type)));
+  }
+  return ir;
+}
+
+}  // namespace gigascope::expr

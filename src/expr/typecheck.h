@@ -1,0 +1,42 @@
+#ifndef GIGASCOPE_EXPR_TYPECHECK_H_
+#define GIGASCOPE_EXPR_TYPECHECK_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/ir.h"
+#include "gsql/analyzer.h"
+
+namespace gigascope::expr {
+
+/// Everything the type checker needs to turn an analyzed AST expression
+/// into typed IR.
+struct TypeCheckContext {
+  /// Positional input schemas (1 for scan/aggregate, 2 for join).
+  std::vector<gsql::StreamSchema> inputs;
+
+  /// Column bindings produced by the analyzer.
+  const std::map<const gsql::Expr*, gsql::ColumnBinding>* bindings = nullptr;
+
+  /// Function registry; may be null when the query uses no UDFs.
+  const FunctionResolver* resolver = nullptr;
+
+  /// Declared query parameters in slot order.
+  std::vector<std::pair<std::string, DataType>> params;
+};
+
+/// Type checks an expression: resolves column/param/function types, applies
+/// numeric promotion, and inserts casts. Aggregate calls are rejected here —
+/// the planner extracts them before scalar type checking.
+Result<IrPtr> TypeCheck(const gsql::ExprPtr& expr,
+                        const TypeCheckContext& ctx);
+
+/// Type checks an expression that must produce a BOOL (WHERE / HAVING).
+Result<IrPtr> TypeCheckPredicate(const gsql::ExprPtr& expr,
+                                 const TypeCheckContext& ctx);
+
+}  // namespace gigascope::expr
+
+#endif  // GIGASCOPE_EXPR_TYPECHECK_H_

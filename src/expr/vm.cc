@@ -1,0 +1,218 @@
+#include "expr/vm.h"
+
+#include "common/logging.h"
+
+namespace gigascope::expr {
+
+namespace {
+
+Status ArithmeticOp(ByteOp op, const Value& left, const Value& right,
+                    Value* out) {
+  GS_CHECK(left.type() == right.type());
+  switch (left.type()) {
+    case DataType::kInt: {
+      int64_t a = left.int_value();
+      int64_t b = right.int_value();
+      switch (op) {
+        case ByteOp::kAdd: *out = Value::Int(a + b); return Status::Ok();
+        case ByteOp::kSub: *out = Value::Int(a - b); return Status::Ok();
+        case ByteOp::kMul: *out = Value::Int(a * b); return Status::Ok();
+        case ByteOp::kDiv:
+          if (b == 0) return Status::InvalidArgument("division by zero");
+          *out = Value::Int(a / b);
+          return Status::Ok();
+        case ByteOp::kMod:
+          if (b == 0) return Status::InvalidArgument("modulo by zero");
+          *out = Value::Int(a % b);
+          return Status::Ok();
+        case ByteOp::kBitAnd: *out = Value::Int(a & b); return Status::Ok();
+        case ByteOp::kBitOr: *out = Value::Int(a | b); return Status::Ok();
+        default:
+          break;
+      }
+      break;
+    }
+    case DataType::kUint: {
+      uint64_t a = left.uint_value();
+      uint64_t b = right.uint_value();
+      switch (op) {
+        case ByteOp::kAdd: *out = Value::Uint(a + b); return Status::Ok();
+        case ByteOp::kSub: *out = Value::Uint(a - b); return Status::Ok();
+        case ByteOp::kMul: *out = Value::Uint(a * b); return Status::Ok();
+        case ByteOp::kDiv:
+          if (b == 0) return Status::InvalidArgument("division by zero");
+          *out = Value::Uint(a / b);
+          return Status::Ok();
+        case ByteOp::kMod:
+          if (b == 0) return Status::InvalidArgument("modulo by zero");
+          *out = Value::Uint(a % b);
+          return Status::Ok();
+        case ByteOp::kBitAnd: *out = Value::Uint(a & b); return Status::Ok();
+        case ByteOp::kBitOr: *out = Value::Uint(a | b); return Status::Ok();
+        default:
+          break;
+      }
+      break;
+    }
+    case DataType::kFloat: {
+      double a = left.float_value();
+      double b = right.float_value();
+      switch (op) {
+        case ByteOp::kAdd: *out = Value::Float(a + b); return Status::Ok();
+        case ByteOp::kSub: *out = Value::Float(a - b); return Status::Ok();
+        case ByteOp::kMul: *out = Value::Float(a * b); return Status::Ok();
+        case ByteOp::kDiv:
+          if (b == 0) return Status::InvalidArgument("division by zero");
+          *out = Value::Float(a / b);
+          return Status::Ok();
+        default:
+          break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return Status::Internal("arithmetic on unsupported type");
+}
+
+bool CompareOp(ByteOp op, const Value& left, const Value& right) {
+  int cmp = left.Compare(right);
+  switch (op) {
+    case ByteOp::kCmpEq: return cmp == 0;
+    case ByteOp::kCmpNe: return cmp != 0;
+    case ByteOp::kCmpLt: return cmp < 0;
+    case ByteOp::kCmpLe: return cmp <= 0;
+    case ByteOp::kCmpGt: return cmp > 0;
+    case ByteOp::kCmpGe: return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status Eval(const CompiledExpr& expr, const EvalContext& ctx,
+            EvalOutput* out) {
+  // Value stack; sized from the compile-time bound.
+  std::vector<Value> stack;
+  stack.reserve(expr.max_stack);
+  out->has_value = true;
+
+  for (const Instr& instr : expr.code) {
+    switch (instr.op) {
+      case ByteOp::kPushConst:
+        stack.push_back(expr.constants[instr.a]);
+        break;
+      case ByteOp::kLoadField: {
+        const std::vector<Value>* row = instr.a == 0 ? ctx.row0 : ctx.row1;
+        if (row == nullptr || instr.b >= row->size()) {
+          return Status::Internal("field load outside the input row");
+        }
+        stack.push_back((*row)[instr.b]);
+        break;
+      }
+      case ByteOp::kLoadParam:
+        if (ctx.params == nullptr || instr.a >= ctx.params->size()) {
+          return Status::Internal("parameter slot out of range");
+        }
+        stack.push_back((*ctx.params)[instr.a]);
+        break;
+      case ByteOp::kCall: {
+        const CallSite& site = expr.calls[instr.a];
+        size_t arity = site.handles.size();
+        std::vector<Value> args(arity);
+        // Stack args fill the non-handle positions right-to-left.
+        for (size_t i = arity; i-- > 0;) {
+          if (site.handles[i] == nullptr) {
+            args[i] = std::move(stack.back());
+            stack.pop_back();
+          }
+        }
+        Value result;
+        bool has_result = true;
+        GS_RETURN_IF_ERROR(
+            site.fn->invoke(args, site.handles, &result, &has_result));
+        if (!has_result) {
+          if (!site.fn->partial) {
+            return Status::Internal("non-partial function '" + site.fn->name +
+                                    "' returned no result");
+          }
+          out->has_value = false;
+          return Status::Ok();
+        }
+        stack.push_back(std::move(result));
+        break;
+      }
+      case ByteOp::kNeg: {
+        Value& top = stack.back();
+        if (top.type() == DataType::kInt) {
+          top = Value::Int(-top.int_value());
+        } else if (top.type() == DataType::kFloat) {
+          top = Value::Float(-top.float_value());
+        } else {
+          return Status::Internal("negation of unsupported type");
+        }
+        break;
+      }
+      case ByteOp::kNot: {
+        Value& top = stack.back();
+        top = Value::Bool(!top.bool_value());
+        break;
+      }
+      case ByteOp::kCast: {
+        GS_ASSIGN_OR_RETURN(
+            Value casted,
+            CastValue(stack.back(), static_cast<DataType>(instr.a)));
+        stack.back() = std::move(casted);
+        break;
+      }
+      case ByteOp::kAnd:
+      case ByteOp::kOr: {
+        Value right = std::move(stack.back());
+        stack.pop_back();
+        Value& left = stack.back();
+        bool result = instr.op == ByteOp::kAnd
+                          ? (left.bool_value() && right.bool_value())
+                          : (left.bool_value() || right.bool_value());
+        left = Value::Bool(result);
+        break;
+      }
+      case ByteOp::kCmpEq:
+      case ByteOp::kCmpNe:
+      case ByteOp::kCmpLt:
+      case ByteOp::kCmpLe:
+      case ByteOp::kCmpGt:
+      case ByteOp::kCmpGe: {
+        Value right = std::move(stack.back());
+        stack.pop_back();
+        Value& left = stack.back();
+        left = Value::Bool(CompareOp(instr.op, left, right));
+        break;
+      }
+      default: {
+        Value right = std::move(stack.back());
+        stack.pop_back();
+        Value& left = stack.back();
+        Value result;
+        GS_RETURN_IF_ERROR(ArithmeticOp(instr.op, left, right, &result));
+        left = std::move(result);
+        break;
+      }
+    }
+  }
+  if (stack.size() != 1) {
+    return Status::Internal("expression stack imbalance");
+  }
+  out->value = std::move(stack.back());
+  return Status::Ok();
+}
+
+bool EvalPredicate(const CompiledExpr& expr, const EvalContext& ctx) {
+  EvalOutput out;
+  Status status = Eval(expr, ctx, &out);
+  if (!status.ok() || !out.has_value) return false;
+  return out.value.bool_value();
+}
+
+}  // namespace gigascope::expr

@@ -1,0 +1,37 @@
+#ifndef GIGASCOPE_EXPR_VM_H_
+#define GIGASCOPE_EXPR_VM_H_
+
+#include <vector>
+
+#include "expr/codegen.h"
+
+namespace gigascope::expr {
+
+/// Inputs to one expression evaluation: up to two tuples (as unpacked value
+/// rows) and the current query-parameter block.
+struct EvalContext {
+  const std::vector<Value>* row0 = nullptr;
+  const std::vector<Value>* row1 = nullptr;
+  const std::vector<Value>* params = nullptr;
+};
+
+/// Result of one evaluation. `has_value == false` means a partial function
+/// produced no result: the tuple being processed must be discarded (§2.2).
+struct EvalOutput {
+  bool has_value = true;
+  Value value;
+};
+
+/// Evaluates a compiled expression. Runtime failures (division by zero,
+/// missing field row, function error) return a non-OK status; operators
+/// treat such tuples as malformed and drop them.
+Status Eval(const CompiledExpr& expr, const EvalContext& ctx,
+            EvalOutput* out);
+
+/// Evaluates a BOOL expression as a predicate. A missing value (partial
+/// function miss) and a runtime error both yield `false`.
+bool EvalPredicate(const CompiledExpr& expr, const EvalContext& ctx);
+
+}  // namespace gigascope::expr
+
+#endif  // GIGASCOPE_EXPR_VM_H_

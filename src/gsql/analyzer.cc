@@ -1,0 +1,325 @@
+#include "gsql/analyzer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace gigascope::gsql {
+
+bool IsAggregateFunction(const std::string& name) {
+  return name == "count" || name == "sum" || name == "min" ||
+         name == "max" || name == "avg";
+}
+
+namespace {
+
+Result<ResolvedInput> ResolveStreamRef(const StreamRef& ref,
+                                       const Catalog& catalog) {
+  ResolvedInput input;
+  input.ref = ref;
+  GS_ASSIGN_OR_RETURN(input.schema, catalog.GetSchema(ref.stream_name));
+  if (input.schema.kind() == StreamKind::kProtocol) {
+    if (!ref.interface_name.empty()) {
+      if (!catalog.HasInterface(ref.interface_name)) {
+        return Status::NotFound("unknown interface '" + ref.interface_name +
+                                "'");
+      }
+      input.interface_name = ref.interface_name;
+    } else {
+      if (catalog.default_interface().empty()) {
+        return Status::PlanError(
+            "protocol '" + ref.stream_name +
+            "' referenced without an interface and no default interface "
+            "exists");
+      }
+      input.interface_name = catalog.default_interface();
+    }
+  } else if (!ref.interface_name.empty()) {
+    return Status::PlanError("stream '" + ref.stream_name +
+                             "' cannot be bound to an interface (only "
+                             "Protocols can)");
+  }
+  return input;
+}
+
+/// Walks an expression tree resolving column references and checking
+/// aggregate placement.
+class ExprResolver {
+ public:
+  ExprResolver(const std::vector<ResolvedInput>& inputs,
+               std::map<const Expr*, ColumnBinding>* bindings,
+               std::vector<std::string> group_aliases = {})
+      : inputs_(inputs),
+        bindings_(bindings),
+        group_aliases_(std::move(group_aliases)) {}
+
+  bool saw_aggregate() const { return saw_aggregate_; }
+
+  /// `allow_aggregates`: aggregates are legal here (SELECT item / HAVING).
+  Status Resolve(const ExprPtr& expr, bool allow_aggregates) {
+    return ResolveNode(expr, allow_aggregates, /*inside_aggregate=*/false);
+  }
+
+ private:
+  Status ResolveNode(const ExprPtr& expr, bool allow_aggregates,
+                     bool inside_aggregate) {
+    if (expr == nullptr) return Status::Ok();
+    if (auto* ref = std::get_if<ColumnRefExpr>(&expr->node)) {
+      return BindColumn(expr.get(), *ref);
+    }
+    if (auto* call = std::get_if<CallExpr>(&expr->node)) {
+      bool is_agg = IsAggregateFunction(call->function);
+      if (is_agg) {
+        if (!allow_aggregates) {
+          return Status::PlanError("aggregate function '" + call->function +
+                                   "' is not allowed in this clause");
+        }
+        if (inside_aggregate) {
+          return Status::PlanError("nested aggregate '" + call->function +
+                                   "'");
+        }
+        saw_aggregate_ = true;
+      }
+      for (const ExprPtr& arg : call->args) {
+        GS_RETURN_IF_ERROR(ResolveNode(arg, allow_aggregates && !is_agg,
+                                       inside_aggregate || is_agg));
+      }
+      return Status::Ok();
+    }
+    if (auto* unary = std::get_if<UnaryExpr>(&expr->node)) {
+      return ResolveNode(unary->operand, allow_aggregates, inside_aggregate);
+    }
+    if (auto* binary = std::get_if<BinaryExpr>(&expr->node)) {
+      GS_RETURN_IF_ERROR(
+          ResolveNode(binary->left, allow_aggregates, inside_aggregate));
+      return ResolveNode(binary->right, allow_aggregates, inside_aggregate);
+    }
+    return Status::Ok();  // literals, params
+  }
+
+  Status BindColumn(const Expr* expr, const ColumnRefExpr& ref) {
+    ColumnBinding binding;
+    int matches = 0;
+    for (size_t i = 0; i < inputs_.size(); ++i) {
+      const ResolvedInput& input = inputs_[i];
+      if (!ref.stream.empty() && ref.stream != input.ref.effective_name() &&
+          ref.stream != input.ref.stream_name) {
+        continue;
+      }
+      auto field = input.schema.FieldIndex(ref.column);
+      if (field.has_value()) {
+        binding.input = i;
+        binding.field = *field;
+        ++matches;
+      }
+    }
+    if (matches == 0) {
+      // A bare name may refer to a GROUP BY key alias (e.g. `SELECT tb ...
+      // GROUP BY time/60 AS tb`, the paper's own style); the planner
+      // resolves those against the aggregate output, so leave it unbound.
+      if (ref.stream.empty() &&
+          std::find(group_aliases_.begin(), group_aliases_.end(),
+                    ref.column) != group_aliases_.end()) {
+        return Status::Ok();
+      }
+      std::string name =
+          ref.stream.empty() ? ref.column : ref.stream + "." + ref.column;
+      return Status::NotFound("column '" + name +
+                              "' not found in any input stream");
+    }
+    if (matches > 1) {
+      return Status::PlanError("ambiguous column '" + ref.column +
+                               "' (qualify it with a stream name)");
+    }
+    (*bindings_)[expr] = binding;
+    return Status::Ok();
+  }
+
+  const std::vector<ResolvedInput>& inputs_;
+  std::map<const Expr*, ColumnBinding>* bindings_;
+  std::vector<std::string> group_aliases_;
+  bool saw_aggregate_ = false;
+};
+
+/// True if `expr` is a bare column reference to `alias`, or prints
+/// identically to `key` — the two ways a SELECT item can match a GROUP BY
+/// key.
+bool MatchesGroupKey(const ExprPtr& expr, const SelectItem& key) {
+  if (!key.alias.empty()) {
+    if (auto* ref = std::get_if<ColumnRefExpr>(&expr->node)) {
+      if (ref->stream.empty() && ref->column == key.alias) return true;
+    }
+  }
+  return expr->ToString() == key.expr->ToString();
+}
+
+bool ExprContainsAggregate(const ExprPtr& expr) {
+  if (expr == nullptr) return false;
+  if (auto* call = std::get_if<CallExpr>(&expr->node)) {
+    if (IsAggregateFunction(call->function)) return true;
+    for (const ExprPtr& arg : call->args) {
+      if (ExprContainsAggregate(arg)) return true;
+    }
+    return false;
+  }
+  if (auto* unary = std::get_if<UnaryExpr>(&expr->node)) {
+    return ExprContainsAggregate(unary->operand);
+  }
+  if (auto* binary = std::get_if<BinaryExpr>(&expr->node)) {
+    return ExprContainsAggregate(binary->left) ||
+           ExprContainsAggregate(binary->right);
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ResolvedSelect> AnalyzeSelect(const SelectStmt& stmt,
+                                     const Catalog& catalog) {
+  if (stmt.from.empty()) {
+    return Status::PlanError("SELECT requires at least one input stream");
+  }
+  if (stmt.from.size() > 2) {
+    return Status::PlanError("GSQL supports at most two-stream joins");
+  }
+  if (stmt.items.empty()) {
+    return Status::PlanError("SELECT list is empty");
+  }
+
+  ResolvedSelect resolved;
+  resolved.stmt = stmt;
+  for (const StreamRef& ref : stmt.from) {
+    GS_ASSIGN_OR_RETURN(ResolvedInput input, ResolveStreamRef(ref, catalog));
+    resolved.inputs.push_back(std::move(input));
+  }
+  if (resolved.inputs.size() == 2 &&
+      resolved.inputs[0].ref.effective_name() ==
+          resolved.inputs[1].ref.effective_name()) {
+    return Status::PlanError(
+        "self-join inputs must have distinct aliases: '" +
+        resolved.inputs[0].ref.effective_name() + "'");
+  }
+
+  std::vector<std::string> group_aliases;
+  for (const SelectItem& key : resolved.stmt.group_by) {
+    if (!key.alias.empty()) group_aliases.push_back(key.alias);
+  }
+  ExprResolver resolver(resolved.inputs, &resolved.bindings,
+                        std::move(group_aliases));
+  for (const SelectItem& item : resolved.stmt.items) {
+    GS_RETURN_IF_ERROR(resolver.Resolve(item.expr, /*allow_aggregates=*/true));
+  }
+  GS_RETURN_IF_ERROR(
+      resolver.Resolve(resolved.stmt.where, /*allow_aggregates=*/false));
+  for (const SelectItem& key : resolved.stmt.group_by) {
+    GS_RETURN_IF_ERROR(resolver.Resolve(key.expr, /*allow_aggregates=*/false));
+  }
+  GS_RETURN_IF_ERROR(
+      resolver.Resolve(resolved.stmt.having, /*allow_aggregates=*/true));
+  resolved.has_aggregates = resolver.saw_aggregate();
+
+  if (resolved.stmt.having != nullptr && !resolved.is_aggregation()) {
+    return Status::PlanError("HAVING requires GROUP BY or aggregates");
+  }
+
+  // In an aggregation query every non-aggregate SELECT item must be (or
+  // reference) a GROUP BY key.
+  if (resolved.is_aggregation()) {
+    for (const SelectItem& item : resolved.stmt.items) {
+      if (ExprContainsAggregate(item.expr)) continue;
+      bool matched = false;
+      for (const SelectItem& key : resolved.stmt.group_by) {
+        if (MatchesGroupKey(item.expr, key)) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        return Status::PlanError(
+            "SELECT item '" + item.expr->ToString() +
+            "' is neither an aggregate nor a GROUP BY key");
+      }
+    }
+  }
+
+  return resolved;
+}
+
+Result<ResolvedMerge> AnalyzeMerge(const MergeStmt& stmt,
+                                   const Catalog& catalog) {
+  if (stmt.from.size() < 2) {
+    return Status::PlanError("MERGE requires at least two input streams");
+  }
+  if (stmt.merge_columns.size() != stmt.from.size()) {
+    return Status::PlanError(
+        "MERGE lists " + std::to_string(stmt.merge_columns.size()) +
+        " merge columns but has " + std::to_string(stmt.from.size()) +
+        " inputs; they must match positionally");
+  }
+
+  ResolvedMerge resolved;
+  resolved.stmt = stmt;
+  for (const StreamRef& ref : stmt.from) {
+    GS_ASSIGN_OR_RETURN(ResolvedInput input, ResolveStreamRef(ref, catalog));
+    resolved.inputs.push_back(std::move(input));
+  }
+
+  // All inputs must have identical field names and types.
+  const StreamSchema& first = resolved.inputs[0].schema;
+  for (size_t i = 1; i < resolved.inputs.size(); ++i) {
+    const StreamSchema& other = resolved.inputs[i].schema;
+    if (other.num_fields() != first.num_fields()) {
+      return Status::PlanError("MERGE inputs have different arity");
+    }
+    for (size_t f = 0; f < first.num_fields(); ++f) {
+      if (first.field(f).name != other.field(f).name ||
+          first.field(f).type != other.field(f).type) {
+        return Status::PlanError(
+            "MERGE inputs disagree on field " + std::to_string(f) + ": '" +
+            first.field(f).name + "' vs '" + other.field(f).name + "'");
+      }
+    }
+  }
+
+  for (size_t i = 0; i < stmt.merge_columns.size(); ++i) {
+    const ColumnRefExpr& column = stmt.merge_columns[i];
+    // The qualifier, when present, must name the positional input.
+    if (!column.stream.empty()) {
+      const StreamRef& ref = stmt.from[i];
+      if (column.stream != ref.effective_name() &&
+          column.stream != ref.stream_name) {
+        return Status::PlanError("merge column " + std::to_string(i) +
+                                 " is qualified with '" + column.stream +
+                                 "' but input " + std::to_string(i) + " is '" +
+                                 ref.effective_name() + "'");
+      }
+    }
+    auto field = resolved.inputs[i].schema.FieldIndex(column.column);
+    if (!field.has_value()) {
+      return Status::NotFound("merge column '" + column.column +
+                              "' not found in input '" +
+                              stmt.from[i].effective_name() + "'");
+    }
+    const FieldDef& def = resolved.inputs[i].schema.field(*field);
+    if (!def.order.IsIncreasingLike()) {
+      return Status::PlanError(
+          "merge column '" + column.column + "' of input '" +
+          stmt.from[i].effective_name() +
+          "' has no increasing ordering property (found: " +
+          def.order.ToString() + ")");
+    }
+    resolved.merge_fields.push_back(*field);
+  }
+
+  // The merge attribute must be the same field in every input (the output
+  // preserves its ordering property).
+  for (size_t i = 1; i < resolved.merge_fields.size(); ++i) {
+    if (resolved.merge_fields[i] != resolved.merge_fields[0]) {
+      return Status::PlanError(
+          "MERGE columns must name the same attribute in every input");
+    }
+  }
+
+  return resolved;
+}
+
+}  // namespace gigascope::gsql

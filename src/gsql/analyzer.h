@@ -1,0 +1,77 @@
+#ifndef GIGASCOPE_GSQL_ANALYZER_H_
+#define GIGASCOPE_GSQL_ANALYZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gsql/ast.h"
+#include "gsql/catalog.h"
+
+namespace gigascope::gsql {
+
+/// Where a column reference points: input stream `input` (0 or 1), field
+/// index `field` within that stream's schema.
+struct ColumnBinding {
+  size_t input = 0;
+  size_t field = 0;
+};
+
+/// One resolved query input.
+struct ResolvedInput {
+  StreamRef ref;
+  StreamSchema schema;
+  /// Interface the Protocol is bound to (empty for Stream inputs).
+  std::string interface_name;
+};
+
+/// True if `name` (lower-case) is one of GSQL's aggregate functions.
+bool IsAggregateFunction(const std::string& name);
+
+/// Name-resolved SELECT statement.
+///
+/// The analyzer performs name resolution and shape checks; types are
+/// assigned later by the expression type checker (which also needs the UDF
+/// registry). `bindings` maps every ColumnRef expression node in the
+/// statement to its input/field.
+struct ResolvedSelect {
+  SelectStmt stmt;
+  std::vector<ResolvedInput> inputs;
+  std::map<const Expr*, ColumnBinding> bindings;
+  bool has_aggregates = false;
+
+  bool is_aggregation() const {
+    return has_aggregates || !stmt.group_by.empty();
+  }
+  bool is_join() const { return inputs.size() == 2; }
+};
+
+/// Name-resolved MERGE statement.
+struct ResolvedMerge {
+  MergeStmt stmt;
+  std::vector<ResolvedInput> inputs;
+  /// Field index of the merge attribute in each input (all inputs share a
+  /// schema, but the attribute is named per input in the syntax).
+  std::vector<size_t> merge_fields;
+};
+
+/// Resolves a SELECT against the catalog:
+///  - every FROM entry names a known Protocol or Stream; Protocols are
+///    bound to their interface (default interface when unqualified);
+///  - column references resolve unambiguously;
+///  - aggregate functions appear only in SELECT items or HAVING, unnested;
+///  - in an aggregation query, every non-aggregate SELECT item matches a
+///    GROUP BY key (by alias or identical expression text).
+Result<ResolvedSelect> AnalyzeSelect(const SelectStmt& stmt,
+                                     const Catalog& catalog);
+
+/// Resolves a MERGE: at least two inputs, all with identical field
+/// names/types; one merge column per input; merge columns must carry an
+/// increasing-like ordering property (the merge aligns on them).
+Result<ResolvedMerge> AnalyzeMerge(const MergeStmt& stmt,
+                                   const Catalog& catalog);
+
+}  // namespace gigascope::gsql
+
+#endif  // GIGASCOPE_GSQL_ANALYZER_H_

@@ -1,0 +1,137 @@
+#include "gsql/ast.h"
+
+#include "common/bytes.h"
+
+namespace gigascope::gsql {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kBitAnd: return "&";
+    case BinaryOp::kBitOr: return "|";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNeq: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Printer {
+  std::string operator()(const LiteralExpr& lit) const {
+    switch (lit.type) {
+      case DataType::kBool:
+        return lit.bool_value ? "TRUE" : "FALSE";
+      case DataType::kInt:
+        return std::to_string(lit.int_value);
+      case DataType::kUint:
+        return std::to_string(lit.uint_value);
+      case DataType::kFloat:
+        return std::to_string(lit.float_value);
+      case DataType::kString:
+        return "'" + lit.string_value + "'";
+      case DataType::kIp:
+        return Ipv4ToString(static_cast<uint32_t>(lit.uint_value));
+    }
+    return "?";
+  }
+  std::string operator()(const ColumnRefExpr& ref) const {
+    return ref.stream.empty() ? ref.column : ref.stream + "." + ref.column;
+  }
+  std::string operator()(const ParamExpr& param) const {
+    return "$" + param.name;
+  }
+  std::string operator()(const CallExpr& call) const {
+    std::string out = call.function + "(";
+    if (call.star) {
+      out += "*";
+    } else {
+      for (size_t i = 0; i < call.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += call.args[i]->ToString();
+      }
+    }
+    return out + ")";
+  }
+  std::string operator()(const UnaryExpr& unary) const {
+    return std::string(unary.op == UnaryOp::kNeg ? "-" : "NOT ") +
+           unary.operand->ToString();
+  }
+  std::string operator()(const BinaryExpr& binary) const {
+    return "(" + binary.left->ToString() + " " + BinaryOpName(binary.op) +
+           " " + binary.right->ToString() + ")";
+  }
+};
+
+}  // namespace
+
+std::string Expr::ToString() const { return std::visit(Printer{}, node); }
+
+ExprPtr MakeLiteralInt(int64_t value) {
+  auto expr = std::make_shared<Expr>();
+  LiteralExpr lit;
+  lit.type = DataType::kInt;
+  lit.int_value = value;
+  expr->node = lit;
+  return expr;
+}
+
+ExprPtr MakeLiteralUint(uint64_t value) {
+  auto expr = std::make_shared<Expr>();
+  LiteralExpr lit;
+  lit.type = DataType::kUint;
+  lit.uint_value = value;
+  expr->node = lit;
+  return expr;
+}
+
+ExprPtr MakeLiteralString(std::string value) {
+  auto expr = std::make_shared<Expr>();
+  LiteralExpr lit;
+  lit.type = DataType::kString;
+  lit.string_value = std::move(value);
+  expr->node = lit;
+  return expr;
+}
+
+ExprPtr MakeColumnRef(std::string stream, std::string column) {
+  auto expr = std::make_shared<Expr>();
+  expr->node = ColumnRefExpr{std::move(stream), std::move(column)};
+  return expr;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr left, ExprPtr right) {
+  auto expr = std::make_shared<Expr>();
+  expr->node = BinaryExpr{op, std::move(left), std::move(right)};
+  return expr;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto expr = std::make_shared<Expr>();
+  expr->node = UnaryExpr{op, std::move(operand)};
+  return expr;
+}
+
+ExprPtr MakeCall(std::string function, std::vector<ExprPtr> args) {
+  auto expr = std::make_shared<Expr>();
+  expr->node = CallExpr{std::move(function), std::move(args), false};
+  return expr;
+}
+
+ExprPtr MakeParam(std::string name) {
+  auto expr = std::make_shared<Expr>();
+  expr->node = ParamExpr{std::move(name)};
+  return expr;
+}
+
+}  // namespace gigascope::gsql

@@ -1,0 +1,164 @@
+#ifndef GIGASCOPE_GSQL_AST_H_
+#define GIGASCOPE_GSQL_AST_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gsql/schema.h"
+
+namespace gigascope::gsql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Literal constant value in a query.
+struct LiteralExpr {
+  DataType type;
+  bool bool_value = false;
+  int64_t int_value = 0;      // kInt
+  uint64_t uint_value = 0;    // kUint / kIp
+  double float_value = 0;     // kFloat
+  std::string string_value;   // kString
+};
+
+/// Reference to a stream attribute, optionally qualified: `B.ts` or `ts`.
+struct ColumnRefExpr {
+  std::string stream;  // empty if unqualified
+  std::string column;
+};
+
+/// Reference to a query parameter: `$port`.
+struct ParamExpr {
+  std::string name;
+};
+
+/// Function call: aggregates (COUNT/SUM/MIN/MAX/AVG) or registered UDFs.
+struct CallExpr {
+  std::string function;     // lower-cased
+  std::vector<ExprPtr> args;
+  bool star = false;        // COUNT(*)
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kBitAnd, kBitOr,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+struct UnaryExpr {
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct BinaryExpr {
+  BinaryOp op;
+  ExprPtr left;
+  ExprPtr right;
+};
+
+/// A GSQL expression node; a closed variant over all expression forms.
+struct Expr {
+  std::variant<LiteralExpr, ColumnRefExpr, ParamExpr, CallExpr, UnaryExpr,
+               BinaryExpr>
+      node;
+  int line = 0;
+  int column = 0;
+
+  std::string ToString() const;
+};
+
+ExprPtr MakeLiteralInt(int64_t value);
+ExprPtr MakeLiteralUint(uint64_t value);
+ExprPtr MakeLiteralString(std::string value);
+ExprPtr MakeColumnRef(std::string stream, std::string column);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr left, ExprPtr right);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeCall(std::string function, std::vector<ExprPtr> args);
+ExprPtr MakeParam(std::string name);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// One projected output: expression plus optional alias.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty if none
+};
+
+/// Reference to an input stream in FROM: `eth0.TCP alias` or `tcpdest`.
+struct StreamRef {
+  std::string interface_name;  // empty when unqualified
+  std::string stream_name;
+  std::string alias;           // defaults to stream_name
+
+  const std::string& effective_name() const {
+    return alias.empty() ? stream_name : alias;
+  }
+};
+
+/// DEFINE block contents: query name and declared parameters.
+struct DefineBlock {
+  std::string query_name;
+  /// Parameter name -> (type, default literal or null).
+  struct ParamDecl {
+    std::string name;
+    DataType type = DataType::kInt;
+    ExprPtr default_value;  // may be null
+  };
+  std::vector<ParamDecl> params;
+};
+
+/// SELECT ... FROM s1 [, s2] [WHERE ...] [GROUP BY ...] [HAVING ...]
+struct SelectStmt {
+  DefineBlock define;
+  std::vector<SelectItem> items;
+  std::vector<StreamRef> from;  // 1 or 2 entries (two-stream join max)
+  ExprPtr where;                // may be null
+  std::vector<SelectItem> group_by;
+  ExprPtr having;               // may be null
+
+  bool is_join() const { return from.size() == 2; }
+  bool has_group_by() const { return !group_by.empty(); }
+};
+
+/// MERGE a.ts : b.ts FROM a, b  — order-preserving union (§2.2).
+struct MergeStmt {
+  DefineBlock define;
+  /// The ordered attribute of each input that the merge aligns on,
+  /// positionally matching `from`.
+  std::vector<ColumnRefExpr> merge_columns;
+  std::vector<StreamRef> from;
+};
+
+/// CREATE PROTOCOL name (field TYPE [order...], ...)
+/// CREATE STREAM name (...) — same body, different stream kind.
+struct CreateStmt {
+  StreamKind kind = StreamKind::kProtocol;
+  StreamSchema schema;
+};
+
+/// Any parsed GSQL statement.
+using Statement = std::variant<SelectStmt, MergeStmt, CreateStmt>;
+
+/// Result of parsing a GSQL source: one or more `;`-separated statements.
+struct ParsedProgram {
+  std::vector<Statement> statements;
+};
+
+}  // namespace gigascope::gsql
+
+#endif  // GIGASCOPE_GSQL_AST_H_

@@ -1,0 +1,285 @@
+#include "gsql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/bytes.h"
+
+namespace gigascope::gsql {
+
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) out += static_cast<char>(std::tolower(c));
+  return out;
+}
+
+const std::unordered_map<std::string, TokenKind>& KeywordTable() {
+  static const auto* table = new std::unordered_map<std::string, TokenKind>{
+      {"select", TokenKind::kSelect},
+      {"from", TokenKind::kFrom},
+      {"where", TokenKind::kWhere},
+      {"group", TokenKind::kGroup},
+      {"by", TokenKind::kBy},
+      {"as", TokenKind::kAs},
+      {"and", TokenKind::kAnd},
+      {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},
+      {"merge", TokenKind::kMerge},
+      {"define", TokenKind::kDefine},
+      {"create", TokenKind::kCreate},
+      {"protocol", TokenKind::kProtocol},
+      {"stream", TokenKind::kStream},
+      {"having", TokenKind::kHaving},
+      {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},
+      {"increasing", TokenKind::kIncreasing},
+      {"decreasing", TokenKind::kDecreasing},
+      {"strictly", TokenKind::kStrictly},
+      {"nonrepeating", TokenKind::kNonrepeating},
+      {"banded", TokenKind::kBanded},
+      {"in", TokenKind::kIn},
+  };
+  return *table;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      GS_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+      Token token;
+      token.line = line_;
+      token.column = column_;
+      if (AtEnd()) {
+        token.kind = TokenKind::kEof;
+        tokens.push_back(token);
+        return tokens;
+      }
+      GS_RETURN_IF_ERROR(Next(&token));
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at line " + std::to_string(line_) +
+                              ", column " + std::to_string(column_));
+  }
+
+  Status SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && Peek(1) == '-') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+        if (AtEnd()) return Error("unterminated block comment");
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status Next(Token* token) {
+    char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdentifier(token);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return LexNumber(token);
+    }
+    if (c == '\'') return LexString(token);
+    if (c == '$') return LexParam(token);
+    return LexOperator(token);
+  }
+
+  Status LexIdentifier(Token* token) {
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      Advance();
+    }
+    token->text = std::string(source_.substr(start, pos_ - start));
+    auto it = KeywordTable().find(ToLower(token->text));
+    token->kind =
+        it != KeywordTable().end() ? it->second : TokenKind::kIdentifier;
+    return Status::Ok();
+  }
+
+  Status LexNumber(Token* token) {
+    size_t start = pos_;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    // Dotted quad? Requires exactly three more .digits groups.
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      size_t lookahead = pos_;
+      int groups = 1;
+      while (lookahead < source_.size() && source_[lookahead] == '.' &&
+             lookahead + 1 < source_.size() &&
+             std::isdigit(static_cast<unsigned char>(source_[lookahead + 1]))) {
+        ++groups;
+        ++lookahead;
+        while (lookahead < source_.size() &&
+               std::isdigit(static_cast<unsigned char>(source_[lookahead]))) {
+          ++lookahead;
+        }
+      }
+      if (groups == 4) {
+        while (pos_ < lookahead) Advance();
+        token->text = std::string(source_.substr(start, pos_ - start));
+        auto ip = ParseIpv4(token->text);
+        if (!ip.ok()) return Error("invalid IPv4 literal '" + token->text + "'");
+        token->kind = TokenKind::kIpLiteral;
+        token->ip_value = *ip;
+        return Status::Ok();
+      }
+      if (groups == 2) {
+        // A float: consume the fraction.
+        Advance();  // '.'
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Advance();
+        }
+        token->text = std::string(source_.substr(start, pos_ - start));
+        token->kind = TokenKind::kFloatLiteral;
+        token->float_value = std::strtod(token->text.c_str(), nullptr);
+        return Status::Ok();
+      }
+      return Error("malformed numeric literal");
+    }
+    token->text = std::string(source_.substr(start, pos_ - start));
+    token->kind = TokenKind::kIntLiteral;
+    token->int_value = std::strtoll(token->text.c_str(), nullptr, 10);
+    return Status::Ok();
+  }
+
+  Status LexString(Token* token) {
+    Advance();  // opening quote
+    std::string body;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string literal");
+      char c = Advance();
+      if (c == '\'') {
+        if (Peek() == '\'') {  // '' escape
+          body += '\'';
+          Advance();
+        } else {
+          break;
+        }
+      } else {
+        body += c;
+      }
+    }
+    token->kind = TokenKind::kStringLiteral;
+    token->text = std::move(body);
+    return Status::Ok();
+  }
+
+  Status LexParam(Token* token) {
+    Advance();  // '$'
+    if (!(std::isalpha(static_cast<unsigned char>(Peek())) || Peek() == '_')) {
+      return Error("expected parameter name after '$'");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      Advance();
+    }
+    token->kind = TokenKind::kParam;
+    token->text = std::string(source_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  Status LexOperator(Token* token) {
+    char c = Advance();
+    switch (c) {
+      case '(': token->kind = TokenKind::kLParen; return Status::Ok();
+      case ')': token->kind = TokenKind::kRParen; return Status::Ok();
+      case '{': token->kind = TokenKind::kLBrace; return Status::Ok();
+      case '}': token->kind = TokenKind::kRBrace; return Status::Ok();
+      case ',': token->kind = TokenKind::kComma; return Status::Ok();
+      case ';': token->kind = TokenKind::kSemicolon; return Status::Ok();
+      case '.': token->kind = TokenKind::kDot; return Status::Ok();
+      case ':': token->kind = TokenKind::kColon; return Status::Ok();
+      case '=': token->kind = TokenKind::kEq; return Status::Ok();
+      case '+': token->kind = TokenKind::kPlus; return Status::Ok();
+      case '-': token->kind = TokenKind::kMinus; return Status::Ok();
+      case '*': token->kind = TokenKind::kStar; return Status::Ok();
+      case '/': token->kind = TokenKind::kSlash; return Status::Ok();
+      case '%': token->kind = TokenKind::kPercent; return Status::Ok();
+      case '&': token->kind = TokenKind::kAmp; return Status::Ok();
+      case '|': token->kind = TokenKind::kPipe; return Status::Ok();
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          token->kind = TokenKind::kLe;
+        } else if (Peek() == '>') {
+          Advance();
+          token->kind = TokenKind::kNeq;
+        } else {
+          token->kind = TokenKind::kLt;
+        }
+        return Status::Ok();
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          token->kind = TokenKind::kGe;
+        } else {
+          token->kind = TokenKind::kGt;
+        }
+        return Status::Ok();
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          token->kind = TokenKind::kNeq;
+          return Status::Ok();
+        }
+        return Error("unexpected character '!'");
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  Lexer lexer(source);
+  return lexer.Run();
+}
+
+}  // namespace gigascope::gsql

@@ -1,0 +1,22 @@
+#ifndef GIGASCOPE_GSQL_LEXER_H_
+#define GIGASCOPE_GSQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "gsql/token.h"
+
+namespace gigascope::gsql {
+
+/// Tokenizes GSQL source text.
+///
+/// Supports `--` line comments and `/* */` block comments. Keywords are
+/// case-insensitive; identifiers preserve their original spelling.
+/// A number of the form d.d.d.d is lexed as an IPv4 literal.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace gigascope::gsql
+
+#endif  // GIGASCOPE_GSQL_LEXER_H_

@@ -1,0 +1,526 @@
+#include "gsql/parser.h"
+
+#include <cctype>
+
+#include "gsql/lexer.h"
+
+namespace gigascope::gsql {
+
+namespace {
+
+std::string Lower(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) out += static_cast<char>(std::tolower(c));
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedProgram> ParseProgram() {
+    ParsedProgram program;
+    while (!Check(TokenKind::kEof)) {
+      GS_ASSIGN_OR_RETURN(Statement stmt, ParseOneStatement());
+      program.statements.push_back(std::move(stmt));
+      // Consume the statement separator (optional before EOF).
+      while (Match(TokenKind::kSemicolon)) {
+      }
+    }
+    if (program.statements.empty()) {
+      return Status::ParseError("empty GSQL program");
+    }
+    return program;
+  }
+
+  Result<Statement> ParseOneStatement() {
+    if (Check(TokenKind::kCreate)) return ParseCreate();
+    DefineBlock define;
+    if (Check(TokenKind::kDefine)) {
+      GS_RETURN_IF_ERROR(ParseDefine(&define));
+    }
+    if (Check(TokenKind::kSelect)) return ParseSelect(std::move(define));
+    if (Check(TokenKind::kMerge)) return ParseMerge(std::move(define));
+    return Error("expected CREATE, SELECT, MERGE, or DEFINE");
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t index = pos_ + ahead;
+    if (index >= tokens_.size()) index = tokens_.size() - 1;  // EOF token
+    return tokens_[index];
+  }
+
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    const Token& token = Peek();
+    return Status::ParseError(message + " at line " +
+                              std::to_string(token.line) + ", column " +
+                              std::to_string(token.column) + " (got " +
+                              TokenKindName(token.kind) +
+                              (token.text.empty() ? "" : " '" + token.text + "'") +
+                              ")");
+  }
+
+  Result<Token> Expect(TokenKind kind, const std::string& what) {
+    if (!Check(kind)) return Error("expected " + what);
+    return Advance();
+  }
+
+  /// Accepts an identifier-like token: some schema/field names collide with
+  /// soft keywords (e.g. a field named `protocol`, the paper's own example).
+  Result<std::string> ExpectName(const std::string& what) {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kIdentifier:
+      case TokenKind::kProtocol:
+      case TokenKind::kStream:
+      case TokenKind::kGroup:
+      case TokenKind::kIn:
+        ++pos_;
+        return token.text.empty() ? std::string(TokenKindName(token.kind))
+                                  : token.text;
+      default:
+        return Error("expected " + what);
+    }
+  }
+
+  // -- DDL -----------------------------------------------------------------
+
+  Result<Statement> ParseCreate() {
+    Expect(TokenKind::kCreate, "CREATE").ok();
+    StreamKind kind;
+    if (Match(TokenKind::kProtocol)) {
+      kind = StreamKind::kProtocol;
+    } else if (Match(TokenKind::kStream)) {
+      kind = StreamKind::kStream;
+    } else {
+      return Error("expected PROTOCOL or STREAM after CREATE");
+    }
+    GS_ASSIGN_OR_RETURN(std::string name, ExpectName("schema name"));
+    GS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('").status());
+    std::vector<FieldDef> fields;
+    do {
+      GS_ASSIGN_OR_RETURN(FieldDef field, ParseFieldDecl());
+      fields.push_back(std::move(field));
+    } while (Match(TokenKind::kComma));
+    GS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+    CreateStmt stmt;
+    stmt.kind = kind;
+    stmt.schema = StreamSchema(name, kind, std::move(fields));
+    GS_RETURN_IF_ERROR(stmt.schema.Validate());
+    return Statement(std::move(stmt));
+  }
+
+  Result<FieldDef> ParseFieldDecl() {
+    FieldDef field;
+    GS_ASSIGN_OR_RETURN(field.name, ExpectName("field name"));
+    GS_ASSIGN_OR_RETURN(std::string type_name, ExpectName("type name"));
+    GS_ASSIGN_OR_RETURN(field.type, ParseDataType(type_name));
+    GS_RETURN_IF_ERROR(ParseOrderSpec(&field.order));
+    return field;
+  }
+
+  Status ParseOrderSpec(OrderSpec* out) {
+    if (Match(TokenKind::kStrictly)) {
+      if (Match(TokenKind::kIncreasing)) {
+        out->kind = OrderKind::kStrictlyIncreasing;
+      } else if (Match(TokenKind::kDecreasing)) {
+        out->kind = OrderKind::kStrictlyDecreasing;
+      } else {
+        return Error("expected INCREASING or DECREASING after STRICTLY")
+            ;
+      }
+      return Status::Ok();
+    }
+    if (Match(TokenKind::kNonrepeating)) {
+      out->kind = OrderKind::kNonRepeating;
+      return Status::Ok();
+    }
+    if (Match(TokenKind::kBanded)) {
+      GS_RETURN_IF_ERROR(
+          Expect(TokenKind::kIncreasing, "INCREASING after BANDED").status());
+      GS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('").status());
+      GS_ASSIGN_OR_RETURN(Token band,
+                          Expect(TokenKind::kIntLiteral, "band width"));
+      GS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+      out->kind = OrderKind::kBandedIncreasing;
+      out->band = static_cast<uint64_t>(band.int_value);
+      return Status::Ok();
+    }
+    if (Match(TokenKind::kIncreasing)) {
+      if (Match(TokenKind::kIn)) {
+        GS_RETURN_IF_ERROR(
+            Expect(TokenKind::kGroup, "GROUP after INCREASING IN").status());
+        GS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('").status());
+        out->kind = OrderKind::kIncreasingInGroup;
+        do {
+          GS_ASSIGN_OR_RETURN(std::string field, ExpectName("group field"));
+          out->group_fields.push_back(std::move(field));
+        } while (Match(TokenKind::kComma));
+        GS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+        return Status::Ok();
+      }
+      out->kind = OrderKind::kIncreasing;
+      return Status::Ok();
+    }
+    if (Match(TokenKind::kDecreasing)) {
+      out->kind = OrderKind::kDecreasing;
+      return Status::Ok();
+    }
+    out->kind = OrderKind::kNone;
+    return Status::Ok();
+  }
+
+  // -- DEFINE ---------------------------------------------------------------
+
+  Status ParseDefine(DefineBlock* define) {
+    Expect(TokenKind::kDefine, "DEFINE").ok();
+    bool braced = Match(TokenKind::kLBrace);
+    do {
+      GS_ASSIGN_OR_RETURN(std::string key, ExpectName("DEFINE entry"));
+      std::string lower = Lower(key);
+      if (lower == "query" || lower == "query_name") {
+        // Accept both `query_name X` and the paper's `query name X`.
+        if (lower == "query") {
+          GS_ASSIGN_OR_RETURN(std::string name_kw, ExpectName("'name'"));
+          if (Lower(name_kw) != "name") {
+            return Error("expected 'name' after 'query' in DEFINE");
+          }
+        }
+        GS_ASSIGN_OR_RETURN(define->query_name, ExpectName("query name"));
+      } else if (lower == "param") {
+        DefineBlock::ParamDecl decl;
+        GS_ASSIGN_OR_RETURN(decl.name, ExpectName("parameter name"));
+        GS_ASSIGN_OR_RETURN(std::string type_name, ExpectName("type name"));
+        GS_ASSIGN_OR_RETURN(decl.type, ParseDataType(type_name));
+        if (Match(TokenKind::kEq)) {
+          GS_ASSIGN_OR_RETURN(decl.default_value, ParsePrimary());
+        }
+        define->params.push_back(std::move(decl));
+      } else {
+        return Error("unknown DEFINE entry '" + key + "'");
+      }
+      GS_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+    } while (braced && !Check(TokenKind::kRBrace) && !Check(TokenKind::kEof));
+    if (braced) {
+      GS_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'").status());
+    }
+    return Status::Ok();
+  }
+
+  // -- Queries ----------------------------------------------------------------
+
+  Result<Statement> ParseSelect(DefineBlock define) {
+    Expect(TokenKind::kSelect, "SELECT").ok();
+    SelectStmt stmt;
+    stmt.define = std::move(define);
+    do {
+      GS_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt.items.push_back(std::move(item));
+    } while (Match(TokenKind::kComma));
+    GS_RETURN_IF_ERROR(Expect(TokenKind::kFrom, "FROM").status());
+    do {
+      GS_ASSIGN_OR_RETURN(StreamRef ref, ParseStreamRef());
+      stmt.from.push_back(std::move(ref));
+    } while (Match(TokenKind::kComma));
+    if (stmt.from.size() > 2) {
+      return Error("GSQL supports at most two-stream joins");
+    }
+    if (Match(TokenKind::kWhere)) {
+      GS_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (Match(TokenKind::kGroup)) {
+      GS_RETURN_IF_ERROR(Expect(TokenKind::kBy, "BY after GROUP").status());
+      do {
+        GS_ASSIGN_OR_RETURN(SelectItem key, ParseSelectItem());
+        stmt.group_by.push_back(std::move(key));
+      } while (Match(TokenKind::kComma));
+    }
+    if (Match(TokenKind::kHaving)) {
+      GS_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseMerge(DefineBlock define) {
+    Expect(TokenKind::kMerge, "MERGE").ok();
+    MergeStmt stmt;
+    stmt.define = std::move(define);
+    do {
+      GS_ASSIGN_OR_RETURN(std::string first, ExpectName("merge column"));
+      ColumnRefExpr ref;
+      if (Match(TokenKind::kDot)) {
+        ref.stream = first;
+        GS_ASSIGN_OR_RETURN(ref.column, ExpectName("column name"));
+      } else {
+        ref.column = first;
+      }
+      stmt.merge_columns.push_back(std::move(ref));
+    } while (Match(TokenKind::kColon));
+    GS_RETURN_IF_ERROR(Expect(TokenKind::kFrom, "FROM").status());
+    do {
+      GS_ASSIGN_OR_RETURN(StreamRef ref, ParseStreamRef());
+      stmt.from.push_back(std::move(ref));
+    } while (Match(TokenKind::kComma));
+    return Statement(std::move(stmt));
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    GS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (Match(TokenKind::kAs)) {
+      GS_ASSIGN_OR_RETURN(item.alias, ExpectName("alias"));
+    }
+    return item;
+  }
+
+  Result<StreamRef> ParseStreamRef() {
+    StreamRef ref;
+    GS_ASSIGN_OR_RETURN(std::string first, ExpectName("stream name"));
+    if (Match(TokenKind::kDot)) {
+      ref.interface_name = first;
+      GS_ASSIGN_OR_RETURN(ref.stream_name, ExpectName("protocol name"));
+    } else {
+      ref.stream_name = first;
+    }
+    // Optional alias: `FROM tcpdest B` or `FROM tcpdest AS B`.
+    if (Match(TokenKind::kAs)) {
+      GS_ASSIGN_OR_RETURN(ref.alias, ExpectName("stream alias"));
+    } else if (Check(TokenKind::kIdentifier)) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  // -- Expressions ------------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    GS_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (Match(TokenKind::kOr)) {
+      GS_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    GS_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (Match(TokenKind::kAnd)) {
+      GS_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Match(TokenKind::kNot)) {
+      GS_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return MakeUnary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    GS_ASSIGN_OR_RETURN(ExprPtr left, ParseBitOr());
+    BinaryOp op;
+    if (Match(TokenKind::kEq)) {
+      op = BinaryOp::kEq;
+    } else if (Match(TokenKind::kNeq)) {
+      op = BinaryOp::kNeq;
+    } else if (Match(TokenKind::kLt)) {
+      op = BinaryOp::kLt;
+    } else if (Match(TokenKind::kLe)) {
+      op = BinaryOp::kLe;
+    } else if (Match(TokenKind::kGt)) {
+      op = BinaryOp::kGt;
+    } else if (Match(TokenKind::kGe)) {
+      op = BinaryOp::kGe;
+    } else {
+      return left;
+    }
+    GS_ASSIGN_OR_RETURN(ExprPtr right, ParseBitOr());
+    return MakeBinary(op, std::move(left), std::move(right));
+  }
+
+  Result<ExprPtr> ParseBitOr() {
+    GS_ASSIGN_OR_RETURN(ExprPtr left, ParseBitAnd());
+    while (Match(TokenKind::kPipe)) {
+      GS_ASSIGN_OR_RETURN(ExprPtr right, ParseBitAnd());
+      left = MakeBinary(BinaryOp::kBitOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseBitAnd() {
+    GS_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    while (Match(TokenKind::kAmp)) {
+      GS_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      left = MakeBinary(BinaryOp::kBitAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    GS_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenKind::kPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (Match(TokenKind::kMinus)) {
+        op = BinaryOp::kSub;
+      } else {
+        return left;
+      }
+      GS_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    GS_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenKind::kStar)) {
+        op = BinaryOp::kMul;
+      } else if (Match(TokenKind::kSlash)) {
+        op = BinaryOp::kDiv;
+      } else if (Match(TokenKind::kPercent)) {
+        op = BinaryOp::kMod;
+      } else {
+        return left;
+      }
+      GS_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Match(TokenKind::kMinus)) {
+      GS_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return MakeUnary(UnaryOp::kNeg, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kIntLiteral: {
+        Advance();
+        auto expr = MakeLiteralInt(token.int_value);
+        expr->line = token.line;
+        return expr;
+      }
+      case TokenKind::kFloatLiteral: {
+        Advance();
+        auto expr = std::make_shared<Expr>();
+        LiteralExpr lit;
+        lit.type = DataType::kFloat;
+        lit.float_value = token.float_value;
+        expr->node = lit;
+        return expr;
+      }
+      case TokenKind::kStringLiteral: {
+        Advance();
+        return MakeLiteralString(token.text);
+      }
+      case TokenKind::kIpLiteral: {
+        Advance();
+        auto expr = std::make_shared<Expr>();
+        LiteralExpr lit;
+        lit.type = DataType::kIp;
+        lit.uint_value = token.ip_value;
+        expr->node = lit;
+        return expr;
+      }
+      case TokenKind::kTrue:
+      case TokenKind::kFalse: {
+        Advance();
+        auto expr = std::make_shared<Expr>();
+        LiteralExpr lit;
+        lit.type = DataType::kBool;
+        lit.bool_value = token.kind == TokenKind::kTrue;
+        expr->node = lit;
+        return expr;
+      }
+      case TokenKind::kParam: {
+        Advance();
+        return MakeParam(token.text);
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        GS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        GS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+        return inner;
+      }
+      default:
+        break;
+    }
+    // Identifier-like: column ref or function call.
+    GS_ASSIGN_OR_RETURN(std::string name, ExpectName("expression"));
+    if (Match(TokenKind::kLParen)) {
+      auto expr = std::make_shared<Expr>();
+      CallExpr call;
+      call.function = Lower(name);
+      if (Match(TokenKind::kStar)) {
+        call.star = true;
+      } else if (!Check(TokenKind::kRParen)) {
+        do {
+          GS_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          call.args.push_back(std::move(arg));
+        } while (Match(TokenKind::kComma));
+      }
+      GS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+      expr->node = std::move(call);
+      expr->line = token.line;
+      expr->column = token.column;
+      return expr;
+    }
+    if (Match(TokenKind::kDot)) {
+      GS_ASSIGN_OR_RETURN(std::string column, ExpectName("column name"));
+      auto expr = MakeColumnRef(name, column);
+      expr->line = token.line;
+      expr->column = token.column;
+      return expr;
+    }
+    auto expr = MakeColumnRef("", name);
+    expr->line = token.line;
+    expr->column = token.column;
+    return expr;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedProgram> Parse(std::string_view source) {
+  GS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseProgram();
+}
+
+Result<Statement> ParseStatement(std::string_view source) {
+  GS_ASSIGN_OR_RETURN(ParsedProgram program, Parse(source));
+  if (program.statements.size() != 1) {
+    return Status::ParseError("expected exactly one statement, got " +
+                              std::to_string(program.statements.size()));
+  }
+  return std::move(program.statements[0]);
+}
+
+}  // namespace gigascope::gsql

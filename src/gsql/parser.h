@@ -1,0 +1,37 @@
+#ifndef GIGASCOPE_GSQL_PARSER_H_
+#define GIGASCOPE_GSQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "gsql/ast.h"
+
+namespace gigascope::gsql {
+
+/// Parses GSQL source text into statements.
+///
+/// A program is one or more `;`-separated statements:
+///
+///   CREATE PROTOCOL PKT ( time UINT INCREASING, srcIP IP, ... );
+///
+///   DEFINE { query_name tcpdest0; }
+///   SELECT destIP, destPort, time
+///   FROM eth0.PKT
+///   WHERE ipVersion = 4 AND protocol = 6;
+///
+///   DEFINE { query_name tcpdest; }
+///   MERGE tcpdest0.time : tcpdest1.time
+///   FROM tcpdest0, tcpdest1;
+///
+/// Queries support two-stream joins (`FROM a, b WHERE a.ts = b.ts AND ...`),
+/// GROUP BY with expression keys and aliases (`GROUP BY time/60 AS tb`),
+/// HAVING, and `$name` query parameters declared in the DEFINE block
+/// (`param threshold UINT = 100;`).
+Result<ParsedProgram> Parse(std::string_view source);
+
+/// Parses a single statement (convenience for tests and the engine API).
+Result<Statement> ParseStatement(std::string_view source);
+
+}  // namespace gigascope::gsql
+
+#endif  // GIGASCOPE_GSQL_PARSER_H_

@@ -1,0 +1,136 @@
+#include "gsql/schema.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace gigascope::gsql {
+
+namespace {
+
+std::string Lower(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) out += static_cast<char>(std::tolower(c));
+  return out;
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt || type == DataType::kUint ||
+         type == DataType::kFloat || type == DataType::kIp;
+}
+
+}  // namespace
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kBool: return "BOOL";
+    case DataType::kInt: return "INT";
+    case DataType::kUint: return "UINT";
+    case DataType::kFloat: return "FLOAT";
+    case DataType::kString: return "STRING";
+    case DataType::kIp: return "IP";
+  }
+  return "?";
+}
+
+Result<DataType> ParseDataType(const std::string& name) {
+  std::string lower = Lower(name);
+  if (lower == "bool") return DataType::kBool;
+  if (lower == "int") return DataType::kInt;
+  if (lower == "uint") return DataType::kUint;
+  if (lower == "float") return DataType::kFloat;
+  if (lower == "string") return DataType::kString;
+  if (lower == "ip") return DataType::kIp;
+  return Status::ParseError("unknown data type '" + name + "'");
+}
+
+const char* OrderKindName(OrderKind kind) {
+  switch (kind) {
+    case OrderKind::kNone: return "none";
+    case OrderKind::kStrictlyIncreasing: return "strictly increasing";
+    case OrderKind::kIncreasing: return "increasing";
+    case OrderKind::kStrictlyDecreasing: return "strictly decreasing";
+    case OrderKind::kDecreasing: return "decreasing";
+    case OrderKind::kNonRepeating: return "nonrepeating";
+    case OrderKind::kBandedIncreasing: return "banded increasing";
+    case OrderKind::kIncreasingInGroup: return "increasing in group";
+  }
+  return "?";
+}
+
+std::string OrderSpec::ToString() const {
+  std::string out = OrderKindName(kind);
+  if (kind == OrderKind::kBandedIncreasing) {
+    out += "(" + std::to_string(band) + ")";
+  } else if (kind == OrderKind::kIncreasingInGroup) {
+    out += "(";
+    for (size_t i = 0; i < group_fields.size(); ++i) {
+      if (i > 0) out += ",";
+      out += group_fields[i];
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::optional<size_t> StreamSchema::FieldIndex(
+    const std::string& field_name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == field_name) return i;
+  }
+  return std::nullopt;
+}
+
+Status StreamSchema::Validate() const {
+  if (name_.empty()) return Status::InvalidArgument("schema has no name");
+  if (fields_.empty()) {
+    return Status::InvalidArgument("schema '" + name_ + "' has no fields");
+  }
+  std::unordered_set<std::string> seen;
+  for (const FieldDef& field : fields_) {
+    if (field.name.empty()) {
+      return Status::InvalidArgument("schema '" + name_ +
+                                     "' has an unnamed field");
+    }
+    if (!seen.insert(field.name).second) {
+      return Status::InvalidArgument("schema '" + name_ +
+                                     "' has duplicate field '" + field.name +
+                                     "'");
+    }
+    if (field.order.kind != OrderKind::kNone && !IsNumeric(field.type)) {
+      return Status::InvalidArgument(
+          "ordered attribute '" + field.name + "' in schema '" + name_ +
+          "' must be numeric, got " + DataTypeName(field.type));
+    }
+  }
+  for (const FieldDef& field : fields_) {
+    if (field.order.kind == OrderKind::kIncreasingInGroup) {
+      for (const std::string& group_field : field.order.group_fields) {
+        if (!FieldIndex(group_field).has_value()) {
+          return Status::InvalidArgument(
+              "group field '" + group_field + "' of ordered attribute '" +
+              field.name + "' does not exist in schema '" + name_ + "'");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string StreamSchema::ToString() const {
+  std::string out = (kind_ == StreamKind::kProtocol ? "PROTOCOL " : "STREAM ");
+  out += name_ + "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += DataTypeName(fields_[i].type);
+    if (fields_[i].order.kind != OrderKind::kNone) {
+      out += " [" + fields_[i].order.ToString() + "]";
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace gigascope::gsql

@@ -1,0 +1,62 @@
+#include "gsql/token.h"
+
+namespace gigascope::gsql {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kIpLiteral: return "IP literal";
+    case TokenKind::kParam: return "query parameter";
+    case TokenKind::kSelect: return "SELECT";
+    case TokenKind::kFrom: return "FROM";
+    case TokenKind::kWhere: return "WHERE";
+    case TokenKind::kGroup: return "GROUP";
+    case TokenKind::kBy: return "BY";
+    case TokenKind::kAs: return "AS";
+    case TokenKind::kAnd: return "AND";
+    case TokenKind::kOr: return "OR";
+    case TokenKind::kNot: return "NOT";
+    case TokenKind::kMerge: return "MERGE";
+    case TokenKind::kDefine: return "DEFINE";
+    case TokenKind::kCreate: return "CREATE";
+    case TokenKind::kProtocol: return "PROTOCOL";
+    case TokenKind::kStream: return "STREAM";
+    case TokenKind::kHaving: return "HAVING";
+    case TokenKind::kTrue: return "TRUE";
+    case TokenKind::kFalse: return "FALSE";
+    case TokenKind::kIncreasing: return "INCREASING";
+    case TokenKind::kDecreasing: return "DECREASING";
+    case TokenKind::kStrictly: return "STRICTLY";
+    case TokenKind::kNonrepeating: return "NONREPEATING";
+    case TokenKind::kBanded: return "BANDED";
+    case TokenKind::kIn: return "IN";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNeq: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kPipe: return "'|'";
+  }
+  return "?";
+}
+
+}  // namespace gigascope::gsql

@@ -1,0 +1,46 @@
+#ifndef GIGASCOPE_GSQL_TOKEN_H_
+#define GIGASCOPE_GSQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gigascope::gsql {
+
+/// Lexical token kinds for GSQL (queries and DDL).
+enum class TokenKind {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kIpLiteral,     // dotted quad, e.g. 10.1.2.3
+  kParam,         // $name
+
+  // Keywords (matched case-insensitively).
+  kSelect, kFrom, kWhere, kGroup, kBy, kAs, kAnd, kOr, kNot,
+  kMerge, kDefine, kCreate, kProtocol, kStream, kHaving, kTrue, kFalse,
+  kIncreasing, kDecreasing, kStrictly, kNonrepeating, kBanded, kIn,
+
+  // Punctuation and operators.
+  kLParen, kRParen, kLBrace, kRBrace, kComma, kSemicolon, kDot, kColon,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kPlus, kMinus, kStar, kSlash, kPercent, kAmp, kPipe,
+};
+
+/// One lexical token with its source position (1-based line/column).
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;          // raw text (identifier name, string body, ...)
+  int64_t int_value = 0;     // for kIntLiteral
+  double float_value = 0;    // for kFloatLiteral
+  uint32_t ip_value = 0;     // for kIpLiteral, host byte order
+  int line = 0;
+  int column = 0;
+};
+
+/// Human-readable token kind name, for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace gigascope::gsql
+
+#endif  // GIGASCOPE_GSQL_TOKEN_H_

@@ -1,0 +1,251 @@
+#include "net/headers.h"
+
+#include <algorithm>
+
+namespace gigascope::net {
+
+namespace {
+
+// Default MAC addresses used by the builders; the monitor never interprets
+// MACs, it only needs a well-formed Ethernet frame.
+constexpr std::array<uint8_t, 6> kDefaultSrcMac = {2, 0, 0, 0, 0, 1};
+constexpr std::array<uint8_t, 6> kDefaultDstMac = {2, 0, 0, 0, 0, 2};
+
+bool ParseEthernet(ByteReader& reader, EthernetHeader* out) {
+  return reader.GetBytes(out->dst_mac.data(), 6) &&
+         reader.GetBytes(out->src_mac.data(), 6) &&
+         reader.GetU16Be(&out->ether_type);
+}
+
+bool ParseIpv4(ByteReader& reader, Ipv4Header* out) {
+  uint8_t ver_ihl;
+  if (!reader.GetU8(&ver_ihl)) return false;
+  out->version = ver_ihl >> 4;
+  out->header_len = static_cast<uint8_t>((ver_ihl & 0x0f) * 4);
+  if (out->version != 4 || out->header_len < kIpv4MinHeaderLen) return false;
+  uint16_t flags_frag;
+  if (!reader.GetU8(&out->tos) || !reader.GetU16Be(&out->total_len) ||
+      !reader.GetU16Be(&out->identification) ||
+      !reader.GetU16Be(&flags_frag) || !reader.GetU8(&out->ttl) ||
+      !reader.GetU8(&out->protocol) || !reader.GetU16Be(&out->checksum) ||
+      !reader.GetU32Be(&out->src_addr) || !reader.GetU32Be(&out->dst_addr)) {
+    return false;
+  }
+  out->flags = static_cast<uint8_t>(flags_frag >> 13);
+  out->fragment_offset = static_cast<uint16_t>(flags_frag & 0x1fff);
+  // Skip options.
+  return reader.Skip(out->header_len - kIpv4MinHeaderLen);
+}
+
+bool ParseTcp(ByteReader& reader, TcpHeader* out) {
+  uint8_t offset_reserved;
+  if (!reader.GetU16Be(&out->src_port) || !reader.GetU16Be(&out->dst_port) ||
+      !reader.GetU32Be(&out->seq) || !reader.GetU32Be(&out->ack) ||
+      !reader.GetU8(&offset_reserved) || !reader.GetU8(&out->flags) ||
+      !reader.GetU16Be(&out->window) || !reader.GetU16Be(&out->checksum) ||
+      !reader.GetU16Be(&out->urgent)) {
+    return false;
+  }
+  out->header_len = static_cast<uint8_t>((offset_reserved >> 4) * 4);
+  if (out->header_len < kTcpMinHeaderLen) return false;
+  return reader.Skip(out->header_len - kTcpMinHeaderLen);
+}
+
+bool ParseUdp(ByteReader& reader, UdpHeader* out) {
+  return reader.GetU16Be(&out->src_port) && reader.GetU16Be(&out->dst_port) &&
+         reader.GetU16Be(&out->length) && reader.GetU16Be(&out->checksum);
+}
+
+void WriteIpv4Header(ByteWriter& writer, const Ipv4Header& ip) {
+  writer.PutU8(static_cast<uint8_t>(4 << 4 | (kIpv4MinHeaderLen / 4)));
+  writer.PutU8(ip.tos);
+  writer.PutU16Be(ip.total_len);
+  writer.PutU16Be(ip.identification);
+  writer.PutU16Be(static_cast<uint16_t>(ip.flags << 13 | ip.fragment_offset));
+  writer.PutU8(ip.ttl);
+  writer.PutU8(ip.protocol);
+  writer.PutU16Be(ip.checksum);
+  writer.PutU32Be(ip.src_addr);
+  writer.PutU32Be(ip.dst_addr);
+}
+
+void WriteEthernetHeader(ByteWriter& writer) {
+  writer.PutBytes(kDefaultDstMac.data(), 6);
+  writer.PutBytes(kDefaultSrcMac.data(), 6);
+  writer.PutU16Be(kEtherTypeIpv4);
+}
+
+// Fills in the IPv4 header checksum in a buffer where the IPv4 header
+// starts at `ip_offset` and the checksum field was written as zero.
+void PatchIpChecksum(ByteBuffer& bytes, size_t ip_offset) {
+  ByteSpan header(bytes.data() + ip_offset, kIpv4MinHeaderLen);
+  uint16_t sum = InternetChecksum(header);
+  bytes[ip_offset + 10] = static_cast<uint8_t>(sum >> 8);
+  bytes[ip_offset + 11] = static_cast<uint8_t>(sum);
+}
+
+}  // namespace
+
+uint16_t InternetChecksum(ByteSpan data) {
+  uint32_t sum = 0;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<uint16_t>(~sum);
+}
+
+Result<DecodedPacket> DecodePacket(ByteSpan bytes) {
+  DecodedPacket decoded;
+  ByteReader reader(bytes);
+  if (!ParseEthernet(reader, &decoded.eth)) {
+    return Status::InvalidArgument("packet shorter than Ethernet header");
+  }
+  if (decoded.eth.ether_type != kEtherTypeIpv4) {
+    decoded.payload = reader.Rest();
+    return decoded;
+  }
+  Ipv4Header ip;
+  if (!ParseIpv4(reader, &ip)) {
+    // Truncated or malformed below Ethernet: stop at the Ethernet layer.
+    decoded.payload = ByteSpan();
+    return decoded;
+  }
+  decoded.ip = ip;
+  // Non-first fragments have no transport header.
+  if (ip.fragment_offset != 0) {
+    decoded.payload = reader.Rest();
+    return decoded;
+  }
+  if (ip.protocol == kIpProtoTcp) {
+    TcpHeader tcp;
+    if (ParseTcp(reader, &tcp)) {
+      decoded.tcp = tcp;
+      decoded.payload = reader.Rest();
+    }
+  } else if (ip.protocol == kIpProtoUdp) {
+    UdpHeader udp;
+    if (ParseUdp(reader, &udp)) {
+      decoded.udp = udp;
+      decoded.payload = reader.Rest();
+    }
+  } else {
+    decoded.payload = reader.Rest();
+  }
+  return decoded;
+}
+
+ByteBuffer BuildTcpPacket(const TcpPacketSpec& spec) {
+  ByteBuffer bytes;
+  ByteWriter writer(&bytes);
+  WriteEthernetHeader(writer);
+
+  Ipv4Header ip;
+  ip.total_len = static_cast<uint16_t>(kIpv4MinHeaderLen + kTcpMinHeaderLen +
+                                       spec.payload.size());
+  ip.identification = spec.ip_id;
+  ip.ttl = spec.ttl;
+  ip.protocol = kIpProtoTcp;
+  ip.src_addr = spec.src_addr;
+  ip.dst_addr = spec.dst_addr;
+  WriteIpv4Header(writer, ip);
+
+  writer.PutU16Be(spec.src_port);
+  writer.PutU16Be(spec.dst_port);
+  writer.PutU32Be(spec.seq);
+  writer.PutU32Be(spec.ack);
+  writer.PutU8(static_cast<uint8_t>((kTcpMinHeaderLen / 4) << 4));
+  writer.PutU8(spec.flags);
+  writer.PutU16Be(65535);  // window
+  writer.PutU16Be(0);      // checksum: monitor-side, left zero at transport
+  writer.PutU16Be(0);      // urgent
+  writer.PutBytes(spec.payload.data(), spec.payload.size());
+
+  PatchIpChecksum(bytes, kEthernetHeaderLen);
+  return bytes;
+}
+
+ByteBuffer BuildUdpPacket(const UdpPacketSpec& spec) {
+  ByteBuffer bytes;
+  ByteWriter writer(&bytes);
+  WriteEthernetHeader(writer);
+
+  Ipv4Header ip;
+  ip.total_len = static_cast<uint16_t>(kIpv4MinHeaderLen + kUdpHeaderLen +
+                                       spec.payload.size());
+  ip.identification = spec.ip_id;
+  ip.ttl = spec.ttl;
+  ip.protocol = kIpProtoUdp;
+  ip.src_addr = spec.src_addr;
+  ip.dst_addr = spec.dst_addr;
+  WriteIpv4Header(writer, ip);
+
+  writer.PutU16Be(spec.src_port);
+  writer.PutU16Be(spec.dst_port);
+  writer.PutU16Be(static_cast<uint16_t>(kUdpHeaderLen + spec.payload.size()));
+  writer.PutU16Be(0);  // checksum optional in IPv4 UDP
+  writer.PutBytes(spec.payload.data(), spec.payload.size());
+
+  PatchIpChecksum(bytes, kEthernetHeaderLen);
+  return bytes;
+}
+
+Result<std::vector<ByteBuffer>> FragmentIpv4Packet(const ByteBuffer& packet,
+                                                   size_t mtu_payload) {
+  if (mtu_payload == 0 || mtu_payload % 8 != 0) {
+    return Status::InvalidArgument(
+        "fragment payload size must be a positive multiple of 8");
+  }
+  auto decoded = DecodePacket(ByteSpan(packet.data(), packet.size()));
+  if (!decoded.ok() || !decoded->is_ipv4()) {
+    return Status::InvalidArgument("not an IPv4 packet");
+  }
+  const Ipv4Header& ip = *decoded->ip;
+  if (ip.fragment_offset != 0 || ip.more_fragments()) {
+    return Status::InvalidArgument("packet is already a fragment");
+  }
+  size_t ip_start = kEthernetHeaderLen;
+  size_t payload_start = ip_start + ip.header_len;
+  if (packet.size() < payload_start) {
+    return Status::InvalidArgument("truncated IPv4 packet");
+  }
+  size_t payload_len = packet.size() - payload_start;
+  std::vector<ByteBuffer> fragments;
+  if (payload_len <= mtu_payload) {
+    fragments.push_back(packet);
+    return fragments;
+  }
+
+  for (size_t offset = 0; offset < payload_len; offset += mtu_payload) {
+    size_t chunk = std::min(mtu_payload, payload_len - offset);
+    bool more = offset + chunk < payload_len;
+    ByteBuffer fragment(packet.begin(), packet.begin() +
+                        static_cast<long>(payload_start));
+    fragment.insert(fragment.end(),
+                    packet.begin() + static_cast<long>(payload_start + offset),
+                    packet.begin() +
+                        static_cast<long>(payload_start + offset + chunk));
+    // Patch total length.
+    uint16_t total = static_cast<uint16_t>(ip.header_len + chunk);
+    fragment[ip_start + 2] = static_cast<uint8_t>(total >> 8);
+    fragment[ip_start + 3] = static_cast<uint8_t>(total);
+    // Patch flags + fragment offset (in 8-byte units).
+    uint16_t frag_field = static_cast<uint16_t>(offset / 8);
+    if (more) frag_field |= 0x2000;  // MF is bit 13 of the 16-bit field
+    fragment[ip_start + 6] = static_cast<uint8_t>(frag_field >> 8);
+    fragment[ip_start + 7] = static_cast<uint8_t>(frag_field);
+    // Recompute the header checksum.
+    fragment[ip_start + 10] = 0;
+    fragment[ip_start + 11] = 0;
+    uint16_t checksum = InternetChecksum(
+        ByteSpan(fragment.data() + ip_start, ip.header_len));
+    fragment[ip_start + 10] = static_cast<uint8_t>(checksum >> 8);
+    fragment[ip_start + 11] = static_cast<uint8_t>(checksum);
+    fragments.push_back(std::move(fragment));
+  }
+  return fragments;
+}
+
+}  // namespace gigascope::net

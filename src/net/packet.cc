@@ -1,0 +1,10 @@
+#include "net/packet.h"
+
+namespace gigascope::net {
+
+void ApplySnapLen(Packet* packet, uint32_t snap_len) {
+  if (snap_len == 0) return;
+  if (packet->bytes.size() > snap_len) packet->bytes.resize(snap_len);
+}
+
+}  // namespace gigascope::net

@@ -1,0 +1,29 @@
+#ifndef GIGASCOPE_NET_PACKET_H_
+#define GIGASCOPE_NET_PACKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+
+namespace gigascope::net {
+
+/// A captured packet: a capture timestamp plus raw bytes starting at the
+/// Ethernet header. `orig_len` is the on-the-wire length; `bytes` may be a
+/// shorter prefix when a snap length was applied (NIC truncation).
+struct Packet {
+  SimTime timestamp = 0;
+  uint32_t orig_len = 0;
+  ByteBuffer bytes;
+
+  ByteSpan view() const { return ByteSpan(bytes.data(), bytes.size()); }
+};
+
+/// Truncates a packet's captured bytes to `snap_len`, preserving orig_len.
+/// A snap_len of 0 means "no truncation".
+void ApplySnapLen(Packet* packet, uint32_t snap_len);
+
+}  // namespace gigascope::net
+
+#endif  // GIGASCOPE_NET_PACKET_H_

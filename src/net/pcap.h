@@ -1,0 +1,78 @@
+#ifndef GIGASCOPE_NET_PCAP_H_
+#define GIGASCOPE_NET_PCAP_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "net/packet.h"
+
+namespace gigascope::net {
+
+/// Classic libpcap savefile magic (microsecond timestamps).
+constexpr uint32_t kPcapMagic = 0xa1b2c3d4;
+/// Nanosecond-resolution variant magic.
+constexpr uint32_t kPcapMagicNanos = 0xa1b23c4d;
+/// LINKTYPE_ETHERNET.
+constexpr uint32_t kLinkTypeEthernet = 1;
+
+/// Writes packets to a pcap savefile compatible with tcpdump/wireshark.
+///
+/// Implemented from scratch against the documented savefile layout; no
+/// libpcap dependency. Always writes the nanosecond-magic variant so
+/// simulated timestamps round-trip exactly.
+class PcapWriter {
+ public:
+  PcapWriter() = default;
+  ~PcapWriter();
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  /// Creates/truncates `path` and writes the global header.
+  Status Open(const std::string& path, uint32_t snap_len = 65535);
+
+  /// Appends one packet record.
+  Status Write(const Packet& packet);
+
+  /// Flushes and closes the file; further writes fail.
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  uint64_t packets_written() const { return packets_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  uint64_t packets_written_ = 0;
+};
+
+/// Reads packets back from a pcap savefile (either magic, either byte
+/// order).
+class PcapReader {
+ public:
+  PcapReader() = default;
+  ~PcapReader();
+  PcapReader(const PcapReader&) = delete;
+  PcapReader& operator=(const PcapReader&) = delete;
+
+  Status Open(const std::string& path);
+
+  /// Reads the next record into `out`. Returns OK and sets `*eof=false` on
+  /// success; OK with `*eof=true` at end of file; an error for corruption.
+  Status Next(Packet* out, bool* eof);
+
+  Status Close();
+
+  uint32_t snap_len() const { return snap_len_; }
+  uint32_t link_type() const { return link_type_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool swap_ = false;   // file byte order differs from host
+  bool nanos_ = false;  // nanosecond timestamp variant
+  uint32_t snap_len_ = 0;
+  uint32_t link_type_ = 0;
+};
+
+}  // namespace gigascope::net
+
+#endif  // GIGASCOPE_NET_PCAP_H_

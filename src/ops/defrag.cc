@@ -1,0 +1,191 @@
+#include "ops/defrag.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gigascope::ops {
+
+using expr::Value;
+using gsql::DataType;
+using gsql::FieldDef;
+using gsql::OrderSpec;
+using gsql::StreamKind;
+using gsql::StreamSchema;
+
+StreamSchema IpDefragNode::OutputSchema(const std::string& name) {
+  std::vector<FieldDef> fields;
+  fields.push_back({"time", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"srcIP", DataType::kIp, OrderSpec::None()});
+  fields.push_back({"destIP", DataType::kIp, OrderSpec::None()});
+  fields.push_back({"protocol", DataType::kUint, OrderSpec::None()});
+  fields.push_back({"datagram", DataType::kString, OrderSpec::None()});
+  return StreamSchema(name, StreamKind::kStream, fields);
+}
+
+Result<std::unique_ptr<IpDefragNode>> IpDefragNode::Create(
+    Spec spec, rts::Subscription input, rts::StreamRegistry* registry) {
+  FieldSlots slots;
+  struct Need {
+    const char* name;
+    size_t* slot;
+  };
+  const Need needs[] = {
+      {"time", &slots.time},           {"srcIP", &slots.src},
+      {"destIP", &slots.dst},          {"protocol", &slots.proto},
+      {"ipId", &slots.ip_id},          {"fragOffset", &slots.frag_offset},
+      {"moreFrags", &slots.more_frags}, {"ipPayload", &slots.payload},
+  };
+  for (const Need& need : needs) {
+    auto index = spec.input_schema.FieldIndex(need.name);
+    if (!index.has_value()) {
+      return Status::InvalidArgument(
+          std::string("defrag input schema lacks required field '") +
+          need.name + "'");
+    }
+    *need.slot = *index;
+  }
+  GS_RETURN_IF_ERROR(registry->DeclareStream(OutputSchema(spec.name)));
+  return std::unique_ptr<IpDefragNode>(
+      new IpDefragNode(std::move(spec), slots, std::move(input), registry));
+}
+
+IpDefragNode::IpDefragNode(Spec spec, FieldSlots slots,
+                           rts::Subscription input,
+                           rts::StreamRegistry* registry)
+    : QueryNode(spec.name),
+      spec_(std::move(spec)),
+      slots_(slots),
+      input_(std::move(input)),
+      registry_(registry),
+      input_codec_(spec_.input_schema),
+      output_codec_(OutputSchema(spec_.name)) {}
+
+size_t IpDefragNode::Poll(size_t budget) {
+  size_t processed = 0;
+  rts::StreamMessage message;
+  while (processed < budget && input_->TryPop(&message)) {
+    ++processed;
+    // Punctuations carry no fragment data; reassembly state is bounded by
+    // the timeout instead.
+    if (message.kind != rts::StreamMessage::Kind::kTuple) continue;
+    ProcessTuple(message.payload);
+  }
+  return processed;
+}
+
+void IpDefragNode::ProcessTuple(const ByteBuffer& payload) {
+  ++tuples_in_;
+  auto row = input_codec_.Decode(ByteSpan(payload.data(), payload.size()));
+  if (!row.ok()) {
+    ++eval_errors_;
+    return;
+  }
+  const rts::Row& tuple = *row;
+  uint64_t time_now = tuple[slots_.time].uint_value();
+  uint64_t frag_offset = tuple[slots_.frag_offset].uint_value();
+  uint64_t more_frags = tuple[slots_.more_frags].uint_value();
+
+  ExpireOld(time_now);
+
+  AssemblyKey key;
+  key.src = tuple[slots_.src].ip_value();
+  key.dst = tuple[slots_.dst].ip_value();
+  key.proto = tuple[slots_.proto].uint_value();
+  key.ip_id = tuple[slots_.ip_id].uint_value();
+
+  if (frag_offset == 0 && more_frags == 0) {
+    // Unfragmented: pass straight through.
+    Emit(time_now, key, tuple[slots_.payload].string_value());
+    return;
+  }
+
+  Assembly& assembly = assemblies_[key];
+  if (assembly.fragments.empty()) assembly.first_seen_time = time_now;
+  Fragment fragment;
+  fragment.offset = frag_offset * 8;  // the IP field counts 8-byte units
+  fragment.bytes = tuple[slots_.payload].string_value();
+  if (more_frags == 0) {
+    assembly.have_last = true;
+    assembly.total_len = fragment.offset + fragment.bytes.size();
+  }
+  assembly.fragments.push_back(std::move(fragment));
+
+  if (TryComplete(key, assembly, time_now)) {
+    assemblies_.erase(key);
+  } else if (assemblies_.size() > spec_.max_assemblies) {
+    // Reassembly cache overflow: evict the oldest partial.
+    auto oldest = assemblies_.begin();
+    for (auto it = assemblies_.begin(); it != assemblies_.end(); ++it) {
+      if (it->second.first_seen_time < oldest->second.first_seen_time) {
+        oldest = it;
+      }
+    }
+    assemblies_.erase(oldest);
+    ++timeouts_;
+  }
+}
+
+bool IpDefragNode::TryComplete(const AssemblyKey& key, Assembly& assembly,
+                               uint64_t time_now) {
+  if (!assembly.have_last) return false;
+  std::sort(assembly.fragments.begin(), assembly.fragments.end(),
+            [](const Fragment& a, const Fragment& b) {
+              return a.offset < b.offset;
+            });
+  // Contiguity check (overlaps tolerated, truncated to the expected span —
+  // hostile overlapping fragments must not confuse the monitor).
+  uint64_t covered = 0;
+  for (const Fragment& fragment : assembly.fragments) {
+    if (fragment.offset > covered) return false;  // hole
+    covered = std::max(covered, fragment.offset + fragment.bytes.size());
+  }
+  if (covered < assembly.total_len) return false;
+
+  std::string datagram(assembly.total_len, '\0');
+  for (const Fragment& fragment : assembly.fragments) {
+    size_t copy_len = std::min<uint64_t>(
+        fragment.bytes.size(),
+        assembly.total_len > fragment.offset
+            ? assembly.total_len - fragment.offset
+            : 0);
+    datagram.replace(fragment.offset, copy_len, fragment.bytes, 0, copy_len);
+  }
+  Emit(time_now, key, datagram);
+  return true;
+}
+
+void IpDefragNode::Emit(uint64_t time_now, const AssemblyKey& key,
+                        const std::string& datagram) {
+  rts::Row out;
+  out.push_back(Value::Uint(time_now));
+  out.push_back(Value::Ip(key.src));
+  out.push_back(Value::Ip(key.dst));
+  out.push_back(Value::Uint(key.proto));
+  out.push_back(Value::String(datagram));
+  rts::StreamMessage message;
+  message.kind = rts::StreamMessage::Kind::kTuple;
+  output_codec_.Encode(out, &message.payload);
+  registry_->Publish(name(), message);
+  ++tuples_out_;
+}
+
+void IpDefragNode::ExpireOld(uint64_t time_now) {
+  for (auto it = assemblies_.begin(); it != assemblies_.end();) {
+    if (time_now >= it->second.first_seen_time &&
+        time_now - it->second.first_seen_time > spec_.timeout_seconds) {
+      it = assemblies_.erase(it);
+      ++timeouts_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void IpDefragNode::Flush() {
+  // Incomplete assemblies cannot produce correct datagrams; drop them.
+  timeouts_ += assemblies_.size();
+  assemblies_.clear();
+}
+
+}  // namespace gigascope::ops

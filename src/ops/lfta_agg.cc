@@ -1,0 +1,197 @@
+#include "ops/lfta_agg.h"
+
+#include "common/logging.h"
+#include "expr/vm.h"
+
+namespace gigascope::ops {
+
+using expr::Value;
+
+DirectMappedAggTable::DirectMappedAggTable(
+    int log2_slots, const std::vector<expr::AggregateSpec>* specs)
+    : specs_(specs) {
+  GS_CHECK(log2_slots >= 0 && log2_slots <= 24);
+  slots_.resize(size_t{1} << log2_slots);
+  mask_ = slots_.size() - 1;
+}
+
+std::optional<std::pair<rts::Row, rts::Row>> DirectMappedAggTable::Upsert(
+    rts::Row keys, const std::vector<std::optional<Value>>& args) {
+  ++updates_;
+  size_t slot_index = RowHash{}(keys) & mask_;
+  Slot& slot = slots_[slot_index];
+  std::optional<std::pair<rts::Row, rts::Row>> ejected;
+
+  if (slot.used && !RowEq{}(slot.keys, keys)) {
+    // Collision: eject the incumbent as a partial aggregate (§3).
+    ++evictions_;
+    ejected.emplace(std::move(slot.keys), slot.acc->Finalize());
+    slot.used = false;
+    --occupied_;
+  }
+  if (!slot.used) {
+    slot.used = true;
+    slot.keys = std::move(keys);
+    slot.acc.emplace(specs_);
+    ++occupied_;
+  }
+  slot.acc->Update(args);
+  return ejected;
+}
+
+std::vector<std::pair<rts::Row, rts::Row>> DirectMappedAggTable::DrainAll() {
+  std::vector<std::pair<rts::Row, rts::Row>> out;
+  out.reserve(occupied_);
+  for (Slot& slot : slots_) {
+    if (!slot.used) continue;
+    out.emplace_back(std::move(slot.keys), slot.acc->Finalize());
+    slot.used = false;
+    slot.acc.reset();
+  }
+  occupied_ = 0;
+  return out;
+}
+
+LftaAggregateNode::LftaAggregateNode(Spec spec, int log2_slots,
+                                     rts::Subscription input,
+                                     rts::StreamRegistry* registry,
+                                     rts::ParamBlock params)
+    : QueryNode(spec.name),
+      spec_(std::move(spec)),
+      input_(std::move(input)),
+      registry_(registry),
+      params_(std::move(params)),
+      input_codec_(spec_.input_schema),
+      output_codec_(spec_.output_schema),
+      table_(log2_slots, &spec_.agg_specs) {}
+
+size_t LftaAggregateNode::Poll(size_t budget) {
+  size_t processed = 0;
+  rts::StreamMessage message;
+  while (processed < budget && input_->TryPop(&message)) {
+    ++processed;
+    if (message.kind == rts::StreamMessage::Kind::kTuple) {
+      ProcessTuple(message.payload);
+    } else {
+      ProcessPunctuation(message.payload);
+    }
+  }
+  return processed;
+}
+
+void LftaAggregateNode::ProcessTuple(const ByteBuffer& payload) {
+  ++tuples_in_;
+  auto row = input_codec_.Decode(ByteSpan(payload.data(), payload.size()));
+  if (!row.ok()) {
+    ++eval_errors_;
+    return;
+  }
+  expr::EvalContext ctx;
+  ctx.row0 = &row.value();
+  ctx.params = params_.get();
+
+  rts::Row keys;
+  keys.reserve(spec_.keys.size());
+  for (const expr::CompiledExpr& key : spec_.keys) {
+    expr::EvalOutput out;
+    if (!expr::Eval(key, ctx, &out).ok()) {
+      ++eval_errors_;
+      return;
+    }
+    if (!out.has_value) return;
+    keys.push_back(std::move(out.value));
+  }
+
+  if (spec_.ordered_key >= 0) {
+    const Value& ordered = keys[static_cast<size_t>(spec_.ordered_key)];
+    if (epoch_.has_value() && ordered.Compare(*epoch_) > 0) {
+      DrainEpoch(ordered);
+    }
+    if (!epoch_.has_value() || ordered.Compare(*epoch_) > 0) {
+      epoch_ = ordered;
+    }
+  }
+
+  std::vector<std::optional<Value>> args(spec_.agg_specs.size());
+  for (size_t i = 0; i < spec_.agg_args.size(); ++i) {
+    if (!spec_.agg_args[i].has_value()) continue;
+    expr::EvalOutput out;
+    if (!expr::Eval(*spec_.agg_args[i], ctx, &out).ok()) {
+      ++eval_errors_;
+      return;
+    }
+    if (!out.has_value) return;
+    args[i] = std::move(out.value);
+  }
+
+  auto ejected = table_.Upsert(std::move(keys), args);
+  if (ejected.has_value()) {
+    EmitPartial(ejected->first, ejected->second);
+  }
+}
+
+void LftaAggregateNode::ProcessPunctuation(const ByteBuffer& payload) {
+  if (spec_.ordered_key < 0) return;
+  auto punctuation = rts::DecodePunctuation(
+      ByteSpan(payload.data(), payload.size()), spec_.input_schema);
+  if (!punctuation.ok()) return;
+  int source = spec_.key_punctuation_source[
+      static_cast<size_t>(spec_.ordered_key)];
+  if (source < 0) return;
+  auto bound = punctuation->BoundFor(static_cast<size_t>(source));
+  if (!bound.has_value()) return;
+
+  rts::Row synthetic;
+  synthetic.reserve(spec_.input_schema.num_fields());
+  for (size_t f = 0; f < spec_.input_schema.num_fields(); ++f) {
+    synthetic.push_back(Value::Default(spec_.input_schema.field(f).type));
+  }
+  synthetic[static_cast<size_t>(source)] = *bound;
+  expr::EvalContext ctx;
+  ctx.row0 = &synthetic;
+  ctx.params = params_.get();
+  expr::EvalOutput out;
+  if (!expr::Eval(spec_.keys[static_cast<size_t>(spec_.ordered_key)], ctx,
+                  &out).ok() ||
+      !out.has_value) {
+    return;
+  }
+  if (!epoch_.has_value() || out.value.Compare(*epoch_) > 0) {
+    DrainEpoch(out.value);
+    epoch_ = out.value;
+  }
+}
+
+void LftaAggregateNode::EmitPartial(const rts::Row& keys,
+                                    const rts::Row& aggs) {
+  rts::Row out = keys;
+  out.insert(out.end(), aggs.begin(), aggs.end());
+  rts::StreamMessage message;
+  message.kind = rts::StreamMessage::Kind::kTuple;
+  output_codec_.Encode(out, &message.payload);
+  registry_->Publish(name(), message);
+  ++tuples_out_;
+}
+
+void LftaAggregateNode::DrainEpoch(const Value& new_epoch) {
+  // Draining everything is always safe — ejected groups are partial
+  // aggregates the HFTA re-merges — but the ordering promise must honour
+  // the band: late arrivals within it will re-open groups below new_epoch.
+  for (const auto& [keys, aggs] : table_.DrainAll()) {
+    EmitPartial(keys, aggs);
+  }
+  rts::Punctuation punctuation;
+  punctuation.bounds.emplace_back(
+      static_cast<size_t>(spec_.ordered_key),
+      ReduceByBand(new_epoch, spec_.ordered_key_band));
+  registry_->Publish(
+      name(), rts::MakePunctuationMessage(punctuation, spec_.output_schema));
+}
+
+void LftaAggregateNode::Flush() {
+  for (const auto& [keys, aggs] : table_.DrainAll()) {
+    EmitPartial(keys, aggs);
+  }
+}
+
+}  // namespace gigascope::ops

@@ -1,0 +1,88 @@
+#ifndef GIGASCOPE_OPS_LFTA_AGG_H_
+#define GIGASCOPE_OPS_LFTA_AGG_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ops/aggregate.h"
+
+namespace gigascope::ops {
+
+/// The LFTA's small direct-mapped aggregation hash table (§3).
+///
+/// No chaining: a hash collision ejects the incumbent group, which is
+/// written to the output stream as a partial (sub)aggregate; the HFTA
+/// superaggregate re-merges partials. Because of temporal locality,
+/// aggregation is effective at early data reduction even with a small
+/// table — the property ablated by bench/e3_lfta_hash.
+class DirectMappedAggTable {
+ public:
+  /// `log2_slots` gives 2^log2_slots slots.
+  DirectMappedAggTable(int log2_slots,
+                       const std::vector<expr::AggregateSpec>* specs);
+
+  /// Folds a tuple into the group with `keys`. When a different group
+  /// occupies the slot, returns the ejected (keys, accumulator-finalized
+  /// values) pair.
+  std::optional<std::pair<rts::Row, rts::Row>> Upsert(
+      rts::Row keys, const std::vector<std::optional<expr::Value>>& args);
+
+  /// Removes and returns all occupied groups (epoch close), in slot order.
+  std::vector<std::pair<rts::Row, rts::Row>> DrainAll();
+
+  size_t num_slots() const { return slots_.size(); }
+  size_t occupied() const { return occupied_; }
+  uint64_t updates() const { return updates_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Slot {
+    bool used = false;
+    rts::Row keys;
+    std::optional<GroupAccumulator> acc;
+  };
+
+  const std::vector<expr::AggregateSpec>* specs_;
+  std::vector<Slot> slots_;
+  size_t mask_;
+  size_t occupied_ = 0;
+  uint64_t updates_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// LFTA-side pre-aggregation node: evaluates group keys and aggregate
+/// arguments, folds into the direct-mapped table, emits ejected partials
+/// immediately, and drains the table when the ordered key advances (epoch
+/// close) — feeding the HFTA superaggregate.
+class LftaAggregateNode : public rts::QueryNode {
+ public:
+  using Spec = OrderedAggregateNode::Spec;
+
+  LftaAggregateNode(Spec spec, int log2_slots, rts::Subscription input,
+                    rts::StreamRegistry* registry, rts::ParamBlock params);
+
+  size_t Poll(size_t budget) override;
+  void Flush() override;
+
+  const DirectMappedAggTable& table() const { return table_; }
+
+ private:
+  void ProcessTuple(const ByteBuffer& payload);
+  void ProcessPunctuation(const ByteBuffer& payload);
+  void EmitPartial(const rts::Row& keys, const rts::Row& aggs);
+  void DrainEpoch(const expr::Value& new_epoch);
+
+  Spec spec_;
+  rts::Subscription input_;
+  rts::StreamRegistry* registry_;
+  rts::ParamBlock params_;
+  rts::TupleCodec input_codec_;
+  rts::TupleCodec output_codec_;
+  DirectMappedAggTable table_;
+  std::optional<expr::Value> epoch_;
+};
+
+}  // namespace gigascope::ops
+
+#endif  // GIGASCOPE_OPS_LFTA_AGG_H_

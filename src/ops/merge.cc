@@ -1,0 +1,186 @@
+#include "ops/merge.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gigascope::ops {
+
+using expr::Value;
+
+MergeNode::MergeNode(Spec spec, std::vector<rts::Subscription> inputs,
+                     rts::StreamRegistry* registry)
+    : QueryNode(spec.name),
+      spec_(std::move(spec)),
+      registry_(registry),
+      codec_(spec_.schema) {
+  GS_CHECK(inputs.size() >= 2);
+  for (rts::Subscription& input : inputs) {
+    InputState state;
+    state.channel = std::move(input);
+    inputs_.push_back(std::move(state));
+  }
+}
+
+size_t MergeNode::Poll(size_t budget) {
+  size_t processed = 0;
+  rts::StreamMessage message;
+  for (InputState& input : inputs_) {
+    while (processed < budget && input.channel->TryPop(&message)) {
+      ++processed;
+      if (message.kind == rts::StreamMessage::Kind::kTuple) {
+        ++tuples_in_;
+        auto row = codec_.Decode(
+            ByteSpan(message.payload.data(), message.payload.size()));
+        if (!row.ok()) {
+          ++eval_errors_;
+          continue;
+        }
+        const Value& key = row.value()[spec_.merge_field];
+        // A tuple also carries ordering information: on a
+        // (banded-)increasing stream no future tuple can fall more than
+        // `band` below it, so it advances the watermark like a punctuation
+        // would (slackened by the band).
+        Value guarantee = key;
+        if (spec_.band > 0) {
+          switch (key.type()) {
+            case gsql::DataType::kUint:
+              guarantee = Value::Uint(
+                  key.uint_value() >= spec_.band
+                      ? key.uint_value() - spec_.band
+                      : 0);
+              break;
+            case gsql::DataType::kInt:
+              guarantee = Value::Int(key.int_value() -
+                                     static_cast<int64_t>(spec_.band));
+              break;
+            case gsql::DataType::kFloat:
+              guarantee = Value::Float(key.float_value() -
+                                       static_cast<double>(spec_.band));
+              break;
+            default:
+              break;
+          }
+        }
+        if (!input.watermark.has_value() ||
+            guarantee.Compare(*input.watermark) > 0) {
+          input.watermark = guarantee;
+        }
+        // Banded inputs arrive slightly out of order; keep the buffer
+        // sorted on the merge key so the head is always the minimum.
+        rts::Row decoded = std::move(row).value();
+        if (spec_.band > 0 && !input.buffer.empty() &&
+            input.buffer.back()[spec_.merge_field].Compare(
+                decoded[spec_.merge_field]) > 0) {
+          auto pos = std::upper_bound(
+              input.buffer.begin(), input.buffer.end(), decoded,
+              [this](const rts::Row& a, const rts::Row& b) {
+                return a[spec_.merge_field].Compare(b[spec_.merge_field]) <
+                       0;
+              });
+          input.buffer.insert(pos, std::move(decoded));
+        } else {
+          input.buffer.push_back(std::move(decoded));
+        }
+        input.saw_any = true;
+      } else {
+        auto punctuation = rts::DecodePunctuation(
+            ByteSpan(message.payload.data(), message.payload.size()),
+            spec_.schema);
+        if (!punctuation.ok()) continue;
+        auto bound = punctuation->BoundFor(spec_.merge_field);
+        if (bound.has_value() &&
+            (!input.watermark.has_value() ||
+             bound->Compare(*input.watermark) > 0)) {
+          input.watermark = *bound;
+        }
+      }
+    }
+  }
+  size_t total = buffered();
+  buffer_high_water_ = std::max(buffer_high_water_, total);
+  EmitReady();
+  return processed;
+}
+
+void MergeNode::EmitReady() {
+  while (true) {
+    // Find the input whose head tuple has the smallest merge key; emission
+    // is safe only if every *other* input guarantees (via watermark) that
+    // it will never produce a smaller key.
+    int best = -1;
+    for (size_t i = 0; i < inputs_.size(); ++i) {
+      if (inputs_[i].buffer.empty()) continue;
+      const Value& key = inputs_[i].buffer.front()[spec_.merge_field];
+      if (best < 0 ||
+          key.Compare(
+              inputs_[static_cast<size_t>(best)].buffer.front()
+                  [spec_.merge_field]) < 0) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) return;
+    const Value& candidate =
+        inputs_[static_cast<size_t>(best)].buffer.front()[spec_.merge_field];
+    for (size_t i = 0; i < inputs_.size(); ++i) {
+      if (static_cast<int>(i) == best) continue;
+      if (!inputs_[i].buffer.empty()) continue;  // its head already compared
+      if (!inputs_[i].watermark.has_value() ||
+          inputs_[i].watermark->Compare(candidate) < 0) {
+        return;  // input i might still produce something smaller: blocked
+      }
+    }
+    EmitRow(inputs_[static_cast<size_t>(best)].buffer.front());
+    inputs_[static_cast<size_t>(best)].buffer.pop_front();
+  }
+}
+
+void MergeNode::EmitRow(const rts::Row& row) {
+  rts::StreamMessage message;
+  message.kind = rts::StreamMessage::Kind::kTuple;
+  codec_.Encode(row, &message.payload);
+  registry_->Publish(name(), message);
+  ++tuples_out_;
+
+  // Downstream watermark: the smallest guarantee across inputs.
+  std::optional<Value> low;
+  for (const InputState& input : inputs_) {
+    if (!input.watermark.has_value()) return;
+    if (!low.has_value() || input.watermark->Compare(*low) < 0) {
+      low = input.watermark;
+    }
+  }
+  if (low.has_value()) {
+    rts::Punctuation punctuation;
+    punctuation.bounds.emplace_back(spec_.merge_field, *low);
+    registry_->Publish(
+        name(), rts::MakePunctuationMessage(punctuation, spec_.schema));
+  }
+}
+
+void MergeNode::Flush() {
+  // End of all streams: emit everything in merge order.
+  while (true) {
+    int best = -1;
+    for (size_t i = 0; i < inputs_.size(); ++i) {
+      if (inputs_[i].buffer.empty()) continue;
+      if (best < 0 ||
+          inputs_[i].buffer.front()[spec_.merge_field].Compare(
+              inputs_[static_cast<size_t>(best)].buffer.front()
+                  [spec_.merge_field]) < 0) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) return;
+    EmitRow(inputs_[static_cast<size_t>(best)].buffer.front());
+    inputs_[static_cast<size_t>(best)].buffer.pop_front();
+  }
+}
+
+size_t MergeNode::buffered() const {
+  size_t total = 0;
+  for (const InputState& input : inputs_) total += input.buffer.size();
+  return total;
+}
+
+}  // namespace gigascope::ops

@@ -1,0 +1,113 @@
+#include "ops/select_project.h"
+
+#include "expr/vm.h"
+
+namespace gigascope::ops {
+
+using expr::Value;
+
+SelectProjectNode::SelectProjectNode(Spec spec, rts::Subscription input,
+                                     rts::StreamRegistry* registry,
+                                     rts::ParamBlock params)
+    : QueryNode(spec.name),
+      spec_(std::move(spec)),
+      input_(std::move(input)),
+      registry_(registry),
+      params_(std::move(params)),
+      input_codec_(spec_.input_schema),
+      output_codec_(spec_.output_schema) {}
+
+size_t SelectProjectNode::Poll(size_t budget) {
+  size_t processed = 0;
+  rts::StreamMessage message;
+  while (processed < budget && input_->TryPop(&message)) {
+    ++processed;
+    if (message.kind == rts::StreamMessage::Kind::kTuple) {
+      ProcessTuple(message.payload);
+    } else {
+      ProcessPunctuation(message.payload);
+    }
+  }
+  return processed;
+}
+
+void SelectProjectNode::ProcessTuple(const ByteBuffer& payload) {
+  ++tuples_in_;
+  auto row = input_codec_.Decode(ByteSpan(payload.data(), payload.size()));
+  if (!row.ok()) {
+    ++eval_errors_;
+    return;
+  }
+  expr::EvalContext ctx;
+  ctx.row0 = &row.value();
+  ctx.params = params_.get();
+
+  if (spec_.predicate.has_value()) {
+    expr::EvalOutput predicate_result;
+    Status status = expr::Eval(*spec_.predicate, ctx, &predicate_result);
+    if (!status.ok()) {
+      ++eval_errors_;
+      return;
+    }
+    // Partial-function miss or false: tuple discarded (§2.2).
+    if (!predicate_result.has_value ||
+        !predicate_result.value.bool_value()) {
+      return;
+    }
+  }
+
+  rts::Row out_row;
+  out_row.reserve(spec_.projections.size());
+  for (const expr::CompiledExpr& projection : spec_.projections) {
+    expr::EvalOutput out;
+    Status status = expr::Eval(projection, ctx, &out);
+    if (!status.ok()) {
+      ++eval_errors_;
+      return;
+    }
+    if (!out.has_value) return;  // partial miss anywhere discards the tuple
+    out_row.push_back(std::move(out.value));
+  }
+
+  rts::StreamMessage out_message;
+  out_message.kind = rts::StreamMessage::Kind::kTuple;
+  output_codec_.Encode(out_row, &out_message.payload);
+  registry_->Publish(name(), out_message);
+  ++tuples_out_;
+}
+
+void SelectProjectNode::ProcessPunctuation(const ByteBuffer& payload) {
+  auto punctuation = rts::DecodePunctuation(
+      ByteSpan(payload.data(), payload.size()), spec_.input_schema);
+  if (!punctuation.ok()) return;
+
+  rts::Punctuation out;
+  for (size_t i = 0; i < spec_.projections.size(); ++i) {
+    int source = spec_.punctuation_source[i];
+    if (source < 0) continue;
+    auto bound = punctuation->BoundFor(static_cast<size_t>(source));
+    if (!bound.has_value()) continue;
+    // Evaluate the projection on a synthetic row whose only meaningful
+    // field is the bounded one; the projection provably depends on it
+    // alone and preserves order, so the result bounds the output field.
+    rts::Row synthetic;
+    synthetic.reserve(spec_.input_schema.num_fields());
+    for (size_t f = 0; f < spec_.input_schema.num_fields(); ++f) {
+      synthetic.push_back(Value::Default(spec_.input_schema.field(f).type));
+    }
+    synthetic[static_cast<size_t>(source)] = *bound;
+    expr::EvalContext ctx;
+    ctx.row0 = &synthetic;
+    ctx.params = params_.get();
+    expr::EvalOutput result;
+    if (expr::Eval(spec_.projections[i], ctx, &result).ok() &&
+        result.has_value) {
+      out.bounds.emplace_back(i, std::move(result.value));
+    }
+  }
+  if (out.bounds.empty()) return;
+  registry_->Publish(name(),
+                     rts::MakePunctuationMessage(out, spec_.output_schema));
+}
+
+}  // namespace gigascope::ops

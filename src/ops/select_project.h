@@ -1,0 +1,55 @@
+#ifndef GIGASCOPE_OPS_SELECT_PROJECT_H_
+#define GIGASCOPE_OPS_SELECT_PROJECT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/codegen.h"
+#include "rts/node.h"
+#include "rts/punctuation.h"
+#include "rts/tuple.h"
+
+namespace gigascope::ops {
+
+/// Selection + projection: the stateless workhorse of both LFTAs and HFTAs.
+///
+/// Drops tuples that fail the predicate, fail evaluation (runtime error),
+/// or hit a partial-function miss; computes one output field per compiled
+/// projection. Punctuations pass through: a bound on an input field maps to
+/// a bound on every output field whose projection is an order-preserving
+/// function of exactly that field (e.g. `time/60`).
+class SelectProjectNode : public rts::QueryNode {
+ public:
+  struct Spec {
+    std::string name;                       // node/output stream name
+    gsql::StreamSchema input_schema;
+    gsql::StreamSchema output_schema;
+    std::optional<expr::CompiledExpr> predicate;
+    std::vector<expr::CompiledExpr> projections;
+    /// For punctuation mapping: the single input field each projection
+    /// depends on, or -1 when it depends on zero or several fields or is
+    /// not order-preserving.
+    std::vector<int> punctuation_source;
+  };
+
+  SelectProjectNode(Spec spec, rts::Subscription input,
+                    rts::StreamRegistry* registry, rts::ParamBlock params);
+
+  size_t Poll(size_t budget) override;
+
+ private:
+  void ProcessTuple(const ByteBuffer& payload);
+  void ProcessPunctuation(const ByteBuffer& payload);
+
+  Spec spec_;
+  rts::Subscription input_;
+  rts::StreamRegistry* registry_;
+  rts::ParamBlock params_;
+  rts::TupleCodec input_codec_;
+  rts::TupleCodec output_codec_;
+};
+
+}  // namespace gigascope::ops
+
+#endif  // GIGASCOPE_OPS_SELECT_PROJECT_H_

@@ -1,0 +1,238 @@
+#include "plan/ordering.h"
+
+#include <algorithm>
+
+namespace gigascope::plan {
+
+namespace {
+
+using expr::IrKind;
+using expr::IrPtr;
+using gsql::BinaryOp;
+
+bool IsIncreasingKind(OrderKind kind) {
+  return kind == OrderKind::kStrictlyIncreasing ||
+         kind == OrderKind::kIncreasing ||
+         kind == OrderKind::kBandedIncreasing;
+}
+
+bool IsDecreasingKind(OrderKind kind) {
+  return kind == OrderKind::kStrictlyDecreasing ||
+         kind == OrderKind::kDecreasing;
+}
+
+/// Extracts a positive integer constant from a kConst node (after casts).
+bool PositiveConst(const IrPtr& ir, uint64_t* out) {
+  const IrPtr* node = &ir;
+  while ((*node)->kind == IrKind::kCast) node = &(*node)->children[0];
+  if ((*node)->kind != IrKind::kConst) return false;
+  const expr::Value& v = (*node)->constant;
+  switch (v.type()) {
+    case gsql::DataType::kInt:
+      if (v.int_value() <= 0) return false;
+      *out = static_cast<uint64_t>(v.int_value());
+      return true;
+    case gsql::DataType::kUint:
+      if (v.uint_value() == 0) return false;
+      *out = v.uint_value();
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsAnyConst(const IrPtr& ir) {
+  const IrPtr* node = &ir;
+  while ((*node)->kind == IrKind::kCast) node = &(*node)->children[0];
+  return (*node)->kind == IrKind::kConst;
+}
+
+}  // namespace
+
+OrderSpec ImputeExprOrder(const expr::IrPtr& ir,
+                          const gsql::StreamSchema& schema) {
+  if (ir == nullptr) return OrderSpec::None();
+  switch (ir->kind) {
+    case IrKind::kField:
+      if (ir->input == 0 && ir->field < schema.num_fields()) {
+        return schema.field(ir->field).order;
+      }
+      return OrderSpec::None();
+
+    case IrKind::kCast:
+      // Numeric widening preserves order; anything else is conservative.
+      if (ir->type == gsql::DataType::kUint ||
+          ir->type == gsql::DataType::kInt ||
+          ir->type == gsql::DataType::kFloat) {
+        return ImputeExprOrder(ir->children[0], schema);
+      }
+      return OrderSpec::None();
+
+    case IrKind::kBinary: {
+      OrderSpec left = ImputeExprOrder(ir->children[0], schema);
+      switch (ir->binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub: {
+          // ordered ± constant keeps the ordering untouched.
+          if (left.kind != OrderKind::kNone && IsAnyConst(ir->children[1])) {
+            return left;
+          }
+          // constant + ordered, symmetric for addition.
+          if (ir->binary_op == BinaryOp::kAdd &&
+              IsAnyConst(ir->children[0])) {
+            return ImputeExprOrder(ir->children[1], schema);
+          }
+          return OrderSpec::None();
+        }
+        case BinaryOp::kDiv: {
+          // ordered / positive-constant: bucketing. Strictness is lost
+          // (distinct values can land in one bucket); bands shrink.
+          uint64_t divisor;
+          if (!PositiveConst(ir->children[1], &divisor)) {
+            return OrderSpec::None();
+          }
+          if (left.kind == OrderKind::kStrictlyIncreasing ||
+              left.kind == OrderKind::kIncreasing) {
+            return OrderSpec::Increasing();
+          }
+          if (left.kind == OrderKind::kBandedIncreasing) {
+            // A band of B in the source becomes at most ceil(B/d)+... one
+            // extra bucket of slack covers alignment.
+            return OrderSpec::Banded(left.band / divisor + 1);
+          }
+          if (left.kind == OrderKind::kStrictlyDecreasing ||
+              left.kind == OrderKind::kDecreasing) {
+            return OrderSpec{OrderKind::kDecreasing, 0, {}};
+          }
+          return OrderSpec::None();
+        }
+        case BinaryOp::kMul: {
+          uint64_t factor;
+          if (!PositiveConst(ir->children[1], &factor) &&
+              !PositiveConst(ir->children[0], &factor)) {
+            return OrderSpec::None();
+          }
+          if (left.kind == OrderKind::kNone && IsAnyConst(ir->children[0])) {
+            left = ImputeExprOrder(ir->children[1], schema);
+          }
+          if (left.kind == OrderKind::kBandedIncreasing) {
+            return OrderSpec::Banded(left.band * factor);
+          }
+          // Scaling by a positive constant preserves all other kinds.
+          return left;
+        }
+        default:
+          return OrderSpec::None();
+      }
+    }
+
+    case IrKind::kCall:
+      // A hash of a strictly increasing / nonrepeating attribute never
+      // repeats (collisions aside — the paper makes the same idealization
+      // for its Q2 example).
+      if (ir->name == "hash64" && !ir->children.empty()) {
+        OrderSpec child = ImputeExprOrder(ir->children[0], schema);
+        if (child.kind == OrderKind::kStrictlyIncreasing ||
+            child.kind == OrderKind::kStrictlyDecreasing ||
+            child.kind == OrderKind::kNonRepeating) {
+          return OrderSpec{OrderKind::kNonRepeating, 0, {}};
+        }
+      }
+      return OrderSpec::None();
+
+    default:
+      return OrderSpec::None();
+  }
+}
+
+OrderSpec WeakestCommonOrder(const OrderSpec& a, const OrderSpec& b) {
+  if (a.kind == OrderKind::kNone || b.kind == OrderKind::kNone) {
+    return OrderSpec::None();
+  }
+  if (IsIncreasingKind(a.kind) && IsIncreasingKind(b.kind)) {
+    uint64_t band = std::max(
+        a.kind == OrderKind::kBandedIncreasing ? a.band : 0,
+        b.kind == OrderKind::kBandedIncreasing ? b.band : 0);
+    if (band > 0) return OrderSpec::Banded(band);
+    // Interleaving two monotone streams stays monotone but loses
+    // strictness (equal values may arrive from both sides).
+    return OrderSpec::Increasing();
+  }
+  if (IsDecreasingKind(a.kind) && IsDecreasingKind(b.kind)) {
+    return OrderSpec{OrderKind::kDecreasing, 0, {}};
+  }
+  // NonRepeating does not survive interleaving (the other stream may
+  // repeat a value), and mixed directions have no common order.
+  return OrderSpec::None();
+}
+
+bool OrderImplies(const OrderSpec& stronger, const OrderSpec& weaker) {
+  if (weaker.kind == OrderKind::kNone) return true;
+  if (stronger.kind == weaker.kind) {
+    if (stronger.kind == OrderKind::kBandedIncreasing) {
+      return stronger.band <= weaker.band;
+    }
+    if (stronger.kind == OrderKind::kIncreasingInGroup) {
+      return stronger.group_fields == weaker.group_fields;
+    }
+    return true;
+  }
+  switch (weaker.kind) {
+    case OrderKind::kIncreasing:
+      return stronger.kind == OrderKind::kStrictlyIncreasing;
+    case OrderKind::kDecreasing:
+      return stronger.kind == OrderKind::kStrictlyDecreasing;
+    case OrderKind::kBandedIncreasing:
+      return stronger.kind == OrderKind::kStrictlyIncreasing ||
+             stronger.kind == OrderKind::kIncreasing;
+    case OrderKind::kNonRepeating:
+      return stronger.kind == OrderKind::kStrictlyIncreasing ||
+             stronger.kind == OrderKind::kStrictlyDecreasing;
+    case OrderKind::kIncreasingInGroup:
+      // Globally increasing implies increasing within every group.
+      return stronger.kind == OrderKind::kStrictlyIncreasing ||
+             stronger.kind == OrderKind::kIncreasing;
+    default:
+      return false;
+  }
+}
+
+OrderSpec ImputeAggregateKeyOrder(const OrderSpec& input_order) {
+  // Groups close in key order, and a closing flush emits every group with
+  // that key at once, so the output key is monotone increasing. A banded
+  // key stays banded: eager implementations (the LFTA's direct-mapped
+  // table) may emit partials anywhere within the band.
+  if (input_order.kind == OrderKind::kBandedIncreasing) {
+    return OrderSpec::Banded(input_order.band);
+  }
+  if (input_order.IsIncreasingLike()) return OrderSpec::Increasing();
+  if (input_order.kind == OrderKind::kStrictlyDecreasing ||
+      input_order.kind == OrderKind::kDecreasing) {
+    return OrderSpec{OrderKind::kDecreasing, 0, {}};
+  }
+  return OrderSpec::None();
+}
+
+OrderSpec ImputeJoinOrder(const OrderSpec& left, const OrderSpec& right,
+                          uint64_t band_width, bool order_preserving_algo) {
+  OrderSpec common = WeakestCommonOrder(left, right);
+  if (common.kind == OrderKind::kNone) return common;
+  if (band_width == 0) return common;  // equality window keeps the order
+  if (order_preserving_algo) {
+    // The buffering algorithm re-sorts within the window (more buffer
+    // space, §2.1) and emits monotone output.
+    return common.kind == OrderKind::kBandedIncreasing
+               ? OrderSpec::Increasing()
+               : common;
+  }
+  // The eager algorithm emits as matches are found: banded by the window.
+  if (common.IsIncreasingLike()) {
+    uint64_t band = common.kind == OrderKind::kBandedIncreasing
+                        ? common.band + band_width
+                        : band_width;
+    return OrderSpec::Banded(band);
+  }
+  return OrderSpec::None();
+}
+
+}  // namespace gigascope::plan

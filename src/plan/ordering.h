@@ -1,0 +1,49 @@
+#ifndef GIGASCOPE_PLAN_ORDERING_H_
+#define GIGASCOPE_PLAN_ORDERING_H_
+
+#include "expr/ir.h"
+#include "gsql/schema.h"
+
+namespace gigascope::plan {
+
+using gsql::OrderKind;
+using gsql::OrderSpec;
+
+/// Ordering-property imputation (§2.1).
+///
+/// The query processor "imputes ordering properties of the output of query
+/// operators": e.g. projecting a monotone attribute keeps it monotone;
+/// `ts/60` of a monotone `ts` is monotone; a hash of a strictly-increasing
+/// attribute is monotone nonrepeating. These rules let the planner turn
+/// blocking operators into stream operators.
+
+/// Ordering of expression `ir` evaluated over tuples of `schema` (input 0).
+/// Conservative: returns kNone whenever a rule does not apply.
+OrderSpec ImputeExprOrder(const expr::IrPtr& ir,
+                          const gsql::StreamSchema& schema);
+
+/// Weakest ordering implied by both specs — the property of an interleaved
+/// (merged) stream whose inputs have orders `a` and `b` on the same
+/// attribute. Strictness never survives interleaving (ties across streams);
+/// bands widen to the larger band.
+OrderSpec WeakestCommonOrder(const OrderSpec& a, const OrderSpec& b);
+
+/// Whether `weaker` is implied by `stronger` (the weakening hierarchy):
+/// e.g. strictly increasing implies increasing implies banded(B) for any B.
+bool OrderImplies(const OrderSpec& stronger, const OrderSpec& weaker);
+
+/// Ordering of a group-by key expression in the *output* of an ordered
+/// aggregation. Group closing emits groups in non-decreasing key order, so
+/// an increasing-like key is monotone increasing in the output.
+OrderSpec ImputeAggregateKeyOrder(const OrderSpec& input_order);
+
+/// Ordering of the shared window attribute in the output of a band join
+/// (§2.1's example): with a strict merge-style algorithm the output is
+/// monotone; with the cheaper buffer-eager algorithm it is banded by the
+/// window width.
+OrderSpec ImputeJoinOrder(const OrderSpec& left, const OrderSpec& right,
+                          uint64_t band_width, bool order_preserving_algo);
+
+}  // namespace gigascope::plan
+
+#endif  // GIGASCOPE_PLAN_ORDERING_H_

@@ -1,0 +1,213 @@
+#include "plan/window.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace gigascope::plan {
+
+namespace {
+
+using expr::IrKind;
+using expr::IrPtr;
+using gsql::BinaryOp;
+
+/// A side of a comparison normalized to `field_of_input + offset`.
+struct LinearTerm {
+  size_t input = 0;
+  size_t field = 0;
+  int64_t offset = 0;
+  bool valid = false;
+};
+
+const IrPtr& StripCasts(const IrPtr& ir) {
+  const IrPtr* node = &ir;
+  while ((*node)->kind == IrKind::kCast) node = &(*node)->children[0];
+  return *node;
+}
+
+bool ConstInt(const IrPtr& ir, int64_t* out) {
+  const IrPtr& node = StripCasts(ir);
+  if (node->kind != IrKind::kConst) return false;
+  const expr::Value& v = node->constant;
+  switch (v.type()) {
+    case gsql::DataType::kInt:
+      *out = v.int_value();
+      return true;
+    case gsql::DataType::kUint:
+      if (v.uint_value() >
+          static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+        return false;
+      }
+      *out = static_cast<int64_t>(v.uint_value());
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Normalizes `f`, `f + c`, `f - c`, `c + f` into a LinearTerm.
+LinearTerm ParseTerm(const IrPtr& ir) {
+  LinearTerm term;
+  const IrPtr& node = StripCasts(ir);
+  if (node->kind == IrKind::kField) {
+    term.input = node->input;
+    term.field = node->field;
+    term.valid = true;
+    return term;
+  }
+  if (node->kind == IrKind::kBinary &&
+      (node->binary_op == BinaryOp::kAdd ||
+       node->binary_op == BinaryOp::kSub)) {
+    const IrPtr& left = StripCasts(node->children[0]);
+    const IrPtr& right = StripCasts(node->children[1]);
+    int64_t c;
+    if (left->kind == IrKind::kField && ConstInt(right, &c)) {
+      term.input = left->input;
+      term.field = left->field;
+      term.offset = node->binary_op == BinaryOp::kAdd ? c : -c;
+      term.valid = true;
+      return term;
+    }
+    if (node->binary_op == BinaryOp::kAdd && right->kind == IrKind::kField &&
+        ConstInt(left, &c)) {
+      term.input = right->input;
+      term.field = right->field;
+      term.offset = c;
+      term.valid = true;
+      return term;
+    }
+  }
+  return term;
+}
+
+/// Accumulates window bounds per (left_field, right_field) pair.
+struct Bounds {
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+};
+
+bool FieldIsIncreasing(const gsql::StreamSchema& schema, size_t field) {
+  return field < schema.num_fields() &&
+         schema.field(field).order.IsIncreasingLike();
+}
+
+}  // namespace
+
+void SplitConjuncts(const expr::IrPtr& predicate,
+                    std::vector<expr::IrPtr>* out) {
+  if (predicate == nullptr) return;
+  if (predicate->kind == IrKind::kBinary &&
+      predicate->binary_op == BinaryOp::kAnd) {
+    SplitConjuncts(predicate->children[0], out);
+    SplitConjuncts(predicate->children[1], out);
+    return;
+  }
+  out->push_back(predicate);
+}
+
+expr::IrPtr AndTogether(const std::vector<expr::IrPtr>& parts) {
+  if (parts.empty()) return nullptr;
+  expr::IrPtr result = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    result = expr::MakeBinaryIr(BinaryOp::kAnd, gsql::DataType::kBool, result,
+                                parts[i]);
+  }
+  return result;
+}
+
+Result<JoinWindow> ExtractJoinWindow(const expr::IrPtr& predicate,
+                                     const gsql::StreamSchema& left,
+                                     const gsql::StreamSchema& right) {
+  if (predicate == nullptr) {
+    return Status::PlanError(
+        "join requires a predicate defining a window on ordered attributes");
+  }
+  std::vector<expr::IrPtr> conjuncts;
+  SplitConjuncts(predicate, &conjuncts);
+
+  // Accumulate constraints per attribute pair; the first pair to produce a
+  // finite window wins (queries in practice constrain exactly one pair).
+  std::map<std::pair<size_t, size_t>, Bounds> bounds;
+  std::map<std::pair<size_t, size_t>, std::vector<size_t>> consumed;
+
+  for (size_t index = 0; index < conjuncts.size(); ++index) {
+    const expr::IrPtr& conjunct = conjuncts[index];
+    if (conjunct->kind != IrKind::kBinary) continue;
+    BinaryOp op = conjunct->binary_op;
+    if (op != BinaryOp::kEq && op != BinaryOp::kLe && op != BinaryOp::kLt &&
+        op != BinaryOp::kGe && op != BinaryOp::kGt) {
+      continue;
+    }
+    LinearTerm a = ParseTerm(conjunct->children[0]);
+    LinearTerm b = ParseTerm(conjunct->children[1]);
+    if (!a.valid || !b.valid || a.input == b.input) continue;
+
+    // Normalize to left-input term on the left side.
+    if (a.input == 1) {
+      std::swap(a, b);
+      switch (op) {
+        case BinaryOp::kLe: op = BinaryOp::kGe; break;
+        case BinaryOp::kLt: op = BinaryOp::kGt; break;
+        case BinaryOp::kGe: op = BinaryOp::kLe; break;
+        case BinaryOp::kGt: op = BinaryOp::kLt; break;
+        default: break;
+      }
+    }
+    if (!FieldIsIncreasing(left, a.field) ||
+        !FieldIsIncreasing(right, b.field)) {
+      continue;
+    }
+
+    // Constraint: L + a.offset  op  R + b.offset
+    //   =>  L - R  op  (b.offset - a.offset)
+    int64_t c = b.offset - a.offset;
+    consumed[{a.field, b.field}].push_back(index);
+    Bounds& bound = bounds[{a.field, b.field}];
+    switch (op) {
+      case BinaryOp::kEq:
+        bound.lo = std::max(bound.lo, c);
+        bound.hi = std::min(bound.hi, c);
+        break;
+      case BinaryOp::kLe:
+        bound.hi = std::min(bound.hi, c);
+        break;
+      case BinaryOp::kLt:
+        bound.hi = std::min(bound.hi, c - 1);
+        break;
+      case BinaryOp::kGe:
+        bound.lo = std::max(bound.lo, c);
+        break;
+      case BinaryOp::kGt:
+        bound.lo = std::max(bound.lo, c + 1);
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (const auto& [fields, bound] : bounds) {
+    if (bound.lo != std::numeric_limits<int64_t>::min() &&
+        bound.hi != std::numeric_limits<int64_t>::max() &&
+        bound.lo <= bound.hi) {
+      JoinWindow window;
+      window.left_field = fields.first;
+      window.right_field = fields.second;
+      window.lo = bound.lo;
+      window.hi = bound.hi;
+      // Everything the window did not consume stays as residual predicate.
+      const std::vector<size_t>& used = consumed[fields];
+      for (size_t index = 0; index < conjuncts.size(); ++index) {
+        if (std::find(used.begin(), used.end(), index) == used.end()) {
+          window.residual.push_back(conjuncts[index]);
+        }
+      }
+      return window;
+    }
+  }
+  return Status::PlanError(
+      "join predicate does not define a finite window on ordered attributes "
+      "of both streams (e.g. B.ts >= C.ts - 1 AND B.ts <= C.ts + 1)");
+}
+
+}  // namespace gigascope::plan

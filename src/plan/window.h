@@ -1,0 +1,55 @@
+#ifndef GIGASCOPE_PLAN_WINDOW_H_
+#define GIGASCOPE_PLAN_WINDOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/ir.h"
+#include "gsql/schema.h"
+
+namespace gigascope::plan {
+
+/// A join window extracted from the join predicate (§2.2): the constraint
+/// `left_ts - right_ts ∈ [lo, hi]`, where both attributes carry increasing
+/// ordering properties. GSQL rejects joins for which no window can be
+/// determined — that is what bounds the join state.
+struct JoinWindow {
+  size_t left_field = 0;   // attribute index in the left input
+  size_t right_field = 0;  // attribute index in the right input
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  uint64_t width() const { return static_cast<uint64_t>(hi - lo); }
+
+  /// Conjuncts of the join predicate that the window subsumes (the join
+  /// operator enforces [lo, hi] directly, in signed arithmetic, so these
+  /// must not be re-evaluated — unsigned re-evaluation of `ts >= ts2 - c`
+  /// would underflow near zero). The planner keeps only the rest as the
+  /// residual predicate.
+  std::vector<expr::IrPtr> residual;
+};
+
+/// Splits a predicate into its top-level conjuncts.
+void SplitConjuncts(const expr::IrPtr& predicate,
+                    std::vector<expr::IrPtr>* out);
+
+/// Rebuilds a conjunction from parts (null when `parts` is empty).
+expr::IrPtr AndTogether(const std::vector<expr::IrPtr>& parts);
+
+/// Scans the predicate's conjuncts for window constraints between ordered
+/// attributes of the two inputs. Recognized shapes (and all their
+/// reflections):
+///   L.ts =  R.ts            -> [0, 0]
+///   L.ts >= R.ts - c        -> lo = -c
+///   L.ts <= R.ts + c        -> hi = +c
+///   L.ts >  R.ts - c        -> lo = -c + 1
+///   L.ts <  R.ts + c        -> hi = +c - 1
+/// Returns PlanError when no finite window exists ("the join predicate must
+/// include a constraint which defines a window").
+Result<JoinWindow> ExtractJoinWindow(const expr::IrPtr& predicate,
+                                     const gsql::StreamSchema& left,
+                                     const gsql::StreamSchema& right);
+
+}  // namespace gigascope::plan
+
+#endif  // GIGASCOPE_PLAN_WINDOW_H_

@@ -1,0 +1,7 @@
+#include "rts/node.h"
+
+namespace gigascope::rts {
+
+// QueryNode is an abstract base; concrete operators live in src/ops.
+
+}  // namespace gigascope::rts

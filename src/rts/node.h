@@ -1,0 +1,59 @@
+#ifndef GIGASCOPE_RTS_NODE_H_
+#define GIGASCOPE_RTS_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/type.h"
+#include "rts/registry.h"
+
+namespace gigascope::rts {
+
+/// The mutable query-parameter block shared between the engine (which
+/// changes parameters on the fly, §3) and the nodes evaluating expressions
+/// against it.
+using ParamBlock = std::shared_ptr<std::vector<expr::Value>>;
+
+/// A query node: one operator instance in the running query network.
+///
+/// In the paper query nodes are processes; here they are objects driven by
+/// the engine's pump loop (or by caller-owned threads). Each node reads
+/// from its input subscriptions and publishes to its output stream via the
+/// registry.
+class QueryNode {
+ public:
+  explicit QueryNode(std::string name) : name_(std::move(name)) {}
+  virtual ~QueryNode() = default;
+  QueryNode(const QueryNode&) = delete;
+  QueryNode& operator=(const QueryNode&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Processes up to `budget` pending input messages; returns how many were
+  /// consumed (0 = idle).
+  virtual size_t Poll(size_t budget) = 0;
+
+  /// End-of-stream: emits any buffered state (open aggregate groups, join
+  /// buffers). Idempotent.
+  virtual void Flush() {}
+
+  /// Tuples this node has emitted.
+  uint64_t tuples_out() const { return tuples_out_; }
+  /// Tuples this node has consumed.
+  uint64_t tuples_in() const { return tuples_in_; }
+  /// Input tuples that failed evaluation (runtime errors) and were dropped.
+  uint64_t eval_errors() const { return eval_errors_; }
+
+ protected:
+  uint64_t tuples_in_ = 0;
+  uint64_t tuples_out_ = 0;
+  uint64_t eval_errors_ = 0;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace gigascope::rts
+
+#endif  // GIGASCOPE_RTS_NODE_H_

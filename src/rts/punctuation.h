@@ -1,0 +1,43 @@
+#ifndef GIGASCOPE_RTS_PUNCTUATION_H_
+#define GIGASCOPE_RTS_PUNCTUATION_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "rts/tuple.h"
+
+namespace gigascope::rts {
+
+/// An ordering-update token (§3 "Unblocking Operators", after Tucker &
+/// Maier's punctuation): a set of lower bounds on ordered attributes of the
+/// stream. All future tuples on the stream have attribute values >= the
+/// bound. Merge and join use punctuations to advance their windows when a
+/// slow stream provides no tuples.
+struct Punctuation {
+  /// (field index, lower bound). Sorted by field index.
+  std::vector<std::pair<size_t, expr::Value>> bounds;
+
+  /// Bound for `field`, if present.
+  std::optional<expr::Value> BoundFor(size_t field) const;
+
+  /// Merges another punctuation in, keeping the larger (later) bound per
+  /// field.
+  void CombineMax(const Punctuation& other);
+};
+
+/// Serializes a punctuation: u32 count, then (u32 field, u64 raw bits) per
+/// bound. Only numeric ordered attributes can carry bounds.
+void EncodePunctuation(const Punctuation& punctuation,
+                       const gsql::StreamSchema& schema, ByteBuffer* out);
+
+Result<Punctuation> DecodePunctuation(ByteSpan bytes,
+                                      const gsql::StreamSchema& schema);
+
+/// Wraps a punctuation into a channel message.
+StreamMessage MakePunctuationMessage(const Punctuation& punctuation,
+                                     const gsql::StreamSchema& schema);
+
+}  // namespace gigascope::rts
+
+#endif  // GIGASCOPE_RTS_PUNCTUATION_H_

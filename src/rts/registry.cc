@@ -1,0 +1,72 @@
+#include "rts/registry.h"
+
+namespace gigascope::rts {
+
+Status StreamRegistry::DeclareStream(const gsql::StreamSchema& schema) {
+  GS_RETURN_IF_ERROR(schema.Validate());
+  auto it = streams_.find(schema.name());
+  if (it != streams_.end()) {
+    // Re-declaration keeps existing subscribers (query recompilation).
+    it->second.schema = schema;
+    return Status::Ok();
+  }
+  StreamEntry entry;
+  entry.schema = schema;
+  streams_.emplace(schema.name(), std::move(entry));
+  return Status::Ok();
+}
+
+bool StreamRegistry::HasStream(const std::string& name) const {
+  return streams_.count(name) > 0;
+}
+
+Result<gsql::StreamSchema> StreamRegistry::GetSchema(
+    const std::string& name) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream named '" + name + "' in the registry");
+  }
+  return it->second.schema;
+}
+
+Result<Subscription> StreamRegistry::Subscribe(const std::string& name,
+                                               size_t capacity) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("cannot subscribe: no stream named '" + name +
+                            "'");
+  }
+  auto channel = std::make_shared<RingChannel>(capacity);
+  it->second.subscribers.push_back(channel);
+  return channel;
+}
+
+size_t StreamRegistry::Publish(const std::string& name,
+                               const StreamMessage& message) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return 0;
+  size_t accepted = 0;
+  for (const Subscription& subscriber : it->second.subscribers) {
+    if (subscriber->PushOrDrop(message)) ++accepted;
+  }
+  return accepted;
+}
+
+std::vector<std::string> StreamRegistry::StreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, entry] : streams_) names.push_back(name);
+  return names;
+}
+
+uint64_t StreamRegistry::TotalDrops(const std::string& name) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return 0;
+  uint64_t drops = 0;
+  for (const Subscription& subscriber : it->second.subscribers) {
+    drops += subscriber->dropped();
+  }
+  return drops;
+}
+
+}  // namespace gigascope::rts

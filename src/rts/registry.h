@@ -1,0 +1,56 @@
+#ifndef GIGASCOPE_RTS_REGISTRY_H_
+#define GIGASCOPE_RTS_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gsql/schema.h"
+#include "rts/ring.h"
+
+namespace gigascope::rts {
+
+/// A subscriber's end of a stream: its private bounded channel.
+using Subscription = std::shared_ptr<RingChannel>;
+
+/// The stream manager's registry (§3): query nodes register the streams
+/// they produce; consumers subscribe by name and receive a channel handle.
+/// Publication fans out to every subscriber's channel; a slow subscriber
+/// drops on its own channel without affecting others (the stream manager
+/// "does not track the connection further").
+class StreamRegistry {
+ public:
+  StreamRegistry() = default;
+
+  /// Declares (or re-declares) a stream and its schema.
+  Status DeclareStream(const gsql::StreamSchema& schema);
+
+  bool HasStream(const std::string& name) const;
+
+  Result<gsql::StreamSchema> GetSchema(const std::string& name) const;
+
+  /// Subscribes to a stream; the returned channel receives every message
+  /// published after this call. `capacity` bounds the subscriber's buffer.
+  Result<Subscription> Subscribe(const std::string& name, size_t capacity);
+
+  /// Publishes a message to all subscribers. Returns the number of
+  /// subscribers that accepted it (others counted drops).
+  size_t Publish(const std::string& name, const StreamMessage& message);
+
+  std::vector<std::string> StreamNames() const;
+
+  /// Total drops across all subscriber channels of `name`.
+  uint64_t TotalDrops(const std::string& name) const;
+
+ private:
+  struct StreamEntry {
+    gsql::StreamSchema schema;
+    std::vector<Subscription> subscribers;
+  };
+  std::map<std::string, StreamEntry> streams_;
+};
+
+}  // namespace gigascope::rts
+
+#endif  // GIGASCOPE_RTS_REGISTRY_H_

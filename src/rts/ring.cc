@@ -1,0 +1,68 @@
+#include "rts/ring.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gigascope::rts {
+
+RingChannel::RingChannel(size_t capacity) : capacity_(capacity) {
+  GS_CHECK(capacity > 0);
+}
+
+bool RingChannel::TryPush(StreamMessage message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.size() >= capacity_) return false;
+  queue_.push_back(std::move(message));
+  ++pushed_;
+  high_water_ = std::max(high_water_, queue_.size());
+  return true;
+}
+
+bool RingChannel::PushOrDrop(StreamMessage message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  queue_.push_back(std::move(message));
+  ++pushed_;
+  high_water_ = std::max(high_water_, queue_.size());
+  return true;
+}
+
+bool RingChannel::TryPop(StreamMessage* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  ++popped_;
+  return true;
+}
+
+size_t RingChannel::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+uint64_t RingChannel::pushed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pushed_;
+}
+
+uint64_t RingChannel::popped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return popped_;
+}
+
+uint64_t RingChannel::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+size_t RingChannel::high_water_mark() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_water_;
+}
+
+}  // namespace gigascope::rts

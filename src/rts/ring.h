@@ -1,0 +1,56 @@
+#ifndef GIGASCOPE_RTS_RING_H_
+#define GIGASCOPE_RTS_RING_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "rts/tuple.h"
+
+namespace gigascope::rts {
+
+/// A bounded channel between query nodes, standing in for the paper's
+/// shared-memory segments. Pushing to a full channel fails; the producer
+/// decides whether to drop (and the channel counts it) — per §4/§5, lightly
+/// processed tuples drop before highly processed ones, so drops happen as
+/// early in the chain as possible.
+///
+/// Thread-safe (coarse mutex); the default engine drives all nodes from one
+/// pump loop, but benchmarks and applications may pump from worker threads.
+class RingChannel {
+ public:
+  explicit RingChannel(size_t capacity);
+  RingChannel(const RingChannel&) = delete;
+  RingChannel& operator=(const RingChannel&) = delete;
+
+  /// Enqueues; false when full (message untouched).
+  bool TryPush(StreamMessage message);
+
+  /// Enqueues or records a drop; returns whether it was enqueued.
+  bool PushOrDrop(StreamMessage message);
+
+  /// Dequeues; false when empty.
+  bool TryPop(StreamMessage* out);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t pushed() const;
+  uint64_t popped() const;
+  uint64_t dropped() const;
+
+  /// Highest occupancy observed (for the E4 heartbeat experiment).
+  size_t high_water_mark() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<StreamMessage> queue_;
+  uint64_t pushed_ = 0;
+  uint64_t popped_ = 0;
+  uint64_t dropped_ = 0;
+  size_t high_water_ = 0;
+};
+
+}  // namespace gigascope::rts
+
+#endif  // GIGASCOPE_RTS_RING_H_

@@ -1,0 +1,132 @@
+#include "rts/tuple.h"
+
+#include "common/logging.h"
+
+namespace gigascope::rts {
+
+using expr::Value;
+using gsql::DataType;
+
+TupleCodec::TupleCodec(const gsql::StreamSchema& schema) : schema_(schema) {}
+
+void TupleCodec::Encode(const Row& row, ByteBuffer* out) const {
+  GS_CHECK(row.size() == schema_.num_fields());
+  ByteWriter writer(out);
+  for (size_t f = 0; f < row.size(); ++f) {
+    const Value& value = row[f];
+    GS_CHECK(value.type() == schema_.field(f).type);
+    switch (value.type()) {
+      case DataType::kBool:
+        writer.PutU8(value.bool_value() ? 1 : 0);
+        break;
+      case DataType::kInt:
+        writer.PutU64Le(static_cast<uint64_t>(value.int_value()));
+        break;
+      case DataType::kUint:
+        writer.PutU64Le(value.uint_value());
+        break;
+      case DataType::kFloat: {
+        uint64_t bits;
+        double d = value.float_value();
+        std::memcpy(&bits, &d, sizeof(bits));
+        writer.PutU64Le(bits);
+        break;
+      }
+      case DataType::kIp:
+        writer.PutU32Le(value.ip_value());
+        break;
+      case DataType::kString: {
+        const std::string& s = value.string_value();
+        writer.PutU32Le(static_cast<uint32_t>(s.size()));
+        writer.PutBytes(s.data(), s.size());
+        break;
+      }
+    }
+  }
+}
+
+Result<Row> TupleCodec::Decode(ByteSpan bytes) const {
+  ByteReader reader(bytes);
+  Row row;
+  row.reserve(schema_.num_fields());
+  for (size_t f = 0; f < schema_.num_fields(); ++f) {
+    switch (schema_.field(f).type) {
+      case DataType::kBool: {
+        uint8_t v;
+        if (!reader.GetU8(&v)) {
+          return Status::ParseError("truncated tuple (bool field)");
+        }
+        row.push_back(Value::Bool(v != 0));
+        break;
+      }
+      case DataType::kInt: {
+        uint64_t v;
+        if (!reader.GetU64Le(&v)) {
+          return Status::ParseError("truncated tuple (int field)");
+        }
+        row.push_back(Value::Int(static_cast<int64_t>(v)));
+        break;
+      }
+      case DataType::kUint: {
+        uint64_t v;
+        if (!reader.GetU64Le(&v)) {
+          return Status::ParseError("truncated tuple (uint field)");
+        }
+        row.push_back(Value::Uint(v));
+        break;
+      }
+      case DataType::kFloat: {
+        uint64_t bits;
+        if (!reader.GetU64Le(&bits)) {
+          return Status::ParseError("truncated tuple (float field)");
+        }
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        row.push_back(Value::Float(d));
+        break;
+      }
+      case DataType::kIp: {
+        uint32_t v;
+        if (!reader.GetU32Le(&v)) {
+          return Status::ParseError("truncated tuple (ip field)");
+        }
+        row.push_back(Value::Ip(v));
+        break;
+      }
+      case DataType::kString: {
+        uint32_t len;
+        if (!reader.GetU32Le(&len) || reader.remaining() < len) {
+          return Status::ParseError("truncated tuple (string field)");
+        }
+        std::string s(reinterpret_cast<const char*>(reader.Rest().data()),
+                      len);
+        reader.Skip(len);
+        row.push_back(Value::String(std::move(s)));
+        break;
+      }
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Status::ParseError("tuple has trailing bytes");
+  }
+  return row;
+}
+
+size_t TupleCodec::EncodedSize(const Row& row) const {
+  size_t size = 0;
+  for (size_t f = 0; f < row.size(); ++f) {
+    switch (schema_.field(f).type) {
+      case DataType::kBool: size += 1; break;
+      case DataType::kInt:
+      case DataType::kUint:
+      case DataType::kFloat: size += 8; break;
+      case DataType::kIp: size += 4; break;
+      case DataType::kString:
+        size += 4 + row[f].string_value().size();
+        break;
+    }
+  }
+  return size;
+}
+
+}  // namespace gigascope::rts

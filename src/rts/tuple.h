@@ -1,0 +1,50 @@
+#ifndef GIGASCOPE_RTS_TUPLE_H_
+#define GIGASCOPE_RTS_TUPLE_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "expr/type.h"
+#include "gsql/schema.h"
+
+namespace gigascope::rts {
+
+/// A decoded tuple: one Value per schema field.
+using Row = std::vector<expr::Value>;
+
+/// Packs and unpacks tuples of one schema ("the fields of its tuples are
+/// packed in a standard fashion", §2.2). The packed form is what crosses
+/// the shared-memory channels between query nodes.
+///
+/// Layout: fields in schema order. BOOL = 1 byte; INT/UINT/FLOAT = 8 bytes
+/// little-endian; IP = 4 bytes; STRING = u32 length + bytes.
+class TupleCodec {
+ public:
+  explicit TupleCodec(const gsql::StreamSchema& schema);
+
+  const gsql::StreamSchema& schema() const { return schema_; }
+
+  /// Serializes `row` (must match the schema arity and field types).
+  void Encode(const Row& row, ByteBuffer* out) const;
+
+  /// Deserializes a packed tuple; fails on truncation or overrun.
+  Result<Row> Decode(ByteSpan bytes) const;
+
+  /// Encoded size of `row` in bytes.
+  size_t EncodedSize(const Row& row) const;
+
+ private:
+  gsql::StreamSchema schema_;
+};
+
+/// A message flowing on a stream channel: a tuple or a punctuation
+/// (ordering-update token, §3 "Unblocking Operators").
+struct StreamMessage {
+  enum class Kind : uint8_t { kTuple, kPunctuation };
+  Kind kind = Kind::kTuple;
+  ByteBuffer payload;
+};
+
+}  // namespace gigascope::rts
+
+#endif  // GIGASCOPE_RTS_TUPLE_H_

@@ -1,0 +1,195 @@
+#include "sim/capture_pipeline.h"
+
+#include <algorithm>
+
+#include "bpf/interpreter.h"
+#include "common/logging.h"
+#include "net/headers.h"
+
+namespace gigascope::sim {
+
+namespace {
+
+// Job tag bits: what the (already-inspected) packet will contribute when
+// its simulated processing completes.
+constexpr uint64_t kTagPortMatch = 1;
+constexpr uint64_t kTagHttpMatch = 2;
+
+// Built-in fallback predicate for ^[^\n]*HTTP/1.* — does the first line of
+// the payload contain "HTTP/1"?
+bool DefaultHttpPredicate(ByteSpan payload) {
+  static constexpr char kMarker[] = "HTTP/1";
+  constexpr size_t kMarkerLen = sizeof(kMarker) - 1;
+  size_t line_end = payload.size();
+  for (size_t i = 0; i < payload.size(); ++i) {
+    if (payload[i] == '\n') {
+      line_end = i;
+      break;
+    }
+  }
+  if (line_end < kMarkerLen) return false;
+  for (size_t i = 0; i + kMarkerLen <= line_end; ++i) {
+    if (std::memcmp(payload.data() + i, kMarker, kMarkerLen) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string CaptureModeName(CaptureMode mode) {
+  switch (mode) {
+    case CaptureMode::kDiskDump:
+      return "disk-dump";
+    case CaptureMode::kPcapDiscard:
+      return "libpcap-discard";
+    case CaptureMode::kHostLfta:
+      return "gigascope-host-lfta";
+    case CaptureMode::kNicLfta:
+      return "gigascope-nic-lfta";
+  }
+  return "?";
+}
+
+double PipelineStats::LossRate() const {
+  if (offered_packets == 0) return 0;
+  uint64_t lost = nic_dropped + ring_drops;
+  return static_cast<double>(lost) / static_cast<double>(offered_packets);
+}
+
+double PipelineStats::HttpFraction() const {
+  if (port80_packets == 0) return 0;
+  return static_cast<double>(http_packets) /
+         static_cast<double>(port80_packets);
+}
+
+PipelineStats RunCapturePipeline(const PipelineConfig& config) {
+  PipelineStats stats;
+
+  workload::TrafficGenerator gen(config.traffic);
+  const SimTime end_time = SecondsToSimTime(config.duration_seconds);
+
+  auto http_match = config.payload_predicate
+                        ? config.payload_predicate
+                        : std::function<bool(ByteSpan)>(DefaultHttpPredicate);
+
+  // The LFTA's selection predicate as a mini-BPF program; run on the host
+  // for kHostLfta, on the card for kNicLfta.
+  bpf::Program port_filter =
+      bpf::BuildTcpDstPortFilter(config.filter_port, /*snap_len=*/0);
+
+  DiskModel disk(config.disk, config.traffic.seed ^ 0xd15c);
+
+  HostModel::CompletionFn on_complete = [&](const UserJob& job, SimTime t) {
+    ++stats.completed;
+    if (job.tag & kTagPortMatch) ++stats.port80_packets;
+    if (job.tag & kTagHttpMatch) ++stats.http_packets;
+    if (config.mode == CaptureMode::kDiskDump) {
+      // The writer blocks until the disk queue has space.
+      SimTime free_at = disk.NextSlotFreeTime(t);
+      while (!disk.HasSpace(free_at)) {
+        free_at = disk.NextSlotFreeTime(free_at);
+      }
+      disk.Write(free_at, job.wire_len);
+      return free_at;
+    }
+    return t;
+  };
+
+  HostModel::Params host_params;
+  host_params.interrupt_cost_seconds = config.interrupt_cost_seconds;
+  host_params.ring_capacity = config.ring_capacity;
+  HostModel host(host_params, on_complete);
+
+  NicModel::Params nic_params;
+  const bpf::Program* nic_program = nullptr;
+  if (config.mode == CaptureMode::kNicLfta) {
+    nic_params.filter_cost_seconds = config.nic_filter_cost_seconds;
+    nic_params.fifo_capacity = config.nic_fifo_capacity;
+    nic_program = &port_filter;
+  }
+  NicModel nic(nic_params, nic_program);
+
+  while (true) {
+    if (gen.NextArrivalTime() > end_time) break;
+    net::Packet packet = gen.Next();
+    ++stats.offered_packets;
+    stats.offered_bytes += packet.orig_len;
+
+    SimTime deliver_at = packet.timestamp;
+    NicModel::Disposition disposition = nic.Offer(packet.timestamp, &packet,
+                                                  &deliver_at);
+    if (disposition == NicModel::Disposition::kDropped) continue;
+    if (disposition == NicModel::Disposition::kFiltered) continue;
+
+    // Inspect the packet now (results are time-independent); the simulated
+    // *cost* of this work is charged to the user job below.
+    UserJob job;
+    job.wire_len = packet.orig_len;
+    double cost = 0;
+    switch (config.mode) {
+      case CaptureMode::kDiskDump:
+        cost = config.disk_copy_cost_seconds;
+        break;
+      case CaptureMode::kPcapDiscard:
+        cost = config.pcap_read_cost_seconds;
+        break;
+      case CaptureMode::kHostLfta: {
+        cost = config.lfta_filter_cost_seconds;
+        if (bpf::Matches(port_filter, packet.view())) {
+          job.tag |= kTagPortMatch;
+          auto decoded = net::DecodePacket(packet.view());
+          if (decoded.ok() && decoded->is_tcp() &&
+              http_match(decoded->payload)) {
+            job.tag |= kTagHttpMatch;
+          }
+          cost += config.hfta_regex_cost_seconds;
+        }
+        break;
+      }
+      case CaptureMode::kNicLfta: {
+        // Everything reaching the host already matched the on-NIC filter.
+        job.tag |= kTagPortMatch;
+        auto decoded = net::DecodePacket(packet.view());
+        if (decoded.ok() && decoded->is_tcp() &&
+            http_match(decoded->payload)) {
+          job.tag |= kTagHttpMatch;
+        }
+        cost = config.pcap_read_cost_seconds + config.hfta_regex_cost_seconds;
+        break;
+      }
+    }
+    job.remaining = CostToNanos(cost);
+    host.OnPacketArrival(deliver_at, job);
+  }
+
+  host.RunUserUntil(end_time);
+  disk.DrainUntil(end_time);
+
+  stats.nic_filtered = nic.frames_filtered();
+  stats.nic_dropped = nic.frames_dropped();
+  stats.host_interrupts = host.interrupts();
+  stats.ring_drops = host.ring_drops();
+  stats.backlog = host.ring_occupancy();
+  stats.disk_bytes = disk.bytes_written();
+  stats.disk_stalls = disk.stalls();
+  stats.interrupt_load = host.InterruptLoad(end_time);
+  return stats;
+}
+
+double FindMaxSustainedRate(PipelineConfig config,
+                            const std::vector<double>& rates_bps,
+                            double max_loss) {
+  double best = 0;
+  for (double rate : rates_bps) {
+    config.traffic.offered_bits_per_sec = rate;
+    PipelineStats stats = RunCapturePipeline(config);
+    if (stats.LossRate() <= max_loss) {
+      best = rate;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace gigascope::sim

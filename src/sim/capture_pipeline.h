@@ -1,0 +1,95 @@
+#ifndef GIGASCOPE_SIM_CAPTURE_PIPELINE_H_
+#define GIGASCOPE_SIM_CAPTURE_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "sim/disk.h"
+#include "sim/host.h"
+#include "sim/nic.h"
+#include "workload/traffic_gen.h"
+
+namespace gigascope::sim {
+
+/// The four capture architectures compared in §4 of the paper.
+enum class CaptureMode {
+  kDiskDump,     // option 1: dump raw packets to disk for post-facto analysis
+  kPcapDiscard,  // option 2: read via libpcap, discard (best-case processing)
+  kHostLfta,     // option 3: Gigascope, LFTA executing on the host CPU
+  kNicLfta,      // option 4: Gigascope, LFTA executing on the NIC
+};
+
+std::string CaptureModeName(CaptureMode mode);
+
+/// Configuration of one simulated capture run.
+///
+/// Cost constants are calibrated to a circa-2003 733 MHz host (§4): they are
+/// inputs to the model, not measurements, and are shared across all four
+/// modes so the comparison isolates the architecture.
+struct PipelineConfig {
+  workload::TrafficConfig traffic;
+  CaptureMode mode = CaptureMode::kPcapDiscard;
+  double duration_seconds = 1.0;
+
+  // Host model.
+  double interrupt_cost_seconds = 4e-6;   // per-packet IRQ + DMA bookkeeping
+  double pcap_read_cost_seconds = 1.5e-6; // per-packet user copy + loop
+  double lfta_filter_cost_seconds = 0.8e-6;  // LFTA predicate evaluation
+  double hfta_regex_cost_seconds = 12e-6;    // HTTP regex on the payload
+  double disk_copy_cost_seconds = 2e-6;      // buffer copy before write(2)
+  size_t ring_capacity = 2048;
+
+  // NIC model (only kNicLfta runs a program on the card).
+  double nic_filter_cost_seconds = 0.6e-6;
+  size_t nic_fifo_capacity = 512;
+
+  // Disk model (only kDiskDump uses it).
+  DiskModel::Params disk;
+
+  // The query: count port-`filter_port` packets and, of those, the ones
+  // whose payload matches the HTTP regex. `payload_predicate` lets callers
+  // inject the real UDF regex engine; when null a built-in substring check
+  // for "HTTP/1" on the first line is used.
+  uint16_t filter_port = 80;
+  std::function<bool(ByteSpan payload)> payload_predicate;
+};
+
+/// Results of one run.
+struct PipelineStats {
+  uint64_t offered_packets = 0;
+  uint64_t offered_bytes = 0;
+  uint64_t nic_filtered = 0;   // consumed on the NIC (option 4)
+  uint64_t nic_dropped = 0;    // NIC FIFO overflow
+  uint64_t host_interrupts = 0;
+  uint64_t ring_drops = 0;
+  uint64_t completed = 0;      // user jobs finished
+  uint64_t backlog = 0;        // still queued at end of run (not drops)
+  uint64_t disk_bytes = 0;
+  uint64_t disk_stalls = 0;
+  uint64_t port80_packets = 0;  // among processed packets
+  uint64_t http_packets = 0;    // among processed port-80 packets
+  double interrupt_load = 0;    // fraction of CPU in interrupt context
+
+  /// Packet drop rate: packets lost before processing / offered. Packets
+  /// filtered on the NIC count as processed (the query saw them).
+  double LossRate() const;
+
+  /// The §4 query's answer: fraction of port-80 traffic that is HTTP.
+  double HttpFraction() const;
+};
+
+/// Runs the capture simulation for one configuration.
+PipelineStats RunCapturePipeline(const PipelineConfig& config);
+
+/// Sweeps offered load and returns the highest rate (bits/sec) whose loss
+/// rate stays at or below `max_loss` (the paper's 2% criterion). Rates are
+/// tested at the given points, which must be increasing.
+double FindMaxSustainedRate(PipelineConfig config,
+                            const std::vector<double>& rates_bps,
+                            double max_loss);
+
+}  // namespace gigascope::sim
+
+#endif  // GIGASCOPE_SIM_CAPTURE_PIPELINE_H_

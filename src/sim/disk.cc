@@ -1,0 +1,66 @@
+#include "sim/disk.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/event_sim.h"
+
+namespace gigascope::sim {
+
+DiskModel::DiskModel(const Params& params, uint64_t seed)
+    : params_(params), rng_(seed) {
+  GS_CHECK(params_.bytes_per_sec > 0);
+  GS_CHECK(params_.queue_capacity > 0);
+}
+
+SimTime DiskModel::ServiceTime(uint32_t len) {
+  double seconds = static_cast<double>(len) / params_.bytes_per_sec;
+  if (rng_.NextBool(params_.stall_probability)) {
+    double stall = rng_.NextPareto(params_.stall_alpha,
+                                   params_.stall_min_seconds);
+    seconds += std::min(stall, params_.stall_cap_seconds);
+    ++stalls_;
+  }
+  return CostToNanos(seconds);
+}
+
+void DiskModel::DrainUntil(SimTime now) {
+  while (true) {
+    if (in_service_) {
+      if (busy_until_ > now) return;  // still writing
+      bytes_written_ += in_service_len_;
+      ++writes_completed_;
+      in_service_ = false;
+    }
+    if (queue_.empty()) return;
+    const PendingWrite& write = queue_.front();
+    SimTime start = std::max(busy_until_, write.enqueued);
+    in_service_ = true;
+    in_service_len_ = write.len;
+    busy_until_ = start + ServiceTime(write.len);
+    queue_.pop_front();
+  }
+}
+
+bool DiskModel::HasSpace(SimTime now) {
+  DrainUntil(now);
+  return Occupancy() < params_.queue_capacity;
+}
+
+SimTime DiskModel::NextSlotFreeTime(SimTime now) {
+  DrainUntil(now);
+  if (Occupancy() < params_.queue_capacity) return now;
+  // The slot frees when the in-service write completes; the caller
+  // re-checks HasSpace at that time (later writes' service times are
+  // sampled only when they start).
+  return std::max(now + 1, busy_until_);
+}
+
+void DiskModel::Write(SimTime now, uint32_t len) {
+  DrainUntil(now);
+  GS_CHECK(Occupancy() < params_.queue_capacity);
+  queue_.push_back(PendingWrite{now, len});
+  DrainUntil(now);
+}
+
+}  // namespace gigascope::sim

@@ -1,0 +1,76 @@
+#ifndef GIGASCOPE_SIM_DISK_H_
+#define GIGASCOPE_SIM_DISK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace gigascope::sim {
+
+/// Single-server disk model with heavy-tailed stalls.
+///
+/// The paper's finding for the dump-to-disk architecture is that "touching
+/// disk kills performance not because it is slow but because it generates
+/// long and unpredictable delays throughout the system". This model captures
+/// exactly that: sustained sequential bandwidth is generous (striped disks),
+/// but each write has a small probability of a Pareto-distributed stall
+/// (seek storms, cache flushes, filesystem metadata). While the disk stalls,
+/// its queue backs up, the writer blocks, and the capture ring overflows.
+class DiskModel {
+ public:
+  struct Params {
+    double bytes_per_sec = 50e6;       // ~400 Mbit/s sustained (striped)
+    double stall_probability = 0.002;  // per write
+    double stall_alpha = 1.1;         // Pareto shape (heavy tail)
+    double stall_min_seconds = 0.001; // minimum stall
+    double stall_cap_seconds = 0.25;  // truncate the tail for stability
+    size_t queue_capacity = 128;      // pending writes before writer blocks
+  };
+
+  DiskModel(const Params& params, uint64_t seed);
+
+  /// Advances the disk server to `now`, completing queued writes.
+  void DrainUntil(SimTime now);
+
+  /// True if another write can be queued at `now`.
+  bool HasSpace(SimTime now);
+
+  /// Earliest time at which a queue slot will be free (>= now). Callers use
+  /// this to model a writer blocking in write(2).
+  SimTime NextSlotFreeTime(SimTime now);
+
+  /// Queues one write. Must only be called when HasSpace() is true.
+  void Write(SimTime now, uint32_t len);
+
+  uint64_t writes_completed() const { return writes_completed_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t stalls() const { return stalls_; }
+
+ private:
+  struct PendingWrite {
+    SimTime enqueued;
+    uint32_t len;
+  };
+
+  SimTime ServiceTime(uint32_t len);
+  size_t Occupancy() const {
+    return queue_.size() + (in_service_ ? 1 : 0);
+  }
+
+  Params params_;
+  Rng rng_;
+  std::deque<PendingWrite> queue_;
+  bool in_service_ = false;
+  uint32_t in_service_len_ = 0;
+  SimTime busy_until_ = 0;  // completion time of the in-service write
+  uint64_t writes_completed_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t stalls_ = 0;
+};
+
+}  // namespace gigascope::sim
+
+#endif  // GIGASCOPE_SIM_DISK_H_

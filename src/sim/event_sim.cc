@@ -1,0 +1,7 @@
+#include "sim/event_sim.h"
+
+namespace gigascope::sim {
+
+// Header-only definitions; this file anchors the library target.
+
+}  // namespace gigascope::sim

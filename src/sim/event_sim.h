@@ -1,0 +1,26 @@
+#ifndef GIGASCOPE_SIM_EVENT_SIM_H_
+#define GIGASCOPE_SIM_EVENT_SIM_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace gigascope::sim {
+
+/// Converts a cost expressed in seconds of CPU time to simulated nanoseconds.
+constexpr SimTime CostToNanos(double seconds) {
+  return static_cast<SimTime>(seconds * 1e9);
+}
+
+/// A unit of deferred user-level work on the host CPU (one packet's worth of
+/// processing). `remaining` counts down as the simulated CPU makes progress
+/// between interrupt bursts; `tag` identifies the payload for the pipeline.
+struct UserJob {
+  SimTime remaining = 0;  // nanoseconds of CPU work left
+  uint64_t tag = 0;       // pipeline-defined payload identifier
+  uint32_t wire_len = 0;  // original packet length, for byte accounting
+};
+
+}  // namespace gigascope::sim
+
+#endif  // GIGASCOPE_SIM_EVENT_SIM_H_

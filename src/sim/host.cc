@@ -1,0 +1,65 @@
+#include "sim/host.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gigascope::sim {
+
+HostModel::HostModel(const Params& params, CompletionFn on_complete)
+    : params_(params), on_complete_(std::move(on_complete)) {
+  GS_CHECK(params_.ring_capacity > 0);
+}
+
+bool HostModel::OnPacketArrival(SimTime now, UserJob job) {
+  // Let the user process use the CPU gap since the last event first, with
+  // the interrupt horizon as it stood before this arrival.
+  RunUserUntil(now);
+
+  // Interrupt service: unconditional CPU cost, even for packets that end up
+  // dropped at the ring (the IRQ fires regardless — that is the essence of
+  // livelock).
+  SimTime cost = CostToNanos(params_.interrupt_cost_seconds);
+  interrupt_busy_until_ = std::max(interrupt_busy_until_, now) + cost;
+  interrupt_work_total_ += cost;
+  ++interrupts_;
+
+  if (ring_.size() >= params_.ring_capacity) {
+    ++ring_drops_;
+    return false;
+  }
+  ring_.push_back(job);
+  return true;
+}
+
+void HostModel::RunUserUntil(SimTime now) {
+  // The user process may run only after the interrupt backlog clears and
+  // any blocking completion has returned.
+  SimTime t = std::max({user_cursor_, interrupt_busy_until_, blocked_until_});
+  while (!ring_.empty() && t < now) {
+    UserJob& job = ring_.front();
+    SimTime budget = now - t;
+    if (job.remaining <= budget) {
+      t += job.remaining;
+      job.remaining = 0;
+      SimTime done = on_complete_(job, t);
+      GS_CHECK(done >= t);
+      blocked_until_ = done;
+      t = done;
+      ring_.pop_front();
+      ++jobs_completed_;
+    } else {
+      job.remaining -= budget;
+      t = now;
+    }
+  }
+  user_cursor_ = now;
+}
+
+double HostModel::InterruptLoad(SimTime now) const {
+  if (now <= 0) return 0;
+  return static_cast<double>(interrupt_work_total_) /
+         static_cast<double>(now);
+}
+
+}  // namespace gigascope::sim

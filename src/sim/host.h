@@ -1,0 +1,76 @@
+#ifndef GIGASCOPE_SIM_HOST_H_
+#define GIGASCOPE_SIM_HOST_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/clock.h"
+#include "sim/event_sim.h"
+
+namespace gigascope::sim {
+
+/// Simulated monitoring host: one CPU, interrupt-priority packet reception,
+/// and a kernel capture ring drained by a user-level process.
+///
+/// Model:
+///  - Every packet that reaches the host raises an interrupt costing
+///    `interrupt_cost_seconds` of CPU. Interrupt work has absolute priority
+///    over user-level work; it is modelled as a busy horizon that the user
+///    process can never run inside.
+///  - After interrupt service the packet sits in a fixed-capacity ring.
+///    If the ring is full at arrival, the packet is dropped (counted).
+///  - The user process consumes CPU only in the gaps left by interrupt
+///    work. When offered load times interrupt cost approaches one CPU,
+///    user-level progress stops — this is *interrupt livelock* (§4), and
+///    the ring overflows regardless of how cheap user processing is.
+///
+/// Job completion can block (e.g. on a full disk queue): the completion
+/// callback returns the time at which the job actually finished, which may
+/// be later than the CPU-completion time.
+class HostModel {
+ public:
+  struct Params {
+    double interrupt_cost_seconds = 4e-6;
+    size_t ring_capacity = 2048;
+  };
+
+  /// Called when a user job's CPU work is done at time `t`. Returns the
+  /// actual completion time (>= t); return a later time to model blocking
+  /// (the user process cannot run again until then).
+  using CompletionFn = std::function<SimTime(const UserJob& job, SimTime t)>;
+
+  HostModel(const Params& params, CompletionFn on_complete);
+
+  /// Delivers a packet to the host at `now`. Accounts the interrupt, then
+  /// enqueues the user job; returns false if the ring was full (drop).
+  bool OnPacketArrival(SimTime now, UserJob job);
+
+  /// Advances user-level processing to `now` (call once more at the end of
+  /// the simulation with the final time).
+  void RunUserUntil(SimTime now);
+
+  uint64_t interrupts() const { return interrupts_; }
+  uint64_t ring_drops() const { return ring_drops_; }
+  uint64_t jobs_completed() const { return jobs_completed_; }
+  size_t ring_occupancy() const { return ring_.size(); }
+
+  /// Fraction of CPU time claimed by interrupts over the run so far.
+  double InterruptLoad(SimTime now) const;
+
+ private:
+  Params params_;
+  CompletionFn on_complete_;
+  SimTime interrupt_busy_until_ = 0;
+  SimTime interrupt_work_total_ = 0;
+  SimTime user_cursor_ = 0;
+  SimTime blocked_until_ = 0;
+  std::deque<UserJob> ring_;
+  uint64_t interrupts_ = 0;
+  uint64_t ring_drops_ = 0;
+  uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace gigascope::sim
+
+#endif  // GIGASCOPE_SIM_HOST_H_

@@ -1,0 +1,52 @@
+#include "sim/nic.h"
+
+#include <algorithm>
+
+#include "bpf/interpreter.h"
+#include "sim/event_sim.h"
+
+namespace gigascope::sim {
+
+NicModel::NicModel(const Params& params, const bpf::Program* program)
+    : params_(params), program_(program) {}
+
+NicModel::Disposition NicModel::Offer(SimTime now, net::Packet* packet,
+                                      SimTime* deliver_at) {
+  ++frames_seen_;
+
+  if (program_ == nullptr || params_.filter_cost_seconds <= 0) {
+    // Plain DMA mode: the card forwards at line rate with negligible delay.
+    if (program_ != nullptr && !bpf::Matches(*program_, packet->view())) {
+      ++frames_filtered_;
+      return Disposition::kFiltered;
+    }
+    if (params_.snap_len > 0) net::ApplySnapLen(packet, params_.snap_len);
+    *deliver_at = now;
+    ++frames_forwarded_;
+    return Disposition::kForwarded;
+  }
+
+  // On-NIC processing: single NIC processor, FIFO of fixed depth. The
+  // number of frames still queued is the busy backlog divided by the
+  // per-frame cost.
+  SimTime cost = CostToNanos(params_.filter_cost_seconds);
+  SimTime backlog = std::max<SimTime>(0, busy_until_ - now);
+  if (backlog / cost >= static_cast<SimTime>(params_.fifo_capacity)) {
+    ++frames_dropped_;
+    return Disposition::kDropped;
+  }
+  busy_until_ = std::max(busy_until_, now) + cost;
+
+  uint32_t keep = bpf::Run(*program_, packet->view());
+  if (keep == 0) {
+    ++frames_filtered_;
+    return Disposition::kFiltered;
+  }
+  if (keep != 0xffffffff) net::ApplySnapLen(packet, keep);
+  if (params_.snap_len > 0) net::ApplySnapLen(packet, params_.snap_len);
+  *deliver_at = busy_until_;
+  ++frames_forwarded_;
+  return Disposition::kForwarded;
+}
+
+}  // namespace gigascope::sim

@@ -1,0 +1,66 @@
+#ifndef GIGASCOPE_SIM_NIC_H_
+#define GIGASCOPE_SIM_NIC_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "bpf/program.h"
+#include "common/clock.h"
+#include "net/packet.h"
+
+namespace gigascope::sim {
+
+/// Simulated network interface card.
+///
+/// Without an on-board program the NIC DMAs every frame to the host at line
+/// rate. With one (BPF pre-filter or a full on-NIC LFTA, per §3), it spends
+/// `filter_cost_seconds` of NIC-processor time per frame; frames the program
+/// rejects are consumed on the card and never touch the host. The NIC has a
+/// small hardware FIFO: if frames arrive faster than its processor drains
+/// them, the FIFO overflows and the NIC itself drops (this caps option 4).
+class NicModel {
+ public:
+  struct Params {
+    /// Per-frame cost when an on-NIC program runs. Zero when the NIC is in
+    /// plain DMA mode (line-rate forwarding).
+    double filter_cost_seconds = 0;
+    /// Hardware FIFO depth, frames.
+    size_t fifo_capacity = 256;
+    /// Bytes of matching frames delivered to the host (0 = whole frame).
+    uint32_t snap_len = 0;
+  };
+
+  /// Outcome of offering one frame to the NIC.
+  enum class Disposition {
+    kForwarded,   // frame (possibly truncated) goes to the host
+    kFiltered,    // consumed on the NIC (program rejected it)
+    kDropped,     // NIC FIFO overflow
+  };
+
+  NicModel() : NicModel(Params{}, nullptr) {}
+
+  /// `program` may be null (no on-NIC filtering).
+  NicModel(const Params& params, const bpf::Program* program);
+
+  /// Offers a frame arriving at `now`. On kForwarded, `*deliver_at` is when
+  /// the frame reaches the host and `*packet` has been snap-truncated.
+  Disposition Offer(SimTime now, net::Packet* packet, SimTime* deliver_at);
+
+  uint64_t frames_seen() const { return frames_seen_; }
+  uint64_t frames_filtered() const { return frames_filtered_; }
+  uint64_t frames_dropped() const { return frames_dropped_; }
+  uint64_t frames_forwarded() const { return frames_forwarded_; }
+
+ private:
+  Params params_;
+  const bpf::Program* program_;
+  SimTime busy_until_ = 0;
+  uint64_t frames_seen_ = 0;
+  uint64_t frames_filtered_ = 0;
+  uint64_t frames_dropped_ = 0;
+  uint64_t frames_forwarded_ = 0;
+};
+
+}  // namespace gigascope::sim
+
+#endif  // GIGASCOPE_SIM_NIC_H_

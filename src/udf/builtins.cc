@@ -1,0 +1,232 @@
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "udf/lpm.h"
+#include "udf/regex.h"
+#include "udf/registry.h"
+
+namespace gigascope::udf {
+
+namespace {
+
+using expr::DataType;
+using expr::FunctionInfo;
+using expr::Value;
+
+/// getlpmid(addr IP, table STRING^handle) -> UINT, partial.
+///
+/// The paper's flagship UDF (§2.2): longest-prefix match of an address
+/// against a routing-table file. The table argument is pass-by-handle: the
+/// handle registration function reads the file and builds the in-memory
+/// trie once, at query instantiation. Table literals starting with
+/// "inline:" are parsed directly (used by tests and examples); anything
+/// else is treated as a file path.
+FunctionInfo MakeGetLpmId() {
+  FunctionInfo info;
+  info.name = "getlpmid";
+  info.return_type = DataType::kUint;
+  info.arg_types = {DataType::kIp, DataType::kString};
+  info.partial = true;  // unmatched address = no result = tuple discarded
+  info.pass_by_handle = {false, true};
+  info.lfta_safe = false;
+  info.cost = 200;
+  info.make_handle =
+      [](const Value& literal) -> Result<std::shared_ptr<void>> {
+    if (literal.type() != DataType::kString) {
+      return Status::TypeError("getlpmid table argument must be a string");
+    }
+    const std::string& spec = literal.string_value();
+    constexpr std::string_view kInlinePrefix = "inline:";
+    Result<LpmTable> table =
+        spec.rfind(kInlinePrefix, 0) == 0
+            ? LpmTable::Parse(
+                  std::string_view(spec).substr(kInlinePrefix.size()))
+            : LpmTable::LoadFromFile(spec);
+    if (!table.ok()) return table.status();
+    return std::shared_ptr<void>(
+        std::make_shared<LpmTable>(std::move(table).value()));
+  };
+  info.invoke = [](const std::vector<Value>& args,
+                   const std::vector<std::shared_ptr<void>>& handles,
+                   Value* out, bool* has_result) -> Status {
+    const auto* table = static_cast<const LpmTable*>(handles[1].get());
+    GS_CHECK(table != nullptr);
+    auto id = table->Lookup(args[0].ip_value());
+    if (!id.has_value()) {
+      *has_result = false;
+      return Status::Ok();
+    }
+    *out = Value::Uint(*id);
+    return Status::Ok();
+  };
+  return info;
+}
+
+/// match_regex(text STRING, pattern STRING^handle) -> BOOL.
+///
+/// The §4 experiment's HTTP detector. The pattern compiles once into a
+/// Thompson NFA at instantiation; per-tuple work is a linear NFA
+/// simulation.
+FunctionInfo MakeMatchRegex() {
+  FunctionInfo info;
+  info.name = "match_regex";
+  info.return_type = DataType::kBool;
+  info.arg_types = {DataType::kString, DataType::kString};
+  info.pass_by_handle = {false, true};
+  info.lfta_safe = false;
+  info.cost = 2000;
+  info.make_handle =
+      [](const Value& literal) -> Result<std::shared_ptr<void>> {
+    if (literal.type() != DataType::kString) {
+      return Status::TypeError("match_regex pattern must be a string");
+    }
+    Result<Regex> regex = Regex::Compile(literal.string_value());
+    if (!regex.ok()) return regex.status();
+    return std::shared_ptr<void>(
+        std::make_shared<Regex>(std::move(regex).value()));
+  };
+  info.invoke = [](const std::vector<Value>& args,
+                   const std::vector<std::shared_ptr<void>>& handles,
+                   Value* out, bool* has_result) -> Status {
+    (void)has_result;
+    const auto* regex = static_cast<const Regex*>(handles[1].get());
+    GS_CHECK(regex != nullptr);
+    *out = Value::Bool(regex->Matches(args[0].string_value()));
+    return Status::Ok();
+  };
+  return info;
+}
+
+/// str_find(haystack STRING, needle STRING) -> BOOL: plain substring test.
+FunctionInfo MakeStrFind() {
+  FunctionInfo info;
+  info.name = "str_find";
+  info.return_type = DataType::kBool;
+  info.arg_types = {DataType::kString, DataType::kString};
+  info.lfta_safe = false;  // payload scans stay out of the fast path
+  info.cost = 300;
+  info.invoke = [](const std::vector<Value>& args,
+                   const std::vector<std::shared_ptr<void>>& handles,
+                   Value* out, bool* has_result) -> Status {
+    (void)handles;
+    (void)has_result;
+    *out = Value::Bool(args[0].string_value().find(args[1].string_value()) !=
+                       std::string::npos);
+    return Status::Ok();
+  };
+  return info;
+}
+
+/// str_len(s STRING) -> UINT.
+FunctionInfo MakeStrLen() {
+  FunctionInfo info;
+  info.name = "str_len";
+  info.return_type = DataType::kUint;
+  info.arg_types = {DataType::kString};
+  info.lfta_safe = true;
+  info.cost = 2;
+  info.invoke = [](const std::vector<Value>& args,
+                   const std::vector<std::shared_ptr<void>>& handles,
+                   Value* out, bool* has_result) -> Status {
+    (void)handles;
+    (void)has_result;
+    *out = Value::Uint(args[0].string_value().size());
+    return Status::Ok();
+  };
+  return info;
+}
+
+/// ip_in_subnet(addr IP, subnet IP, masklen UINT) -> BOOL. Cheap enough
+/// for an LFTA (one mask + compare).
+FunctionInfo MakeIpInSubnet() {
+  FunctionInfo info;
+  info.name = "ip_in_subnet";
+  info.return_type = DataType::kBool;
+  info.arg_types = {DataType::kIp, DataType::kIp, DataType::kUint};
+  info.lfta_safe = true;
+  info.cost = 3;
+  info.invoke = [](const std::vector<Value>& args,
+                   const std::vector<std::shared_ptr<void>>& handles,
+                   Value* out, bool* has_result) -> Status {
+    (void)handles;
+    (void)has_result;
+    uint64_t masklen = args[2].uint_value();
+    if (masklen > 32) {
+      return Status::InvalidArgument("ip_in_subnet: masklen > 32");
+    }
+    uint32_t mask =
+        masklen == 0 ? 0 : ~uint32_t{0} << (32 - masklen);
+    *out = Value::Bool((args[0].ip_value() & mask) ==
+                       (args[1].ip_value() & mask));
+    return Status::Ok();
+  };
+  return info;
+}
+
+/// hash64(x UINT) -> UINT. A monotone-nonrepeating-producing hash (the
+/// paper's §2.1 example of how NonRepeating arises).
+FunctionInfo MakeHash64() {
+  FunctionInfo info;
+  info.name = "hash64";
+  info.return_type = DataType::kUint;
+  info.arg_types = {DataType::kUint};
+  info.lfta_safe = true;
+  info.cost = 4;
+  info.invoke = [](const std::vector<Value>& args,
+                   const std::vector<std::shared_ptr<void>>& handles,
+                   Value* out, bool* has_result) -> Status {
+    (void)handles;
+    (void)has_result;
+    uint64_t x = args[0].uint_value();
+    *out = Value::Uint(Fnv1a64(&x, sizeof(x)));
+    return Status::Ok();
+  };
+  return info;
+}
+
+/// sample(key UINT, fraction FLOAT) -> BOOL: deterministic hash-based
+/// sampling — keeps a tuple iff hash(key) falls in the lowest `fraction`
+/// of the hash space. The paper defers sampling to future work but insists
+/// it "must be integrated into the query language under the control of the
+/// analyst" (§5); hashing the flow key keeps whole flows together, the
+/// standard trick for trace sampling.
+FunctionInfo MakeSample() {
+  FunctionInfo info;
+  info.name = "sample";
+  info.return_type = DataType::kBool;
+  info.arg_types = {DataType::kUint, DataType::kFloat};
+  info.lfta_safe = true;
+  info.cost = 5;
+  info.invoke = [](const std::vector<Value>& args,
+                   const std::vector<std::shared_ptr<void>>& handles,
+                   Value* out, bool* has_result) -> Status {
+    (void)handles;
+    (void)has_result;
+    double fraction = args[1].float_value();
+    if (fraction < 0 || fraction > 1) {
+      return Status::InvalidArgument("sample fraction must be in [0,1]");
+    }
+    uint64_t key = args[0].uint_value();
+    uint64_t hash = Fnv1a64(&key, sizeof(key));
+    *out = Value::Bool(static_cast<double>(hash) <
+                       fraction * 18446744073709551616.0 /* 2^64 */);
+    return Status::Ok();
+  };
+  return info;
+}
+
+}  // namespace
+
+void RegisterBuiltins(FunctionRegistry* registry) {
+  GS_CHECK(registry->Register(MakeGetLpmId()).ok());
+  GS_CHECK(registry->Register(MakeMatchRegex()).ok());
+  GS_CHECK(registry->Register(MakeStrFind()).ok());
+  GS_CHECK(registry->Register(MakeStrLen()).ok());
+  GS_CHECK(registry->Register(MakeIpInSubnet()).ok());
+  GS_CHECK(registry->Register(MakeHash64()).ok());
+  GS_CHECK(registry->Register(MakeSample()).ok());
+}
+
+}  // namespace gigascope::udf

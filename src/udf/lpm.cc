@@ -1,0 +1,130 @@
+#include "udf/lpm.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bytes.h"
+
+namespace gigascope::udf {
+
+LpmTable::LpmTable() { nodes_.emplace_back(); }
+
+Status LpmTable::Add(uint32_t prefix, int prefix_len, uint64_t id) {
+  if (prefix_len < 0 || prefix_len > 32) {
+    return Status::InvalidArgument("prefix length must be in [0,32], got " +
+                                   std::to_string(prefix_len));
+  }
+  // Normalize: zero the host bits.
+  uint32_t mask =
+      prefix_len == 0 ? 0 : ~uint32_t{0} << (32 - prefix_len);
+  prefix &= mask;
+
+  int32_t node = 0;
+  for (int depth = 0; depth < prefix_len; ++depth) {
+    int bit = (prefix >> (31 - depth)) & 1;
+    if (nodes_[node].child[bit] < 0) {
+      nodes_[node].child[bit] = static_cast<int32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    node = nodes_[node].child[bit];
+  }
+  if (nodes_[node].entry >= 0) {
+    entries_[nodes_[node].entry].id = id;  // overwrite
+    return Status::Ok();
+  }
+  nodes_[node].entry = static_cast<int32_t>(entries_.size());
+  entries_.push_back(Entry{prefix, prefix_len, id});
+  return Status::Ok();
+}
+
+std::optional<uint64_t> LpmTable::Lookup(uint32_t addr) const {
+  std::optional<uint64_t> best;
+  int32_t node = 0;
+  for (int depth = 0; depth <= 32; ++depth) {
+    if (nodes_[node].entry >= 0) best = entries_[nodes_[node].entry].id;
+    if (depth == 32) break;
+    int bit = (addr >> (31 - depth)) & 1;
+    node = nodes_[node].child[bit];
+    if (node < 0) break;
+  }
+  return best;
+}
+
+std::optional<uint64_t> LpmTable::LookupLinear(uint32_t addr) const {
+  std::optional<uint64_t> best;
+  int best_len = -1;
+  for (const Entry& entry : entries_) {
+    uint32_t mask =
+        entry.prefix_len == 0 ? 0 : ~uint32_t{0} << (32 - entry.prefix_len);
+    if ((addr & mask) == entry.prefix && entry.prefix_len > best_len) {
+      best = entry.id;
+      best_len = entry.prefix_len;
+    }
+  }
+  return best;
+}
+
+Result<LpmTable> LpmTable::Parse(std::string_view text) {
+  LpmTable table;
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string line(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_no;
+
+    // Strip comments and whitespace.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    size_t end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+
+    // Format: a.b.c.d/len id
+    size_t slash = line.find('/');
+    if (slash == std::string::npos) {
+      return Status::ParseError("lpm table line " + std::to_string(line_no) +
+                                ": missing '/'");
+    }
+    GS_ASSIGN_OR_RETURN(uint32_t prefix, ParseIpv4(line.substr(0, slash)));
+    char* after_len = nullptr;
+    long len = std::strtol(line.c_str() + slash + 1, &after_len, 10);
+    if (after_len == line.c_str() + slash + 1) {
+      return Status::ParseError("lpm table line " + std::to_string(line_no) +
+                                ": missing prefix length");
+    }
+    while (*after_len != '\0' &&
+           std::isspace(static_cast<unsigned char>(*after_len))) {
+      ++after_len;
+    }
+    char* after_id = nullptr;
+    unsigned long long id = std::strtoull(after_len, &after_id, 10);
+    if (after_id == after_len) {
+      return Status::ParseError("lpm table line " + std::to_string(line_no) +
+                                ": missing id");
+    }
+    GS_RETURN_IF_ERROR(table.Add(prefix, static_cast<int>(len), id));
+  }
+  return table;
+}
+
+Result<LpmTable> LpmTable::LoadFromFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open lpm table file: " + path);
+  }
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+  return Parse(text);
+}
+
+}  // namespace gigascope::udf

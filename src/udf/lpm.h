@@ -1,0 +1,63 @@
+#ifndef GIGASCOPE_UDF_LPM_H_
+#define GIGASCOPE_UDF_LPM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gigascope::udf {
+
+/// Longest-prefix-match table over IPv4 prefixes — the fast special-purpose
+/// algorithm behind the paper's `getlpmid` example (§2.2): it identifies
+/// which peer/AS subnet an address belongs to.
+///
+/// Implemented as a binary trie (one bit per level). Lookup cost is at most
+/// 32 node visits regardless of table size; `LookupLinear` provides the
+/// naive scan baseline used by bench/e7_udf.
+class LpmTable {
+ public:
+  LpmTable();
+
+  /// Adds a prefix (`prefix_len` in [0,32]) mapped to `id`. Re-adding the
+  /// same prefix overwrites its id.
+  Status Add(uint32_t prefix, int prefix_len, uint64_t id);
+
+  /// Longest-prefix match; nullopt when no prefix covers `addr`.
+  std::optional<uint64_t> Lookup(uint32_t addr) const;
+
+  /// Reference implementation: scans all prefixes. Same results as Lookup.
+  std::optional<uint64_t> LookupLinear(uint32_t addr) const;
+
+  /// Number of prefixes in the table.
+  size_t size() const { return entries_.size(); }
+
+  /// Parses a table from text: one `a.b.c.d/len id` entry per line;
+  /// blank lines and `#` comments allowed.
+  static Result<LpmTable> Parse(std::string_view text);
+
+  /// Loads a table from a file in Parse() format (the pass-by-handle file
+  /// the paper's example reads at query instantiation).
+  static Result<LpmTable> LoadFromFile(const std::string& path);
+
+ private:
+  struct Node {
+    int32_t child[2] = {-1, -1};
+    int32_t entry = -1;  // index into entries_, -1 if none
+  };
+  struct Entry {
+    uint32_t prefix;
+    int prefix_len;
+    uint64_t id;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace gigascope::udf
+
+#endif  // GIGASCOPE_UDF_LPM_H_

@@ -1,0 +1,74 @@
+#ifndef GIGASCOPE_UDF_REGEX_H_
+#define GIGASCOPE_UDF_REGEX_H_
+
+#include <bitset>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gigascope::udf {
+
+/// From-scratch regular-expression engine (Thompson NFA / Pike VM).
+///
+/// This is the expensive pass-by-handle UDF of the paper's §4 experiment
+/// (pattern ^[^\n]*HTTP/1.*). The pattern is compiled once, at query
+/// instantiation, into an NFA; matching simulates the NFA in O(states ×
+/// text) with no backtracking, so hostile payloads cannot blow up matching
+/// time — a property a network monitor needs.
+///
+/// Supported syntax: literals, '.', '|', '*', '+', '?', '(...)' grouping,
+/// character classes [abc], [a-z], [^...], anchors '^' and '$', and escapes
+/// \n \t \r \d \D \w \W \s \S and escaped metacharacters.
+class Regex {
+ public:
+  /// Compiles a pattern; fails with ParseError on malformed syntax.
+  static Result<Regex> Compile(std::string_view pattern);
+
+  /// Unanchored search: does any substring of `text` match? A leading '^'
+  /// or trailing '$' in the pattern constrains as usual.
+  bool Matches(std::string_view text) const;
+
+  /// Anchored match of the entire text.
+  bool FullMatch(std::string_view text) const;
+
+  /// Number of NFA states (size/cost introspection for the planner).
+  size_t num_states() const { return states_.size(); }
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  struct State {
+    enum class Kind : uint8_t {
+      kClass,        // consume one byte in `cls`, go to next
+      kSplit,        // epsilon to next and next2
+      kAssertStart,  // epsilon to next iff at text start
+      kAssertEnd,    // epsilon to next iff at text end
+      kMatch,        // accept
+    };
+    Kind kind = Kind::kMatch;
+    std::bitset<256> cls;
+    int next = -1;
+    int next2 = -1;
+  };
+
+  Regex() = default;
+
+  bool Run(std::string_view text, bool anchored_start,
+           bool require_full) const;
+
+  void AddState(int state, size_t pos, size_t len,
+                std::vector<int>* list, std::vector<uint32_t>* seen,
+                uint32_t gen) const;
+
+  std::string pattern_;
+  std::vector<State> states_;
+  int start_ = -1;
+
+  friend class RegexCompiler;
+};
+
+}  // namespace gigascope::udf
+
+#endif  // GIGASCOPE_UDF_REGEX_H_

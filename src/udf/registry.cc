@@ -1,0 +1,76 @@
+#include "udf/registry.h"
+
+#include <cctype>
+
+#include "gsql/analyzer.h"
+
+namespace gigascope::udf {
+
+namespace {
+
+std::string Lower(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) out += static_cast<char>(std::tolower(c));
+  return out;
+}
+
+}  // namespace
+
+Status FunctionRegistry::Register(expr::FunctionInfo info) {
+  std::string key = Lower(info.name);
+  if (key.empty()) {
+    return Status::InvalidArgument("function must have a name");
+  }
+  if (gsql::IsAggregateFunction(key)) {
+    return Status::InvalidArgument("'" + key +
+                                   "' is a reserved aggregate name");
+  }
+  if (info.invoke == nullptr) {
+    return Status::InvalidArgument("function '" + key +
+                                   "' has no implementation");
+  }
+  if (!info.pass_by_handle.empty() &&
+      info.pass_by_handle.size() != info.arg_types.size()) {
+    return Status::InvalidArgument(
+        "function '" + key +
+        "': pass_by_handle must be empty or match the argument count");
+  }
+  info.name = key;
+  auto [it, inserted] =
+      functions_.emplace(key, std::make_unique<expr::FunctionInfo>(
+                                  std::move(info)));
+  if (!inserted) {
+    return Status::AlreadyExists("function '" + key +
+                                 "' is already registered");
+  }
+  (void)it;
+  return Status::Ok();
+}
+
+Result<const expr::FunctionInfo*> FunctionRegistry::Resolve(
+    const std::string& name) const {
+  auto it = functions_.find(Lower(name));
+  if (it == functions_.end()) {
+    return Status::NotFound("unknown function '" + name + "'");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> FunctionRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [name, fn] : functions_) names.push_back(name);
+  return names;
+}
+
+FunctionRegistry* FunctionRegistry::Default() {
+  static FunctionRegistry* registry = [] {
+    auto* r = new FunctionRegistry();
+    RegisterBuiltins(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace gigascope::udf

@@ -1,0 +1,51 @@
+#ifndef GIGASCOPE_UDF_REGISTRY_H_
+#define GIGASCOPE_UDF_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/ir.h"
+
+namespace gigascope::udf {
+
+/// The function registry (§2.2): users make new functions available by
+/// adding code to the function library and registering the prototype here.
+/// Functions can be marked partial (no result ⇒ tuple discarded, acting as
+/// a foreign-key join) and arguments can be pass-by-handle.
+class FunctionRegistry : public expr::FunctionResolver {
+ public:
+  FunctionRegistry() = default;
+  FunctionRegistry(const FunctionRegistry&) = delete;
+  FunctionRegistry& operator=(const FunctionRegistry&) = delete;
+
+  /// Registers a function prototype; names are case-insensitive and must
+  /// not collide with aggregate names or an existing registration.
+  Status Register(expr::FunctionInfo info);
+
+  Result<const expr::FunctionInfo*> Resolve(
+      const std::string& name) const override;
+
+  std::vector<std::string> Names() const;
+
+  /// Process-wide registry pre-loaded with the built-in function library.
+  static FunctionRegistry* Default();
+
+ private:
+  std::map<std::string, std::unique_ptr<expr::FunctionInfo>> functions_;
+};
+
+/// Registers the built-in function library into `registry`:
+///   getlpmid(destIP IP, 'prefixes' STRING^handle) -> UINT, partial
+///   match_regex(payload STRING, 'pattern' STRING^handle) -> BOOL
+///   str_find(haystack STRING, needle STRING) -> BOOL
+///   str_len(s STRING) -> UINT
+///   ip_in_subnet(addr IP, subnet IP, masklen UINT) -> BOOL
+///   hash64(x UINT) -> UINT
+///   sample(key UINT, fraction FLOAT) -> BOOL   (deterministic sampling)
+void RegisterBuiltins(FunctionRegistry* registry);
+
+}  // namespace gigascope::udf
+
+#endif  // GIGASCOPE_UDF_REGISTRY_H_

@@ -1,0 +1,113 @@
+#ifndef GIGASCOPE_WORKLOAD_TRAFFIC_GEN_H_
+#define GIGASCOPE_WORKLOAD_TRAFFIC_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace gigascope::workload {
+
+/// Configuration of the synthetic traffic source.
+///
+/// The generator models a population of flows (5-tuples) with Zipf-skewed
+/// popularity — the temporal locality that makes small LFTA hash tables
+/// effective — and Pareto on/off burstiness ("network traffic is notoriously
+/// bursty"). Offered load is specified in bits/second; inter-packet gaps are
+/// exponential within bursts.
+struct TrafficConfig {
+  uint64_t seed = 1;
+
+  /// Total offered load, bits per second (wire bits, using orig_len).
+  double offered_bits_per_sec = 100e6;
+
+  /// Number of distinct flows in the population.
+  uint32_t num_flows = 10000;
+
+  /// Zipf exponent for flow popularity (0 = uniform).
+  double flow_skew = 1.0;
+
+  /// Mean application payload size in bytes. Actual sizes are exponential,
+  /// clamped to [0, max_payload].
+  double mean_payload = 400;
+  uint32_t max_payload = 1400;
+
+  /// Fraction of generated packets that are TCP (rest UDP).
+  double tcp_fraction = 0.9;
+
+  /// Fraction of packets directed at TCP port 80.
+  double port80_fraction = 0.0;
+
+  /// Of the port-80 packets, the fraction whose payload is a genuine HTTP
+  /// response line matching ^[^\n]*HTTP/1.* (the rest are firewall-tunnel
+  /// traffic with opaque payloads). Only meaningful when port80_fraction>0.
+  double http_fraction = 0.0;
+
+  /// When > 1, packets arrive in Pareto-length bursts at `burstiness` times
+  /// the average rate, separated by idle gaps that restore the average.
+  double burstiness = 4.0;
+
+  /// Pareto shape for burst sizes (packets per burst). Lower = heavier tail.
+  double burst_alpha = 1.5;
+  double burst_min_packets = 8;
+
+  /// IPv4 /8 the destination addresses are drawn from (keyed per flow).
+  uint32_t dst_network = 0x0a000000;  // 10.0.0.0
+  uint32_t src_network = 0xac100000;  // 172.16.0.0
+};
+
+/// One flow's immutable identity.
+struct FlowKey {
+  uint32_t src_addr;
+  uint32_t dst_addr;
+  uint16_t src_port;
+  uint16_t dst_port;
+  uint8_t protocol;  // kIpProtoTcp or kIpProtoUdp
+  bool http;         // payload carries an HTTP response line
+};
+
+/// Generates a deterministic, timestamped synthetic packet stream.
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(const TrafficConfig& config);
+
+  /// Produces the next packet. Timestamps are strictly increasing.
+  net::Packet Next();
+
+  /// Simulated time at which the *next* packet will arrive (peek).
+  SimTime NextArrivalTime() const { return next_arrival_; }
+
+  const TrafficConfig& config() const { return config_; }
+
+  /// Number of packets generated so far.
+  uint64_t packets_generated() const { return sequence_; }
+
+ private:
+  FlowKey MakeFlow(uint32_t index) const;
+  void ScheduleNextArrival();
+
+  TrafficConfig config_;
+  mutable Rng rng_;
+  ZipfSampler flow_sampler_;
+  std::vector<FlowKey> flows_;
+  std::vector<uint32_t> flow_seq_;  // per-flow TCP sequence numbers
+  SimTime next_arrival_ = 0;
+  uint64_t sequence_ = 0;
+  uint64_t burst_remaining_ = 0;
+  double in_burst_rate_pps_ = 0;  // packets/sec while inside a burst
+  double avg_packet_bits_ = 0;
+};
+
+/// Renders an HTTP/1.1 response head used for "genuine HTTP" payloads.
+std::string MakeHttpPayload(Rng& rng, size_t target_len);
+
+/// Renders an opaque (non-HTTP) tunnel payload of the given length.
+std::string MakeOpaquePayload(Rng& rng, size_t target_len);
+
+}  // namespace gigascope::workload
+
+#endif  // GIGASCOPE_WORKLOAD_TRAFFIC_GEN_H_

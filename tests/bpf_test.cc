@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "bpf/interpreter.h"
+#include "bpf/program.h"
+#include "bpf/verifier.h"
+#include "net/headers.h"
+
+namespace gigascope::bpf {
+namespace {
+
+ByteBuffer MakeTcpPacket(uint16_t dst_port, uint8_t proto_override = 0) {
+  net::TcpPacketSpec spec;
+  spec.src_addr = 0x0a000001;
+  spec.dst_addr = 0x0a000002;
+  spec.src_port = 40000;
+  spec.dst_port = dst_port;
+  spec.payload = "xyz";
+  ByteBuffer bytes = net::BuildTcpPacket(spec);
+  if (proto_override != 0) bytes[23] = proto_override;
+  return bytes;
+}
+
+TEST(ProgramTest, BuildersVerify) {
+  EXPECT_TRUE(Verify(BuildTcpDstPortFilter(80, 0)).ok());
+  EXPECT_TRUE(Verify(BuildIpProtoFilter(net::kIpProtoUdp, 96)).ok());
+  EXPECT_TRUE(Verify(BuildAcceptAll(0)).ok());
+}
+
+TEST(VerifierTest, RejectsEmptyProgram) {
+  Program program;
+  EXPECT_FALSE(Verify(program).ok());
+}
+
+TEST(VerifierTest, RejectsOutOfRangeJump) {
+  Program program;
+  program.instructions.push_back(JEq(1, 10, 10));  // targets out of range
+  program.instructions.push_back(Ret(0));
+  EXPECT_FALSE(Verify(program).ok());
+}
+
+TEST(VerifierTest, RejectsMissingRet) {
+  Program program;
+  program.instructions.push_back(LdImm(1));
+  EXPECT_FALSE(Verify(program).ok());
+}
+
+TEST(VerifierTest, RejectsDivByZeroImmediate) {
+  Program program;
+  program.instructions.push_back(LdImm(4));
+  program.instructions.push_back(Alu(OpCode::kDiv, 0));
+  program.instructions.push_back(RetA());
+  EXPECT_FALSE(Verify(program).ok());
+}
+
+TEST(VerifierTest, RejectsOverlongProgram) {
+  Program program;
+  for (size_t i = 0; i < kMaxProgramLength + 1; ++i) {
+    program.instructions.push_back(LdImm(0));
+  }
+  program.instructions.push_back(Ret(0));
+  EXPECT_FALSE(Verify(program).ok());
+}
+
+TEST(InterpreterTest, TcpPortFilterMatches) {
+  Program program = BuildTcpDstPortFilter(80, 0);
+  ByteBuffer match = MakeTcpPacket(80);
+  ByteBuffer no_match = MakeTcpPacket(443);
+  EXPECT_TRUE(Matches(program, ByteSpan(match.data(), match.size())));
+  EXPECT_FALSE(Matches(program, ByteSpan(no_match.data(), no_match.size())));
+}
+
+TEST(InterpreterTest, PortFilterRejectsNonTcp) {
+  Program program = BuildTcpDstPortFilter(80, 0);
+  ByteBuffer udp = MakeTcpPacket(80, net::kIpProtoUdp);
+  EXPECT_FALSE(Matches(program, ByteSpan(udp.data(), udp.size())));
+}
+
+TEST(InterpreterTest, SnapLenReturnedOnMatch) {
+  Program program = BuildTcpDstPortFilter(80, 96);
+  ByteBuffer match = MakeTcpPacket(80);
+  EXPECT_EQ(gigascope::bpf::Run(program, ByteSpan(match.data(), match.size())), 96u);
+}
+
+TEST(InterpreterTest, ShortPacketDrops) {
+  Program program = BuildTcpDstPortFilter(80, 0);
+  ByteBuffer tiny = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(gigascope::bpf::Run(program, ByteSpan(tiny.data(), tiny.size())), 0u);
+}
+
+TEST(InterpreterTest, ProtoFilter) {
+  Program program = BuildIpProtoFilter(net::kIpProtoTcp, 0);
+  ByteBuffer tcp = MakeTcpPacket(1234);
+  ByteBuffer udp = MakeTcpPacket(1234, net::kIpProtoUdp);
+  EXPECT_TRUE(Matches(program, ByteSpan(tcp.data(), tcp.size())));
+  EXPECT_FALSE(Matches(program, ByteSpan(udp.data(), udp.size())));
+}
+
+TEST(InterpreterTest, AcceptAll) {
+  Program program = BuildAcceptAll(0);
+  ByteBuffer any = {1, 2, 3};
+  EXPECT_EQ(gigascope::bpf::Run(program, ByteSpan(any.data(), any.size())), 0xffffffffu);
+}
+
+TEST(InterpreterTest, AluOps) {
+  // (((7 + 5) * 3 - 6) / 2) & 0xF | 0x10 == 0x1F... compute: 7+5=12, *3=36,
+  // -6=30, /2=15 (0xF), &0xF=15, |0x10=0x1F = 31.
+  Program program;
+  program.instructions = {
+      LdImm(7),
+      Alu(OpCode::kAdd, 5),
+      Alu(OpCode::kMul, 3),
+      Alu(OpCode::kSub, 6),
+      Alu(OpCode::kDiv, 2),
+      Alu(OpCode::kAnd, 0xF),
+      Alu(OpCode::kOr, 0x10),
+      RetA(),
+  };
+  ASSERT_TRUE(Verify(program).ok());
+  EXPECT_EQ(gigascope::bpf::Run(program, ByteSpan()), 31u);
+}
+
+TEST(InterpreterTest, ShiftOps) {
+  Program program;
+  program.instructions = {
+      LdImm(1),
+      Alu(OpCode::kLsh, 10),
+      Alu(OpCode::kRsh, 2),
+      RetA(),
+  };
+  EXPECT_EQ(gigascope::bpf::Run(program, ByteSpan()), 256u);
+}
+
+TEST(InterpreterTest, RegisterTransfer) {
+  Program program;
+  program.instructions = {
+      LdImm(42), Tax(), LdImm(0), Txa(), RetA(),
+  };
+  EXPECT_EQ(gigascope::bpf::Run(program, ByteSpan()), 42u);
+}
+
+TEST(InterpreterTest, IndirectLoadUsesHeaderLength) {
+  // ldxmsh computes 4*(pkt[14]&0x0f): the IP header length idiom.
+  ByteBuffer packet = MakeTcpPacket(80);
+  Program program;
+  program.instructions = {
+      LdxMshIp(14),
+      Txa(),
+      RetA(),
+  };
+  EXPECT_EQ(gigascope::bpf::Run(program, ByteSpan(packet.data(), packet.size())), 20u);
+}
+
+TEST(InterpreterTest, JumpKinds) {
+  // JGt / JGe / JSet coverage.
+  Program program;
+  program.instructions = {
+      LdImm(10),
+      JGt(9, 0, 3),   // 10 > 9: fall through
+      JGe(10, 0, 2),  // 10 >= 10: fall through
+      JSet(0x2, 0, 1),  // 10 & 2 != 0: fall through
+      Ret(1),
+      Ret(0),
+  };
+  ASSERT_TRUE(Verify(program).ok());
+  EXPECT_EQ(gigascope::bpf::Run(program, ByteSpan()), 1u);
+}
+
+TEST(InterpreterTest, UnconditionalJump) {
+  Program program;
+  program.instructions = {
+      Jmp(1),
+      Ret(0),  // skipped
+      Ret(7),
+  };
+  ASSERT_TRUE(Verify(program).ok());
+  EXPECT_EQ(gigascope::bpf::Run(program, ByteSpan()), 7u);
+}
+
+TEST(ProgramTest, ToStringListsInstructions) {
+  Program program = BuildTcpDstPortFilter(80, 0);
+  std::string text = program.ToString();
+  EXPECT_NE(text.find("ldh"), std::string::npos);
+  EXPECT_NE(text.find("jeq"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gigascope::bpf

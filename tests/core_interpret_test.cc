@@ -1,0 +1,192 @@
+// Tests for the packet interpretation library (§2.2: "the Gigascope run
+// time system interprets the data packets as a collection of fields using
+// a library of interpretation functions") and the sampling UDF.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "gsql/catalog.h"
+#include "net/headers.h"
+
+namespace gigascope::core {
+namespace {
+
+using expr::Value;
+using gsql::DataType;
+
+net::Packet SamplePacket() {
+  net::TcpPacketSpec spec;
+  spec.src_addr = 0x0a000001;
+  spec.dst_addr = 0xc0a80102;
+  spec.src_port = 49152;
+  spec.dst_port = 443;
+  spec.seq = 777;
+  spec.flags = net::kTcpFlagSyn | net::kTcpFlagAck;
+  spec.ip_id = 999;
+  spec.payload = "TLS-ish bytes";
+  net::Packet packet;
+  packet.bytes = net::BuildTcpPacket(spec);
+  packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+  packet.timestamp = 5 * kNanosPerSecond + 123;
+  return packet;
+}
+
+TEST(InterpretPacketTest, AllPktFieldsExtracted) {
+  auto schema = gsql::Catalog::BuiltinPacketSchema();
+  net::Packet packet = SamplePacket();
+  rts::Row row = InterpretPacket(schema, packet);
+  ASSERT_EQ(row.size(), schema.num_fields());
+
+  auto get = [&](const char* name) {
+    auto index = schema.FieldIndex(name);
+    EXPECT_TRUE(index.has_value()) << name;
+    return row[*index];
+  };
+  EXPECT_EQ(get("time").uint_value(), 5u);
+  EXPECT_EQ(get("timestamp").uint_value(),
+            static_cast<uint64_t>(packet.timestamp));
+  EXPECT_EQ(get("srcIP").ip_value(), 0x0a000001u);
+  EXPECT_EQ(get("destIP").ip_value(), 0xc0a80102u);
+  EXPECT_EQ(get("srcPort").uint_value(), 49152u);
+  EXPECT_EQ(get("destPort").uint_value(), 443u);
+  EXPECT_EQ(get("protocol").uint_value(), net::kIpProtoTcp);
+  EXPECT_EQ(get("ipVersion").uint_value(), 4u);
+  EXPECT_EQ(get("len").uint_value(), packet.orig_len);
+  EXPECT_EQ(get("tcpFlags").uint_value(),
+            uint64_t{net::kTcpFlagSyn | net::kTcpFlagAck});
+  EXPECT_EQ(get("tcpSeq").uint_value(), 777u);
+  EXPECT_EQ(get("ipId").uint_value(), 999u);
+  EXPECT_EQ(get("fragOffset").uint_value(), 0u);
+  EXPECT_EQ(get("moreFrags").uint_value(), 0u);
+  EXPECT_EQ(get("payload").string_value(), "TLS-ish bytes");
+  // ipPayload = TCP header + payload.
+  EXPECT_EQ(get("ipPayload").string_value().size(),
+            net::kTcpMinHeaderLen + 13);
+}
+
+TEST(InterpretPacketTest, FragmentFieldsReflectFragmentation) {
+  auto schema = gsql::Catalog::BuiltinPacketSchema();
+  net::UdpPacketSpec spec;
+  spec.payload = std::string(600, 'f');
+  spec.ip_id = 42;
+  auto fragments = net::FragmentIpv4Packet(net::BuildUdpPacket(spec), 256);
+  ASSERT_TRUE(fragments.ok());
+  ASSERT_GE(fragments->size(), 2u);
+
+  net::Packet first;
+  first.bytes = (*fragments)[0];
+  first.orig_len = static_cast<uint32_t>(first.bytes.size());
+  rts::Row row = InterpretPacket(schema, first);
+  auto index_of = [&](const char* name) {
+    return *schema.FieldIndex(name);
+  };
+  EXPECT_EQ(row[index_of("ipId")].uint_value(), 42u);
+  EXPECT_EQ(row[index_of("fragOffset")].uint_value(), 0u);
+  EXPECT_EQ(row[index_of("moreFrags")].uint_value(), 1u);
+
+  net::Packet second;
+  second.bytes = (*fragments)[1];
+  second.orig_len = static_cast<uint32_t>(second.bytes.size());
+  row = InterpretPacket(schema, second);
+  EXPECT_EQ(row[index_of("fragOffset")].uint_value(), 256u / 8);
+  // Non-first fragments have no transport header: ports default to 0.
+  EXPECT_EQ(row[index_of("destPort")].uint_value(), 0u);
+}
+
+TEST(InterpretPacketTest, MalformedPacketYieldsDefaults) {
+  auto schema = gsql::Catalog::BuiltinPacketSchema();
+  net::Packet junk;
+  junk.bytes = {1, 2, 3};  // shorter than Ethernet
+  junk.orig_len = 3;
+  junk.timestamp = kNanosPerSecond;
+  rts::Row row = InterpretPacket(schema, junk);
+  ASSERT_EQ(row.size(), schema.num_fields());
+  EXPECT_EQ(row[*schema.FieldIndex("time")].uint_value(), 1u);
+  EXPECT_EQ(row[*schema.FieldIndex("srcIP")].ip_value(), 0u);
+  EXPECT_EQ(row[*schema.FieldIndex("payload")].string_value(), "");
+}
+
+TEST(InterpretPacketTest, UnknownFieldsGetTypeDefaults) {
+  std::vector<gsql::FieldDef> fields;
+  fields.push_back({"time", DataType::kUint, gsql::OrderSpec::Increasing()});
+  fields.push_back({"mystery", DataType::kFloat, gsql::OrderSpec::None()});
+  fields.push_back({"note", DataType::kString, gsql::OrderSpec::None()});
+  gsql::StreamSchema schema("CUSTOM", gsql::StreamKind::kProtocol, fields);
+  rts::Row row = InterpretPacket(schema, SamplePacket());
+  EXPECT_DOUBLE_EQ(row[1].float_value(), 0.0);
+  EXPECT_EQ(row[2].string_value(), "");
+}
+
+// --- sample(): §5's analyst-controlled sampling, deterministically ---
+
+TEST(SampleUdfTest, DeterministicAndProportional) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  auto info = engine.AddQuery(
+      "DEFINE { query_name sampled; param rate FLOAT = 0.25; } "
+      "SELECT time, srcIP FROM eth0.PKT "
+      "WHERE sample(srcPort, $rate)");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  // Hash-based sampling is cheap integer work: LFTA-resident.
+  EXPECT_TRUE(info->has_lfta);
+  EXPECT_FALSE(info->has_hfta);
+
+  auto sub = engine.Subscribe("sampled", 1 << 18);
+  ASSERT_TRUE(sub.ok());
+  const int kPackets = 8000;
+  for (int i = 0; i < kPackets; ++i) {
+    net::TcpPacketSpec spec;
+    spec.src_port = static_cast<uint16_t>(i);  // the sampling key
+    spec.dst_port = 80;
+    net::Packet packet;
+    packet.bytes = net::BuildTcpPacket(spec);
+    packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+    packet.timestamp = (i + 1) * 1000;
+    ASSERT_TRUE(engine.InjectPacket("eth0", packet).ok());
+    if (i % 1024 == 0) engine.PumpUntilIdle();
+  }
+  engine.PumpUntilIdle();
+  int kept = 0;
+  while ((*sub)->NextRow()) ++kept;
+  EXPECT_NEAR(static_cast<double>(kept) / kPackets, 0.25, 0.03);
+}
+
+TEST(SampleUdfTest, SameKeyAlwaysSameDecision) {
+  auto fn = udf::FunctionRegistry::Default()->Resolve("sample");
+  ASSERT_TRUE(fn.ok());
+  std::vector<std::shared_ptr<void>> handles(2);
+  for (uint64_t key : {0ull, 1ull, 42ull, 1000000ull}) {
+    Value first, second;
+    bool has_result = true;
+    ASSERT_TRUE((*fn)->invoke({Value::Uint(key), Value::Float(0.5)}, handles,
+                              &first, &has_result).ok());
+    ASSERT_TRUE((*fn)->invoke({Value::Uint(key), Value::Float(0.5)}, handles,
+                              &second, &has_result).ok());
+    EXPECT_EQ(first.bool_value(), second.bool_value());
+  }
+}
+
+TEST(SampleUdfTest, BoundaryFractions) {
+  auto fn = udf::FunctionRegistry::Default()->Resolve("sample");
+  ASSERT_TRUE(fn.ok());
+  std::vector<std::shared_ptr<void>> handles(2);
+  Value out;
+  bool has_result = true;
+  int kept_zero = 0, kept_one = 0;
+  for (uint64_t key = 0; key < 100; ++key) {
+    ASSERT_TRUE((*fn)->invoke({Value::Uint(key), Value::Float(0.0)}, handles,
+                              &out, &has_result).ok());
+    if (out.bool_value()) ++kept_zero;
+    ASSERT_TRUE((*fn)->invoke({Value::Uint(key), Value::Float(1.0)}, handles,
+                              &out, &has_result).ok());
+    if (out.bool_value()) ++kept_one;
+  }
+  EXPECT_EQ(kept_zero, 0);
+  EXPECT_EQ(kept_one, 100);
+  // Out-of-range fraction is a runtime error (dropped tuple, not a crash).
+  EXPECT_FALSE((*fn)->invoke({Value::Uint(1), Value::Float(1.5)}, handles,
+                             &out, &has_result).ok());
+}
+
+}  // namespace
+}  // namespace gigascope::core

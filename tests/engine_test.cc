@@ -1,0 +1,758 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/engine.h"
+#include "workload/traffic_gen.h"
+
+namespace gigascope::core {
+namespace {
+
+using expr::Value;
+using gsql::DataType;
+
+net::Packet MakeTcpPacket(SimTime timestamp, uint32_t dst_addr,
+                          uint16_t dst_port, const std::string& payload,
+                          uint8_t flags = net::kTcpFlagAck) {
+  net::TcpPacketSpec spec;
+  spec.src_addr = 0xac100001;
+  spec.dst_addr = dst_addr;
+  spec.src_port = 40000;
+  spec.dst_port = dst_port;
+  spec.flags = flags;
+  spec.payload = payload;
+  net::Packet packet;
+  packet.bytes = net::BuildTcpPacket(spec);
+  packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+  packet.timestamp = timestamp;
+  return packet;
+}
+
+net::Packet MakeUdpPacket(SimTime timestamp, uint16_t dst_port) {
+  net::UdpPacketSpec spec;
+  spec.src_addr = 0xac100001;
+  spec.dst_addr = 0x0a000001;
+  spec.src_port = 40000;
+  spec.dst_port = dst_port;
+  spec.payload = "x";
+  net::Packet packet;
+  packet.bytes = net::BuildUdpPacket(spec);
+  packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+  packet.timestamp = timestamp;
+  return packet;
+}
+
+TEST(EngineTest, ThePaperTcpdestQuery) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  auto info = engine.AddQuery(
+      "DEFINE { query_name tcpdest0; } "
+      "SELECT destIP, destPort, time FROM eth0.PKT "
+      "WHERE ipVersion = 4 AND protocol = 6");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->has_lfta);
+  EXPECT_FALSE(info->has_hfta);  // simple query: entirely an LFTA
+
+  auto sub = engine.Subscribe("tcpdest0");
+  ASSERT_TRUE(sub.ok());
+
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0", MakeTcpPacket(kNanosPerSecond,
+                                                      0x0a000001, 80, "hi"))
+                  .ok());
+  ASSERT_TRUE(
+      engine.InjectPacket("eth0", MakeUdpPacket(2 * kNanosPerSecond, 53))
+          .ok());
+  engine.PumpUntilIdle();
+
+  auto row = (*sub)->NextRow();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[0].ip_value(), 0x0a000001u);
+  EXPECT_EQ((*row)[1].uint_value(), 80u);
+  EXPECT_EQ((*row)[2].uint_value(), 1u);  // second 1
+  EXPECT_FALSE((*sub)->NextRow().has_value());  // UDP filtered out
+}
+
+TEST(EngineTest, AggregationQueryEndToEnd) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  auto info = engine.AddQuery(
+      "DEFINE { query_name pkts; } "
+      "SELECT tb, count(*), sum(len) FROM eth0.PKT "
+      "WHERE protocol = 6 GROUP BY time/60 AS tb");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->split_aggregation);
+  EXPECT_TRUE(info->has_lfta);
+  EXPECT_TRUE(info->has_hfta);
+
+  auto sub = engine.Subscribe("pkts");
+  ASSERT_TRUE(sub.ok());
+
+  // Three packets in minute 0, two in minute 1, then one in minute 2 to
+  // close minute 1.
+  uint64_t total_len_minute0 = 0;
+  for (int i = 0; i < 3; ++i) {
+    net::Packet packet =
+        MakeTcpPacket((10 + i) * kNanosPerSecond, 0x0a000001, 80, "abc");
+    total_len_minute0 += packet.orig_len;
+    ASSERT_TRUE(engine.InjectPacket("eth0", packet).ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(engine
+                    .InjectPacket("eth0",
+                                  MakeTcpPacket((70 + i) * kNanosPerSecond,
+                                                0x0a000001, 80, "abc"))
+                    .ok());
+  }
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0", MakeTcpPacket(130 * kNanosPerSecond,
+                                                      0x0a000001, 80, "a"))
+                  .ok());
+  engine.PumpUntilIdle();
+
+  auto row = (*sub)->NextRow();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[0].uint_value(), 0u);  // minute bucket 0
+  EXPECT_EQ((*row)[1].uint_value(), 3u);
+  EXPECT_EQ((*row)[2].uint_value(), total_len_minute0);
+  row = (*sub)->NextRow();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[0].uint_value(), 1u);
+  EXPECT_EQ((*row)[1].uint_value(), 2u);
+}
+
+TEST(EngineTest, LftaStreamVisibleUnderMangledName) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  auto info = engine.AddQuery(
+      "DEFINE { query_name counts; } "
+      "SELECT tb, count(*) FROM eth0.PKT GROUP BY time/60 AS tb");
+  ASSERT_TRUE(info.ok());
+  // §3: "both streams are available to the application, though the LFTA
+  // query will have a mangled name".
+  auto sub = engine.Subscribe(info->lfta_name);
+  EXPECT_TRUE(sub.ok()) << sub.status().ToString();
+}
+
+TEST(EngineTest, QueryCompositionThroughCatalog) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name tcp80; } "
+                            "SELECT time, len FROM eth0.PKT "
+                            "WHERE protocol = 6 AND destPort = 80")
+                  .ok());
+  // Second query reads the first one's output by name (§2.2).
+  auto info = engine.AddQuery(
+      "DEFINE { query_name persec; } "
+      "SELECT time, count(*) FROM tcp80 GROUP BY time");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_FALSE(info->has_lfta);  // Stream input: HFTA only
+
+  auto sub = engine.Subscribe("persec");
+  ASSERT_TRUE(sub.ok());
+  for (int second = 1; second <= 3; ++second) {
+    for (int i = 0; i < second; ++i) {
+      ASSERT_TRUE(
+          engine
+              .InjectPacket("eth0",
+                            MakeTcpPacket(second * kNanosPerSecond + i * 100,
+                                          0x0a000001, 80, "x"))
+              .ok());
+    }
+  }
+  engine.PumpUntilIdle();
+  // Seconds 1 and 2 closed (second 3 still open).
+  auto row = (*sub)->NextRow();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[0].uint_value(), 1u);
+  EXPECT_EQ((*row)[1].uint_value(), 1u);
+  row = (*sub)->NextRow();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[0].uint_value(), 2u);
+  EXPECT_EQ((*row)[1].uint_value(), 2u);
+}
+
+TEST(EngineTest, MergeQueryEndToEnd) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  engine.AddInterface("eth1");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name t0; } "
+                            "SELECT time, destPort FROM eth0.PKT "
+                            "WHERE protocol = 6")
+                  .ok());
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name t1; } "
+                            "SELECT time, destPort FROM eth1.PKT "
+                            "WHERE protocol = 6")
+                  .ok());
+  auto info = engine.AddQuery(
+      "DEFINE { query_name both; } MERGE t0.time : t1.time FROM t0, t1");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+
+  auto sub = engine.Subscribe("both");
+  ASSERT_TRUE(sub.ok());
+
+  // Interleaved traffic on the two simplex directions.
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0", MakeTcpPacket(1 * kNanosPerSecond,
+                                                      0x0a000001, 80, "x"))
+                  .ok());
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth1", MakeTcpPacket(2 * kNanosPerSecond,
+                                                      0x0a000001, 81, "x"))
+                  .ok());
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0", MakeTcpPacket(3 * kNanosPerSecond,
+                                                      0x0a000001, 82, "x"))
+                  .ok());
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth1", MakeTcpPacket(4 * kNanosPerSecond,
+                                                      0x0a000001, 83, "x"))
+                  .ok());
+  engine.PumpUntilIdle();
+  engine.FlushAll();
+
+  std::vector<uint64_t> times;
+  while (auto row = (*sub)->NextRow()) {
+    times.push_back((*row)[0].uint_value());
+  }
+  ASSERT_EQ(times.size(), 4u);
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
+}
+
+TEST(EngineTest, HttpFractionQueryWithRegexUdf) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  auto info = engine.AddQuery(
+      "DEFINE { query_name http80; } "
+      "SELECT time, len FROM eth0.PKT "
+      "WHERE protocol = 6 AND destPort = 80 "
+      "AND match_regex(payload, '^[^\\n]*HTTP/1.*')");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  // Regex is too expensive for an LFTA (§4): the query must split.
+  EXPECT_TRUE(info->has_lfta);
+  EXPECT_TRUE(info->has_hfta);
+
+  auto sub = engine.Subscribe("http80");
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0",
+                                MakeTcpPacket(kNanosPerSecond, 0x0a000001, 80,
+                                              "HTTP/1.1 200 OK\r\n"))
+                  .ok());
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0",
+                                MakeTcpPacket(2 * kNanosPerSecond, 0x0a000001,
+                                              80, "opaque tunnel bytes"))
+                  .ok());
+  engine.PumpUntilIdle();
+  auto row = (*sub)->NextRow();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[0].uint_value(), 1u);
+  EXPECT_FALSE((*sub)->NextRow().has_value());
+}
+
+TEST(EngineTest, GetLpmIdQueryEndToEnd) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  auto info = engine.AddQuery(
+      "DEFINE { query_name peers; } "
+      "SELECT peerid, tb, count(*) FROM eth0.PKT "
+      "GROUP BY time/60 AS tb, "
+      "getlpmid(destIP, 'inline:10.0.0.0/8 1\n10.1.0.0/16 2') AS peerid");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+
+  auto sub = engine.Subscribe("peers");
+  ASSERT_TRUE(sub.ok());
+  // Two packets to peer 1 (10.2.x.x), one to peer 2 (10.1.x.x), one
+  // unmatched (192.168.*, discarded by the partial function).
+  ASSERT_TRUE(engine.InjectPacket(
+      "eth0", MakeTcpPacket(1 * kNanosPerSecond, 0x0a020001, 80, "x")).ok());
+  ASSERT_TRUE(engine.InjectPacket(
+      "eth0", MakeTcpPacket(2 * kNanosPerSecond, 0x0a020002, 80, "x")).ok());
+  ASSERT_TRUE(engine.InjectPacket(
+      "eth0", MakeTcpPacket(3 * kNanosPerSecond, 0x0a010001, 80, "x")).ok());
+  ASSERT_TRUE(engine.InjectPacket(
+      "eth0", MakeTcpPacket(4 * kNanosPerSecond, 0xc0a80001, 80, "x")).ok());
+  engine.PumpUntilIdle();
+  engine.FlushAll();
+
+  std::map<uint64_t, uint64_t> counts;
+  while (auto row = (*sub)->NextRow()) {
+    counts[(*row)[0].uint_value()] += (*row)[2].uint_value();
+  }
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts.count(0), 0u);  // unmatched tuple was discarded
+}
+
+TEST(EngineTest, QueryParametersChangeOnTheFly) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  auto info = engine.AddQuery(
+      "DEFINE { query_name bigpkts; param minlen UINT = 1000; } "
+      "SELECT time, len FROM eth0.PKT WHERE len > $minlen");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+
+  auto sub = engine.Subscribe("bigpkts");
+  ASSERT_TRUE(sub.ok());
+  net::Packet small = MakeTcpPacket(kNanosPerSecond, 0x0a000001, 80, "tiny");
+  ASSERT_TRUE(engine.InjectPacket("eth0", small).ok());
+  engine.PumpUntilIdle();
+  EXPECT_FALSE((*sub)->NextRow().has_value());
+
+  // Lower the threshold on the fly (§3).
+  ASSERT_TRUE(engine.SetParam("bigpkts", "minlen", Value::Uint(10)).ok());
+  ASSERT_TRUE(
+      engine.InjectPacket("eth0", MakeTcpPacket(2 * kNanosPerSecond,
+                                                0x0a000001, 80, "tiny"))
+          .ok());
+  engine.PumpUntilIdle();
+  EXPECT_TRUE((*sub)->NextRow().has_value());
+}
+
+TEST(EngineTest, SetParamValidatesNames) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name q; param p INT = 1; } "
+                            "SELECT time FROM eth0.PKT WHERE len > $p")
+                  .ok());
+  EXPECT_FALSE(engine.SetParam("nope", "p", Value::Int(2)).ok());
+  EXPECT_FALSE(engine.SetParam("q", "nope", Value::Int(2)).ok());
+  EXPECT_TRUE(engine.SetParam("q", "p", Value::Int(2)).ok());
+}
+
+TEST(EngineTest, MissingParamWithoutDefaultRejected) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  auto info = engine.AddQuery(
+      "DEFINE { query_name q; param p INT; } "
+      "SELECT time FROM eth0.PKT WHERE len > $p");
+  EXPECT_FALSE(info.ok());
+  // Supplying the value at instantiation works.
+  info = engine.AddQuery(
+      "DEFINE { query_name q; param p INT; } "
+      "SELECT time FROM eth0.PKT WHERE len > $p",
+      {{"p", Value::Int(100)}});
+  EXPECT_TRUE(info.ok()) << info.status().ToString();
+}
+
+TEST(EngineTest, DuplicateQueryNameRejected) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name q; } "
+                            "SELECT time FROM eth0.PKT")
+                  .ok());
+  auto info = engine.AddQuery(
+      "DEFINE { query_name q; } SELECT len FROM eth0.PKT");
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), Status::Code::kAlreadyExists);
+}
+
+TEST(EngineTest, CustomProtocolViaDdl) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .ExecuteDdl("CREATE PROTOCOL MINI ("
+                              "time UINT INCREASING, len UINT)")
+                  .ok());
+  auto info = engine.AddQuery(
+      "DEFINE { query_name m; } SELECT time, len FROM eth0.MINI");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  auto sub = engine.Subscribe("m");
+  ASSERT_TRUE(sub.ok());
+  net::Packet packet = MakeTcpPacket(kNanosPerSecond, 1, 2, "abc");
+  ASSERT_TRUE(engine.InjectPacket("eth0", packet).ok());
+  engine.PumpUntilIdle();
+  auto row = (*sub)->NextRow();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[1].uint_value(), packet.orig_len);
+}
+
+TEST(EngineTest, ExternalStreamViaInjectRow) {
+  Engine engine;
+  // The "write your own query node" path: declare a stream and feed it.
+  std::vector<gsql::FieldDef> fields;
+  fields.push_back({"t", DataType::kUint, gsql::OrderSpec::Increasing()});
+  fields.push_back({"v", DataType::kUint, gsql::OrderSpec::None()});
+  ASSERT_TRUE(engine
+                  .DeclareStream(gsql::StreamSchema(
+                      "external", gsql::StreamKind::kStream, fields))
+                  .ok());
+  auto info = engine.AddQuery(
+      "DEFINE { query_name doubled; } SELECT t, v * 2 AS v2 FROM external");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  auto sub = engine.Subscribe("doubled");
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(
+      engine.InjectRow("external", {Value::Uint(1), Value::Uint(21)}).ok());
+  engine.PumpUntilIdle();
+  auto row = (*sub)->NextRow();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[1].uint_value(), 42u);
+}
+
+TEST(EngineTest, HeartbeatClosesIdleAggregation) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name persec; } "
+                            "SELECT time, count(*) FROM eth0.PKT "
+                            "GROUP BY time")
+                  .ok());
+  auto sub = engine.Subscribe("persec");
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0", MakeTcpPacket(kNanosPerSecond,
+                                                      0x0a000001, 80, "x"))
+                  .ok());
+  engine.PumpUntilIdle();
+  EXPECT_FALSE((*sub)->NextRow().has_value());  // second 1 still open
+  // No more packets arrive, but a heartbeat advances time to second 10:
+  // second 1 closes without any tuple (§3 unblocking).
+  ASSERT_TRUE(engine.InjectHeartbeat("eth0", 10 * kNanosPerSecond).ok());
+  engine.PumpUntilIdle();
+  auto row = (*sub)->NextRow();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[0].uint_value(), 1u);
+  EXPECT_EQ((*row)[1].uint_value(), 1u);
+}
+
+TEST(EngineTest, WindowJoinEndToEnd) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name syns; } "
+                            "SELECT time, srcIP FROM eth0.PKT "
+                            "WHERE protocol = 6 AND tcpFlags = 2")
+                  .ok());
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name fins; } "
+                            "SELECT time, srcIP FROM eth0.PKT "
+                            "WHERE protocol = 6 AND tcpFlags = 1")
+                  .ok());
+  auto info = engine.AddQuery(
+      "DEFINE { query_name paired; } "
+      "SELECT s.time, f.time FROM syns s, fins f "
+      "WHERE s.time >= f.time - 2 AND s.time <= f.time + 2");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  auto sub = engine.Subscribe("paired");
+  ASSERT_TRUE(sub.ok());
+
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0",
+                                MakeTcpPacket(1 * kNanosPerSecond, 0x0a000001,
+                                              80, "", net::kTcpFlagSyn))
+                  .ok());
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0",
+                                MakeTcpPacket(2 * kNanosPerSecond, 0x0a000001,
+                                              80, "", net::kTcpFlagFin))
+                  .ok());
+  engine.PumpUntilIdle();
+  // The default join algorithm is order-preserving: completed matches are
+  // held until the output bound passes them (§2.1); end-of-stream flushes.
+  engine.FlushAll();
+  auto row = (*sub)->NextRow();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[0].uint_value(), 1u);
+  EXPECT_EQ((*row)[1].uint_value(), 2u);
+}
+
+TEST(EngineTest, GroupByOverJoinEndToEnd) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  // Two derived streams, then a per-second count of joined pairs.
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name syns; } "
+                            "SELECT time, srcIP FROM eth0.PKT "
+                            "WHERE protocol = 6 AND tcpFlags = 2")
+                  .ok());
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name acks; } "
+                            "SELECT time, srcIP FROM eth0.PKT "
+                            "WHERE protocol = 6 AND tcpFlags = 16")
+                  .ok());
+  auto info = engine.AddQuery(
+      "DEFINE { query_name pairs_per_sec; } "
+      "SELECT s.time, count(*) FROM syns s, acks a "
+      "WHERE s.time = a.time GROUP BY s.time");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_FALSE(info->unbounded_aggregation);
+
+  auto sub = engine.Subscribe("pairs_per_sec");
+  ASSERT_TRUE(sub.ok());
+  // Second 1: 2 SYNs x 3 ACKs = 6 pairs; second 2: 1 x 1 = 1 pair.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(engine
+                    .InjectPacket("eth0",
+                                  MakeTcpPacket(kNanosPerSecond + i, 1, 80,
+                                                "", net::kTcpFlagSyn))
+                    .ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine
+                    .InjectPacket("eth0",
+                                  MakeTcpPacket(kNanosPerSecond + 10 + i, 1,
+                                                80, "", net::kTcpFlagAck))
+                    .ok());
+  }
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0",
+                                MakeTcpPacket(2 * kNanosPerSecond, 1, 80, "",
+                                              net::kTcpFlagSyn))
+                  .ok());
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0",
+                                MakeTcpPacket(2 * kNanosPerSecond + 1, 1, 80,
+                                              "", net::kTcpFlagAck))
+                  .ok());
+  engine.PumpUntilIdle();
+  engine.FlushAll();
+
+  std::map<uint64_t, uint64_t> counts;
+  while (auto row = (*sub)->NextRow()) {
+    counts[(*row)[0].uint_value()] += (*row)[1].uint_value();
+  }
+  EXPECT_EQ(counts[1], 6u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(EngineTest, NodeStatsExposed) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name q; } "
+                            "SELECT time FROM eth0.PKT WHERE protocol = 6")
+                  .ok());
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0", MakeTcpPacket(kNanosPerSecond,
+                                                      0x0a000001, 80, "x"))
+                  .ok());
+  engine.PumpUntilIdle();
+  auto stats = engine.GetNodeStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "q");
+  EXPECT_EQ(stats[0].tuples_in, 1u);
+  EXPECT_EQ(stats[0].tuples_out, 1u);
+}
+
+TEST(EngineTest, AvgDecomposedEndToEnd) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  auto info = engine.AddQuery(
+      "DEFINE { query_name stats; } "
+      "SELECT tb, avg(len), count(*) FROM eth0.PKT "
+      "WHERE protocol = 6 GROUP BY time/60 AS tb");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->split_aggregation);  // AVG still splits (as SUM+COUNT)
+
+  auto sub = engine.Subscribe("stats");
+  ASSERT_TRUE(sub.ok());
+  uint64_t total = 0;
+  for (int i = 0; i < 4; ++i) {
+    net::Packet packet = MakeTcpPacket((i + 1) * kNanosPerSecond, 0x0a000001,
+                                       80, std::string(i * 100, 'x'));
+    total += packet.orig_len;
+    ASSERT_TRUE(engine.InjectPacket("eth0", packet).ok());
+  }
+  engine.PumpUntilIdle();
+  engine.FlushAll();
+  auto row = (*sub)->NextRow();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_DOUBLE_EQ((*row)[1].float_value(), static_cast<double>(total) / 4);
+  EXPECT_EQ((*row)[2].uint_value(), 4u);
+}
+
+TEST(EngineTest, HavingWithParameterEndToEnd) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  auto info = engine.AddQuery(
+      "DEFINE { query_name hot; param floor UINT = 3; } "
+      "SELECT destIP, tb, count(*) FROM eth0.PKT "
+      "GROUP BY time AS tb, destIP HAVING count(*) > $floor");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  auto sub = engine.Subscribe("hot");
+  ASSERT_TRUE(sub.ok());
+
+  // Second 1: 5 packets to A (passes floor 3), 2 to B (filtered).
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine
+                    .InjectPacket("eth0",
+                                  MakeTcpPacket(kNanosPerSecond + i * 100,
+                                                0x0a0000aa, 80, "x"))
+                    .ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(engine
+                    .InjectPacket("eth0",
+                                  MakeTcpPacket(kNanosPerSecond + i * 100,
+                                                0x0a0000bb, 80, "x"))
+                    .ok());
+  }
+  engine.PumpUntilIdle();
+  engine.FlushAll();
+  auto row = (*sub)->NextRow();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[0].ip_value(), 0x0a0000aau);
+  EXPECT_EQ((*row)[2].uint_value(), 5u);
+  EXPECT_FALSE((*sub)->NextRow().has_value());
+}
+
+TEST(EngineTest, BandedMergeToleratesInBandDisorder) {
+  Engine engine;
+  std::vector<gsql::FieldDef> fields;
+  fields.push_back({"bt", DataType::kUint, gsql::OrderSpec::Banded(5)});
+  fields.push_back({"v", DataType::kUint, gsql::OrderSpec::None()});
+  for (const char* name : {"s0", "s1"}) {
+    ASSERT_TRUE(engine
+                    .DeclareStream(gsql::StreamSchema(
+                        name, gsql::StreamKind::kStream, fields))
+                    .ok());
+  }
+  auto info = engine.AddQuery(
+      "DEFINE { query_name m; } MERGE s0.bt : s1.bt FROM s0, s1");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  // The merge attribute stays banded in the output schema.
+  auto schema = engine.registry().GetSchema("m");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->field(0).order.kind,
+            gsql::OrderKind::kBandedIncreasing);
+
+  auto sub = engine.Subscribe("m");
+  ASSERT_TRUE(sub.ok());
+  // In-band disorder on both inputs.
+  for (uint64_t value : {5ull, 3ull, 7ull, 6ull, 10ull}) {
+    ASSERT_TRUE(
+        engine.InjectRow("s0", {Value::Uint(value), Value::Uint(0)}).ok());
+  }
+  for (uint64_t value : {4ull, 2ull, 8ull, 9ull, 12ull}) {
+    ASSERT_TRUE(
+        engine.InjectRow("s1", {Value::Uint(value), Value::Uint(1)}).ok());
+  }
+  engine.PumpUntilIdle();
+  engine.FlushAll();
+  std::vector<uint64_t> merged;
+  while (auto row = (*sub)->NextRow()) {
+    merged.push_back((*row)[0].uint_value());
+  }
+  ASSERT_EQ(merged.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end()));
+}
+
+TEST(EngineTest, DiagnosticsNameTheProblem) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  struct Case {
+    const char* query;
+    const char* expected_fragment;
+  };
+  const Case cases[] = {
+      {"SELECT nonsuch FROM eth0.PKT", "nonsuch"},
+      {"SELECT time FROM eth0.NOPE", "NOPE"},
+      {"SELECT time FROM wlan0.PKT", "wlan0"},
+      {"SELECT destIP, count(*) FROM eth0.PKT GROUP BY time", "destIP"},
+      {"SELECT time FROM eth0.PKT WHERE len > $undeclared", "undeclared"},
+      {"SELECT frobnicate(len) FROM eth0.PKT", "frobnicate"},
+      {"SELECT time FROM eth0.PKT WHERE payload = 5", "STRING"},
+      {"SELECT l.time FROM eth0.PKT l, eth0.PKT r WHERE l.len = r.len",
+       "window"},
+  };
+  for (const Case& test_case : cases) {
+    auto info = engine.AddQuery(test_case.query);
+    ASSERT_FALSE(info.ok()) << test_case.query;
+    EXPECT_NE(info.status().message().find(test_case.expected_fragment),
+              std::string::npos)
+        << "diagnostic for \"" << test_case.query << "\" was: "
+        << info.status().ToString();
+  }
+}
+
+TEST(EngineTest, OverloadDropsEarliestInTheChain) {
+  // §4/§5: "highly processed tuples ... are more valuable than
+  // less-processed tuples". With tiny channels and a consumer that never
+  // keeps up, losses land on the raw packet channel, not on the query's
+  // output.
+  EngineOptions options;
+  options.channel_capacity = 8;
+  Engine engine(options);
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name q; } "
+                            "SELECT time, len FROM eth0.PKT "
+                            "WHERE protocol = 6")
+                  .ok());
+  auto sub = engine.Subscribe("q", 1 << 12);
+  ASSERT_TRUE(sub.ok());
+
+  // Flood without pumping: the LFTA cannot drain its input.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine
+                    .InjectPacket("eth0",
+                                  MakeTcpPacket((i + 1) * 1000, 0x0a000001,
+                                                80, "x"))
+                    .ok());
+  }
+  uint64_t raw_drops = engine.registry().TotalDrops("eth0.PKT");
+  EXPECT_GE(raw_drops, 90u);  // ~92 of 100 dropped before any processing
+  EXPECT_EQ(engine.registry().TotalDrops("q"), 0u);
+
+  engine.PumpUntilIdle();
+  int delivered = 0;
+  while ((*sub)->NextRow()) ++delivered;
+  EXPECT_EQ(delivered, 8);  // exactly the channel's worth survived
+  EXPECT_EQ((*sub)->dropped(), 0u);
+}
+
+TEST(EngineTest, SubscriptionDropAccountingVisible) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name q; } "
+                            "SELECT time FROM eth0.PKT")
+                  .ok());
+  // A deliberately tiny subscriber buffer: the subscriber is the slow one.
+  auto sub = engine.Subscribe("q", 4);
+  ASSERT_TRUE(sub.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine
+                    .InjectPacket("eth0",
+                                  MakeTcpPacket((i + 1) * 1000, 0x0a000001,
+                                                80, "x"))
+                    .ok());
+    engine.PumpUntilIdle();
+  }
+  int received = 0;
+  while ((*sub)->NextRow()) ++received;
+  EXPECT_EQ(received, 4);
+  EXPECT_EQ((*sub)->dropped(), 46u);
+}
+
+TEST(EngineTest, InjectIntoUnknownInterfaceFails) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  net::Packet packet = MakeTcpPacket(1, 1, 1, "");
+  EXPECT_FALSE(engine.InjectPacket("eth9", packet).ok());
+}
+
+TEST(EngineTest, QueryInfoCarriesNicProgram) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  auto info = engine.AddQuery(
+      "DEFINE { query_name f; } "
+      "SELECT time FROM eth0.PKT "
+      "WHERE ipVersion = 4 AND protocol = 6 AND destPort = 80");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->has_nic_program);
+  EXPECT_GT(info->nic_program.size(), 0u);
+  EXPECT_GT(info->snap_len, 0u);  // header-only query
+}
+
+}  // namespace
+}  // namespace gigascope::core

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "gsql/analyzer.h"
+#include "gsql/parser.h"
+
+namespace gigascope::gsql {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.AddSchema(Catalog::BuiltinPacketSchema()).ok());
+    ASSERT_TRUE(catalog_.AddSchema(Catalog::BuiltinNetflowSchema()).ok());
+    catalog_.AddInterface("eth0");
+    catalog_.AddInterface("eth1");
+
+    // A derived stream, as if produced by an upstream query.
+    std::vector<FieldDef> fields;
+    fields.push_back({"time", DataType::kUint, OrderSpec::Increasing()});
+    fields.push_back({"destIP", DataType::kIp, OrderSpec::None()});
+    fields.push_back({"destPort", DataType::kUint, OrderSpec::None()});
+    catalog_.PutStreamSchema(
+        StreamSchema("tcpdest0", StreamKind::kStream, fields));
+    catalog_.PutStreamSchema(
+        StreamSchema("tcpdest1", StreamKind::kStream, fields));
+  }
+
+  Result<ResolvedSelect> Analyze(std::string_view query) {
+    auto stmt = ParseStatement(query);
+    if (!stmt.ok()) return stmt.status();
+    auto* select = std::get_if<SelectStmt>(&stmt.value());
+    if (select == nullptr) return Status::Internal("not a select");
+    return AnalyzeSelect(*select, catalog_);
+  }
+
+  Result<ResolvedMerge> AnalyzeM(std::string_view query) {
+    auto stmt = ParseStatement(query);
+    if (!stmt.ok()) return stmt.status();
+    auto* merge = std::get_if<MergeStmt>(&stmt.value());
+    if (merge == nullptr) return Status::Internal("not a merge");
+    return AnalyzeMerge(*merge, catalog_);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(AnalyzerTest, ResolvesProtocolWithInterface) {
+  auto resolved = Analyze("SELECT destIP FROM eth1.PKT");
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  ASSERT_EQ(resolved->inputs.size(), 1u);
+  EXPECT_EQ(resolved->inputs[0].interface_name, "eth1");
+}
+
+TEST_F(AnalyzerTest, UnqualifiedProtocolGetsDefaultInterface) {
+  auto resolved = Analyze("SELECT destIP FROM PKT");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->inputs[0].interface_name, "eth0");
+}
+
+TEST_F(AnalyzerTest, StreamInputHasNoInterface) {
+  auto resolved = Analyze("SELECT destIP FROM tcpdest0");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_TRUE(resolved->inputs[0].interface_name.empty());
+}
+
+TEST_F(AnalyzerTest, StreamCannotBindInterface) {
+  EXPECT_FALSE(Analyze("SELECT destIP FROM eth0.tcpdest0").ok());
+}
+
+TEST_F(AnalyzerTest, UnknownStreamIsNotFound) {
+  auto resolved = Analyze("SELECT x FROM nonesuch");
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), Status::Code::kNotFound);
+}
+
+TEST_F(AnalyzerTest, UnknownInterfaceIsNotFound) {
+  EXPECT_FALSE(Analyze("SELECT destIP FROM wlan7.PKT").ok());
+}
+
+TEST_F(AnalyzerTest, UnknownColumnIsNotFound) {
+  auto resolved = Analyze("SELECT frobnitz FROM PKT");
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_NE(resolved.status().message().find("frobnitz"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, ColumnsBindToFields) {
+  auto resolved = Analyze("SELECT destIP, destPort FROM PKT");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->bindings.size(), 2u);
+  for (const auto& [expr, binding] : resolved->bindings) {
+    EXPECT_EQ(binding.input, 0u);
+  }
+}
+
+TEST_F(AnalyzerTest, AmbiguousColumnInJoin) {
+  auto resolved = Analyze(
+      "SELECT time FROM tcpdest0 A, tcpdest1 B "
+      "WHERE A.time = B.time");
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_NE(resolved.status().message().find("ambiguous"),
+            std::string::npos);
+}
+
+TEST_F(AnalyzerTest, QualifiedColumnsResolveInJoin) {
+  auto resolved = Analyze(
+      "SELECT A.time, B.destPort FROM tcpdest0 A, tcpdest1 B "
+      "WHERE A.time = B.time");
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  EXPECT_TRUE(resolved->is_join());
+}
+
+TEST_F(AnalyzerTest, SelfJoinNeedsDistinctAliases) {
+  EXPECT_FALSE(
+      Analyze("SELECT tcpdest0.time FROM tcpdest0, tcpdest0").ok());
+}
+
+TEST_F(AnalyzerTest, AggregateDetected) {
+  auto resolved =
+      Analyze("SELECT time, count(*) FROM PKT GROUP BY time");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_TRUE(resolved->has_aggregates);
+  EXPECT_TRUE(resolved->is_aggregation());
+}
+
+TEST_F(AnalyzerTest, AggregateInWhereRejected) {
+  auto resolved = Analyze("SELECT time FROM PKT WHERE count(*) > 5");
+  EXPECT_FALSE(resolved.ok());
+}
+
+TEST_F(AnalyzerTest, NestedAggregateRejected) {
+  EXPECT_FALSE(
+      Analyze("SELECT sum(count(*)) FROM PKT GROUP BY time").ok());
+}
+
+TEST_F(AnalyzerTest, NonKeySelectItemRejected) {
+  auto resolved =
+      Analyze("SELECT destIP, count(*) FROM PKT GROUP BY time");
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_NE(resolved.status().message().find("destIP"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, KeyMatchedByAlias) {
+  auto resolved = Analyze(
+      "SELECT tb, count(*) FROM PKT GROUP BY time/60 AS tb");
+  EXPECT_TRUE(resolved.ok()) << resolved.status().ToString();
+}
+
+TEST_F(AnalyzerTest, KeyMatchedByExpressionText) {
+  auto resolved = Analyze(
+      "SELECT time/60, count(*) FROM PKT GROUP BY time/60");
+  EXPECT_TRUE(resolved.ok()) << resolved.status().ToString();
+}
+
+TEST_F(AnalyzerTest, HavingWithoutGroupingRejected) {
+  EXPECT_FALSE(Analyze("SELECT time FROM PKT HAVING time > 5").ok());
+}
+
+TEST_F(AnalyzerTest, MergeResolves) {
+  auto resolved = AnalyzeM(
+      "MERGE tcpdest0.time : tcpdest1.time FROM tcpdest0, tcpdest1");
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  EXPECT_EQ(resolved->merge_fields, (std::vector<size_t>{0, 0}));
+}
+
+TEST_F(AnalyzerTest, MergeColumnCountMustMatchInputs) {
+  EXPECT_FALSE(
+      AnalyzeM("MERGE tcpdest0.time FROM tcpdest0, tcpdest1").ok());
+}
+
+TEST_F(AnalyzerTest, MergeRequiresIdenticalSchemas) {
+  EXPECT_FALSE(AnalyzeM("MERGE time : time FROM tcpdest0, PKT").ok());
+}
+
+TEST_F(AnalyzerTest, MergeColumnMustBeOrdered) {
+  // destPort has no ordering property.
+  EXPECT_FALSE(AnalyzeM(
+      "MERGE tcpdest0.destPort : tcpdest1.destPort FROM tcpdest0, tcpdest1")
+                   .ok());
+}
+
+TEST_F(AnalyzerTest, MergeColumnsMustAgree) {
+  // Different attributes in the two inputs.
+  EXPECT_FALSE(AnalyzeM(
+      "MERGE tcpdest0.time : tcpdest1.destPort FROM tcpdest0, tcpdest1")
+                   .ok());
+}
+
+TEST_F(AnalyzerTest, MergeQualifierMustMatchPosition) {
+  EXPECT_FALSE(AnalyzeM(
+      "MERGE tcpdest1.time : tcpdest0.time FROM tcpdest0, tcpdest1")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace gigascope::gsql

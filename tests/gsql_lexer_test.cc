@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "gsql/lexer.h"
+
+namespace gigascope::gsql {
+namespace {
+
+std::vector<Token> MustTokenize(std::string_view source) {
+  auto tokens = Tokenize(source);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? *tokens : std::vector<Token>{};
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = MustTokenize("SELECT select SeLeCt");
+  ASSERT_EQ(tokens.size(), 4u);  // 3 + EOF
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kSelect);
+  }
+  EXPECT_EQ(tokens[3].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, IdentifiersPreserveSpelling) {
+  auto tokens = MustTokenize("destIP tcpdest0 _x");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "destIP");
+  EXPECT_EQ(tokens[1].text, "tcpdest0");
+  EXPECT_EQ(tokens[2].text, "_x");
+}
+
+TEST(LexerTest, IntAndFloatLiterals) {
+  auto tokens = MustTokenize("42 3.5");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.5);
+}
+
+TEST(LexerTest, IpLiteral) {
+  auto tokens = MustTokenize("10.1.2.3");
+  ASSERT_EQ(tokens[0].kind, TokenKind::kIpLiteral);
+  EXPECT_EQ(tokens[0].ip_value, 0x0a010203u);
+}
+
+TEST(LexerTest, IpLiteralNotConfusedWithFloat) {
+  auto tokens = MustTokenize("1.5 1.2.3.4");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kFloatLiteral);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIpLiteral);
+}
+
+TEST(LexerTest, StringLiteralWithEscape) {
+  auto tokens = MustTokenize("'hello ''world'''");
+  ASSERT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "hello 'world'");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, Param) {
+  auto tokens = MustTokenize("$port");
+  ASSERT_EQ(tokens[0].kind, TokenKind::kParam);
+  EXPECT_EQ(tokens[0].text, "port");
+}
+
+TEST(LexerTest, ParamRequiresName) {
+  EXPECT_FALSE(Tokenize("$ 5").ok());
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = MustTokenize("= <> != < <= > >= + - * / % & | ( ) { } , ; . :");
+  std::vector<TokenKind> expected = {
+      TokenKind::kEq,     TokenKind::kNeq,     TokenKind::kNeq,
+      TokenKind::kLt,     TokenKind::kLe,      TokenKind::kGt,
+      TokenKind::kGe,     TokenKind::kPlus,    TokenKind::kMinus,
+      TokenKind::kStar,   TokenKind::kSlash,   TokenKind::kPercent,
+      TokenKind::kAmp,    TokenKind::kPipe,    TokenKind::kLParen,
+      TokenKind::kRParen, TokenKind::kLBrace,  TokenKind::kRBrace,
+      TokenKind::kComma,  TokenKind::kSemicolon, TokenKind::kDot,
+      TokenKind::kColon,  TokenKind::kEof,
+  };
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = MustTokenize("SELECT -- a comment\n x");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(LexerTest, BlockComments) {
+  auto tokens = MustTokenize("a /* skip\nme */ b");
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  EXPECT_FALSE(Tokenize("a /* never ends").ok());
+}
+
+TEST(LexerTest, PositionsTracked) {
+  auto tokens = MustTokenize("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  auto result = Tokenize("a @ b");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("'@'"), std::string::npos);
+}
+
+TEST(LexerTest, OrderingKeywords) {
+  auto tokens = MustTokenize(
+      "INCREASING DECREASING STRICTLY NONREPEATING BANDED IN GROUP");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIncreasing);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDecreasing);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kStrictly);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNonrepeating);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kBanded);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kIn);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kGroup);
+}
+
+TEST(LexerTest, PaperExampleQueryTokenizes) {
+  auto tokens = MustTokenize(
+      "Select destIP, destPort, time From eth0.tcp "
+      "Where IPVersion = 4 and Protocol = 6");
+  EXPECT_GT(tokens.size(), 15u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSelect);
+}
+
+}  // namespace
+}  // namespace gigascope::gsql

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "gsql/parser.h"
+
+namespace gigascope::gsql {
+namespace {
+
+Statement MustParse(std::string_view source) {
+  auto result = ParseStatement(source);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : Statement{};
+}
+
+TEST(ParserTest, SimpleSelect) {
+  Statement stmt = MustParse(
+      "SELECT destIP, destPort, time FROM eth0.PKT "
+      "WHERE ipVersion = 4 AND protocol = 6");
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->items.size(), 3u);
+  ASSERT_EQ(select->from.size(), 1u);
+  EXPECT_EQ(select->from[0].interface_name, "eth0");
+  EXPECT_EQ(select->from[0].stream_name, "PKT");
+  ASSERT_NE(select->where, nullptr);
+  EXPECT_EQ(select->where->ToString(),
+            "((ipVersion = 4) AND (protocol = 6))");
+}
+
+TEST(ParserTest, DefineBlockBraced) {
+  Statement stmt = MustParse(
+      "DEFINE { query_name tcpdest0; } SELECT time FROM PKT");
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->define.query_name, "tcpdest0");
+}
+
+TEST(ParserTest, DefinePaperStyle) {
+  // The paper writes "DEFINE query name tcpdest0;".
+  Statement stmt = MustParse(
+      "DEFINE query name tcpdest0; SELECT time FROM PKT");
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->define.query_name, "tcpdest0");
+}
+
+TEST(ParserTest, DefineWithParams) {
+  Statement stmt = MustParse(
+      "DEFINE { query_name q; param threshold UINT = 100; param label "
+      "STRING; } SELECT time FROM PKT WHERE len > $threshold");
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  ASSERT_EQ(select->define.params.size(), 2u);
+  EXPECT_EQ(select->define.params[0].name, "threshold");
+  EXPECT_EQ(select->define.params[0].type, DataType::kUint);
+  ASSERT_NE(select->define.params[0].default_value, nullptr);
+  EXPECT_EQ(select->define.params[1].name, "label");
+  EXPECT_EQ(select->define.params[1].default_value, nullptr);
+}
+
+TEST(ParserTest, GroupByWithAliases) {
+  // The paper's getlpmid example shape.
+  Statement stmt = MustParse(
+      "SELECT peerid, tb, count(*) FROM tcpdest "
+      "GROUP BY time/60 AS tb, getlpmid(destIP, 'peers.tbl') AS peerid");
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  ASSERT_EQ(select->group_by.size(), 2u);
+  EXPECT_EQ(select->group_by[0].alias, "tb");
+  EXPECT_EQ(select->group_by[0].expr->ToString(), "(time / 60)");
+  EXPECT_EQ(select->group_by[1].alias, "peerid");
+  EXPECT_EQ(select->group_by[1].expr->ToString(),
+            "getlpmid(destIP, 'peers.tbl')");
+}
+
+TEST(ParserTest, CountStar) {
+  Statement stmt = MustParse("SELECT count(*) FROM PKT GROUP BY time");
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  auto* call = std::get_if<CallExpr>(&select->items[0].expr->node);
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(call->function, "count");
+  EXPECT_TRUE(call->star);
+}
+
+TEST(ParserTest, Having) {
+  Statement stmt = MustParse(
+      "SELECT destIP, count(*) AS c FROM PKT GROUP BY time, destIP "
+      "HAVING count(*) > 100");
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  ASSERT_NE(select->having, nullptr);
+  EXPECT_EQ(select->having->ToString(), "(count(*) > 100)");
+}
+
+TEST(ParserTest, TwoStreamJoin) {
+  Statement stmt = MustParse(
+      "SELECT B.time FROM lhs B, rhs C "
+      "WHERE B.time >= C.time - 1 AND B.time <= C.time + 1");
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  ASSERT_EQ(select->from.size(), 2u);
+  EXPECT_EQ(select->from[0].stream_name, "lhs");
+  EXPECT_EQ(select->from[0].alias, "B");
+  EXPECT_EQ(select->from[1].alias, "C");
+}
+
+TEST(ParserTest, ThreeStreamJoinRejected) {
+  EXPECT_FALSE(ParseStatement("SELECT x FROM a, b, c").ok());
+}
+
+TEST(ParserTest, MergePaperSyntax) {
+  Statement stmt = MustParse(
+      "DEFINE { query_name tcpdest; } "
+      "MERGE tcpdest0.time : tcpdest1.time FROM tcpdest0, tcpdest1");
+  auto* merge = std::get_if<MergeStmt>(&stmt);
+  ASSERT_NE(merge, nullptr);
+  EXPECT_EQ(merge->define.query_name, "tcpdest");
+  ASSERT_EQ(merge->merge_columns.size(), 2u);
+  EXPECT_EQ(merge->merge_columns[0].stream, "tcpdest0");
+  EXPECT_EQ(merge->merge_columns[0].column, "time");
+  ASSERT_EQ(merge->from.size(), 2u);
+}
+
+TEST(ParserTest, CreateProtocolWithOrdering) {
+  Statement stmt = MustParse(
+      "CREATE PROTOCOL FLOW ("
+      "  endTime UINT INCREASING,"
+      "  startTime UINT BANDED INCREASING(30),"
+      "  seq UINT STRICTLY INCREASING,"
+      "  hash UINT NONREPEATING,"
+      "  flowTime UINT INCREASING IN GROUP(srcIP, destIP),"
+      "  srcIP IP, destIP IP,"
+      "  note STRING)");
+  auto* create = std::get_if<CreateStmt>(&stmt);
+  ASSERT_NE(create, nullptr);
+  const StreamSchema& schema = create->schema;
+  EXPECT_EQ(schema.name(), "FLOW");
+  EXPECT_EQ(schema.kind(), StreamKind::kProtocol);
+  EXPECT_EQ(schema.field(0).order.kind, OrderKind::kIncreasing);
+  EXPECT_EQ(schema.field(1).order.kind, OrderKind::kBandedIncreasing);
+  EXPECT_EQ(schema.field(1).order.band, 30u);
+  EXPECT_EQ(schema.field(2).order.kind, OrderKind::kStrictlyIncreasing);
+  EXPECT_EQ(schema.field(3).order.kind, OrderKind::kNonRepeating);
+  EXPECT_EQ(schema.field(4).order.kind, OrderKind::kIncreasingInGroup);
+  EXPECT_EQ(schema.field(4).order.group_fields,
+            (std::vector<std::string>{"srcIP", "destIP"}));
+  EXPECT_EQ(schema.field(7).type, DataType::kString);
+}
+
+TEST(ParserTest, CreateStream) {
+  Statement stmt = MustParse("CREATE STREAM S (t UINT INCREASING, v FLOAT)");
+  auto* create = std::get_if<CreateStmt>(&stmt);
+  ASSERT_NE(create, nullptr);
+  EXPECT_EQ(create->schema.kind(), StreamKind::kStream);
+}
+
+TEST(ParserTest, DdlRejectsOrderedString) {
+  EXPECT_FALSE(
+      ParseStatement("CREATE PROTOCOL P (s STRING INCREASING)").ok());
+}
+
+TEST(ParserTest, DdlRejectsDuplicateField) {
+  EXPECT_FALSE(ParseStatement("CREATE PROTOCOL P (a INT, a INT)").ok());
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  Statement stmt = MustParse("SELECT a + b * c - d / e FROM PKT");
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->items[0].expr->ToString(),
+            "((a + (b * c)) - (d / e))");
+}
+
+TEST(ParserTest, LogicalPrecedence) {
+  Statement stmt = MustParse("SELECT x FROM PKT WHERE a = 1 OR b = 2 AND c = 3");
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->where->ToString(),
+            "((a = 1) OR ((b = 2) AND (c = 3)))");
+}
+
+TEST(ParserTest, NotAndUnaryMinus) {
+  Statement stmt = MustParse("SELECT x FROM PKT WHERE NOT a = -1");
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->where->ToString(), "NOT (a = -1)");
+}
+
+TEST(ParserTest, IpLiteralInPredicate) {
+  Statement stmt = MustParse("SELECT x FROM PKT WHERE destIP = 10.0.0.1");
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->where->ToString(), "(destIP = 10.0.0.1)");
+}
+
+TEST(ParserTest, MultiStatementProgram) {
+  auto program = Parse(
+      "CREATE PROTOCOL A (t UINT INCREASING);"
+      "SELECT t FROM A;"
+      "SELECT t FROM A");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->statements.size(), 3u);
+}
+
+TEST(ParserTest, EmptyProgramIsError) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("  -- just a comment").ok());
+}
+
+TEST(ParserTest, GarbageIsError) {
+  EXPECT_FALSE(ParseStatement("FROBNICATE ALL THE THINGS").ok());
+  EXPECT_FALSE(ParseStatement("SELECT FROM").ok());
+  EXPECT_FALSE(ParseStatement("SELECT x FROM").ok());
+  EXPECT_FALSE(ParseStatement("SELECT x").ok());
+}
+
+TEST(ParserTest, ErrorsIncludePosition) {
+  auto result = ParseStatement("SELECT x\nFROM ???");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gigascope::gsql

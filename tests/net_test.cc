@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "net/headers.h"
+#include "net/packet.h"
+#include "net/pcap.h"
+
+namespace gigascope::net {
+namespace {
+
+TcpPacketSpec SampleTcpSpec() {
+  TcpPacketSpec spec;
+  spec.src_addr = 0x0a000001;  // 10.0.0.1
+  spec.dst_addr = 0x0a000002;  // 10.0.0.2
+  spec.src_port = 49152;
+  spec.dst_port = 80;
+  spec.seq = 1000;
+  spec.ack = 2000;
+  spec.flags = kTcpFlagAck | kTcpFlagPsh;
+  spec.payload = "HTTP/1.1 200 OK\r\n\r\nhello";
+  return spec;
+}
+
+TEST(HeadersTest, TcpBuildDecodeRoundTrip) {
+  ByteBuffer bytes = BuildTcpPacket(SampleTcpSpec());
+  auto decoded = DecodePacket(ByteSpan(bytes.data(), bytes.size()));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->is_ipv4());
+  ASSERT_TRUE(decoded->is_tcp());
+  EXPECT_EQ(decoded->ip->src_addr, 0x0a000001u);
+  EXPECT_EQ(decoded->ip->dst_addr, 0x0a000002u);
+  EXPECT_EQ(decoded->ip->protocol, kIpProtoTcp);
+  EXPECT_EQ(decoded->tcp->src_port, 49152);
+  EXPECT_EQ(decoded->tcp->dst_port, 80);
+  EXPECT_EQ(decoded->tcp->seq, 1000u);
+  EXPECT_EQ(decoded->tcp->ack, 2000u);
+  EXPECT_EQ(decoded->tcp->flags, kTcpFlagAck | kTcpFlagPsh);
+  std::string payload(reinterpret_cast<const char*>(decoded->payload.data()),
+                      decoded->payload.size());
+  EXPECT_EQ(payload, "HTTP/1.1 200 OK\r\n\r\nhello");
+}
+
+TEST(HeadersTest, UdpBuildDecodeRoundTrip) {
+  UdpPacketSpec spec;
+  spec.src_addr = 0xc0a80101;
+  spec.dst_addr = 0xc0a80102;
+  spec.src_port = 5353;
+  spec.dst_port = 53;
+  spec.payload = "dns-ish";
+  ByteBuffer bytes = BuildUdpPacket(spec);
+  auto decoded = DecodePacket(ByteSpan(bytes.data(), bytes.size()));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->is_udp());
+  EXPECT_FALSE(decoded->is_tcp());
+  EXPECT_EQ(decoded->udp->src_port, 5353);
+  EXPECT_EQ(decoded->udp->dst_port, 53);
+  EXPECT_EQ(decoded->udp->length, kUdpHeaderLen + spec.payload.size());
+}
+
+TEST(HeadersTest, IpChecksumValid) {
+  ByteBuffer bytes = BuildTcpPacket(SampleTcpSpec());
+  // Recomputing the checksum over the IP header (with the stored checksum
+  // in place) must yield zero.
+  ByteSpan header(bytes.data() + kEthernetHeaderLen, kIpv4MinHeaderLen);
+  EXPECT_EQ(InternetChecksum(header), 0);
+}
+
+TEST(HeadersTest, TotalLengthConsistent) {
+  TcpPacketSpec spec = SampleTcpSpec();
+  ByteBuffer bytes = BuildTcpPacket(spec);
+  auto decoded = DecodePacket(ByteSpan(bytes.data(), bytes.size()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->ip->total_len,
+            kIpv4MinHeaderLen + kTcpMinHeaderLen + spec.payload.size());
+  EXPECT_EQ(bytes.size(), kEthernetHeaderLen + decoded->ip->total_len);
+}
+
+TEST(HeadersTest, TruncatedPacketStopsAtParsedLayer) {
+  ByteBuffer bytes = BuildTcpPacket(SampleTcpSpec());
+  // Cut inside the TCP header: Ethernet + IP parse, TCP does not.
+  ByteSpan truncated(bytes.data(), kEthernetHeaderLen + kIpv4MinHeaderLen + 4);
+  auto decoded = DecodePacket(truncated);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->is_ipv4());
+  EXPECT_FALSE(decoded->is_tcp());
+}
+
+TEST(HeadersTest, TooShortForEthernetIsError) {
+  ByteBuffer bytes = {1, 2, 3};
+  EXPECT_FALSE(DecodePacket(ByteSpan(bytes.data(), bytes.size())).ok());
+}
+
+TEST(HeadersTest, NonIpv4EtherTypeYieldsNoIpLayer) {
+  ByteBuffer bytes = BuildTcpPacket(SampleTcpSpec());
+  bytes[12] = 0x86;  // 0x86dd = IPv6 ethertype
+  bytes[13] = 0xdd;
+  auto decoded = DecodePacket(ByteSpan(bytes.data(), bytes.size()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->is_ipv4());
+}
+
+TEST(HeadersTest, FragmentHasNoTransportHeader) {
+  ByteBuffer bytes = BuildTcpPacket(SampleTcpSpec());
+  // Set fragment offset to 100 (bytes 20-21 of IP header = offset 34).
+  bytes[kEthernetHeaderLen + 6] = 0x00;
+  bytes[kEthernetHeaderLen + 7] = 100;
+  auto decoded = DecodePacket(ByteSpan(bytes.data(), bytes.size()));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->is_ipv4());
+  EXPECT_EQ(decoded->ip->fragment_offset, 100);
+  EXPECT_FALSE(decoded->is_tcp());
+}
+
+TEST(PacketTest, SnapLenTruncates) {
+  Packet packet;
+  packet.bytes = BuildTcpPacket(SampleTcpSpec());
+  packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+  uint32_t original = packet.orig_len;
+  ApplySnapLen(&packet, 60);
+  EXPECT_EQ(packet.bytes.size(), 60u);
+  EXPECT_EQ(packet.orig_len, original);
+  // Snap 0 = no truncation.
+  Packet full;
+  full.bytes = BuildTcpPacket(SampleTcpSpec());
+  size_t len = full.bytes.size();
+  ApplySnapLen(&full, 0);
+  EXPECT_EQ(full.bytes.size(), len);
+}
+
+class PcapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "gs_pcap_test.pcap";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(PcapTest, WriteReadRoundTrip) {
+  PcapWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  std::vector<Packet> packets;
+  for (int i = 0; i < 10; ++i) {
+    Packet packet;
+    TcpPacketSpec spec = SampleTcpSpec();
+    spec.seq = static_cast<uint32_t>(i);
+    packet.bytes = BuildTcpPacket(spec);
+    packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+    packet.timestamp = i * kNanosPerSecond + i * 37;
+    ASSERT_TRUE(writer.Write(packet).ok());
+    packets.push_back(std::move(packet));
+  }
+  EXPECT_EQ(writer.packets_written(), 10u);
+  ASSERT_TRUE(writer.Close().ok());
+
+  PcapReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  EXPECT_EQ(reader.link_type(), kLinkTypeEthernet);
+  for (int i = 0; i < 10; ++i) {
+    Packet packet;
+    bool eof = false;
+    ASSERT_TRUE(reader.Next(&packet, &eof).ok());
+    ASSERT_FALSE(eof);
+    EXPECT_EQ(packet.timestamp, packets[i].timestamp);
+    EXPECT_EQ(packet.bytes, packets[i].bytes);
+    EXPECT_EQ(packet.orig_len, packets[i].orig_len);
+  }
+  Packet packet;
+  bool eof = false;
+  ASSERT_TRUE(reader.Next(&packet, &eof).ok());
+  EXPECT_TRUE(eof);
+}
+
+TEST_F(PcapTest, SnapLenRecordedInCapture) {
+  PcapWriter writer;
+  ASSERT_TRUE(writer.Open(path_, 60).ok());
+  Packet packet;
+  packet.bytes = BuildTcpPacket(SampleTcpSpec());
+  packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+  ASSERT_GT(packet.orig_len, 60u);
+  ApplySnapLen(&packet, 60);
+  ASSERT_TRUE(writer.Write(packet).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  PcapReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  EXPECT_EQ(reader.snap_len(), 60u);
+  Packet read_back;
+  bool eof = false;
+  ASSERT_TRUE(reader.Next(&read_back, &eof).ok());
+  ASSERT_FALSE(eof);
+  EXPECT_EQ(read_back.bytes.size(), 60u);
+  EXPECT_GT(read_back.orig_len, 60u);
+}
+
+TEST_F(PcapTest, RejectsGarbageFile) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char garbage[] = "this is not a pcap file at all";
+  std::fwrite(garbage, 1, sizeof(garbage), f);
+  std::fclose(f);
+  PcapReader reader;
+  EXPECT_FALSE(reader.Open(path_).ok());
+}
+
+TEST_F(PcapTest, MissingFileIsNotFound) {
+  PcapReader reader;
+  Status status = reader.Open("/nonexistent/definitely/missing.pcap");
+  EXPECT_EQ(status.code(), Status::Code::kNotFound);
+}
+
+TEST_F(PcapTest, TruncatedRecordIsError) {
+  PcapWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  Packet packet;
+  packet.bytes = BuildTcpPacket(SampleTcpSpec());
+  packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+  ASSERT_TRUE(writer.Write(packet).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  // Truncate the file mid-record.
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path_.c_str(), size - 10), 0);
+
+  PcapReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  Packet read_back;
+  bool eof = false;
+  EXPECT_FALSE(reader.Next(&read_back, &eof).ok());
+}
+
+TEST_F(PcapTest, ReadsForeignByteOrder) {
+  // Hand-craft a classic (microsecond) pcap whose global header and record
+  // headers are big-endian — as if captured on an opposite-endian machine.
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  auto put32be = [f](uint32_t v) {
+    uint8_t bytes[4] = {static_cast<uint8_t>(v >> 24),
+                        static_cast<uint8_t>(v >> 16),
+                        static_cast<uint8_t>(v >> 8),
+                        static_cast<uint8_t>(v)};
+    std::fwrite(bytes, 1, 4, f);
+  };
+  auto put16be = [f](uint16_t v) {
+    uint8_t bytes[2] = {static_cast<uint8_t>(v >> 8),
+                        static_cast<uint8_t>(v)};
+    std::fwrite(bytes, 1, 2, f);
+  };
+  put32be(kPcapMagic);  // on a little-endian reader this arrives swapped
+  put16be(2);           // version major
+  put16be(4);           // version minor
+  put32be(0);           // thiszone
+  put32be(0);           // sigfigs
+  put32be(65535);       // snaplen
+  put32be(kLinkTypeEthernet);
+  // One record: ts = 7s + 500us, 4 captured of 60 original bytes.
+  put32be(7);
+  put32be(500);
+  put32be(4);
+  put32be(60);
+  const uint8_t body[4] = {0xde, 0xad, 0xbe, 0xef};
+  std::fwrite(body, 1, 4, f);
+  std::fclose(f);
+
+  PcapReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  EXPECT_EQ(reader.snap_len(), 65535u);
+  Packet packet;
+  bool eof = false;
+  ASSERT_TRUE(reader.Next(&packet, &eof).ok());
+  ASSERT_FALSE(eof);
+  EXPECT_EQ(packet.timestamp, 7 * kNanosPerSecond + 500 * kNanosPerMicro);
+  EXPECT_EQ(packet.orig_len, 60u);
+  EXPECT_EQ(packet.bytes, (ByteBuffer{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST_F(PcapTest, MicrosecondMagicScalesTimestamps) {
+  // Same-endian classic magic: subseconds are microseconds, not nanos.
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  auto put32 = [f](uint32_t v) { std::fwrite(&v, 4, 1, f); };
+  auto put16 = [f](uint16_t v) { std::fwrite(&v, 2, 1, f); };
+  put32(kPcapMagic);
+  put16(2);
+  put16(4);
+  put32(0);
+  put32(0);
+  put32(65535);
+  put32(kLinkTypeEthernet);
+  put32(1);    // 1 second
+  put32(250);  // 250 microseconds
+  put32(0);    // empty body
+  put32(0);
+  std::fclose(f);
+
+  PcapReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  Packet packet;
+  bool eof = false;
+  ASSERT_TRUE(reader.Next(&packet, &eof).ok());
+  EXPECT_EQ(packet.timestamp, kNanosPerSecond + 250 * kNanosPerMicro);
+}
+
+}  // namespace
+}  // namespace gigascope::net

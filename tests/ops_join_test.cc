@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include "expr/codegen.h"
+#include "ops/join.h"
+#include "rts/punctuation.h"
+
+namespace gigascope::ops {
+namespace {
+
+using expr::CompiledExpr;
+using expr::Value;
+using gsql::BinaryOp;
+using gsql::DataType;
+using gsql::FieldDef;
+using gsql::OrderSpec;
+using gsql::StreamKind;
+using gsql::StreamSchema;
+
+StreamSchema SideSchema(const std::string& name) {
+  std::vector<FieldDef> fields;
+  fields.push_back({"ts", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"v", DataType::kUint, OrderSpec::None()});
+  return StreamSchema(name, StreamKind::kStream, fields);
+}
+
+StreamSchema JoinedSchema() {
+  std::vector<FieldDef> fields;
+  fields.push_back({"ts", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"v", DataType::kUint, OrderSpec::None()});
+  fields.push_back({"r_ts", DataType::kUint, OrderSpec::None()});
+  fields.push_back({"r_v", DataType::kUint, OrderSpec::None()});
+  return StreamSchema("joined", StreamKind::kStream, fields);
+}
+
+class JoinTest : public ::testing::Test {
+ protected:
+  /// Window: left.ts - right.ts in [lo, hi]; no residual predicate by
+  /// default.
+  void Init(int64_t lo, int64_t hi, bool with_predicate = false,
+            bool order_preserving = false) {
+    ASSERT_TRUE(registry_.DeclareStream(SideSchema("l")).ok());
+    ASSERT_TRUE(registry_.DeclareStream(SideSchema("r")).ok());
+    ASSERT_TRUE(registry_.DeclareStream(JoinedSchema()).ok());
+    WindowJoinNode::Spec spec;
+    spec.name = "joined";
+    spec.left_schema = SideSchema("l");
+    spec.right_schema = SideSchema("r");
+    spec.output_schema = JoinedSchema();
+    spec.left_field = 0;
+    spec.right_field = 0;
+    spec.lo = lo;
+    spec.hi = hi;
+    spec.order_preserving = order_preserving;
+    if (with_predicate) {
+      // l.v = r.v
+      auto ir = expr::MakeBinaryIr(
+          BinaryOp::kEq, DataType::kBool,
+          expr::MakeFieldRef(0, 1, DataType::kUint, "v"),
+          expr::MakeFieldRef(1, 1, DataType::kUint, "v"));
+      auto compiled = expr::Compile(ir);
+      ASSERT_TRUE(compiled.ok());
+      spec.predicate = std::move(compiled).value();
+    }
+    auto in_l = registry_.Subscribe("l", 4096);
+    auto in_r = registry_.Subscribe("r", 4096);
+    ASSERT_TRUE(in_l.ok() && in_r.ok());
+    params_ = std::make_shared<std::vector<Value>>();
+    node_ = std::make_unique<WindowJoinNode>(std::move(spec), *in_l, *in_r,
+                                             &registry_, params_);
+    auto output = registry_.Subscribe("joined", 8192);
+    ASSERT_TRUE(output.ok());
+    output_ = *output;
+    codec_ = std::make_unique<rts::TupleCodec>(JoinedSchema());
+  }
+
+  void Send(const std::string& stream, uint64_t ts, uint64_t v) {
+    rts::TupleCodec codec(SideSchema(stream));
+    rts::StreamMessage message;
+    codec.Encode({Value::Uint(ts), Value::Uint(v)}, &message.payload);
+    registry_.Publish(stream, message);
+  }
+
+  /// Returns (left_ts, right_ts) pairs.
+  std::vector<std::pair<uint64_t, uint64_t>> ReceivePairs() {
+    std::vector<std::pair<uint64_t, uint64_t>> pairs;
+    rts::StreamMessage message;
+    while (output_->TryPop(&message)) {
+      if (message.kind != rts::StreamMessage::Kind::kTuple) continue;
+      auto row = codec_->Decode(
+          ByteSpan(message.payload.data(), message.payload.size()));
+      if (row.ok()) {
+        pairs.emplace_back((*row)[0].uint_value(), (*row)[2].uint_value());
+      }
+    }
+    return pairs;
+  }
+
+  rts::StreamRegistry registry_;
+  rts::ParamBlock params_;
+  std::unique_ptr<WindowJoinNode> node_;
+  rts::Subscription output_;
+  std::unique_ptr<rts::TupleCodec> codec_;
+};
+
+/// Standalone harness for the buffer-cost ablation (no gtest fixture).
+size_t JoinScenarioHighWater(bool order_preserving) {
+  rts::StreamRegistry registry;
+  registry.DeclareStream(SideSchema("l")).ok();
+  registry.DeclareStream(SideSchema("r")).ok();
+  registry.DeclareStream(JoinedSchema()).ok();
+  WindowJoinNode::Spec spec;
+  spec.name = "joined";
+  spec.left_schema = SideSchema("l");
+  spec.right_schema = SideSchema("r");
+  spec.output_schema = JoinedSchema();
+  spec.lo = -8;
+  spec.hi = 8;
+  spec.order_preserving = order_preserving;
+  auto left = registry.Subscribe("l", 4096);
+  auto right = registry.Subscribe("r", 4096);
+  auto params = std::make_shared<std::vector<Value>>();
+  WindowJoinNode node(std::move(spec), *left, *right, &registry, params);
+  rts::TupleCodec codec(SideSchema("l"));
+  for (uint64_t t = 1; t <= 400; ++t) {
+    for (const char* stream : {"l", "r"}) {
+      rts::StreamMessage message;
+      codec.Encode({Value::Uint(t), Value::Uint(0)}, &message.payload);
+      registry.Publish(stream, message);
+    }
+    if (t % 16 == 0) node.Poll(1 << 20);
+  }
+  node.Poll(1 << 20);
+  return node.buffer_high_water();
+}
+
+TEST_F(JoinTest, EqualityWindowJoinsMatchingTimestamps) {
+  Init(0, 0);
+  Send("l", 1, 10);
+  Send("l", 2, 20);
+  Send("r", 2, 200);
+  Send("r", 3, 300);
+  node_->Poll(100);
+  auto pairs = ReceivePairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(uint64_t{2}, uint64_t{2}));
+}
+
+TEST_F(JoinTest, BandWindowJoinsNearbyTimestamps) {
+  Init(-1, 1);
+  Send("l", 5, 0);
+  Send("r", 4, 0);
+  Send("r", 5, 0);
+  Send("r", 6, 0);
+  Send("r", 7, 0);  // outside the window
+  node_->Poll(100);
+  auto pairs = ReceivePairs();
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+TEST_F(JoinTest, ResidualPredicateFilters) {
+  Init(0, 0, /*with_predicate=*/true);
+  Send("l", 1, 10);
+  Send("r", 1, 10);  // v matches
+  Send("l", 2, 20);
+  Send("r", 2, 99);  // v differs
+  node_->Poll(100);
+  auto pairs = ReceivePairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 1u);
+}
+
+TEST_F(JoinTest, BothArrivalOrdersProduceSameMatches) {
+  Init(0, 0);
+  Send("l", 1, 0);
+  Send("r", 1, 0);  // right after left
+  Send("r", 2, 0);
+  Send("l", 2, 0);  // left after right
+  node_->Poll(100);
+  auto pairs = ReceivePairs();
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
+TEST_F(JoinTest, NoDuplicateEmission) {
+  Init(-2, 2);
+  for (uint64_t t = 1; t <= 5; ++t) {
+    Send("l", t, 0);
+    Send("r", t, 0);
+  }
+  node_->Poll(1000);
+  auto pairs = ReceivePairs();
+  // Count of pairs with |l-r| <= 2, l,r in 1..5: for each l, r in
+  // [l-2, l+2] ∩ [1,5].
+  size_t expected = 0;
+  for (int l = 1; l <= 5; ++l) {
+    for (int r = 1; r <= 5; ++r) {
+      if (std::abs(l - r) <= 2) ++expected;
+    }
+  }
+  EXPECT_EQ(pairs.size(), expected);
+}
+
+TEST_F(JoinTest, WatermarksBoundBufferState) {
+  Init(0, 0);
+  // Streams advance together: purged state stays tiny.
+  for (uint64_t t = 1; t <= 1000; ++t) {
+    Send("l", t, 0);
+    Send("r", t, 0);
+    if (t % 10 == 0) node_->Poll(100);
+  }
+  node_->Poll(1000);
+  EXPECT_LE(node_->buffered_left(), 4u);
+  EXPECT_LE(node_->buffered_right(), 4u);
+}
+
+TEST_F(JoinTest, WiderWindowBuffersMore) {
+  Init(-50, 50);
+  for (uint64_t t = 1; t <= 500; ++t) {
+    Send("l", t, 0);
+    Send("r", t, 0);
+    if (t % 10 == 0) node_->Poll(100);
+  }
+  node_->Poll(10000);
+  // Window of +/-50 keeps roughly 50 tuples alive per side.
+  EXPECT_GE(node_->buffer_high_water(), 50u);
+  EXPECT_LE(node_->buffer_high_water(), 250u);
+}
+
+TEST_F(JoinTest, PunctuationAdvancesWatermark) {
+  Init(0, 0);
+  Send("l", 1, 0);
+  Send("l", 2, 0);
+  node_->Poll(100);
+  EXPECT_EQ(node_->buffered_left(), 2u);
+  // The right stream is silent; a punctuation r.ts >= 10 proves tuples 1-2
+  // can never match and purges them.
+  rts::Punctuation punctuation;
+  punctuation.bounds.emplace_back(0, Value::Uint(10));
+  registry_.Publish("r", rts::MakePunctuationMessage(punctuation,
+                                                     SideSchema("r")));
+  node_->Poll(100);
+  EXPECT_EQ(node_->buffered_left(), 0u);
+}
+
+TEST_F(JoinTest, FlushClearsBuffers) {
+  Init(-5, 5);
+  Send("l", 1, 0);
+  Send("r", 100, 0);
+  node_->Poll(100);
+  node_->Flush();
+  EXPECT_EQ(node_->buffered_left(), 0u);
+  EXPECT_EQ(node_->buffered_right(), 0u);
+}
+
+TEST_F(JoinTest, EagerAlgorithmEmitsOutOfOrderWithinBand) {
+  Init(-3, 3);
+  // Left 5 arrives and matches right 3..7 as they come; then left 2
+  // arrives late-ish and matches right 3, emitting key 2 after key 5.
+  Send("l", 5, 0);
+  Send("r", 3, 0);
+  Send("l", 6, 0);
+  node_->Poll(100);
+  auto pairs = ReceivePairs();
+  ASSERT_GE(pairs.size(), 2u);
+  // Eager emission order follows arrival: (5,3) then (6,3) — keys are at
+  // most banded, not guaranteed sorted across interleavings.
+  EXPECT_EQ(pairs[0].first, 5u);
+}
+
+TEST_F(JoinTest, OrderPreservingAlgorithmSortsOutput) {
+  Init(-3, 3, /*with_predicate=*/false, /*order_preserving=*/true);
+  // Matches complete out of order; releases must come back sorted.
+  Send("l", 5, 0);
+  Send("r", 5, 0);   // match key 5 completes first
+  Send("l", 3, 0);   // within nothing — monotone stream, fine: 3 < 5?
+  node_->Poll(100);
+  // (Use a fresh setup below with genuinely out-of-order completion.)
+  node_->Flush();
+  auto pairs = ReceivePairs();
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_LE(pairs[i - 1].first, pairs[i].first);
+  }
+}
+
+TEST_F(JoinTest, OrderPreservingHoldsUntilBoundPasses) {
+  Init(-2, 2, false, /*order_preserving=*/true);
+  Send("l", 10, 0);
+  Send("r", 10, 0);
+  node_->Poll(100);
+  // Match complete but bound = min(L, R+lo) = min(10, 8) = 8 < 10: held.
+  EXPECT_TRUE(ReceivePairs().empty());
+  EXPECT_EQ(node_->pending_matches(), 1u);
+  // Watermarks advance past the hold point.
+  Send("l", 20, 0);
+  Send("r", 20, 0);
+  node_->Poll(100);
+  auto pairs = ReceivePairs();
+  ASSERT_GE(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 10u);
+}
+
+TEST_F(JoinTest, OrderPreservingOutputSortedUnderBandedCompletion) {
+  Init(-4, 4, false, /*order_preserving=*/true);
+  // Right arrives far ahead; lefts then complete matches newest-first.
+  Send("r", 10, 0);
+  Send("r", 12, 0);
+  Send("l", 12, 0);  // completes (12,10) (12,12)
+  Send("l", 9, 0);   // completes (9,10) (9,12) — earlier key, later time
+  node_->Poll(100);
+  node_->Flush();
+  auto pairs = ReceivePairs();
+  ASSERT_EQ(pairs.size(), 4u);
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_LE(pairs[i - 1].first, pairs[i].first)
+        << "order-preserving output out of order at " << i;
+  }
+}
+
+TEST(JoinAblationTest, OrderPreservingCostsMoreBuffer) {
+  size_t eager = JoinScenarioHighWater(false);
+  size_t preserving = JoinScenarioHighWater(true);
+  EXPECT_GT(preserving, eager);  // "requires more buffer space" (§2.1)
+}
+
+}  // namespace
+}  // namespace gigascope::ops

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "expr/codegen.h"
+#include "ops/select_project.h"
+#include "rts/punctuation.h"
+
+namespace gigascope::ops {
+namespace {
+
+using expr::CompiledExpr;
+using expr::Value;
+using gsql::BinaryOp;
+using gsql::DataType;
+using gsql::FieldDef;
+using gsql::OrderSpec;
+using gsql::StreamKind;
+using gsql::StreamSchema;
+
+StreamSchema InputSchema() {
+  std::vector<FieldDef> fields;
+  fields.push_back({"t", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"v", DataType::kUint, OrderSpec::None()});
+  return StreamSchema("in", StreamKind::kStream, fields);
+}
+
+StreamSchema OutputSchema() {
+  std::vector<FieldDef> fields;
+  fields.push_back({"tb", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"v2", DataType::kUint, OrderSpec::None()});
+  return StreamSchema("out", StreamKind::kStream, fields);
+}
+
+CompiledExpr MustCompile(const expr::IrPtr& ir) {
+  auto compiled = expr::Compile(ir);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return std::move(compiled).value();
+}
+
+class SelectProjectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_.DeclareStream(InputSchema()).ok());
+    ASSERT_TRUE(registry_.DeclareStream(OutputSchema()).ok());
+
+    SelectProjectNode::Spec spec;
+    spec.name = "out";
+    spec.input_schema = InputSchema();
+    spec.output_schema = OutputSchema();
+    // WHERE v > 10
+    spec.predicate = MustCompile(expr::MakeBinaryIr(
+        BinaryOp::kGt, DataType::kBool,
+        expr::MakeFieldRef(0, 1, DataType::kUint, "v"),
+        expr::MakeConst(Value::Uint(10))));
+    // SELECT t/60 AS tb, v*2 AS v2
+    spec.projections.push_back(MustCompile(expr::MakeBinaryIr(
+        BinaryOp::kDiv, DataType::kUint,
+        expr::MakeFieldRef(0, 0, DataType::kUint, "t"),
+        expr::MakeConst(Value::Uint(60)))));
+    spec.projections.push_back(MustCompile(expr::MakeBinaryIr(
+        BinaryOp::kMul, DataType::kUint,
+        expr::MakeFieldRef(0, 1, DataType::kUint, "v"),
+        expr::MakeConst(Value::Uint(2)))));
+    spec.punctuation_source = {0, -1};  // tb maps from field t
+
+    auto input = registry_.Subscribe("in", 64);
+    ASSERT_TRUE(input.ok());
+    params_ = std::make_shared<std::vector<Value>>();
+    node_ = std::make_unique<SelectProjectNode>(std::move(spec), *input,
+                                                &registry_, params_);
+    auto output = registry_.Subscribe("out", 64);
+    ASSERT_TRUE(output.ok());
+    output_ = *output;
+    codec_ = std::make_unique<rts::TupleCodec>(OutputSchema());
+  }
+
+  void Send(uint64_t t, uint64_t v) {
+    rts::TupleCodec codec(InputSchema());
+    rts::StreamMessage message;
+    codec.Encode({Value::Uint(t), Value::Uint(v)}, &message.payload);
+    registry_.Publish("in", message);
+  }
+
+  std::optional<rts::Row> Receive() {
+    rts::StreamMessage message;
+    while (output_->TryPop(&message)) {
+      if (message.kind != rts::StreamMessage::Kind::kTuple) continue;
+      auto row = codec_->Decode(
+          ByteSpan(message.payload.data(), message.payload.size()));
+      if (row.ok()) return std::move(row).value();
+    }
+    return std::nullopt;
+  }
+
+  std::optional<rts::Punctuation> ReceivePunctuation() {
+    rts::StreamMessage message;
+    while (output_->TryPop(&message)) {
+      if (message.kind != rts::StreamMessage::Kind::kPunctuation) continue;
+      auto punctuation = rts::DecodePunctuation(
+          ByteSpan(message.payload.data(), message.payload.size()),
+          OutputSchema());
+      if (punctuation.ok()) return std::move(punctuation).value();
+    }
+    return std::nullopt;
+  }
+
+  rts::StreamRegistry registry_;
+  rts::ParamBlock params_;
+  std::unique_ptr<SelectProjectNode> node_;
+  rts::Subscription output_;
+  std::unique_ptr<rts::TupleCodec> codec_;
+};
+
+TEST_F(SelectProjectTest, FiltersAndProjects) {
+  Send(120, 50);
+  Send(130, 5);  // filtered out: v <= 10
+  Send(240, 11);
+  EXPECT_EQ(node_->Poll(100), 3u);
+
+  auto row1 = Receive();
+  ASSERT_TRUE(row1.has_value());
+  EXPECT_EQ((*row1)[0].uint_value(), 2u);    // 120/60
+  EXPECT_EQ((*row1)[1].uint_value(), 100u);  // 50*2
+  auto row2 = Receive();
+  ASSERT_TRUE(row2.has_value());
+  EXPECT_EQ((*row2)[0].uint_value(), 4u);
+  EXPECT_FALSE(Receive().has_value());
+  EXPECT_EQ(node_->tuples_in(), 3u);
+  EXPECT_EQ(node_->tuples_out(), 2u);
+}
+
+TEST_F(SelectProjectTest, PollRespectsBudget) {
+  for (int i = 0; i < 10; ++i) Send(100, 100);
+  EXPECT_EQ(node_->Poll(4), 4u);
+  EXPECT_EQ(node_->Poll(100), 6u);
+  EXPECT_EQ(node_->Poll(100), 0u);
+}
+
+TEST_F(SelectProjectTest, PunctuationMapsThroughProjection) {
+  rts::Punctuation punctuation;
+  punctuation.bounds.emplace_back(0, Value::Uint(600));
+  registry_.Publish("in", rts::MakePunctuationMessage(punctuation,
+                                                      InputSchema()));
+  node_->Poll(10);
+  auto out = ReceivePunctuation();
+  ASSERT_TRUE(out.has_value());
+  // Bound on t=600 becomes bound tb = 600/60 = 10 on output field 0.
+  ASSERT_TRUE(out->BoundFor(0).has_value());
+  EXPECT_EQ(out->BoundFor(0)->uint_value(), 10u);
+  EXPECT_FALSE(out->BoundFor(1).has_value());
+}
+
+TEST_F(SelectProjectTest, MalformedTupleCountsEvalError) {
+  rts::StreamMessage junk;
+  junk.kind = rts::StreamMessage::Kind::kTuple;
+  junk.payload = {1, 2, 3};  // not a valid encoding
+  registry_.Publish("in", junk);
+  node_->Poll(10);
+  EXPECT_EQ(node_->eval_errors(), 1u);
+  EXPECT_EQ(node_->tuples_out(), 0u);
+}
+
+TEST_F(SelectProjectTest, ParamChangeTakesEffectImmediately) {
+  // Rebuild a node whose predicate uses a parameter: v > $threshold.
+  SelectProjectNode::Spec spec;
+  spec.name = "pout";
+  spec.input_schema = InputSchema();
+  std::vector<FieldDef> out_fields;
+  out_fields.push_back({"v", DataType::kUint, OrderSpec::None()});
+  spec.output_schema = StreamSchema("pout", StreamKind::kStream, out_fields);
+  auto predicate_ir = expr::MakeBinaryIr(
+      BinaryOp::kGt, DataType::kBool,
+      expr::MakeFieldRef(0, 1, DataType::kUint, "v"),
+      expr::MakeParamRef(0, DataType::kUint, "threshold"));
+  spec.predicate = MustCompile(predicate_ir);
+  spec.projections.push_back(
+      MustCompile(expr::MakeFieldRef(0, 1, DataType::kUint, "v")));
+  spec.punctuation_source = {-1};
+
+  auto params = std::make_shared<std::vector<Value>>(
+      std::vector<Value>{Value::Uint(100)});
+  ASSERT_TRUE(registry_.DeclareStream(spec.output_schema).ok());
+  auto input = registry_.Subscribe("in", 64);
+  ASSERT_TRUE(input.ok());
+  SelectProjectNode node(std::move(spec), *input, &registry_, params);
+  auto output = registry_.Subscribe("pout", 64);
+
+  Send(1, 50);
+  node.Poll(10);
+  EXPECT_EQ(node.tuples_out(), 0u);  // 50 <= 100
+
+  (*params)[0] = Value::Uint(10);  // change the parameter on the fly (§3)
+  Send(2, 50);
+  node.Poll(10);
+  EXPECT_EQ(node.tuples_out(), 1u);  // 50 > 10
+}
+
+}  // namespace
+}  // namespace gigascope::ops

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/engine.h"
+#include "net/headers.h"
+#include "ops/tcp_session.h"
+
+namespace gigascope::ops {
+namespace {
+
+using core::Engine;
+using expr::Value;
+
+class TcpSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_.AddInterface("eth0");
+    ASSERT_TRUE(engine_
+                    .AddQuery("DEFINE { query_name probe; } "
+                              "SELECT time FROM eth0.PKT")
+                    .ok());
+    auto input = engine_.registry().Subscribe("eth0.PKT", 65536);
+    ASSERT_TRUE(input.ok());
+    TcpSessionNode::Spec spec;
+    spec.name = "sessions";
+    auto schema = engine_.registry().GetSchema("eth0.PKT");
+    ASSERT_TRUE(schema.ok());
+    spec.input_schema = *schema;
+    spec.timeout_seconds = 60;
+    auto node =
+        TcpSessionNode::Create(std::move(spec), *input, &engine_.registry());
+    ASSERT_TRUE(node.ok()) << node.status().ToString();
+    node_ = node->get();
+    ASSERT_TRUE(engine_.AddNode(std::move(node).value()).ok());
+    auto sub = engine_.Subscribe("sessions");
+    ASSERT_TRUE(sub.ok());
+    sub_ = std::move(sub).value();
+  }
+
+  /// Injects one TCP packet; src/dst are logical endpoints A=initiator.
+  void Packet(uint64_t second, bool from_initiator, uint8_t flags,
+              const std::string& payload = "",
+              uint16_t initiator_port = 40000) {
+    net::TcpPacketSpec spec;
+    if (from_initiator) {
+      spec.src_addr = 0x0a000001;
+      spec.dst_addr = 0x0a000002;
+      spec.src_port = initiator_port;
+      spec.dst_port = 80;
+    } else {
+      spec.src_addr = 0x0a000002;
+      spec.dst_addr = 0x0a000001;
+      spec.src_port = 80;
+      spec.dst_port = initiator_port;
+    }
+    spec.flags = flags;
+    spec.payload = payload;
+    net::Packet packet;
+    packet.bytes = net::BuildTcpPacket(spec);
+    packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+    packet.timestamp = static_cast<SimTime>(second) * kNanosPerSecond;
+    ASSERT_TRUE(engine_.InjectPacket("eth0", packet).ok());
+  }
+
+  std::vector<rts::Row> Sessions() {
+    engine_.PumpUntilIdle();
+    std::vector<rts::Row> rows;
+    while (auto row = sub_->NextRow()) rows.push_back(std::move(*row));
+    return rows;
+  }
+
+  Engine engine_;
+  TcpSessionNode* node_ = nullptr;
+  std::unique_ptr<core::TupleSubscription> sub_;
+};
+
+TEST_F(TcpSessionTest, FullLifecycleEmitsClosedSession) {
+  Packet(1, true, net::kTcpFlagSyn);                       // SYN
+  Packet(1, false, net::kTcpFlagSyn | net::kTcpFlagAck);   // SYN|ACK
+  Packet(2, true, net::kTcpFlagAck, "GET / HTTP/1.0\r\n");
+  Packet(3, false, net::kTcpFlagAck | net::kTcpFlagPsh, "200 OK");
+  Packet(4, true, net::kTcpFlagFin | net::kTcpFlagAck);
+  Packet(5, false, net::kTcpFlagFin | net::kTcpFlagAck);
+  auto sessions = Sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  const rts::Row& session = sessions[0];
+  EXPECT_EQ(session[0].uint_value(), 5u);          // end time
+  EXPECT_EQ(session[1].ip_value(), 0x0a000001u);   // initiator
+  EXPECT_EQ(session[2].ip_value(), 0x0a000002u);
+  EXPECT_EQ(session[3].uint_value(), 40000u);
+  EXPECT_EQ(session[4].uint_value(), 80u);
+  EXPECT_EQ(session[5].uint_value(), 6u);          // packets, both ways
+  EXPECT_GT(session[6].uint_value(), 0u);          // bytes
+  EXPECT_EQ(session[7].uint_value(), 4u);          // duration 1..5
+  EXPECT_EQ(session[8].string_value(), "closed");
+  EXPECT_EQ(node_->open_sessions(), 0u);
+}
+
+TEST_F(TcpSessionTest, ResetEndsSessionImmediately) {
+  Packet(1, true, net::kTcpFlagSyn);
+  Packet(2, false, net::kTcpFlagRst);
+  auto sessions = Sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0][8].string_value(), "reset");
+  EXPECT_EQ(node_->sessions_reset(), 1u);
+}
+
+TEST_F(TcpSessionTest, OneFinIsNotEnough) {
+  Packet(1, true, net::kTcpFlagSyn);
+  Packet(2, false, net::kTcpFlagSyn | net::kTcpFlagAck);
+  Packet(3, true, net::kTcpFlagFin | net::kTcpFlagAck);
+  auto sessions = Sessions();
+  EXPECT_TRUE(sessions.empty());
+  EXPECT_EQ(node_->open_sessions(), 1u);
+}
+
+TEST_F(TcpSessionTest, MidstreamTrafficIgnored) {
+  // No SYN observed: data packets must not create a session.
+  Packet(1, true, net::kTcpFlagAck, "mid-stream data");
+  Packet(2, false, net::kTcpFlagAck, "reply");
+  auto sessions = Sessions();
+  EXPECT_TRUE(sessions.empty());
+  EXPECT_EQ(node_->open_sessions(), 0u);
+}
+
+TEST_F(TcpSessionTest, IdleSessionTimesOut) {
+  Packet(1, true, net::kTcpFlagSyn);
+  Packet(2, false, net::kTcpFlagSyn | net::kTcpFlagAck);
+  // Unrelated much-later SYN triggers the expiry sweep (timeout 60s).
+  Packet(100, true, net::kTcpFlagSyn, "", 41000);
+  auto sessions = Sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0][8].string_value(), "timeout");
+  EXPECT_EQ(node_->sessions_timed_out(), 1u);
+  EXPECT_EQ(node_->open_sessions(), 1u);  // the new SYN
+}
+
+TEST_F(TcpSessionTest, ConcurrentSessionsKeptApart) {
+  for (uint16_t port = 50000; port < 50004; ++port) {
+    Packet(1, true, net::kTcpFlagSyn, "", port);
+  }
+  for (uint16_t port = 50000; port < 50004; ++port) {
+    Packet(2, true, net::kTcpFlagFin, "", port);
+    Packet(3, false, net::kTcpFlagFin, "", port);
+  }
+  auto sessions = Sessions();
+  EXPECT_EQ(sessions.size(), 4u);
+  EXPECT_EQ(node_->sessions_closed(), 4u);
+}
+
+TEST_F(TcpSessionTest, EndTimesMonotone) {
+  // Interleave closes and timeouts; emitted times must never regress
+  // (the output field is declared INCREASING).
+  Packet(1, true, net::kTcpFlagSyn, "", 51000);
+  Packet(2, true, net::kTcpFlagSyn, "", 52000);
+  Packet(3, true, net::kTcpFlagRst, "", 52000);   // close the newer first
+  Packet(100, true, net::kTcpFlagSyn, "", 53000); // times out the older
+  auto sessions = Sessions();
+  ASSERT_GE(sessions.size(), 2u);
+  uint64_t last = 0;
+  for (const rts::Row& session : sessions) {
+    EXPECT_GE(session[0].uint_value(), last);
+    last = session[0].uint_value();
+  }
+}
+
+TEST_F(TcpSessionTest, GsqlComposesOverSessions) {
+  // §5's motivation: once sessions are a stream, GSQL aggregates them.
+  auto info = engine_.AddQuery(
+      "DEFINE { query_name longcount; } "
+      "SELECT time, count(*) FROM sessions "
+      "WHERE duration > 2 GROUP BY time");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  auto sub = engine_.Subscribe("longcount");
+  ASSERT_TRUE(sub.ok());
+
+  Packet(1, true, net::kTcpFlagSyn);
+  Packet(10, true, net::kTcpFlagFin);
+  Packet(10, false, net::kTcpFlagFin);   // duration 9: qualifies
+  Packet(11, true, net::kTcpFlagSyn, "", 42000);
+  Packet(12, true, net::kTcpFlagRst, "", 42000);  // duration 1: filtered
+  engine_.PumpUntilIdle();
+  engine_.FlushAll();
+
+  int qualifying = 0;
+  while (auto row = (*sub)->NextRow()) {
+    qualifying += static_cast<int>((*row)[1].uint_value());
+  }
+  EXPECT_EQ(qualifying, 1);
+}
+
+TEST(TcpSessionCreateTest, RejectsSchemaWithoutTcpFields) {
+  rts::StreamRegistry registry;
+  std::vector<gsql::FieldDef> fields;
+  fields.push_back({"time", gsql::DataType::kUint,
+                    gsql::OrderSpec::Increasing()});
+  gsql::StreamSchema schema("thin", gsql::StreamKind::kStream, fields);
+  ASSERT_TRUE(registry.DeclareStream(schema).ok());
+  auto input = registry.Subscribe("thin", 16);
+  ASSERT_TRUE(input.ok());
+  TcpSessionNode::Spec spec;
+  spec.name = "s";
+  spec.input_schema = schema;
+  EXPECT_FALSE(
+      TcpSessionNode::Create(std::move(spec), *input, &registry).ok());
+}
+
+}  // namespace
+}  // namespace gigascope::ops

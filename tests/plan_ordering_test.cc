@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "expr/typecheck.h"
+#include "gsql/parser.h"
+#include "plan/ordering.h"
+#include "udf/registry.h"
+
+namespace gigascope::plan {
+namespace {
+
+using gsql::DataType;
+using gsql::FieldDef;
+using gsql::StreamKind;
+using gsql::StreamSchema;
+
+StreamSchema Schema() {
+  std::vector<FieldDef> fields;
+  fields.push_back({"ts", DataType::kUint, OrderSpec::Strict()});
+  fields.push_back({"t", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"bt", DataType::kUint, OrderSpec::Banded(30)});
+  fields.push_back({"v", DataType::kUint, OrderSpec::None()});
+  return StreamSchema("S", StreamKind::kStream, fields);
+}
+
+/// Type-checks an expression over Schema() and imputes its order.
+OrderSpec OrderOf(const std::string& expression) {
+  gsql::Catalog catalog;
+  catalog.PutStreamSchema(Schema());
+  auto stmt = gsql::ParseStatement("SELECT " + expression + " FROM S");
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto* select = std::get_if<gsql::SelectStmt>(&stmt.value());
+  auto resolved = gsql::AnalyzeSelect(*select, catalog);
+  EXPECT_TRUE(resolved.ok()) << resolved.status().ToString();
+  expr::TypeCheckContext ctx;
+  ctx.inputs = {Schema()};
+  ctx.bindings = &resolved->bindings;
+  ctx.resolver = udf::FunctionRegistry::Default();
+  auto ir = expr::TypeCheck(resolved->stmt.items[0].expr, ctx);
+  EXPECT_TRUE(ir.ok()) << ir.status().ToString();
+  return ImputeExprOrder(*ir, Schema());
+}
+
+TEST(ImputeTest, DirectFieldKeepsOrder) {
+  EXPECT_EQ(OrderOf("ts").kind, OrderKind::kStrictlyIncreasing);
+  EXPECT_EQ(OrderOf("t").kind, OrderKind::kIncreasing);
+  EXPECT_EQ(OrderOf("bt").kind, OrderKind::kBandedIncreasing);
+  EXPECT_EQ(OrderOf("bt").band, 30u);
+  EXPECT_EQ(OrderOf("v").kind, OrderKind::kNone);
+}
+
+TEST(ImputeTest, BucketingLosesStrictness) {
+  // The paper's time/60 minute buckets: monotone but not strict.
+  OrderSpec order = OrderOf("ts / 60");
+  EXPECT_EQ(order.kind, OrderKind::kIncreasing);
+}
+
+TEST(ImputeTest, BucketingShrinksBands) {
+  OrderSpec order = OrderOf("bt / 30");
+  EXPECT_EQ(order.kind, OrderKind::kBandedIncreasing);
+  EXPECT_LE(order.band, 2u);
+}
+
+TEST(ImputeTest, AddConstantPreservesOrder) {
+  EXPECT_EQ(OrderOf("ts + 5").kind, OrderKind::kStrictlyIncreasing);
+  EXPECT_EQ(OrderOf("5 + ts").kind, OrderKind::kStrictlyIncreasing);
+  EXPECT_EQ(OrderOf("bt - 7").kind, OrderKind::kBandedIncreasing);
+  EXPECT_EQ(OrderOf("bt - 7").band, 30u);
+}
+
+TEST(ImputeTest, ScalingPreservesOrderAndScalesBands) {
+  EXPECT_EQ(OrderOf("ts * 2").kind, OrderKind::kStrictlyIncreasing);
+  OrderSpec order = OrderOf("bt * 3");
+  EXPECT_EQ(order.kind, OrderKind::kBandedIncreasing);
+  EXPECT_EQ(order.band, 90u);
+}
+
+TEST(ImputeTest, FieldPlusFieldIsUnknown) {
+  EXPECT_EQ(OrderOf("ts + v").kind, OrderKind::kNone);
+}
+
+TEST(ImputeTest, DivisionByFieldIsUnknown) {
+  EXPECT_EQ(OrderOf("ts / v").kind, OrderKind::kNone);
+}
+
+TEST(ImputeTest, HashOfStrictIsNonRepeating) {
+  // The paper's §2.1 example: a hash applied to a timestamp.
+  EXPECT_EQ(OrderOf("hash64(ts)").kind, OrderKind::kNonRepeating);
+  // Hash of a merely-increasing attribute can repeat.
+  EXPECT_EQ(OrderOf("hash64(t)").kind, OrderKind::kNone);
+}
+
+TEST(WeakestCommonTest, MonotonePairsStayMonotone) {
+  OrderSpec strict = OrderSpec::Strict();
+  OrderSpec result = WeakestCommonOrder(strict, strict);
+  // Interleaving loses strictness.
+  EXPECT_EQ(result.kind, OrderKind::kIncreasing);
+}
+
+TEST(WeakestCommonTest, BandsWiden) {
+  OrderSpec result =
+      WeakestCommonOrder(OrderSpec::Banded(10), OrderSpec::Banded(30));
+  EXPECT_EQ(result.kind, OrderKind::kBandedIncreasing);
+  EXPECT_EQ(result.band, 30u);
+  result = WeakestCommonOrder(OrderSpec::Increasing(), OrderSpec::Banded(5));
+  EXPECT_EQ(result.band, 5u);
+}
+
+TEST(WeakestCommonTest, MixedDirectionsHaveNoOrder) {
+  OrderSpec down{OrderKind::kDecreasing, 0, {}};
+  EXPECT_EQ(WeakestCommonOrder(OrderSpec::Increasing(), down).kind,
+            OrderKind::kNone);
+}
+
+TEST(WeakestCommonTest, NoneAbsorbs) {
+  EXPECT_EQ(WeakestCommonOrder(OrderSpec::Strict(), OrderSpec::None()).kind,
+            OrderKind::kNone);
+}
+
+TEST(OrderImpliesTest, Hierarchy) {
+  OrderSpec strict = OrderSpec::Strict();
+  OrderSpec increasing = OrderSpec::Increasing();
+  OrderSpec banded10 = OrderSpec::Banded(10);
+  OrderSpec banded30 = OrderSpec::Banded(30);
+  OrderSpec nonrep{OrderKind::kNonRepeating, 0, {}};
+
+  EXPECT_TRUE(OrderImplies(strict, increasing));
+  EXPECT_TRUE(OrderImplies(strict, banded30));
+  EXPECT_TRUE(OrderImplies(strict, nonrep));
+  EXPECT_TRUE(OrderImplies(increasing, banded10));
+  EXPECT_TRUE(OrderImplies(banded10, banded30));
+  EXPECT_FALSE(OrderImplies(banded30, banded10));
+  EXPECT_FALSE(OrderImplies(increasing, strict));
+  EXPECT_FALSE(OrderImplies(increasing, nonrep));
+  // Everything implies "no order".
+  EXPECT_TRUE(OrderImplies(OrderSpec::None(), OrderSpec::None()));
+}
+
+TEST(AggregateKeyOrderTest, IncreasingKeysYieldMonotoneOutput) {
+  EXPECT_EQ(ImputeAggregateKeyOrder(OrderSpec::Strict()).kind,
+            OrderKind::kIncreasing);
+  EXPECT_EQ(ImputeAggregateKeyOrder(OrderSpec::None()).kind,
+            OrderKind::kNone);
+  // Banded keys stay banded: eager pre-aggregation may emit partials
+  // anywhere within the band (§2.1).
+  OrderSpec banded = ImputeAggregateKeyOrder(OrderSpec::Banded(5));
+  EXPECT_EQ(banded.kind, OrderKind::kBandedIncreasing);
+  EXPECT_EQ(banded.band, 5u);
+}
+
+TEST(JoinOrderTest, EqualityWindowKeepsCommonOrder) {
+  OrderSpec result = ImputeJoinOrder(OrderSpec::Strict(),
+                                     OrderSpec::Strict(), 0, false);
+  EXPECT_EQ(result.kind, OrderKind::kIncreasing);
+}
+
+TEST(JoinOrderTest, BandWindowDependsOnAlgorithm) {
+  // §2.1: "B.ts might be monotonically increasing or banded-increasing(2)
+  // depending on the choice of join algorithm".
+  OrderSpec eager = ImputeJoinOrder(OrderSpec::Increasing(),
+                                    OrderSpec::Increasing(), 2, false);
+  EXPECT_EQ(eager.kind, OrderKind::kBandedIncreasing);
+  EXPECT_EQ(eager.band, 2u);
+  OrderSpec buffered = ImputeJoinOrder(OrderSpec::Increasing(),
+                                       OrderSpec::Increasing(), 2, true);
+  EXPECT_EQ(buffered.kind, OrderKind::kIncreasing);
+}
+
+}  // namespace
+}  // namespace gigascope::plan

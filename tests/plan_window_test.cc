@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "expr/typecheck.h"
+#include "gsql/parser.h"
+#include "plan/window.h"
+
+namespace gigascope::plan {
+namespace {
+
+using gsql::DataType;
+using gsql::FieldDef;
+using gsql::OrderSpec;
+using gsql::StreamKind;
+using gsql::StreamSchema;
+
+StreamSchema LeftSchema() {
+  std::vector<FieldDef> fields;
+  fields.push_back({"ts", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"v", DataType::kUint, OrderSpec::None()});
+  return StreamSchema("L", StreamKind::kStream, fields);
+}
+
+StreamSchema RightSchema() {
+  std::vector<FieldDef> fields;
+  fields.push_back({"ts", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"w", DataType::kUint, OrderSpec::None()});
+  return StreamSchema("R", StreamKind::kStream, fields);
+}
+
+class WindowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.PutStreamSchema(LeftSchema());
+    catalog_.PutStreamSchema(RightSchema());
+  }
+
+  Result<expr::IrPtr> Predicate(const std::string& where) {
+    auto stmt = gsql::ParseStatement("SELECT B.v FROM L B, R C WHERE " +
+                                     where);
+    if (!stmt.ok()) return stmt.status();
+    auto* select = std::get_if<gsql::SelectStmt>(&stmt.value());
+    auto resolved = gsql::AnalyzeSelect(*select, catalog_);
+    if (!resolved.ok()) return resolved.status();
+    resolved_ = std::move(resolved).value();
+    expr::TypeCheckContext ctx;
+    ctx.inputs = {LeftSchema(), RightSchema()};
+    ctx.bindings = &resolved_.bindings;
+    return expr::TypeCheckPredicate(resolved_.stmt.where, ctx);
+  }
+
+  Result<JoinWindow> Extract(const std::string& where) {
+    auto predicate = Predicate(where);
+    if (!predicate.ok()) return predicate.status();
+    return ExtractJoinWindow(*predicate, LeftSchema(), RightSchema());
+  }
+
+  gsql::Catalog catalog_;
+  gsql::ResolvedSelect resolved_;
+};
+
+TEST_F(WindowTest, EqualityWindow) {
+  auto window = Extract("B.ts = C.ts");
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  EXPECT_EQ(window->lo, 0);
+  EXPECT_EQ(window->hi, 0);
+  EXPECT_EQ(window->left_field, 0u);
+  EXPECT_EQ(window->right_field, 0u);
+}
+
+TEST_F(WindowTest, ThePaperBandWindow) {
+  // §2.1: "B.ts >= C.ts - 1 and B.ts <= C.ts + 1".
+  auto window = Extract("B.ts >= C.ts - 1 AND B.ts <= C.ts + 1");
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  EXPECT_EQ(window->lo, -1);
+  EXPECT_EQ(window->hi, 1);
+  EXPECT_EQ(window->width(), 2u);
+}
+
+TEST_F(WindowTest, ReflectedComparisons) {
+  auto window = Extract("C.ts - 1 <= B.ts AND C.ts + 1 >= B.ts");
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  EXPECT_EQ(window->lo, -1);
+  EXPECT_EQ(window->hi, 1);
+}
+
+TEST_F(WindowTest, StrictInequalitiesTighten) {
+  auto window = Extract("B.ts > C.ts - 2 AND B.ts < C.ts + 2");
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window->lo, -1);
+  EXPECT_EQ(window->hi, 1);
+}
+
+TEST_F(WindowTest, AsymmetricWindow) {
+  auto window = Extract("B.ts >= C.ts AND B.ts <= C.ts + 5");
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window->lo, 0);
+  EXPECT_EQ(window->hi, 5);
+}
+
+TEST_F(WindowTest, ExtraConjunctsAreFine) {
+  auto window = Extract("B.ts = C.ts AND B.v = C.w AND B.v > 100");
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  EXPECT_EQ(window->lo, 0);
+  EXPECT_EQ(window->hi, 0);
+}
+
+TEST_F(WindowTest, OnlyLowerBoundIsRejected) {
+  auto window = Extract("B.ts >= C.ts - 1");
+  EXPECT_FALSE(window.ok());
+}
+
+TEST_F(WindowTest, OnlyUpperBoundIsRejected) {
+  auto window = Extract("B.ts <= C.ts + 1");
+  EXPECT_FALSE(window.ok());
+}
+
+TEST_F(WindowTest, UnorderedAttributesRejected) {
+  // v and w carry no ordering properties: no window.
+  auto window = Extract("B.v = C.w");
+  EXPECT_FALSE(window.ok());
+}
+
+TEST_F(WindowTest, EmptyWindowRejected) {
+  auto window = Extract("B.ts >= C.ts + 5 AND B.ts <= C.ts - 5");
+  EXPECT_FALSE(window.ok());
+}
+
+TEST(ConjunctsTest, SplitAndRejoin) {
+  using expr::MakeConst;
+  using expr::Value;
+  auto t = MakeConst(Value::Bool(true));
+  auto f = MakeConst(Value::Bool(false));
+  auto conj = expr::MakeBinaryIr(
+      gsql::BinaryOp::kAnd, DataType::kBool,
+      expr::MakeBinaryIr(gsql::BinaryOp::kAnd, DataType::kBool, t, f), t);
+  std::vector<expr::IrPtr> parts;
+  SplitConjuncts(conj, &parts);
+  EXPECT_EQ(parts.size(), 3u);
+  expr::IrPtr rejoined = AndTogether(parts);
+  ASSERT_NE(rejoined, nullptr);
+  std::vector<expr::IrPtr> again;
+  SplitConjuncts(rejoined, &again);
+  EXPECT_EQ(again.size(), 3u);
+  EXPECT_EQ(AndTogether({}), nullptr);
+}
+
+}  // namespace
+}  // namespace gigascope::plan

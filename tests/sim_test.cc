@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "sim/capture_pipeline.h"
+#include "sim/disk.h"
+#include "sim/host.h"
+#include "sim/nic.h"
+
+namespace gigascope::sim {
+namespace {
+
+TEST(DiskTest, WritesCompleteOverTime) {
+  DiskModel::Params params;
+  params.bytes_per_sec = 1e6;  // 1 MB/s
+  params.stall_probability = 0;
+  DiskModel disk(params, 1);
+  ASSERT_TRUE(disk.HasSpace(0));
+  disk.Write(0, 500'000);  // takes 0.5 s
+  disk.DrainUntil(SecondsToSimTime(0.4));
+  EXPECT_EQ(disk.writes_completed(), 0u);
+  disk.DrainUntil(SecondsToSimTime(1.0));
+  EXPECT_EQ(disk.writes_completed(), 1u);
+  EXPECT_EQ(disk.bytes_written(), 500'000u);
+}
+
+TEST(DiskTest, QueueFillsAndBackpressures) {
+  DiskModel::Params params;
+  params.bytes_per_sec = 1000;  // very slow
+  params.stall_probability = 0;
+  params.queue_capacity = 4;
+  DiskModel disk(params, 1);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(disk.HasSpace(0));
+    disk.Write(0, 10000);
+  }
+  EXPECT_FALSE(disk.HasSpace(0));
+  SimTime free_at = disk.NextSlotFreeTime(0);
+  EXPECT_GT(free_at, 0);
+}
+
+TEST(DiskTest, StallsOccurWithHeavyTail) {
+  DiskModel::Params params;
+  params.bytes_per_sec = 1e9;
+  params.stall_probability = 0.5;
+  DiskModel disk(params, 99);
+  for (int i = 0; i < 200; ++i) {
+    disk.DrainUntil(SecondsToSimTime(i * 10.0));
+    if (disk.HasSpace(SecondsToSimTime(i * 10.0))) {
+      disk.Write(SecondsToSimTime(i * 10.0), 1000);
+    }
+  }
+  disk.DrainUntil(SecondsToSimTime(10000));
+  EXPECT_GT(disk.stalls(), 0u);
+}
+
+TEST(HostTest, ProcessesWhenIdle) {
+  uint64_t completed = 0;
+  HostModel::Params params;
+  params.interrupt_cost_seconds = 1e-6;
+  HostModel host(params, [&completed](const UserJob&, SimTime t) {
+    ++completed;
+    return t;
+  });
+  // One packet per millisecond, 10 us of user work each: trivial load.
+  for (int i = 0; i < 100; ++i) {
+    UserJob job;
+    job.remaining = CostToNanos(10e-6);
+    EXPECT_TRUE(host.OnPacketArrival(i * kNanosPerMilli, job));
+  }
+  host.RunUserUntil(SecondsToSimTime(1));
+  EXPECT_EQ(completed, 100u);
+  EXPECT_EQ(host.ring_drops(), 0u);
+}
+
+TEST(HostTest, InterruptLivelockStarvesUserWork) {
+  uint64_t completed = 0;
+  HostModel::Params params;
+  params.interrupt_cost_seconds = 6e-6;
+  params.ring_capacity = 64;
+  HostModel host(params, [&completed](const UserJob&, SimTime t) {
+    ++completed;
+    return t;
+  });
+  // 200k packets/sec * 6 us = 1.2 CPUs of pure interrupt load: the user
+  // process starves and the ring overflows (livelock).
+  SimTime gap = CostToNanos(5e-6);
+  for (int i = 0; i < 100000; ++i) {
+    UserJob job;
+    job.remaining = CostToNanos(1e-6);
+    host.OnPacketArrival(i * gap, job);
+  }
+  EXPECT_GT(host.ring_drops(), 90000u);
+  EXPECT_GT(host.InterruptLoad(100000 * gap), 1.0);
+}
+
+TEST(HostTest, BlockingCompletionDelaysQueue) {
+  HostModel::Params params;
+  params.interrupt_cost_seconds = 1e-9;
+  params.ring_capacity = 8;
+  SimTime block_until = SecondsToSimTime(100);
+  HostModel host(params, [block_until](const UserJob&, SimTime t) {
+    return std::max(t, block_until);  // first completion blocks for ages
+  });
+  for (int i = 0; i < 20; ++i) {
+    UserJob job;
+    job.remaining = 1;
+    host.OnPacketArrival(i * kNanosPerMilli, job);
+  }
+  // 1 job completes (and blocks); capacity 8 fills; the rest drop.
+  EXPECT_GT(host.ring_drops(), 0u);
+}
+
+TEST(NicTest, PlainDmaForwardsEverything) {
+  NicModel nic;
+  net::Packet packet;
+  packet.bytes = {1, 2, 3, 4};
+  packet.orig_len = 4;
+  SimTime deliver_at = 0;
+  EXPECT_EQ(nic.Offer(100, &packet, &deliver_at),
+            NicModel::Disposition::kForwarded);
+  EXPECT_EQ(deliver_at, 100);
+}
+
+TEST(NicTest, OnboardFilterConsumesRejected) {
+  bpf::Program filter = bpf::BuildTcpDstPortFilter(80, 0);
+  NicModel::Params params;
+  params.filter_cost_seconds = 1e-6;
+  NicModel nic(params, &filter);
+
+  net::TcpPacketSpec spec;
+  spec.dst_port = 443;
+  net::Packet packet;
+  packet.bytes = net::BuildTcpPacket(spec);
+  packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+  SimTime deliver_at = 0;
+  EXPECT_EQ(nic.Offer(0, &packet, &deliver_at),
+            NicModel::Disposition::kFiltered);
+
+  spec.dst_port = 80;
+  packet.bytes = net::BuildTcpPacket(spec);
+  packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+  EXPECT_EQ(nic.Offer(10, &packet, &deliver_at),
+            NicModel::Disposition::kForwarded);
+  EXPECT_GT(deliver_at, 10);  // processing delay
+}
+
+TEST(NicTest, FifoOverflowDrops) {
+  bpf::Program filter = bpf::BuildAcceptAll(0);
+  NicModel::Params params;
+  params.filter_cost_seconds = 1e-3;  // absurdly slow NIC processor
+  params.fifo_capacity = 4;
+  NicModel nic(params, &filter);
+  net::Packet packet;
+  packet.bytes = {1};
+  packet.orig_len = 1;
+  SimTime deliver_at;
+  int dropped = 0;
+  for (int i = 0; i < 20; ++i) {
+    net::Packet p = packet;
+    if (nic.Offer(i, &p, &deliver_at) == NicModel::Disposition::kDropped) {
+      ++dropped;
+    }
+  }
+  EXPECT_GT(dropped, 10);
+}
+
+// --- End-to-end capture pipeline (E1's building block) ---
+
+PipelineConfig BaseConfig() {
+  PipelineConfig config;
+  config.traffic.seed = 7;
+  config.traffic.num_flows = 500;
+  config.traffic.offered_bits_per_sec = 50e6;
+  config.traffic.port80_fraction = 0.2;
+  config.traffic.http_fraction = 0.6;
+  config.duration_seconds = 0.3;
+  return config;
+}
+
+TEST(PipelineTest, LowRateNoLossInAllModes) {
+  for (CaptureMode mode :
+       {CaptureMode::kDiskDump, CaptureMode::kPcapDiscard,
+        CaptureMode::kHostLfta, CaptureMode::kNicLfta}) {
+    PipelineConfig config = BaseConfig();
+    config.mode = mode;
+    PipelineStats stats = RunCapturePipeline(config);
+    EXPECT_GT(stats.offered_packets, 100u);
+    EXPECT_LT(stats.LossRate(), 0.02)
+        << "mode " << CaptureModeName(mode) << " lossy at low rate";
+  }
+}
+
+TEST(PipelineTest, HttpFractionMeasuredCloseToConfigured) {
+  PipelineConfig config = BaseConfig();
+  config.mode = CaptureMode::kHostLfta;
+  PipelineStats stats = RunCapturePipeline(config);
+  EXPECT_GT(stats.port80_packets, 50u);
+  EXPECT_NEAR(stats.HttpFraction(), 0.6, 0.15);
+}
+
+TEST(PipelineTest, NicModeFiltersBackgroundBeforeHost) {
+  PipelineConfig config = BaseConfig();
+  config.mode = CaptureMode::kNicLfta;
+  PipelineStats stats = RunCapturePipeline(config);
+  // ~80% of traffic is background and must be consumed on the NIC.
+  EXPECT_GT(stats.nic_filtered, stats.offered_packets / 2);
+  EXPECT_LT(stats.host_interrupts, stats.offered_packets / 2);
+}
+
+TEST(PipelineTest, DiskModeLosesFirstUnderLoad) {
+  PipelineConfig disk_config = BaseConfig();
+  disk_config.traffic.offered_bits_per_sec = 300e6;
+  disk_config.mode = CaptureMode::kDiskDump;
+  PipelineStats disk_stats = RunCapturePipeline(disk_config);
+
+  PipelineConfig pcap_config = disk_config;
+  pcap_config.mode = CaptureMode::kPcapDiscard;
+  PipelineStats pcap_stats = RunCapturePipeline(pcap_config);
+
+  EXPECT_GT(disk_stats.LossRate(), pcap_stats.LossRate());
+  EXPECT_GT(disk_stats.LossRate(), 0.02);
+}
+
+TEST(PipelineTest, FindMaxSustainedRateMonotoneSetup) {
+  PipelineConfig config = BaseConfig();
+  config.mode = CaptureMode::kPcapDiscard;
+  config.duration_seconds = 0.2;
+  std::vector<double> rates = {50e6, 100e6, 200e6, 400e6, 600e6, 800e6};
+  double max_rate = FindMaxSustainedRate(config, rates, 0.02);
+  EXPECT_GE(max_rate, 50e6);
+  EXPECT_LT(max_rate, 800e6);  // livelock must bite before 800 Mbit/s
+}
+
+}  // namespace
+}  // namespace gigascope::sim

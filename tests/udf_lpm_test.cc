@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "udf/lpm.h"
+
+namespace gigascope::udf {
+namespace {
+
+TEST(LpmTest, EmptyTableMatchesNothing) {
+  LpmTable table;
+  EXPECT_FALSE(table.Lookup(0x0a000001).has_value());
+}
+
+TEST(LpmTest, ExactPrefixMatch) {
+  LpmTable table;
+  ASSERT_TRUE(table.Add(0x0a000000, 8, 1).ok());  // 10/8
+  EXPECT_EQ(table.Lookup(0x0a123456).value(), 1u);
+  EXPECT_FALSE(table.Lookup(0x0b000000).has_value());
+}
+
+TEST(LpmTest, LongestPrefixWins) {
+  LpmTable table;
+  ASSERT_TRUE(table.Add(0x0a000000, 8, 1).ok());   // 10/8
+  ASSERT_TRUE(table.Add(0x0a010000, 16, 2).ok());  // 10.1/16
+  ASSERT_TRUE(table.Add(0x0a010200, 24, 3).ok());  // 10.1.2/24
+  EXPECT_EQ(table.Lookup(0x0a010203).value(), 3u);
+  EXPECT_EQ(table.Lookup(0x0a01ff00).value(), 2u);
+  EXPECT_EQ(table.Lookup(0x0aff0000).value(), 1u);
+}
+
+TEST(LpmTest, DefaultRouteCoversEverything) {
+  LpmTable table;
+  ASSERT_TRUE(table.Add(0, 0, 99).ok());
+  EXPECT_EQ(table.Lookup(0xffffffff).value(), 99u);
+  EXPECT_EQ(table.Lookup(0).value(), 99u);
+}
+
+TEST(LpmTest, HostRoute) {
+  LpmTable table;
+  ASSERT_TRUE(table.Add(0x0a000001, 32, 7).ok());
+  EXPECT_EQ(table.Lookup(0x0a000001).value(), 7u);
+  EXPECT_FALSE(table.Lookup(0x0a000002).has_value());
+}
+
+TEST(LpmTest, ReAddOverwritesId) {
+  LpmTable table;
+  ASSERT_TRUE(table.Add(0x0a000000, 8, 1).ok());
+  ASSERT_TRUE(table.Add(0x0a000000, 8, 2).ok());
+  EXPECT_EQ(table.Lookup(0x0a000001).value(), 2u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(LpmTest, HostBitsNormalized) {
+  LpmTable table;
+  // 10.1.2.3/16 should behave as 10.1.0.0/16.
+  ASSERT_TRUE(table.Add(0x0a010203, 16, 5).ok());
+  EXPECT_EQ(table.Lookup(0x0a01ffff).value(), 5u);
+}
+
+TEST(LpmTest, RejectsBadPrefixLength) {
+  LpmTable table;
+  EXPECT_FALSE(table.Add(0, 33, 1).ok());
+  EXPECT_FALSE(table.Add(0, -1, 1).ok());
+}
+
+TEST(LpmTest, TrieMatchesLinearOnRandomTables) {
+  Rng rng(2024);
+  LpmTable table;
+  for (int i = 0; i < 500; ++i) {
+    uint32_t prefix = static_cast<uint32_t>(rng.Next());
+    int len = static_cast<int>(rng.NextBelow(33));
+    ASSERT_TRUE(table.Add(prefix, len, rng.NextBelow(1000)).ok());
+  }
+  for (int i = 0; i < 5000; ++i) {
+    uint32_t addr = static_cast<uint32_t>(rng.Next());
+    EXPECT_EQ(table.Lookup(addr), table.LookupLinear(addr))
+        << "mismatch for " << Ipv4ToString(addr);
+  }
+}
+
+TEST(LpmTest, ParseTableText) {
+  auto table = LpmTable::Parse(
+      "# AT&T peers\n"
+      "10.0.0.0/8 1\n"
+      "\n"
+      "192.168.0.0/16 2   # office\n"
+      "0.0.0.0/0 3\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->size(), 3u);
+  EXPECT_EQ(table->Lookup(0x0a000001).value(), 1u);
+  EXPECT_EQ(table->Lookup(0xc0a80001).value(), 2u);
+  EXPECT_EQ(table->Lookup(0x08080808).value(), 3u);
+}
+
+TEST(LpmTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(LpmTable::Parse("10.0.0.0 1\n").ok());        // no /len
+  EXPECT_FALSE(LpmTable::Parse("10.0.0.0/8\n").ok());        // no id
+  EXPECT_FALSE(LpmTable::Parse("10.0.0/8 1\n").ok());        // bad address
+  EXPECT_FALSE(LpmTable::Parse("10.0.0.0/99 1\n").ok());     // bad length
+}
+
+TEST(LpmTest, LoadFromMissingFileIsNotFound) {
+  auto table = LpmTable::LoadFromFile("/no/such/file.tbl");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), Status::Code::kNotFound);
+}
+
+TEST(LpmTest, LoadFromFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "gs_lpm_test.tbl";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("172.16.0.0/12 11\n10.0.0.0/8 22\n", f);
+  std::fclose(f);
+  auto table = LpmTable::LoadFromFile(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->Lookup(0xac100101).value(), 11u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gigascope::udf

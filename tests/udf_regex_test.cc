@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+#include "common/rng.h"
+#include "udf/regex.h"
+
+namespace gigascope::udf {
+namespace {
+
+Regex MustCompile(std::string_view pattern) {
+  auto regex = Regex::Compile(pattern);
+  EXPECT_TRUE(regex.ok()) << regex.status().ToString();
+  return std::move(regex).value();
+}
+
+TEST(RegexTest, LiteralSearch) {
+  Regex re = MustCompile("abc");
+  EXPECT_TRUE(re.Matches("abc"));
+  EXPECT_TRUE(re.Matches("xxabcxx"));
+  EXPECT_FALSE(re.Matches("ab"));
+  EXPECT_FALSE(re.Matches("acb"));
+}
+
+TEST(RegexTest, Alternation) {
+  Regex re = MustCompile("cat|dog");
+  EXPECT_TRUE(re.Matches("hotdog"));
+  EXPECT_TRUE(re.Matches("catalog"));
+  EXPECT_FALSE(re.Matches("bird"));
+}
+
+TEST(RegexTest, StarPlusQuest) {
+  Regex star = MustCompile("ab*c");
+  EXPECT_TRUE(star.Matches("ac"));
+  EXPECT_TRUE(star.Matches("abbbbc"));
+  Regex plus = MustCompile("ab+c");
+  EXPECT_FALSE(plus.Matches("ac"));
+  EXPECT_TRUE(plus.Matches("abc"));
+  Regex quest = MustCompile("ab?c");
+  EXPECT_TRUE(quest.Matches("ac"));
+  EXPECT_TRUE(quest.Matches("abc"));
+  EXPECT_FALSE(quest.Matches("abbc"));
+}
+
+TEST(RegexTest, DotMatchesAllButNewline) {
+  Regex re = MustCompile("a.c");
+  EXPECT_TRUE(re.Matches("abc"));
+  EXPECT_TRUE(re.Matches("a!c"));
+  EXPECT_FALSE(re.Matches("a\nc"));
+}
+
+TEST(RegexTest, Grouping) {
+  Regex re = MustCompile("(ab)+c");
+  EXPECT_TRUE(re.Matches("ababc"));
+  EXPECT_FALSE(re.Matches("c"));
+  Regex alt = MustCompile("x(a|b)y");
+  EXPECT_TRUE(alt.Matches("xay"));
+  EXPECT_TRUE(alt.Matches("xby"));
+  EXPECT_FALSE(alt.Matches("xcy"));
+}
+
+TEST(RegexTest, CharacterClasses) {
+  Regex re = MustCompile("[abc]+");
+  EXPECT_TRUE(re.Matches("cab"));
+  EXPECT_FALSE(re.Matches("xyz"));
+  Regex range = MustCompile("[a-f0-9]+z");
+  EXPECT_TRUE(range.Matches("deadbeefz"));
+  EXPECT_FALSE(range.Matches("gz"));
+  Regex negated = MustCompile("[^0-9]");
+  EXPECT_TRUE(negated.Matches("a"));
+  EXPECT_FALSE(negated.Matches("123"));
+}
+
+TEST(RegexTest, EscapeClasses) {
+  EXPECT_TRUE(MustCompile("\\d+").Matches("42"));
+  EXPECT_FALSE(MustCompile("\\d+").Matches("abc"));
+  EXPECT_TRUE(MustCompile("\\w+").Matches("word_1"));
+  EXPECT_TRUE(MustCompile("\\s").Matches("a b"));
+  EXPECT_FALSE(MustCompile("\\s").Matches("ab"));
+  EXPECT_TRUE(MustCompile("a\\.b").Matches("a.b"));
+  EXPECT_FALSE(MustCompile("a\\.b").Matches("axb"));
+}
+
+TEST(RegexTest, Anchors) {
+  Regex start = MustCompile("^abc");
+  EXPECT_TRUE(start.Matches("abcdef"));
+  EXPECT_FALSE(start.Matches("xabc"));
+  Regex end = MustCompile("abc$");
+  EXPECT_TRUE(end.Matches("xxabc"));
+  EXPECT_FALSE(end.Matches("abcx"));
+  Regex both = MustCompile("^abc$");
+  EXPECT_TRUE(both.Matches("abc"));
+  EXPECT_FALSE(both.Matches("abcd"));
+}
+
+TEST(RegexTest, ThePaperHttpPattern) {
+  // §4: "^[^\n]*HTTP/1.*"
+  Regex re = MustCompile("^[^\\n]*HTTP/1.*");
+  EXPECT_TRUE(re.Matches("HTTP/1.1 200 OK\r\n..."));
+  EXPECT_TRUE(re.Matches("GET /x HTTP/1.0\r\nHost: y"));
+  EXPECT_FALSE(re.Matches("binary tunnel payload"));
+  // The marker on a *later* line must not match (first line only).
+  EXPECT_FALSE(re.Matches("line one\nHTTP/1.1"));
+}
+
+TEST(RegexTest, FullMatchSemantics) {
+  Regex re = MustCompile("ab*");
+  EXPECT_TRUE(re.FullMatch("abbb"));
+  EXPECT_FALSE(re.FullMatch("abbbc"));
+  EXPECT_FALSE(re.FullMatch("xab"));
+}
+
+TEST(RegexTest, EmptyPatternMatchesEverything) {
+  Regex re = MustCompile("");
+  EXPECT_TRUE(re.Matches(""));
+  EXPECT_TRUE(re.Matches("anything"));
+}
+
+TEST(RegexTest, EmptyAlternativeBranch) {
+  Regex re = MustCompile("a(b|)c");
+  EXPECT_TRUE(re.Matches("abc"));
+  EXPECT_TRUE(re.Matches("ac"));
+}
+
+TEST(RegexTest, BoundedRepetitionExact) {
+  Regex re = MustCompile("^a{3}$");
+  EXPECT_FALSE(re.Matches("aa"));
+  EXPECT_TRUE(re.Matches("aaa"));
+  EXPECT_FALSE(re.Matches("aaaa"));
+}
+
+TEST(RegexTest, BoundedRepetitionRange) {
+  Regex re = MustCompile("^a{2,4}$");
+  EXPECT_FALSE(re.Matches("a"));
+  EXPECT_TRUE(re.Matches("aa"));
+  EXPECT_TRUE(re.Matches("aaa"));
+  EXPECT_TRUE(re.Matches("aaaa"));
+  EXPECT_FALSE(re.Matches("aaaaa"));
+}
+
+TEST(RegexTest, BoundedRepetitionOpenEnded) {
+  Regex re = MustCompile("^a{2,}$");
+  EXPECT_FALSE(re.Matches("a"));
+  EXPECT_TRUE(re.Matches("aa"));
+  EXPECT_TRUE(re.Matches(std::string(50, 'a')));
+}
+
+TEST(RegexTest, BoundedRepetitionOnGroupsAndClasses) {
+  Regex group = MustCompile("^(ab){2}$");
+  EXPECT_TRUE(group.Matches("abab"));
+  EXPECT_FALSE(group.Matches("ab"));
+  EXPECT_FALSE(group.Matches("ababab"));
+  Regex digits = MustCompile("^[0-9]{1,3}\\.[0-9]{1,3}$");
+  EXPECT_TRUE(digits.Matches("10.255"));
+  EXPECT_FALSE(digits.Matches("1000.1"));
+}
+
+TEST(RegexTest, ZeroMinimumRepetition) {
+  Regex re = MustCompile("^a{0,2}b$");
+  EXPECT_TRUE(re.Matches("b"));
+  EXPECT_TRUE(re.Matches("ab"));
+  EXPECT_TRUE(re.Matches("aab"));
+  EXPECT_FALSE(re.Matches("aaab"));
+}
+
+TEST(RegexTest, LiteralBraceWithoutDigits) {
+  Regex re = MustCompile("a{x}");
+  EXPECT_TRUE(re.Matches("a{x}"));
+  EXPECT_FALSE(re.Matches("ax"));
+}
+
+TEST(RegexTest, RepetitionErrors) {
+  EXPECT_FALSE(Regex::Compile("a{3,1}").ok());     // n < m
+  EXPECT_FALSE(Regex::Compile("a{2000}").ok());    // too large
+  EXPECT_FALSE(Regex::Compile("a{2,3").ok());      // missing '}'
+}
+
+TEST(RegexTest, MalformedPatternsRejected) {
+  EXPECT_FALSE(Regex::Compile("(abc").ok());
+  EXPECT_FALSE(Regex::Compile("abc)").ok());
+  EXPECT_FALSE(Regex::Compile("[abc").ok());
+  EXPECT_FALSE(Regex::Compile("*a").ok());
+  EXPECT_FALSE(Regex::Compile("a\\").ok());
+  EXPECT_FALSE(Regex::Compile("[z-a]").ok());
+}
+
+TEST(RegexTest, NoBacktrackingBlowup) {
+  // (a+)+b on a long run of 'a's kills a backtracking engine; the NFA
+  // simulation stays linear.
+  Regex re = MustCompile("(a+)+b");
+  std::string text(4000, 'a');
+  EXPECT_FALSE(re.Matches(text));
+  text += 'b';
+  EXPECT_TRUE(re.Matches(text));
+}
+
+// Property check: agreement with std::regex (ECMAScript grep-alike) on a
+// random corpus over a small alphabet.
+TEST(RegexTest, AgreesWithStdRegexOnRandomInputs) {
+  const char* patterns[] = {
+      "a",       "ab",      "a|b",     "a*b",    "(ab)*",   "a.b",
+      "[ab]+c",  "a+b+",    "^ab",     "ab$",    "a(b|c)d", "[^a]b",
+      "a?b?c?d", "(a|b)*c", "a\\db",
+      "a{2}",    "a{1,3}b", "(ab){1,2}c",
+  };
+  Rng rng(77);
+  for (const char* pattern : patterns) {
+    Regex mine = MustCompile(pattern);
+    std::regex theirs(pattern);
+    for (int i = 0; i < 200; ++i) {
+      size_t len = rng.NextBelow(12);
+      std::string text;
+      for (size_t j = 0; j < len; ++j) {
+        text += static_cast<char>("abcd19"[rng.NextBelow(6)]);
+      }
+      bool expected = std::regex_search(text, theirs);
+      EXPECT_EQ(mine.Matches(text), expected)
+          << "pattern '" << pattern << "' text '" << text << "'";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gigascope::udf

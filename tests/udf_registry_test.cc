@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "udf/registry.h"
+
+namespace gigascope::udf {
+namespace {
+
+using expr::DataType;
+using expr::FunctionInfo;
+using expr::Value;
+
+FunctionInfo TrivialFn(const std::string& name) {
+  FunctionInfo info;
+  info.name = name;
+  info.return_type = DataType::kInt;
+  info.arg_types = {DataType::kInt};
+  info.invoke = [](const std::vector<Value>& args,
+                   const std::vector<std::shared_ptr<void>>&, Value* out,
+                   bool*) {
+    *out = Value::Int(args[0].int_value() + 1);
+    return Status::Ok();
+  };
+  return info;
+}
+
+TEST(RegistryTest, RegisterAndResolve) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry.Register(TrivialFn("inc")).ok());
+  auto fn = registry.Resolve("inc");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_EQ((*fn)->name, "inc");
+}
+
+TEST(RegistryTest, ResolveIsCaseInsensitive) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry.Register(TrivialFn("MyFunc")).ok());
+  EXPECT_TRUE(registry.Resolve("myfunc").ok());
+  EXPECT_TRUE(registry.Resolve("MYFUNC").ok());
+}
+
+TEST(RegistryTest, DuplicateRejected) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry.Register(TrivialFn("f")).ok());
+  Status status = registry.Register(TrivialFn("f"));
+  EXPECT_EQ(status.code(), Status::Code::kAlreadyExists);
+}
+
+TEST(RegistryTest, AggregateNamesReserved) {
+  FunctionRegistry registry;
+  for (const char* name : {"count", "sum", "min", "max", "avg"}) {
+    EXPECT_FALSE(registry.Register(TrivialFn(name)).ok()) << name;
+  }
+}
+
+TEST(RegistryTest, MissingImplementationRejected) {
+  FunctionRegistry registry;
+  FunctionInfo info = TrivialFn("g");
+  info.invoke = nullptr;
+  EXPECT_FALSE(registry.Register(std::move(info)).ok());
+}
+
+TEST(RegistryTest, HandleFlagsMustMatchArity) {
+  FunctionRegistry registry;
+  FunctionInfo info = TrivialFn("h");
+  info.pass_by_handle = {true, false, false};  // arity is 1
+  EXPECT_FALSE(registry.Register(std::move(info)).ok());
+}
+
+TEST(RegistryTest, UnknownIsNotFound) {
+  FunctionRegistry registry;
+  auto fn = registry.Resolve("nonesuch");
+  ASSERT_FALSE(fn.ok());
+  EXPECT_EQ(fn.status().code(), Status::Code::kNotFound);
+}
+
+TEST(RegistryTest, DefaultHasBuiltins) {
+  FunctionRegistry* registry = FunctionRegistry::Default();
+  for (const char* name : {"getlpmid", "match_regex", "str_find", "str_len",
+                           "ip_in_subnet", "hash64"}) {
+    EXPECT_TRUE(registry->Resolve(name).ok()) << name;
+  }
+}
+
+TEST(BuiltinsTest, IpInSubnet) {
+  auto fn = FunctionRegistry::Default()->Resolve("ip_in_subnet");
+  ASSERT_TRUE(fn.ok());
+  Value out;
+  bool has_result = true;
+  std::vector<std::shared_ptr<void>> handles(3);
+  ASSERT_TRUE((*fn)->invoke({Value::Ip(0x0a0a0a0a), Value::Ip(0x0a000000),
+                             Value::Uint(8)},
+                            handles, &out, &has_result)
+                  .ok());
+  EXPECT_TRUE(out.bool_value());
+  ASSERT_TRUE((*fn)->invoke({Value::Ip(0x0b0a0a0a), Value::Ip(0x0a000000),
+                             Value::Uint(8)},
+                            handles, &out, &has_result)
+                  .ok());
+  EXPECT_FALSE(out.bool_value());
+  // masklen out of range is a runtime error.
+  EXPECT_FALSE((*fn)->invoke({Value::Ip(1), Value::Ip(1), Value::Uint(40)},
+                             handles, &out, &has_result)
+                   .ok());
+}
+
+TEST(BuiltinsTest, Hash64IsStable) {
+  auto fn = FunctionRegistry::Default()->Resolve("hash64");
+  ASSERT_TRUE(fn.ok());
+  Value a, b;
+  bool has_result = true;
+  std::vector<std::shared_ptr<void>> handles(1);
+  ASSERT_TRUE(
+      (*fn)->invoke({Value::Uint(42)}, handles, &a, &has_result).ok());
+  ASSERT_TRUE(
+      (*fn)->invoke({Value::Uint(42)}, handles, &b, &has_result).ok());
+  EXPECT_EQ(a.uint_value(), b.uint_value());
+}
+
+TEST(BuiltinsTest, GetLpmIdHandleFromBadFileFails) {
+  auto fn = FunctionRegistry::Default()->Resolve("getlpmid");
+  ASSERT_TRUE(fn.ok());
+  auto handle = (*fn)->make_handle(Value::String("/missing/file.tbl"));
+  EXPECT_FALSE(handle.ok());
+}
+
+TEST(BuiltinsTest, MatchRegexHandleFromBadPatternFails) {
+  auto fn = FunctionRegistry::Default()->Resolve("match_regex");
+  ASSERT_TRUE(fn.ok());
+  auto handle = (*fn)->make_handle(Value::String("(unclosed"));
+  EXPECT_FALSE(handle.ok());
+}
+
+}  // namespace
+}  // namespace gigascope::udf

@@ -1,0 +1,206 @@
+// The Netflow generator must produce exactly the ordering structure §2.1
+// describes: "A stream of Netflow records produced by a router will have
+// monotonically increasing end timestamps, and generally (but not
+// monotonically) increasing start timestamps. [...] the start attribute is
+// banded-increasing(30 sec.)".
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/engine.h"
+#include "workload/netflow_gen.h"
+#include "workload/traffic_gen.h"
+
+namespace gigascope::workload {
+namespace {
+
+using expr::Value;
+
+std::vector<FlowRecord> GenerateRecords(int packets, uint64_t dump_interval,
+                                        double rate_bps = 2e6) {
+  TrafficConfig config;
+  config.seed = 31;
+  config.num_flows = 40;
+  config.offered_bits_per_sec = rate_bps;
+  TrafficGenerator packet_gen(config);
+  NetflowGenerator flow_gen(dump_interval);
+  std::vector<FlowRecord> records;
+  for (int i = 0; i < packets; ++i) {
+    for (FlowRecord& record : flow_gen.OnPacket(packet_gen.Next())) {
+      records.push_back(record);
+    }
+  }
+  for (FlowRecord& record : flow_gen.FlushAll()) {
+    records.push_back(record);
+  }
+  return records;
+}
+
+TEST(NetflowGenTest, EndTimesMonotonicallyIncrease) {
+  auto records = GenerateRecords(20000, 30);
+  ASSERT_GT(records.size(), 10u);
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].end_time, records[i - 1].end_time)
+        << "record " << i;
+  }
+}
+
+TEST(NetflowGenTest, StartTimesAreBandedByDumpInterval) {
+  const uint64_t kInterval = 30;
+  auto records = GenerateRecords(20000, kInterval);
+  uint64_t high_water = 0;
+  for (const FlowRecord& record : records) {
+    high_water = std::max(high_water, record.start_time);
+    // banded-increasing(30): never more than the band below the running
+    // maximum.
+    EXPECT_GE(record.start_time + kInterval, high_water);
+  }
+}
+
+TEST(NetflowGenTest, StartTimesAreNotGloballyMonotone) {
+  // The whole point of the banded property: plain monotonicity fails. A
+  // long-lived flow (started early, still active late) is exported after
+  // a short flow that started later but ended earlier.
+  auto make_packet = [](SimTime t, uint16_t src_port) {
+    net::TcpPacketSpec spec;
+    spec.src_addr = 0x0a000001;
+    spec.dst_addr = 0x0a000002;
+    spec.src_port = src_port;
+    spec.dst_port = 80;
+    net::Packet packet;
+    packet.bytes = net::BuildTcpPacket(spec);
+    packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+    packet.timestamp = t;
+    return packet;
+  };
+  NetflowGenerator flow_gen(30);
+  // Flow A: starts at 1s, lasts until 25s. Flow B: single packet at 10s.
+  std::vector<FlowRecord> records;
+  for (const net::Packet& packet :
+       {make_packet(1 * kNanosPerSecond, 1000),
+        make_packet(10 * kNanosPerSecond, 2000),
+        make_packet(25 * kNanosPerSecond, 1000),
+        make_packet(40 * kNanosPerSecond, 3000)}) {  // triggers the dump
+    for (FlowRecord& record : flow_gen.OnPacket(packet)) {
+      records.push_back(record);
+    }
+  }
+  ASSERT_EQ(records.size(), 2u);
+  // Export order is by end time: B (end 10, start 10) then A (end 25,
+  // start 1) — start times go backwards while staying within the band.
+  EXPECT_EQ(records[0].start_time, 10u);
+  EXPECT_EQ(records[1].start_time, 1u);
+  EXPECT_LE(records[0].end_time, records[1].end_time);
+}
+
+TEST(NetflowGenTest, ConservesPacketAndByteCounts) {
+  TrafficConfig config;
+  config.seed = 32;
+  config.num_flows = 20;
+  config.offered_bits_per_sec = 2e6;
+  TrafficGenerator packet_gen(config);
+  NetflowGenerator flow_gen(30);
+  uint64_t fed_packets = 0, fed_bytes = 0;
+  std::vector<FlowRecord> records;
+  for (int i = 0; i < 5000; ++i) {
+    net::Packet packet = packet_gen.Next();
+    ++fed_packets;
+    fed_bytes += packet.orig_len;
+    for (FlowRecord& record : flow_gen.OnPacket(packet)) {
+      records.push_back(record);
+    }
+  }
+  for (FlowRecord& record : flow_gen.FlushAll()) records.push_back(record);
+  uint64_t sum_packets = 0, sum_bytes = 0;
+  for (const FlowRecord& record : records) {
+    sum_packets += record.packets;
+    sum_bytes += record.bytes;
+  }
+  EXPECT_EQ(sum_packets, fed_packets);
+  EXPECT_EQ(sum_bytes, fed_bytes);
+}
+
+TEST(NetflowGenTest, FlowsAggregateAcrossPackets) {
+  auto records = GenerateRecords(20000, 30);
+  bool some_multi_packet = false;
+  for (const FlowRecord& record : records) {
+    if (record.packets > 1) some_multi_packet = true;
+    EXPECT_LE(record.start_time, record.end_time);
+  }
+  EXPECT_TRUE(some_multi_packet) << "cache never aggregated anything";
+}
+
+TEST(NetflowGenTest, CacheEmptiesOnEveryDump) {
+  TrafficConfig config;
+  config.seed = 33;
+  config.num_flows = 10;
+  config.offered_bits_per_sec = 1e6;
+  TrafficGenerator packet_gen(config);
+  NetflowGenerator flow_gen(10);
+  for (int i = 0; i < 2000; ++i) {
+    net::Packet packet = packet_gen.Next();
+    auto dumped = flow_gen.OnPacket(packet);
+    if (!dumped.empty()) {
+      // Right after a dump only the current packet's flow can be cached.
+      EXPECT_LE(flow_gen.active_flows(), 1u);
+    }
+  }
+}
+
+// --- End to end: the banded NETFLOW stream through a GSQL aggregation ---
+
+TEST(NetflowGsqlTest, BandedAggregationOverFlowRecords) {
+  core::Engine engine;
+  // Declare a NETFLOW-shaped stream (startTime banded, per the built-in
+  // protocol schema) and feed generated records into it.
+  std::vector<gsql::FieldDef> fields;
+  fields.push_back({"endTime", gsql::DataType::kUint,
+                    gsql::OrderSpec::Increasing()});
+  fields.push_back({"startTime", gsql::DataType::kUint,
+                    gsql::OrderSpec::Banded(30)});
+  fields.push_back({"destIP", gsql::DataType::kIp, gsql::OrderSpec::None()});
+  fields.push_back({"packets", gsql::DataType::kUint,
+                    gsql::OrderSpec::None()});
+  fields.push_back({"bytes", gsql::DataType::kUint, gsql::OrderSpec::None()});
+  ASSERT_TRUE(engine
+                  .DeclareStream(gsql::StreamSchema(
+                      "flows", gsql::StreamKind::kStream, fields))
+                  .ok());
+
+  // Per-minute byte totals keyed by the *banded* start time: the banded
+  // group-close rule must keep near-boundary groups open long enough that
+  // no late record is lost.
+  auto info = engine.AddQuery(
+      "DEFINE { query_name permin; } "
+      "SELECT tb, sum(bytes) FROM flows GROUP BY startTime/60 AS tb");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  auto sub = engine.Subscribe("permin", 1 << 16);
+  ASSERT_TRUE(sub.ok());
+
+  auto records = GenerateRecords(40000, 30, /*rate_bps=*/0.5e6);
+  ASSERT_GT(records.back().end_time, 120u) << "need several minutes of data";
+  std::map<uint64_t, uint64_t> reference;
+  for (const FlowRecord& record : records) {
+    reference[record.start_time / 60] += record.bytes;
+    ASSERT_TRUE(engine
+                    .InjectRow("flows",
+                               {Value::Uint(record.end_time),
+                                Value::Uint(record.start_time),
+                                Value::Ip(record.dst_addr),
+                                Value::Uint(record.packets),
+                                Value::Uint(record.bytes)})
+                    .ok());
+  }
+  engine.PumpUntilIdle();
+  engine.FlushAll();
+
+  std::map<uint64_t, uint64_t> measured;
+  while (auto row = (*sub)->NextRow()) {
+    measured[(*row)[0].uint_value()] += (*row)[1].uint_value();
+  }
+  EXPECT_EQ(measured, reference);
+}
+
+}  // namespace
+}  // namespace gigascope::workload

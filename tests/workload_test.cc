@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/headers.h"
+#include "workload/traffic_gen.h"
+
+namespace gigascope::workload {
+namespace {
+
+TrafficConfig SmallConfig() {
+  TrafficConfig config;
+  config.seed = 123;
+  config.offered_bits_per_sec = 10e6;
+  config.num_flows = 50;
+  config.mean_payload = 200;
+  return config;
+}
+
+TEST(TrafficGenTest, Deterministic) {
+  TrafficGenerator a(SmallConfig());
+  TrafficGenerator b(SmallConfig());
+  for (int i = 0; i < 200; ++i) {
+    net::Packet pa = a.Next();
+    net::Packet pb = b.Next();
+    EXPECT_EQ(pa.timestamp, pb.timestamp);
+    EXPECT_EQ(pa.bytes, pb.bytes);
+  }
+}
+
+TEST(TrafficGenTest, TimestampsStrictlyIncreasing) {
+  TrafficGenerator gen(SmallConfig());
+  SimTime last = -1;
+  for (int i = 0; i < 500; ++i) {
+    net::Packet packet = gen.Next();
+    EXPECT_GT(packet.timestamp, last);
+    last = packet.timestamp;
+  }
+}
+
+TEST(TrafficGenTest, PacketsAreWellFormed) {
+  TrafficGenerator gen(SmallConfig());
+  for (int i = 0; i < 300; ++i) {
+    net::Packet packet = gen.Next();
+    auto decoded = net::DecodePacket(packet.view());
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_TRUE(decoded->is_ipv4());
+    EXPECT_TRUE(decoded->is_tcp() || decoded->is_udp());
+    EXPECT_EQ(packet.orig_len, packet.bytes.size());
+  }
+}
+
+TEST(TrafficGenTest, OfferedRateApproximatelyHonored) {
+  TrafficConfig config = SmallConfig();
+  config.offered_bits_per_sec = 50e6;
+  config.burstiness = 1.0;  // smooth arrivals for a tight estimate
+  TrafficGenerator gen(config);
+  uint64_t bits = 0;
+  net::Packet last;
+  for (int i = 0; i < 20000; ++i) {
+    last = gen.Next();
+    bits += static_cast<uint64_t>(last.orig_len) * 8;
+  }
+  double seconds =
+      static_cast<double>(last.timestamp) / kNanosPerSecond;
+  double rate = static_cast<double>(bits) / seconds;
+  EXPECT_NEAR(rate, 50e6, 10e6);
+}
+
+TEST(TrafficGenTest, Port80FractionHonored) {
+  TrafficConfig config = SmallConfig();
+  config.num_flows = 5000;
+  config.port80_fraction = 0.3;
+  config.http_fraction = 0.5;
+  TrafficGenerator gen(config);
+  int port80 = 0, total = 5000;
+  for (int i = 0; i < total; ++i) {
+    net::Packet packet = gen.Next();
+    auto decoded = net::DecodePacket(packet.view());
+    ASSERT_TRUE(decoded.ok());
+    if (decoded->is_tcp() && decoded->tcp->dst_port == 80) ++port80;
+  }
+  EXPECT_NEAR(static_cast<double>(port80) / total, 0.3, 0.06);
+}
+
+TEST(TrafficGenTest, HttpPayloadsOnlyOnPort80) {
+  TrafficConfig config = SmallConfig();
+  config.num_flows = 2000;
+  config.port80_fraction = 0.5;
+  config.http_fraction = 1.0;  // all port-80 payloads are genuine HTTP
+  TrafficGenerator gen(config);
+  for (int i = 0; i < 2000; ++i) {
+    net::Packet packet = gen.Next();
+    auto decoded = net::DecodePacket(packet.view());
+    ASSERT_TRUE(decoded.ok());
+    std::string payload(
+        reinterpret_cast<const char*>(decoded->payload.data()),
+        decoded->payload.size());
+    bool has_marker = payload.find("HTTP/1") != std::string::npos;
+    if (decoded->is_tcp() && decoded->tcp->dst_port == 80) {
+      EXPECT_TRUE(has_marker) << "port-80 payload lacks HTTP marker";
+    } else {
+      EXPECT_FALSE(has_marker) << "non-port-80 payload contains HTTP marker";
+    }
+  }
+}
+
+TEST(TrafficGenTest, FlowPopulationBounded) {
+  TrafficConfig config = SmallConfig();
+  config.num_flows = 10;
+  TrafficGenerator gen(config);
+  std::set<std::pair<uint32_t, uint16_t>> endpoints;
+  for (int i = 0; i < 1000; ++i) {
+    net::Packet packet = gen.Next();
+    auto decoded = net::DecodePacket(packet.view());
+    ASSERT_TRUE(decoded.ok());
+    uint16_t port = decoded->is_tcp()   ? decoded->tcp->dst_port
+                    : decoded->is_udp() ? decoded->udp->dst_port
+                                        : 0;
+    endpoints.insert({decoded->ip->dst_addr, port});
+  }
+  EXPECT_LE(endpoints.size(), 10u);
+}
+
+TEST(PayloadTest, HttpPayloadMatchesMarker) {
+  Rng rng(5);
+  std::string payload = MakeHttpPayload(rng, 100);
+  EXPECT_EQ(payload.rfind("HTTP/1.1 ", 0), 0u);
+  EXPECT_GE(payload.size(), 100u);
+}
+
+TEST(PayloadTest, OpaquePayloadNeverContainsMarker) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    std::string payload = MakeOpaquePayload(rng, 500);
+    EXPECT_EQ(payload.find("HTTP/1"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gigascope::workload

@@ -1,0 +1,171 @@
+// gsrun — run GSQL queries over a pcap capture file.
+//
+// The offline companion to the live engine: every query in the program is
+// compiled exactly as it would be for live capture (LFTA/HFTA split and
+// all); packets from the trace replay through the interface, and each
+// query's output stream prints as tab-separated rows.
+//
+// Usage:
+//   gsrun QUERIES.gsql CAPTURE.pcap [interface-name]
+//
+// The interface name (default "eth0") is what `FROM <iface>.PKT` in the
+// queries must reference.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "gsql/parser.h"
+#include "net/pcap.h"
+
+namespace {
+
+using gigascope::core::Engine;
+using gigascope::core::TupleSubscription;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gsrun QUERIES.gsql CAPTURE.pcap [interface]\n");
+  return 2;
+}
+
+void PrintHeader(const gigascope::gsql::StreamSchema& schema) {
+  std::printf("== %s (", schema.name().c_str());
+  for (size_t f = 0; f < schema.num_fields(); ++f) {
+    if (f > 0) std::printf(", ");
+    std::printf("%s", schema.field(f).name.c_str());
+  }
+  std::printf(") ==\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string gsql_path = argv[1];
+  const std::string pcap_path = argv[2];
+  const std::string interface_name = argc > 3 ? argv[3] : "eth0";
+
+  std::ifstream file(gsql_path);
+  if (!file) {
+    std::fprintf(stderr, "gsrun: cannot open %s\n", gsql_path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string source = buffer.str();
+
+  Engine engine;
+  engine.AddInterface(interface_name);
+
+  // Route each statement: CREATE -> DDL, queries -> AddQuery.
+  auto program = gigascope::gsql::Parse(source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "gsrun: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+  struct Output {
+    std::string name;
+    std::unique_ptr<TupleSubscription> subscription;
+  };
+  std::vector<Output> outputs;
+
+  // AddQuery/ExecuteDdl want one statement at a time; split the source on
+  // top-level semicolons (strings are the only construct that may contain
+  // ';'). The whole-program parse above already validated the syntax.
+  std::vector<std::string> statements;
+  std::string current;
+  bool in_string = false;
+  int brace_depth = 0;  // DEFINE { ... } blocks contain ';' entries
+  for (size_t i = 0; i < source.size(); ++i) {
+    char c = source[i];
+    if (c == '\'') in_string = !in_string;
+    if (!in_string) {
+      if (c == '{') ++brace_depth;
+      if (c == '}') --brace_depth;
+    }
+    if (c == ';' && !in_string && brace_depth == 0) {
+      statements.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (current.find_first_not_of(" \t\r\n") != std::string::npos) {
+    statements.push_back(current);
+  }
+
+  for (const std::string& statement_text : statements) {
+    size_t begin = statement_text.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) continue;
+    // DDL statements register schemas; everything else is a query.
+    if (statement_text.compare(begin, 6, "CREATE") == 0 ||
+        statement_text.compare(begin, 6, "create") == 0) {
+      gigascope::Status ddl = engine.ExecuteDdl(statement_text);
+      if (!ddl.ok()) {
+        std::fprintf(stderr, "gsrun: %s\n", ddl.ToString().c_str());
+        return 1;
+      }
+      continue;
+    }
+    auto info = engine.AddQuery(statement_text);
+    if (!info.ok()) {
+      std::fprintf(stderr, "gsrun: %s\nwhile compiling:%s\n",
+                   info.status().ToString().c_str(),
+                   statement_text.c_str());
+      return 1;
+    }
+    auto subscription = engine.Subscribe(info->name, 1 << 20);
+    if (!subscription.ok()) {
+      std::fprintf(stderr, "gsrun: %s\n",
+                   subscription.status().ToString().c_str());
+      return 1;
+    }
+    outputs.push_back({info->name, std::move(subscription).value()});
+  }
+  if (outputs.empty()) {
+    std::fprintf(stderr, "gsrun: no queries in %s\n", gsql_path.c_str());
+    return 1;
+  }
+
+  gigascope::net::PcapReader reader;
+  gigascope::Status status = reader.Open(pcap_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "gsrun: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  gigascope::net::Packet packet;
+  bool eof = false;
+  uint64_t replayed = 0;
+  while (reader.Next(&packet, &eof).ok() && !eof) {
+    engine.InjectPacket(interface_name, packet).ok();
+    ++replayed;
+    if (replayed % 1024 == 0) engine.PumpUntilIdle();
+  }
+  engine.PumpUntilIdle();
+  engine.FlushAll();
+  std::fprintf(stderr, "gsrun: replayed %llu packets from %s\n",
+               static_cast<unsigned long long>(replayed),
+               pcap_path.c_str());
+
+  for (Output& output : outputs) {
+    PrintHeader(output.subscription->schema());
+    uint64_t rows = 0;
+    while (auto row = output.subscription->NextRow()) {
+      for (size_t f = 0; f < row->size(); ++f) {
+        if (f > 0) std::printf("\t");
+        std::printf("%s", (*row)[f].ToString().c_str());
+      }
+      std::printf("\n");
+      ++rows;
+    }
+    std::fprintf(stderr, "gsrun: %s: %llu rows\n", output.name.c_str(),
+                 static_cast<unsigned long long>(rows));
+  }
+  return 0;
+}
