@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e1_capture_architectures"
+  "../bench/e1_capture_architectures.pdb"
+  "CMakeFiles/e1_capture_architectures.dir/e1_capture_architectures.cc.o"
+  "CMakeFiles/e1_capture_architectures.dir/e1_capture_architectures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_capture_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e2_early_reduction"
+  "../bench/e2_early_reduction.pdb"
+  "CMakeFiles/e2_early_reduction.dir/e2_early_reduction.cc.o"
+  "CMakeFiles/e2_early_reduction.dir/e2_early_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_early_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

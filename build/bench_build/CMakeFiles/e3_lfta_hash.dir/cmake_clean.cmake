@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e3_lfta_hash"
+  "../bench/e3_lfta_hash.pdb"
+  "CMakeFiles/e3_lfta_hash.dir/e3_lfta_hash.cc.o"
+  "CMakeFiles/e3_lfta_hash.dir/e3_lfta_hash.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_lfta_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e4_heartbeats"
+  "../bench/e4_heartbeats.pdb"
+  "CMakeFiles/e4_heartbeats.dir/e4_heartbeats.cc.o"
+  "CMakeFiles/e4_heartbeats.dir/e4_heartbeats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_heartbeats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e5_agg_split"
+  "../bench/e5_agg_split.pdb"
+  "CMakeFiles/e5_agg_split.dir/e5_agg_split.cc.o"
+  "CMakeFiles/e5_agg_split.dir/e5_agg_split.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_agg_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e6_headline_pps"
+  "../bench/e6_headline_pps.pdb"
+  "CMakeFiles/e6_headline_pps.dir/e6_headline_pps.cc.o"
+  "CMakeFiles/e6_headline_pps.dir/e6_headline_pps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_headline_pps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e7_udf"
+  "../bench/e7_udf.pdb"
+  "CMakeFiles/e7_udf.dir/e7_udf.cc.o"
+  "CMakeFiles/e7_udf.dir/e7_udf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e8_regex_placement"
+  "../bench/e8_regex_placement.pdb"
+  "CMakeFiles/e8_regex_placement.dir/e8_regex_placement.cc.o"
+  "CMakeFiles/e8_regex_placement.dir/e8_regex_placement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_regex_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e9_join_window"
+  "../bench/e9_join_window.pdb"
+  "CMakeFiles/e9_join_window.dir/e9_join_window.cc.o"
+  "CMakeFiles/e9_join_window.dir/e9_join_window.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_join_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

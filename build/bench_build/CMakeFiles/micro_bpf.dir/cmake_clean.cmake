@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bpf"
+  "../bench/micro_bpf.pdb"
+  "CMakeFiles/micro_bpf.dir/micro_bpf.cc.o"
+  "CMakeFiles/micro_bpf.dir/micro_bpf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

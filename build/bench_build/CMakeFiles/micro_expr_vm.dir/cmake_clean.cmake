@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_expr_vm"
+  "../bench/micro_expr_vm.pdb"
+  "CMakeFiles/micro_expr_vm.dir/micro_expr_vm.cc.o"
+  "CMakeFiles/micro_expr_vm.dir/micro_expr_vm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_expr_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_packet_parse"
+  "../bench/micro_packet_parse.pdb"
+  "CMakeFiles/micro_packet_parse.dir/micro_packet_parse.cc.o"
+  "CMakeFiles/micro_packet_parse.dir/micro_packet_parse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_packet_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

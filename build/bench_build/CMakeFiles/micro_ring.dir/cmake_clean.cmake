@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_ring"
+  "../bench/micro_ring.pdb"
+  "CMakeFiles/micro_ring.dir/micro_ring.cc.o"
+  "CMakeFiles/micro_ring.dir/micro_ring.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_tuple_codec"
+  "../bench/micro_tuple_codec.pdb"
+  "CMakeFiles/micro_tuple_codec.dir/micro_tuple_codec.cc.o"
+  "CMakeFiles/micro_tuple_codec.dir/micro_tuple_codec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tuple_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

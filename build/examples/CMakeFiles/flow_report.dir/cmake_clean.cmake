@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_report.dir/flow_report.cpp.o"
+  "CMakeFiles/flow_report.dir/flow_report.cpp.o.d"
+  "flow_report"
+  "flow_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

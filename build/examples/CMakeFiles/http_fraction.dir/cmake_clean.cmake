@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_fraction.dir/http_fraction.cpp.o"
+  "CMakeFiles/http_fraction.dir/http_fraction.cpp.o.d"
+  "http_fraction"
+  "http_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intrusion_sketch.dir/intrusion_sketch.cpp.o"
+  "CMakeFiles/intrusion_sketch.dir/intrusion_sketch.cpp.o.d"
+  "intrusion_sketch"
+  "intrusion_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrusion_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_merge.dir/link_merge.cpp.o"
+  "CMakeFiles/link_merge.dir/link_merge.cpp.o.d"
+  "link_merge"
+  "link_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netflow_report.dir/netflow_report.cpp.o"
+  "CMakeFiles/netflow_report.dir/netflow_report.cpp.o.d"
+  "netflow_report"
+  "netflow_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netflow_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_replay.dir/pcap_replay.cpp.o"
+  "CMakeFiles/pcap_replay.dir/pcap_replay.cpp.o.d"
+  "pcap_replay"
+  "pcap_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

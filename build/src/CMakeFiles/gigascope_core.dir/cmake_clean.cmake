@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gigascope_core.dir/core/compiled_query.cc.o"
+  "CMakeFiles/gigascope_core.dir/core/compiled_query.cc.o.d"
+  "CMakeFiles/gigascope_core.dir/core/engine.cc.o"
+  "CMakeFiles/gigascope_core.dir/core/engine.cc.o.d"
+  "libgigascope_core.a"
+  "libgigascope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gigascope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgigascope_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpf/interpreter.cc" "src/CMakeFiles/gs_bpf.dir/bpf/interpreter.cc.o" "gcc" "src/CMakeFiles/gs_bpf.dir/bpf/interpreter.cc.o.d"
+  "/root/repo/src/bpf/program.cc" "src/CMakeFiles/gs_bpf.dir/bpf/program.cc.o" "gcc" "src/CMakeFiles/gs_bpf.dir/bpf/program.cc.o.d"
+  "/root/repo/src/bpf/verifier.cc" "src/CMakeFiles/gs_bpf.dir/bpf/verifier.cc.o" "gcc" "src/CMakeFiles/gs_bpf.dir/bpf/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_bpf.dir/bpf/interpreter.cc.o"
+  "CMakeFiles/gs_bpf.dir/bpf/interpreter.cc.o.d"
+  "CMakeFiles/gs_bpf.dir/bpf/program.cc.o"
+  "CMakeFiles/gs_bpf.dir/bpf/program.cc.o.d"
+  "CMakeFiles/gs_bpf.dir/bpf/verifier.cc.o"
+  "CMakeFiles/gs_bpf.dir/bpf/verifier.cc.o.d"
+  "libgs_bpf.a"
+  "libgs_bpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_bpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_common.dir/common/bytes.cc.o"
+  "CMakeFiles/gs_common.dir/common/bytes.cc.o.d"
+  "CMakeFiles/gs_common.dir/common/clock.cc.o"
+  "CMakeFiles/gs_common.dir/common/clock.cc.o.d"
+  "CMakeFiles/gs_common.dir/common/logging.cc.o"
+  "CMakeFiles/gs_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/gs_common.dir/common/rng.cc.o"
+  "CMakeFiles/gs_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/gs_common.dir/common/status.cc.o"
+  "CMakeFiles/gs_common.dir/common/status.cc.o.d"
+  "libgs_common.a"
+  "libgs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/codegen.cc" "src/CMakeFiles/gs_expr.dir/expr/codegen.cc.o" "gcc" "src/CMakeFiles/gs_expr.dir/expr/codegen.cc.o.d"
+  "/root/repo/src/expr/cost.cc" "src/CMakeFiles/gs_expr.dir/expr/cost.cc.o" "gcc" "src/CMakeFiles/gs_expr.dir/expr/cost.cc.o.d"
+  "/root/repo/src/expr/fold.cc" "src/CMakeFiles/gs_expr.dir/expr/fold.cc.o" "gcc" "src/CMakeFiles/gs_expr.dir/expr/fold.cc.o.d"
+  "/root/repo/src/expr/ir.cc" "src/CMakeFiles/gs_expr.dir/expr/ir.cc.o" "gcc" "src/CMakeFiles/gs_expr.dir/expr/ir.cc.o.d"
+  "/root/repo/src/expr/type.cc" "src/CMakeFiles/gs_expr.dir/expr/type.cc.o" "gcc" "src/CMakeFiles/gs_expr.dir/expr/type.cc.o.d"
+  "/root/repo/src/expr/typecheck.cc" "src/CMakeFiles/gs_expr.dir/expr/typecheck.cc.o" "gcc" "src/CMakeFiles/gs_expr.dir/expr/typecheck.cc.o.d"
+  "/root/repo/src/expr/vm.cc" "src/CMakeFiles/gs_expr.dir/expr/vm.cc.o" "gcc" "src/CMakeFiles/gs_expr.dir/expr/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_gsql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

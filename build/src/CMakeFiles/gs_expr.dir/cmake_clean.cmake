@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_expr.dir/expr/codegen.cc.o"
+  "CMakeFiles/gs_expr.dir/expr/codegen.cc.o.d"
+  "CMakeFiles/gs_expr.dir/expr/cost.cc.o"
+  "CMakeFiles/gs_expr.dir/expr/cost.cc.o.d"
+  "CMakeFiles/gs_expr.dir/expr/fold.cc.o"
+  "CMakeFiles/gs_expr.dir/expr/fold.cc.o.d"
+  "CMakeFiles/gs_expr.dir/expr/ir.cc.o"
+  "CMakeFiles/gs_expr.dir/expr/ir.cc.o.d"
+  "CMakeFiles/gs_expr.dir/expr/type.cc.o"
+  "CMakeFiles/gs_expr.dir/expr/type.cc.o.d"
+  "CMakeFiles/gs_expr.dir/expr/typecheck.cc.o"
+  "CMakeFiles/gs_expr.dir/expr/typecheck.cc.o.d"
+  "CMakeFiles/gs_expr.dir/expr/vm.cc.o"
+  "CMakeFiles/gs_expr.dir/expr/vm.cc.o.d"
+  "libgs_expr.a"
+  "libgs_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

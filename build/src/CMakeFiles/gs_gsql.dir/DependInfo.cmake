@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsql/analyzer.cc" "src/CMakeFiles/gs_gsql.dir/gsql/analyzer.cc.o" "gcc" "src/CMakeFiles/gs_gsql.dir/gsql/analyzer.cc.o.d"
+  "/root/repo/src/gsql/ast.cc" "src/CMakeFiles/gs_gsql.dir/gsql/ast.cc.o" "gcc" "src/CMakeFiles/gs_gsql.dir/gsql/ast.cc.o.d"
+  "/root/repo/src/gsql/catalog.cc" "src/CMakeFiles/gs_gsql.dir/gsql/catalog.cc.o" "gcc" "src/CMakeFiles/gs_gsql.dir/gsql/catalog.cc.o.d"
+  "/root/repo/src/gsql/lexer.cc" "src/CMakeFiles/gs_gsql.dir/gsql/lexer.cc.o" "gcc" "src/CMakeFiles/gs_gsql.dir/gsql/lexer.cc.o.d"
+  "/root/repo/src/gsql/parser.cc" "src/CMakeFiles/gs_gsql.dir/gsql/parser.cc.o" "gcc" "src/CMakeFiles/gs_gsql.dir/gsql/parser.cc.o.d"
+  "/root/repo/src/gsql/schema.cc" "src/CMakeFiles/gs_gsql.dir/gsql/schema.cc.o" "gcc" "src/CMakeFiles/gs_gsql.dir/gsql/schema.cc.o.d"
+  "/root/repo/src/gsql/token.cc" "src/CMakeFiles/gs_gsql.dir/gsql/token.cc.o" "gcc" "src/CMakeFiles/gs_gsql.dir/gsql/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_gsql.dir/gsql/analyzer.cc.o"
+  "CMakeFiles/gs_gsql.dir/gsql/analyzer.cc.o.d"
+  "CMakeFiles/gs_gsql.dir/gsql/ast.cc.o"
+  "CMakeFiles/gs_gsql.dir/gsql/ast.cc.o.d"
+  "CMakeFiles/gs_gsql.dir/gsql/catalog.cc.o"
+  "CMakeFiles/gs_gsql.dir/gsql/catalog.cc.o.d"
+  "CMakeFiles/gs_gsql.dir/gsql/lexer.cc.o"
+  "CMakeFiles/gs_gsql.dir/gsql/lexer.cc.o.d"
+  "CMakeFiles/gs_gsql.dir/gsql/parser.cc.o"
+  "CMakeFiles/gs_gsql.dir/gsql/parser.cc.o.d"
+  "CMakeFiles/gs_gsql.dir/gsql/schema.cc.o"
+  "CMakeFiles/gs_gsql.dir/gsql/schema.cc.o.d"
+  "CMakeFiles/gs_gsql.dir/gsql/token.cc.o"
+  "CMakeFiles/gs_gsql.dir/gsql/token.cc.o.d"
+  "libgs_gsql.a"
+  "libgs_gsql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_gsql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

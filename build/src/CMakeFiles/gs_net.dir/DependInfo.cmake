@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/headers.cc" "src/CMakeFiles/gs_net.dir/net/headers.cc.o" "gcc" "src/CMakeFiles/gs_net.dir/net/headers.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/gs_net.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/gs_net.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/pcap.cc" "src/CMakeFiles/gs_net.dir/net/pcap.cc.o" "gcc" "src/CMakeFiles/gs_net.dir/net/pcap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

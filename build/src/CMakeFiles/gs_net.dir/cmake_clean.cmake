@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_net.dir/net/headers.cc.o"
+  "CMakeFiles/gs_net.dir/net/headers.cc.o.d"
+  "CMakeFiles/gs_net.dir/net/packet.cc.o"
+  "CMakeFiles/gs_net.dir/net/packet.cc.o.d"
+  "CMakeFiles/gs_net.dir/net/pcap.cc.o"
+  "CMakeFiles/gs_net.dir/net/pcap.cc.o.d"
+  "libgs_net.a"
+  "libgs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

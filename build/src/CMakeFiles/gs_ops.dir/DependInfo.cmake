@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/aggregate.cc" "src/CMakeFiles/gs_ops.dir/ops/aggregate.cc.o" "gcc" "src/CMakeFiles/gs_ops.dir/ops/aggregate.cc.o.d"
+  "/root/repo/src/ops/defrag.cc" "src/CMakeFiles/gs_ops.dir/ops/defrag.cc.o" "gcc" "src/CMakeFiles/gs_ops.dir/ops/defrag.cc.o.d"
+  "/root/repo/src/ops/join.cc" "src/CMakeFiles/gs_ops.dir/ops/join.cc.o" "gcc" "src/CMakeFiles/gs_ops.dir/ops/join.cc.o.d"
+  "/root/repo/src/ops/lfta_agg.cc" "src/CMakeFiles/gs_ops.dir/ops/lfta_agg.cc.o" "gcc" "src/CMakeFiles/gs_ops.dir/ops/lfta_agg.cc.o.d"
+  "/root/repo/src/ops/merge.cc" "src/CMakeFiles/gs_ops.dir/ops/merge.cc.o" "gcc" "src/CMakeFiles/gs_ops.dir/ops/merge.cc.o.d"
+  "/root/repo/src/ops/select_project.cc" "src/CMakeFiles/gs_ops.dir/ops/select_project.cc.o" "gcc" "src/CMakeFiles/gs_ops.dir/ops/select_project.cc.o.d"
+  "/root/repo/src/ops/tcp_session.cc" "src/CMakeFiles/gs_ops.dir/ops/tcp_session.cc.o" "gcc" "src/CMakeFiles/gs_ops.dir/ops/tcp_session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_gsql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_ops.dir/ops/aggregate.cc.o"
+  "CMakeFiles/gs_ops.dir/ops/aggregate.cc.o.d"
+  "CMakeFiles/gs_ops.dir/ops/defrag.cc.o"
+  "CMakeFiles/gs_ops.dir/ops/defrag.cc.o.d"
+  "CMakeFiles/gs_ops.dir/ops/join.cc.o"
+  "CMakeFiles/gs_ops.dir/ops/join.cc.o.d"
+  "CMakeFiles/gs_ops.dir/ops/lfta_agg.cc.o"
+  "CMakeFiles/gs_ops.dir/ops/lfta_agg.cc.o.d"
+  "CMakeFiles/gs_ops.dir/ops/merge.cc.o"
+  "CMakeFiles/gs_ops.dir/ops/merge.cc.o.d"
+  "CMakeFiles/gs_ops.dir/ops/select_project.cc.o"
+  "CMakeFiles/gs_ops.dir/ops/select_project.cc.o.d"
+  "CMakeFiles/gs_ops.dir/ops/tcp_session.cc.o"
+  "CMakeFiles/gs_ops.dir/ops/tcp_session.cc.o.d"
+  "libgs_ops.a"
+  "libgs_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/gs_plan.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/gs_plan.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/plan/ordering.cc" "src/CMakeFiles/gs_plan.dir/plan/ordering.cc.o" "gcc" "src/CMakeFiles/gs_plan.dir/plan/ordering.cc.o.d"
+  "/root/repo/src/plan/planner.cc" "src/CMakeFiles/gs_plan.dir/plan/planner.cc.o" "gcc" "src/CMakeFiles/gs_plan.dir/plan/planner.cc.o.d"
+  "/root/repo/src/plan/splitter.cc" "src/CMakeFiles/gs_plan.dir/plan/splitter.cc.o" "gcc" "src/CMakeFiles/gs_plan.dir/plan/splitter.cc.o.d"
+  "/root/repo/src/plan/window.cc" "src/CMakeFiles/gs_plan.dir/plan/window.cc.o" "gcc" "src/CMakeFiles/gs_plan.dir/plan/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_gsql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_plan.dir/plan/logical_plan.cc.o"
+  "CMakeFiles/gs_plan.dir/plan/logical_plan.cc.o.d"
+  "CMakeFiles/gs_plan.dir/plan/ordering.cc.o"
+  "CMakeFiles/gs_plan.dir/plan/ordering.cc.o.d"
+  "CMakeFiles/gs_plan.dir/plan/planner.cc.o"
+  "CMakeFiles/gs_plan.dir/plan/planner.cc.o.d"
+  "CMakeFiles/gs_plan.dir/plan/splitter.cc.o"
+  "CMakeFiles/gs_plan.dir/plan/splitter.cc.o.d"
+  "CMakeFiles/gs_plan.dir/plan/window.cc.o"
+  "CMakeFiles/gs_plan.dir/plan/window.cc.o.d"
+  "libgs_plan.a"
+  "libgs_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

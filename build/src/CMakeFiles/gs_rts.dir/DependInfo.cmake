@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rts/node.cc" "src/CMakeFiles/gs_rts.dir/rts/node.cc.o" "gcc" "src/CMakeFiles/gs_rts.dir/rts/node.cc.o.d"
+  "/root/repo/src/rts/punctuation.cc" "src/CMakeFiles/gs_rts.dir/rts/punctuation.cc.o" "gcc" "src/CMakeFiles/gs_rts.dir/rts/punctuation.cc.o.d"
+  "/root/repo/src/rts/registry.cc" "src/CMakeFiles/gs_rts.dir/rts/registry.cc.o" "gcc" "src/CMakeFiles/gs_rts.dir/rts/registry.cc.o.d"
+  "/root/repo/src/rts/ring.cc" "src/CMakeFiles/gs_rts.dir/rts/ring.cc.o" "gcc" "src/CMakeFiles/gs_rts.dir/rts/ring.cc.o.d"
+  "/root/repo/src/rts/tuple.cc" "src/CMakeFiles/gs_rts.dir/rts/tuple.cc.o" "gcc" "src/CMakeFiles/gs_rts.dir/rts/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_gsql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_rts.dir/rts/node.cc.o"
+  "CMakeFiles/gs_rts.dir/rts/node.cc.o.d"
+  "CMakeFiles/gs_rts.dir/rts/punctuation.cc.o"
+  "CMakeFiles/gs_rts.dir/rts/punctuation.cc.o.d"
+  "CMakeFiles/gs_rts.dir/rts/registry.cc.o"
+  "CMakeFiles/gs_rts.dir/rts/registry.cc.o.d"
+  "CMakeFiles/gs_rts.dir/rts/ring.cc.o"
+  "CMakeFiles/gs_rts.dir/rts/ring.cc.o.d"
+  "CMakeFiles/gs_rts.dir/rts/tuple.cc.o"
+  "CMakeFiles/gs_rts.dir/rts/tuple.cc.o.d"
+  "libgs_rts.a"
+  "libgs_rts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_rts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

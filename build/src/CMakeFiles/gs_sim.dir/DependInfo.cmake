@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/capture_pipeline.cc" "src/CMakeFiles/gs_sim.dir/sim/capture_pipeline.cc.o" "gcc" "src/CMakeFiles/gs_sim.dir/sim/capture_pipeline.cc.o.d"
+  "/root/repo/src/sim/disk.cc" "src/CMakeFiles/gs_sim.dir/sim/disk.cc.o" "gcc" "src/CMakeFiles/gs_sim.dir/sim/disk.cc.o.d"
+  "/root/repo/src/sim/event_sim.cc" "src/CMakeFiles/gs_sim.dir/sim/event_sim.cc.o" "gcc" "src/CMakeFiles/gs_sim.dir/sim/event_sim.cc.o.d"
+  "/root/repo/src/sim/host.cc" "src/CMakeFiles/gs_sim.dir/sim/host.cc.o" "gcc" "src/CMakeFiles/gs_sim.dir/sim/host.cc.o.d"
+  "/root/repo/src/sim/nic.cc" "src/CMakeFiles/gs_sim.dir/sim/nic.cc.o" "gcc" "src/CMakeFiles/gs_sim.dir/sim/nic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

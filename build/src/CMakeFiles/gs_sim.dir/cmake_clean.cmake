@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_sim.dir/sim/capture_pipeline.cc.o"
+  "CMakeFiles/gs_sim.dir/sim/capture_pipeline.cc.o.d"
+  "CMakeFiles/gs_sim.dir/sim/disk.cc.o"
+  "CMakeFiles/gs_sim.dir/sim/disk.cc.o.d"
+  "CMakeFiles/gs_sim.dir/sim/event_sim.cc.o"
+  "CMakeFiles/gs_sim.dir/sim/event_sim.cc.o.d"
+  "CMakeFiles/gs_sim.dir/sim/host.cc.o"
+  "CMakeFiles/gs_sim.dir/sim/host.cc.o.d"
+  "CMakeFiles/gs_sim.dir/sim/nic.cc.o"
+  "CMakeFiles/gs_sim.dir/sim/nic.cc.o.d"
+  "libgs_sim.a"
+  "libgs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udf/builtins.cc" "src/CMakeFiles/gs_udf.dir/udf/builtins.cc.o" "gcc" "src/CMakeFiles/gs_udf.dir/udf/builtins.cc.o.d"
+  "/root/repo/src/udf/lpm.cc" "src/CMakeFiles/gs_udf.dir/udf/lpm.cc.o" "gcc" "src/CMakeFiles/gs_udf.dir/udf/lpm.cc.o.d"
+  "/root/repo/src/udf/regex.cc" "src/CMakeFiles/gs_udf.dir/udf/regex.cc.o" "gcc" "src/CMakeFiles/gs_udf.dir/udf/regex.cc.o.d"
+  "/root/repo/src/udf/registry.cc" "src/CMakeFiles/gs_udf.dir/udf/registry.cc.o" "gcc" "src/CMakeFiles/gs_udf.dir/udf/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_gsql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_udf.dir/udf/builtins.cc.o"
+  "CMakeFiles/gs_udf.dir/udf/builtins.cc.o.d"
+  "CMakeFiles/gs_udf.dir/udf/lpm.cc.o"
+  "CMakeFiles/gs_udf.dir/udf/lpm.cc.o.d"
+  "CMakeFiles/gs_udf.dir/udf/regex.cc.o"
+  "CMakeFiles/gs_udf.dir/udf/regex.cc.o.d"
+  "CMakeFiles/gs_udf.dir/udf/registry.cc.o"
+  "CMakeFiles/gs_udf.dir/udf/registry.cc.o.d"
+  "libgs_udf.a"
+  "libgs_udf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/netflow_gen.cc" "src/CMakeFiles/gs_workload.dir/workload/netflow_gen.cc.o" "gcc" "src/CMakeFiles/gs_workload.dir/workload/netflow_gen.cc.o.d"
+  "/root/repo/src/workload/traffic_gen.cc" "src/CMakeFiles/gs_workload.dir/workload/traffic_gen.cc.o" "gcc" "src/CMakeFiles/gs_workload.dir/workload/traffic_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

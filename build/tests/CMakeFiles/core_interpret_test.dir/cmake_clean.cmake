@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_interpret_test.dir/core_interpret_test.cc.o"
+  "CMakeFiles/core_interpret_test.dir/core_interpret_test.cc.o.d"
+  "core_interpret_test"
+  "core_interpret_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_interpret_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gsql_analyzer_test.cc" "tests/CMakeFiles/gsql_analyzer_test.dir/gsql_analyzer_test.cc.o" "gcc" "tests/CMakeFiles/gsql_analyzer_test.dir/gsql_analyzer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gigascope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_gsql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsql_analyzer_test.dir/gsql_analyzer_test.cc.o"
+  "CMakeFiles/gsql_analyzer_test.dir/gsql_analyzer_test.cc.o.d"
+  "gsql_analyzer_test"
+  "gsql_analyzer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsql_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

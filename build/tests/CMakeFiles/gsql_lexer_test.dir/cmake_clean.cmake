@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsql_lexer_test.dir/gsql_lexer_test.cc.o"
+  "CMakeFiles/gsql_lexer_test.dir/gsql_lexer_test.cc.o.d"
+  "gsql_lexer_test"
+  "gsql_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsql_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsql_parser_test.dir/gsql_parser_test.cc.o"
+  "CMakeFiles/gsql_parser_test.dir/gsql_parser_test.cc.o.d"
+  "gsql_parser_test"
+  "gsql_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_defrag_test.dir/ops_defrag_test.cc.o"
+  "CMakeFiles/ops_defrag_test.dir/ops_defrag_test.cc.o.d"
+  "ops_defrag_test"
+  "ops_defrag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_defrag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

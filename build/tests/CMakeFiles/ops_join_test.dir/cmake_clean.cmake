@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_join_test.dir/ops_join_test.cc.o"
+  "CMakeFiles/ops_join_test.dir/ops_join_test.cc.o.d"
+  "ops_join_test"
+  "ops_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_merge_test.dir/ops_merge_test.cc.o"
+  "CMakeFiles/ops_merge_test.dir/ops_merge_test.cc.o.d"
+  "ops_merge_test"
+  "ops_merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

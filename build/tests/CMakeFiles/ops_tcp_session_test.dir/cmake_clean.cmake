@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_tcp_session_test.dir/ops_tcp_session_test.cc.o"
+  "CMakeFiles/ops_tcp_session_test.dir/ops_tcp_session_test.cc.o.d"
+  "ops_tcp_session_test"
+  "ops_tcp_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_tcp_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_ordering_test.dir/plan_ordering_test.cc.o"
+  "CMakeFiles/plan_ordering_test.dir/plan_ordering_test.cc.o.d"
+  "plan_ordering_test"
+  "plan_ordering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

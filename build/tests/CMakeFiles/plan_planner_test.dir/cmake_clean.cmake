@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_planner_test.dir/plan_planner_test.cc.o"
+  "CMakeFiles/plan_planner_test.dir/plan_planner_test.cc.o.d"
+  "plan_planner_test"
+  "plan_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

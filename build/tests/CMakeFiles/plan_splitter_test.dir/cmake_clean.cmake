@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_splitter_test.dir/plan_splitter_test.cc.o"
+  "CMakeFiles/plan_splitter_test.dir/plan_splitter_test.cc.o.d"
+  "plan_splitter_test"
+  "plan_splitter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_splitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_window_test.dir/plan_window_test.cc.o"
+  "CMakeFiles/plan_window_test.dir/plan_window_test.cc.o.d"
+  "plan_window_test"
+  "plan_window_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udf_regex_test.dir/udf_regex_test.cc.o"
+  "CMakeFiles/udf_regex_test.dir/udf_regex_test.cc.o.d"
+  "udf_regex_test"
+  "udf_regex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udf_regex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_netflow_test.dir/workload_netflow_test.cc.o"
+  "CMakeFiles/workload_netflow_test.dir/workload_netflow_test.cc.o.d"
+  "workload_netflow_test"
+  "workload_netflow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_netflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

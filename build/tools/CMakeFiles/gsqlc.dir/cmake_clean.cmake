@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsqlc.dir/gsqlc.cc.o"
+  "CMakeFiles/gsqlc.dir/gsqlc.cc.o.d"
+  "gsqlc"
+  "gsqlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsqlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

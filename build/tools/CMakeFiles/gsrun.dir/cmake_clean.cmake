@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsrun.dir/gsrun.cc.o"
+  "CMakeFiles/gsrun.dir/gsrun.cc.o.d"
+  "gsrun"
+  "gsrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

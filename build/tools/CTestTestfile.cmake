@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(gsqlc_smoke "sh" "-c" "echo 'SELECT destIP, time FROM eth0.PKT WHERE ipVersion = 4 AND protocol = 6 AND destPort = 80' | /root/repo/build/tools/gsqlc")
+set_tests_properties(gsqlc_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(gsrun_usage "/root/repo/build/tools/gsrun")
+set_tests_properties(gsrun_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
