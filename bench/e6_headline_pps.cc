@@ -3,13 +3,19 @@
 //
 // Measures this repository's packets/second through the full engine path
 // (packet interpretation → LFTA evaluation → channels) for representative
-// LFTA queries. Absolute numbers reflect this machine; the point is that a
-// filter-only LFTA runs at millions of packets/second.
+// LFTA queries, then compares the single-threaded pump against the
+// ThreadedEngine mode (LFTAs on the inject thread, HFTAs on a worker
+// pool — the paper's dual-CPU split). Absolute numbers reflect this
+// machine; run with --threads=N to size the worker pool (default 4).
+//
+// Usage: e6_headline_pps [--threads=N] [--packets=N]
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,18 +26,10 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 using gigascope::core::Engine;
+using gigascope::core::EngineOptions;
 using gigascope::net::Packet;
 
-double MeasurePps(const std::string& query, int packets) {
-  Engine engine;
-  engine.AddInterface("eth0");
-  auto info = engine.AddQuery(query);
-  if (!info.ok()) {
-    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
-    std::exit(1);
-  }
-
-  // Pre-generate packets so generation cost stays out of the measurement.
+std::vector<Packet> MakeBatch(int packets) {
   gigascope::workload::TrafficConfig config;
   config.seed = 17;
   config.num_flows = 1000;
@@ -42,80 +40,85 @@ double MeasurePps(const std::string& query, int packets) {
   std::vector<Packet> batch;
   batch.reserve(static_cast<size_t>(packets));
   for (int i = 0; i < packets; ++i) batch.push_back(gen.Next());
+  return batch;
+}
 
+std::unique_ptr<Engine> MakeEngine(const std::string& query, int packets) {
+  EngineOptions options;
+  // Size channels so a full run fits without drops: the comparison should
+  // measure operator and handoff cost, not loss policy.
+  size_t capacity = 1;
+  while (capacity < static_cast<size_t>(packets) + 1024) capacity <<= 1;
+  options.channel_capacity = capacity;
+  auto engine = std::make_unique<Engine>(options);
+  engine->AddInterface("eth0");
+  auto info = engine->AddQuery(query);
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    std::exit(1);
+  }
+  return engine;
+}
+
+double MeasurePps(const std::string& query, const std::vector<Packet>& batch) {
+  std::unique_ptr<Engine> owned =
+      MakeEngine(query, static_cast<int>(batch.size()));
+  Engine& engine = *owned;
   auto start = Clock::now();
   for (const Packet& packet : batch) {
     engine.InjectPacket("eth0", packet).ok();
     // Keep channels drained like the RTS does.
     if ((&packet - batch.data()) % 4096 == 4095) engine.PumpUntilIdle();
   }
-  engine.PumpUntilIdle();
   engine.FlushAll();
   auto end = Clock::now();
-  return packets / std::chrono::duration<double>(end - start).count();
+  return static_cast<double>(batch.size()) /
+         std::chrono::duration<double>(end - start).count();
 }
 
-/// Pipeline parallelism: the paper's LFTAs and HFTAs are separate
-/// processes on a dual-CPU server; here an injector thread feeds packets
-/// while a pumper thread drives the operator nodes (the ring channels are
-/// thread-safe).
-double MeasurePpsThreaded(const std::string& query, int packets) {
-  Engine engine;
-  engine.AddInterface("eth0");
-  auto info = engine.AddQuery(query);
-  if (!info.ok()) {
-    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
-    std::exit(1);
-  }
-  gigascope::workload::TrafficConfig config;
-  config.seed = 17;
-  config.num_flows = 1000;
-  config.port80_fraction = 0.1;
-  config.http_fraction = 0.5;
-  config.offered_bits_per_sec = 500e6;
-  gigascope::workload::TrafficGenerator gen(config);
-  std::vector<Packet> batch;
-  batch.reserve(static_cast<size_t>(packets));
-  for (int i = 0; i < packets; ++i) batch.push_back(gen.Next());
-
-  std::atomic<bool> done{false};
+/// ThreadedEngine pump mode: InjectPacket drives interpretation and the
+/// LFTA nodes on this thread (the paper links LFTAs into the RTS next to
+/// the capture loop) while the worker pool drains the HFTA nodes through
+/// the lock-free SPSC rings. FlushAll is the drain barrier.
+double MeasurePpsThreaded(const std::string& query,
+                          const std::vector<Packet>& batch, size_t threads) {
+  std::unique_ptr<Engine> owned =
+      MakeEngine(query, static_cast<int>(batch.size()));
+  Engine& engine = *owned;
   auto start = Clock::now();
-  std::thread pumper([&engine, &done] {
-    while (!done.load(std::memory_order_relaxed)) {
-      if (engine.Pump(4096) == 0) std::this_thread::yield();
-    }
-    engine.PumpUntilIdle();
-  });
-  // Inject with backpressure: never run more than half a channel ahead of
-  // the pumper, so nothing drops and the measurement stays honest.
-  uint64_t injected = 0;
+  if (!engine.StartThreads(threads).ok()) std::exit(1);
   for (const Packet& packet : batch) {
     engine.InjectPacket("eth0", packet).ok();
-    ++injected;
-    if (injected % 1024 == 0) {
-      while (true) {
-        auto stats = engine.GetNodeStats();
-        uint64_t consumed = stats.empty() ? injected : stats[0].tuples_in;
-        if (injected - consumed < 4096) break;
-        std::this_thread::yield();
-      }
-    }
   }
-  done.store(true, std::memory_order_relaxed);
-  pumper.join();
   engine.FlushAll();
   auto end = Clock::now();
-  return packets / std::chrono::duration<double>(end - start).count();
+  return static_cast<double>(batch.size()) /
+         std::chrono::duration<double>(end - start).count();
 }
+
+struct Workload {
+  const char* label;
+  const char* query;
+};
 
 }  // namespace
 
-int main() {
-  const int kPackets = 200000;
-  struct Workload {
-    const char* label;
-    const char* query;
-  };
+int main(int argc, char** argv) {
+  size_t threads = 4;
+  int packets = 200000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--packets=", 10) == 0) {
+      packets = std::atoi(argv[i] + 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: e6_headline_pps [--threads=N] [--packets=N]\n");
+      return 2;
+    }
+  }
+  if (threads == 0) threads = 1;
+
   const Workload workloads[] = {
       {"filter-only (LFTA)",
        "DEFINE { query_name q1; } "
@@ -136,13 +139,14 @@ int main() {
        "AND match_regex(payload, '^[^\\n]*HTTP/1.*')"},
   };
 
+  const std::vector<Packet> batch = MakeBatch(packets);
   std::printf(
       "E6: engine throughput, %d packets per workload (paper headline:\n"
       "    1.2M pps on 2003 hardware for deployed query sets)\n\n",
-      kPackets);
+      packets);
   std::printf("%-22s %16s\n", "workload", "packets/sec");
   for (const Workload& workload : workloads) {
-    double pps = MeasurePps(workload.query, kPackets);
+    double pps = MeasurePps(workload.query, batch);
     std::printf("%-22s %16.0f\n", workload.label, pps);
   }
   std::printf(
@@ -152,18 +156,23 @@ int main() {
 
   // Pipeline parallelism across the LFTA/HFTA boundary (the paper ran on
   // a dual-CPU server with LFTAs linked into the RTS and HFTAs as
-  // separate processes).
-  double single = MeasurePps(workloads[3].query, kPackets);
-  double threaded = MeasurePpsThreaded(workloads[3].query, kPackets);
+  // separate processes). Compare on the split queries — the ones with an
+  // HFTA stage for the workers to take over.
   std::printf(
-      "\npipeline parallelism (regex split query):\n"
-      "%-22s %16.0f\n%-22s %16.0f   (%.2fx)\n", "single-threaded", single,
-      "injector + pumper", threaded, threaded / single);
+      "\nthreaded pump mode (%zu workers, %u hardware threads on this "
+      "machine):\n%-22s %16s %16s %8s\n",
+      threads, std::thread::hardware_concurrency(), "workload",
+      "single pps", "threaded pps", "ratio");
+  for (size_t i : {size_t{2}, size_t{3}}) {
+    double single = MeasurePps(workloads[i].query, batch);
+    double threaded = MeasurePpsThreaded(workloads[i].query, batch, threads);
+    std::printf("%-22s %16.0f %16.0f %7.2fx\n", workloads[i].label, single,
+                threaded, threaded / single);
+  }
   std::printf(
-      "\nobservation: splitting capture and query work across threads buys\n"
-      "little here — the channel hop costs about as much as the per-tuple\n"
-      "work it overlaps. This echoes the paper's actual lesson: the\n"
-      "LFTA/HFTA win comes from early data *reduction* (E2/E5), not from\n"
-      "parallelism.\n");
+      "\nobservation: the win tracks how much work the query's HFTA stage\n"
+      "carries (final aggregation for q3, regex on the pre-filtered ~10%%\n"
+      "for q4) and needs real cores to show up — on a single-CPU machine\n"
+      "the two stages time-slice and the ratio stays near or below 1.\n");
   return 0;
 }

@@ -22,6 +22,8 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kResourceExhausted:
       return "ResourceExhausted";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
     case Status::Code::kParseError:
       return "ParseError";
     case Status::Code::kTypeError:

@@ -24,6 +24,7 @@ class Status {
     kUnimplemented,
     kInternal,
     kResourceExhausted,
+    kFailedPrecondition,
     kParseError,
     kTypeError,
     kPlanError,
@@ -58,6 +59,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
   }
   static Status ParseError(std::string msg) {
     return Status(Code::kParseError, std::move(msg));

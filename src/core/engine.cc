@@ -1,5 +1,8 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "common/logging.h"
 #include "core/compiled_query.h"
 #include "gsql/parser.h"
@@ -35,11 +38,33 @@ Engine::Engine(EngineOptions options) : options_(options) {
   GS_CHECK(catalog_.AddSchema(gsql::Catalog::BuiltinNetflowSchema()).ok());
 }
 
+Engine::~Engine() { StopThreads(); }
+
+Status Engine::CheckMutable(const char* operation) const {
+  if (threads_running_) {
+    return Status::FailedPrecondition(
+        std::string(operation) +
+        ": the worker pool is running; call StopThreads first");
+  }
+  return Status::Ok();
+}
+
+Status Engine::CheckAcceptingInput(const char* operation) const {
+  if (flushed_) {
+    return Status::FailedPrecondition(
+        std::string(operation) +
+        ": the engine is flushed (FlushAll is end-of-stream); no further "
+        "input is accepted");
+  }
+  return Status::Ok();
+}
+
 void Engine::AddInterface(const std::string& name) {
   catalog_.AddInterface(name);
 }
 
 Status Engine::ExecuteDdl(std::string_view ddl) {
+  GS_RETURN_IF_ERROR(CheckMutable("ExecuteDdl"));
   GS_ASSIGN_OR_RETURN(gsql::ParsedProgram program, gsql::Parse(ddl));
   for (const gsql::Statement& statement : program.statements) {
     const auto* create = std::get_if<gsql::CreateStmt>(&statement);
@@ -54,6 +79,7 @@ Status Engine::ExecuteDdl(std::string_view ddl) {
 }
 
 Status Engine::DeclareStream(const gsql::StreamSchema& schema) {
+  GS_RETURN_IF_ERROR(CheckMutable("DeclareStream"));
   if (schema.kind() != gsql::StreamKind::kStream) {
     return Status::InvalidArgument(
         "DeclareStream declares Stream schemas; protocols come from DDL");
@@ -95,6 +121,9 @@ Status Engine::EnsureSources(const plan::PlanPtr& plan) {
 Result<QueryInfo> Engine::AddQuery(
     std::string_view gsql_text,
     const std::map<std::string, expr::Value>& params) {
+  GS_RETURN_IF_ERROR(CheckMutable("AddQuery"));
+  // True-up stage bookkeeping if an earlier instantiation failed partway.
+  node_stages_.resize(nodes_.size(), NodeStage::kHfta);
   GS_ASSIGN_OR_RETURN(gsql::Statement statement,
                       gsql::ParseStatement(gsql_text));
 
@@ -215,11 +244,15 @@ Result<QueryInfo> Engine::AddQuery(
         split.hfta == nullptr ? split.name : split.lfta_name;
     GS_RETURN_IF_ERROR(InstantiatePlan(split.lfta, lfta_output, &ctx));
   }
+  // Nodes instantiated so far belong to the LFTA plan and stay on the
+  // inject thread in threaded mode; everything after runs on workers.
+  node_stages_.resize(nodes_.size(), NodeStage::kLfta);
   if (split.hfta != nullptr) {
     GS_RETURN_IF_ERROR(EnsureSources(split.hfta));
     ctx.use_lfta_table = false;
     GS_RETURN_IF_ERROR(InstantiatePlan(split.hfta, split.name, &ctx));
   }
+  node_stages_.resize(nodes_.size(), NodeStage::kHfta);
 
   // Register the query's output schema in the catalog so later queries can
   // compose over it (§2.2).
@@ -231,6 +264,8 @@ Result<QueryInfo> Engine::AddQuery(
 
 Status Engine::SetParam(const std::string& query_name,
                         const std::string& param_name, expr::Value value) {
+  // The param block is read by worker-owned nodes without locks.
+  GS_RETURN_IF_ERROR(CheckMutable("SetParam"));
   auto it = query_params_.find(query_name);
   if (it == query_params_.end()) {
     return Status::NotFound("no query named '" + query_name + "'");
@@ -249,6 +284,7 @@ Status Engine::SetParam(const std::string& query_name,
 
 Result<std::unique_ptr<TupleSubscription>> Engine::Subscribe(
     const std::string& stream_name, size_t capacity) {
+  GS_RETURN_IF_ERROR(CheckMutable("Subscribe"));
   GS_ASSIGN_OR_RETURN(gsql::StreamSchema schema,
                       registry_.GetSchema(stream_name));
   GS_ASSIGN_OR_RETURN(rts::Subscription channel,
@@ -339,6 +375,7 @@ rts::Row InterpretPacket(const gsql::StreamSchema& schema,
 
 Status Engine::InjectPacket(const std::string& interface_name,
                             const net::Packet& packet) {
+  GS_RETURN_IF_ERROR(CheckAcceptingInput("InjectPacket"));
   bool any = false;
   for (auto& [stream_name, source] : protocol_sources_) {
     if (stream_name.rfind(interface_name + ".", 0) != 0) continue;
@@ -369,11 +406,17 @@ Status Engine::InjectPacket(const std::string& interface_name,
     return Status::NotFound("no protocol sources on interface '" +
                             interface_name + "' (add a query first)");
   }
+  // Threaded mode: LFTAs run next to the capture loop (§4), so drive them
+  // here; their outputs wake the HFTA workers.
+  if (threads_running_) {
+    PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
+  }
   return Status::Ok();
 }
 
 Status Engine::InjectHeartbeat(const std::string& interface_name,
                                SimTime now) {
+  GS_RETURN_IF_ERROR(CheckAcceptingInput("InjectHeartbeat"));
   bool any = false;
   for (auto& [stream_name, source] : protocol_sources_) {
     if (stream_name.rfind(interface_name + ".", 0) != 0) continue;
@@ -399,11 +442,15 @@ Status Engine::InjectHeartbeat(const std::string& interface_name,
     return Status::NotFound("no protocol sources on interface '" +
                             interface_name + "'");
   }
+  if (threads_running_) {
+    PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
+  }
   return Status::Ok();
 }
 
 Status Engine::InjectRow(const std::string& stream_name,
                          const rts::Row& row) {
+  GS_RETURN_IF_ERROR(CheckAcceptingInput("InjectRow"));
   GS_ASSIGN_OR_RETURN(gsql::StreamSchema schema,
                       registry_.GetSchema(stream_name));
   rts::TupleCodec codec(schema);
@@ -411,11 +458,15 @@ Status Engine::InjectRow(const std::string& stream_name,
   message.kind = rts::StreamMessage::Kind::kTuple;
   codec.Encode(row, &message.payload);
   registry_.Publish(stream_name, message);
+  if (threads_running_) {
+    PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
+  }
   return Status::Ok();
 }
 
 Status Engine::InjectPunctuation(const std::string& stream_name, size_t field,
                                  const expr::Value& bound) {
+  GS_RETURN_IF_ERROR(CheckAcceptingInput("InjectPunctuation"));
   GS_ASSIGN_OR_RETURN(gsql::StreamSchema schema,
                       registry_.GetSchema(stream_name));
   if (field >= schema.num_fields()) {
@@ -425,10 +476,14 @@ Status Engine::InjectPunctuation(const std::string& stream_name, size_t field,
   punctuation.bounds.emplace_back(field, bound);
   registry_.Publish(stream_name,
                     rts::MakePunctuationMessage(punctuation, schema));
+  if (threads_running_) {
+    PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
+  }
   return Status::Ok();
 }
 
 Status Engine::AddNode(std::unique_ptr<rts::QueryNode> node) {
+  GS_RETURN_IF_ERROR(CheckMutable("AddNode"));
   if (node == nullptr) return Status::InvalidArgument("null node");
   if (!registry_.HasStream(node->name())) {
     return Status::InvalidArgument(
@@ -441,10 +496,26 @@ Status Engine::AddNode(std::unique_ptr<rts::QueryNode> node) {
                       registry_.GetSchema(node->name()));
   catalog_.PutStreamSchema(schema);
   nodes_.push_back(std::move(node));
+  // Custom nodes read stream channels, not raw packets: worker stage.
+  node_stages_.resize(nodes_.size(), NodeStage::kHfta);
   return Status::Ok();
 }
 
+size_t Engine::PumpStage(NodeStage stage, size_t budget_per_node) {
+  size_t processed = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i < node_stages_.size() && node_stages_[i] != stage) continue;
+    processed += nodes_[i]->Poll(budget_per_node);
+  }
+  return processed;
+}
+
 size_t Engine::Pump(size_t budget_per_node) {
+  if (threads_running_) {
+    // Workers own the HFTA nodes; polling them here would add a second
+    // consumer to their SPSC channels.
+    return PumpStage(NodeStage::kLfta, budget_per_node);
+  }
   size_t processed = 0;
   for (auto& node : nodes_) {
     processed += node->Poll(budget_per_node);
@@ -458,12 +529,97 @@ void Engine::PumpUntilIdle() {
 }
 
 void Engine::FlushAll() {
+  if (flushed_) return;  // idempotent: the engine is already sealed
+  // Barrier: take the worker pool down first, then drain everything from
+  // this thread — deterministic regardless of worker scheduling, because
+  // channels hand over their remaining contents in FIFO order.
+  StopThreads();
   PumpUntilIdle();
   // Flush upstream-to-downstream, pumping between rounds so flushed state
   // propagates through the chain.
   for (auto& node : nodes_) {
     node->Flush();
     PumpUntilIdle();
+  }
+  flushed_ = true;
+}
+
+Status Engine::StartThreads(size_t workers) {
+  if (threads_running_) {
+    return Status::FailedPrecondition("worker pool is already running");
+  }
+  GS_RETURN_IF_ERROR(CheckAcceptingInput("StartThreads"));
+  if (workers == 0) {
+    return Status::InvalidArgument("StartThreads needs at least one worker");
+  }
+  node_stages_.resize(nodes_.size(), NodeStage::kHfta);
+
+  std::vector<rts::QueryNode*> hfta_nodes;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (node_stages_[i] == NodeStage::kHfta) {
+      hfta_nodes.push_back(nodes_[i].get());
+    }
+  }
+  stop_workers_.store(false, std::memory_order_relaxed);
+  threads_running_ = true;
+  if (hfta_nodes.empty()) return Status::Ok();  // everything is LFTA-stage
+
+  const size_t pool = std::min(workers, hfta_nodes.size());
+  for (size_t w = 0; w < pool; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->waker = std::make_shared<rts::ConsumerWaker>();
+    workers_.push_back(std::move(worker));
+  }
+  for (size_t i = 0; i < hfta_nodes.size(); ++i) {
+    workers_[i % pool]->nodes.push_back(hfta_nodes[i]);
+  }
+  // Wire each worker-owned node's input channels to that worker's waker so
+  // pushes (tuples and punctuations) un-park it. Done before the threads
+  // start, so the writes are published by thread creation.
+  for (const auto& worker : workers_) {
+    for (rts::QueryNode* node : worker->nodes) {
+      for (const rts::Subscription& channel : node->inputs()) {
+        channel->SetWaker(worker->waker);
+      }
+    }
+  }
+  for (const auto& worker : workers_) {
+    worker->thread = std::thread(&Engine::WorkerLoop, this, worker.get());
+  }
+  return Status::Ok();
+}
+
+void Engine::StopThreads() {
+  if (!threads_running_) return;
+  stop_workers_.store(true, std::memory_order_release);
+  for (const auto& worker : workers_) worker->waker->Wake();
+  for (const auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  workers_.clear();
+  threads_running_ = false;
+}
+
+void Engine::WorkerLoop(Worker* worker) {
+  // Spin briefly on idle before parking; a push into any owned channel
+  // wakes the park, and the timeout bounds any lost-wakeup window.
+  constexpr int kSpinRounds = 64;
+  constexpr std::chrono::microseconds kParkTimeout{200};
+  int idle_rounds = 0;
+  while (!stop_workers_.load(std::memory_order_acquire)) {
+    size_t processed = 0;
+    for (rts::QueryNode* node : worker->nodes) {
+      processed += node->Poll(options_.worker_poll_budget);
+    }
+    if (processed > 0) {
+      idle_rounds = 0;
+      continue;
+    }
+    if (++idle_rounds < kSpinRounds) {
+      std::this_thread::yield();
+      continue;
+    }
+    worker->waker->Park(kParkTimeout);
   }
 }
 

@@ -1,9 +1,11 @@
 #ifndef GIGASCOPE_CORE_ENGINE_H_
 #define GIGASCOPE_CORE_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gsql/catalog.h"
@@ -45,6 +47,8 @@ struct EngineOptions {
   int lfta_hash_log2 = 12;
   /// Packet sources emit a punctuation every this many packets.
   size_t punctuation_interval = 256;
+  /// Per-node poll budget for worker threads in the threaded pump mode.
+  size_t worker_poll_budget = 1024;
 };
 
 /// Metadata about a compiled, running query.
@@ -74,12 +78,24 @@ struct QueryInfo {
 ///   engine.PumpUntilIdle();
 ///   while (auto row = sub->NextRow()) { ... }
 ///
-/// The engine is single-threaded by design: InjectPacket enqueues work and
-/// Pump drives every operator. This makes runs deterministic; throughput
-/// experiments drive Pump from their own loop.
+/// The engine is single-threaded by default: InjectPacket enqueues work and
+/// Pump drives every operator, which makes runs deterministic.
+///
+/// StartThreads switches to the ThreadedEngine pump mode, mirroring the
+/// paper's §4 process split: source interpretation and LFTA nodes stay on
+/// the caller's inject thread (the paper links LFTAs into the RTS next to
+/// the capture loop) while HFTA nodes (join, merge, final aggregation) run
+/// on a worker pool connected through the lock-free SPSC ring channels.
+/// Each node is owned by exactly one worker, so every channel keeps a
+/// single producer thread and a single consumer thread. FlushAll is the
+/// drain barrier: it stops the workers, drains every channel
+/// deterministically on the calling thread, and seals the engine — after
+/// FlushAll, injection calls return FailedPrecondition and further
+/// FlushAll calls are no-ops.
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
+  ~Engine();
 
   // -- Setup ---------------------------------------------------------------
 
@@ -146,21 +162,44 @@ class Engine {
 
   // -- Execution ---------------------------------------------------------------
 
-  /// Runs one round over all operator nodes; returns messages processed.
+  /// Runs one round over the operator nodes; returns messages processed.
+  /// In threaded mode only LFTA/source-stage nodes are pumped — HFTA
+  /// nodes belong to their workers (single-consumer rule).
   size_t Pump(size_t budget_per_node = 1024);
 
-  /// Pumps until no node makes progress.
+  /// Pumps until no node makes progress (threaded mode: LFTA stage only).
   void PumpUntilIdle();
 
-  /// End-of-stream: flushes buffered operator state (open groups, merge
-  /// buffers) downstream, then pumps to idle.
+  /// End-of-stream barrier: stops workers if threaded, drains every
+  /// channel, flushes buffered operator state (open groups, merge buffers)
+  /// downstream, and seals the engine. Idempotent; after it returns,
+  /// injection calls fail with FailedPrecondition.
   void FlushAll();
+
+  // -- Threaded pump mode ------------------------------------------------------
+
+  /// Starts the worker pool (ThreadedEngine pump mode). Call after all
+  /// queries, custom nodes, and subscriptions are set up: while workers
+  /// run, AddQuery/AddNode/Subscribe/DeclareStream/ExecuteDdl/SetParam
+  /// return FailedPrecondition (they would mutate structures the workers
+  /// read lock-free). HFTA nodes are partitioned round-robin over
+  /// min(workers, hfta-node-count) threads; idle workers park and are
+  /// woken by pushes into their nodes' input channels.
+  Status StartThreads(size_t workers);
+
+  /// Stops and joins the worker pool. Undrained channel contents remain
+  /// and can be pumped single-threaded afterwards (FlushAll does this).
+  void StopThreads();
+
+  bool threads_running() const { return threads_running_; }
 
   // -- Introspection ---------------------------------------------------------
 
   rts::StreamRegistry& registry() { return registry_; }
 
   /// Per-node statistics: (name, tuples_in, tuples_out, eval_errors).
+  /// Threaded mode: call only while workers are stopped (after StopThreads
+  /// or FlushAll) — node counters are owned by the polling thread.
   struct NodeStats {
     std::string name;
     uint64_t tuples_in;
@@ -170,6 +209,16 @@ class Engine {
   std::vector<NodeStats> GetNodeStats() const;
 
  private:
+  /// Which pump stage a node belongs to in threaded mode: LFTA-stage nodes
+  /// run on the inject thread, HFTA-stage nodes on the worker pool.
+  enum class NodeStage : uint8_t { kLfta, kHfta };
+
+  struct Worker {
+    std::thread thread;
+    std::shared_ptr<rts::ConsumerWaker> waker;
+    std::vector<rts::QueryNode*> nodes;
+  };
+
   struct ProtocolSource {
     std::string stream_name;
     gsql::StreamSchema schema;
@@ -185,6 +234,16 @@ class Engine {
   /// Registers sources required by every Source leaf of `plan`.
   Status EnsureSources(const plan::PlanPtr& plan);
 
+  /// Rejects mutations while the worker pool runs (structures the workers
+  /// read are not guarded by locks) and input after FlushAll sealed the
+  /// engine.
+  Status CheckMutable(const char* operation) const;
+  Status CheckAcceptingInput(const char* operation) const;
+
+  /// One poll round over nodes of `stage`; returns messages processed.
+  size_t PumpStage(NodeStage stage, size_t budget_per_node);
+  void WorkerLoop(Worker* worker);
+
   EngineOptions options_;
   gsql::Catalog catalog_;
   rts::StreamRegistry registry_;
@@ -197,6 +256,11 @@ class Engine {
   };
   std::map<std::string, QueryParams> query_params_;
   std::map<std::string, ProtocolSource> protocol_sources_;
+  /// Parallel to nodes_: each node's pump stage.
+  std::vector<NodeStage> node_stages_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_workers_{false};
+  bool threads_running_ = false;
   bool flushed_ = false;
 };
 

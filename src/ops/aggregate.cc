@@ -172,7 +172,9 @@ OrderedAggregateNode::OrderedAggregateNode(Spec spec, rts::Subscription input,
       registry_(registry),
       params_(std::move(params)),
       input_codec_(spec_.input_schema),
-      output_codec_(spec_.output_schema) {}
+      output_codec_(spec_.output_schema) {
+  RegisterInput(input_);
+}
 
 size_t OrderedAggregateNode::Poll(size_t budget) {
   size_t processed = 0;

@@ -59,7 +59,9 @@ IpDefragNode::IpDefragNode(Spec spec, FieldSlots slots,
       input_(std::move(input)),
       registry_(registry),
       input_codec_(spec_.input_schema),
-      output_codec_(OutputSchema(spec_.name)) {}
+      output_codec_(OutputSchema(spec_.name)) {
+  RegisterInput(input_);
+}
 
 size_t IpDefragNode::Poll(size_t budget) {
   size_t processed = 0;

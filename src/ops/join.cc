@@ -21,7 +21,10 @@ WindowJoinNode::WindowJoinNode(Spec spec, rts::Subscription left,
       params_(std::move(params)),
       left_codec_(spec_.left_schema),
       right_codec_(spec_.right_schema),
-      output_codec_(spec_.output_schema) {}
+      output_codec_(spec_.output_schema) {
+  RegisterInput(left_);
+  RegisterInput(right_);
+}
 
 int64_t WindowJoinNode::KeyOf(const rts::Row& row, bool is_left) const {
   const Value& value =

@@ -63,7 +63,9 @@ LftaAggregateNode::LftaAggregateNode(Spec spec, int log2_slots,
       params_(std::move(params)),
       input_codec_(spec_.input_schema),
       output_codec_(spec_.output_schema),
-      table_(log2_slots, &spec_.agg_specs) {}
+      table_(log2_slots, &spec_.agg_specs) {
+  RegisterInput(input_);
+}
 
 size_t LftaAggregateNode::Poll(size_t budget) {
   size_t processed = 0;

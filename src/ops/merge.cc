@@ -18,6 +18,7 @@ MergeNode::MergeNode(Spec spec, std::vector<rts::Subscription> inputs,
   for (rts::Subscription& input : inputs) {
     InputState state;
     state.channel = std::move(input);
+    RegisterInput(state.channel);
     inputs_.push_back(std::move(state));
   }
 }

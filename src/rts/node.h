@@ -45,13 +45,25 @@ class QueryNode {
   /// Input tuples that failed evaluation (runtime errors) and were dropped.
   uint64_t eval_errors() const { return eval_errors_; }
 
+  /// The input channels this node consumes (registered by subclasses at
+  /// construction). The threaded engine uses these to wire consumer
+  /// wake-ups and to honor the single-consumer rule: a node — and thus
+  /// every channel listed here — is polled by exactly one thread.
+  const std::vector<Subscription>& inputs() const { return inputs_; }
+
  protected:
+  /// Subclasses call this once per input subscription.
+  void RegisterInput(Subscription input) {
+    inputs_.push_back(std::move(input));
+  }
+
   uint64_t tuples_in_ = 0;
   uint64_t tuples_out_ = 0;
   uint64_t eval_errors_ = 0;
 
  private:
   std::string name_;
+  std::vector<Subscription> inputs_;
 };
 
 }  // namespace gigascope::rts

@@ -1,68 +1,96 @@
 #include "rts/ring.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
 
 namespace gigascope::rts {
 
-RingChannel::RingChannel(size_t capacity) : capacity_(capacity) {
+void ConsumerWaker::Park(std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (signal_.exchange(false, std::memory_order_acq_rel)) return;
+  parked_.store(true, std::memory_order_release);
+  cv_.wait_for(lock, timeout, [this] {
+    return signal_.load(std::memory_order_acquire);
+  });
+  parked_.store(false, std::memory_order_relaxed);
+  signal_.store(false, std::memory_order_relaxed);
+}
+
+void ConsumerWaker::Wake() {
+  signal_.store(true, std::memory_order_release);
+  if (parked_.load(std::memory_order_acquire)) {
+    // Lock/unlock pairs the notify with the consumer's predicate check so
+    // the wait cannot sleep through it; only taken while a consumer parks.
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    cv_.notify_one();
+  }
+}
+
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+RingChannel::RingChannel(size_t capacity)
+    : capacity_(capacity),
+      mask_(NextPowerOfTwo(capacity == 0 ? 1 : capacity) - 1),
+      slots_(mask_ + 1) {
   GS_CHECK(capacity > 0);
 }
 
 bool RingChannel::TryPush(StreamMessage message) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (queue_.size() >= capacity_) return false;
-  queue_.push_back(std::move(message));
-  ++pushed_;
-  high_water_ = std::max(high_water_, queue_.size());
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  if (head - cached_tail_ >= capacity_) {
+    // Refresh the cached tail; acquire pairs with the consumer's release
+    // store so the slot we are about to overwrite is truly vacated.
+    cached_tail_ = tail_.load(std::memory_order_acquire);
+    if (head - cached_tail_ >= capacity_) return false;
+  }
+  slots_[head & mask_] = std::move(message);
+  head_.store(head + 1, std::memory_order_release);
+  pushed_.store(pushed_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  const size_t occupancy = static_cast<size_t>(
+      head + 1 - tail_.load(std::memory_order_relaxed));
+  if (occupancy > high_water_.load(std::memory_order_relaxed)) {
+    high_water_.store(occupancy, std::memory_order_relaxed);
+  }
+  if (ConsumerWaker* waker = waker_.get()) waker->Wake();
   return true;
 }
 
 bool RingChannel::PushOrDrop(StreamMessage message) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (queue_.size() >= capacity_) {
-    ++dropped_;
-    return false;
-  }
-  queue_.push_back(std::move(message));
-  ++pushed_;
-  high_water_ = std::max(high_water_, queue_.size());
-  return true;
+  if (TryPush(std::move(message))) return true;
+  dropped_.store(dropped_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+  return false;
 }
 
 bool RingChannel::TryPop(StreamMessage* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (queue_.empty()) return false;
-  *out = std::move(queue_.front());
-  queue_.pop_front();
-  ++popped_;
+  const uint64_t tail = tail_.load(std::memory_order_relaxed);
+  if (tail == cached_head_) {
+    // Acquire pairs with the producer's release store: the slot contents
+    // written before head_ advanced are visible here.
+    cached_head_ = head_.load(std::memory_order_acquire);
+    if (tail == cached_head_) return false;
+  }
+  *out = std::move(slots_[tail & mask_]);
+  tail_.store(tail + 1, std::memory_order_release);
+  popped_.store(popped_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
   return true;
 }
 
 size_t RingChannel::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
-}
-
-uint64_t RingChannel::pushed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return pushed_;
-}
-
-uint64_t RingChannel::popped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return popped_;
-}
-
-uint64_t RingChannel::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return dropped_;
-}
-
-size_t RingChannel::high_water_mark() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return high_water_;
+  // Load tail first: head can only grow afterwards, so the difference is
+  // never negative.
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  return static_cast<size_t>(head - tail);
 }
 
 }  // namespace gigascope::rts

@@ -1,13 +1,38 @@
 #ifndef GIGASCOPE_RTS_RING_H_
 #define GIGASCOPE_RTS_RING_H_
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "rts/tuple.h"
 
 namespace gigascope::rts {
+
+/// Wakes a parked consumer thread when a producer pushes work into one of
+/// the consumer's channels. A `signal` flag latches wake-ups that arrive
+/// between the consumer's last poll and its park, so no wake-up is lost;
+/// Park additionally bounds the sleep with a timeout, so even a missed
+/// notification only delays the consumer, never deadlocks it.
+class ConsumerWaker {
+ public:
+  /// Consumer side: sleep until Wake() or `timeout`. Returns immediately
+  /// if a wake-up arrived since the previous Park.
+  void Park(std::chrono::microseconds timeout);
+
+  /// Producer side: wake the parked (or about-to-park) consumer.
+  void Wake();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::atomic<bool> signal_{false};  // latched wake-up
+  std::atomic<bool> parked_{false};  // consumer is inside Park
+};
 
 /// A bounded channel between query nodes, standing in for the paper's
 /// shared-memory segments. Pushing to a full channel fails; the producer
@@ -15,40 +40,74 @@ namespace gigascope::rts {
 /// processed tuples drop before highly processed ones, so drops happen as
 /// early in the chain as possible.
 ///
-/// Thread-safe (coarse mutex); the default engine drives all nodes from one
-/// pump loop, but benchmarks and applications may pump from worker threads.
+/// Lock-free single-producer/single-consumer ring: a fixed power-of-two
+/// slot array indexed by free-running head (producer) and tail (consumer)
+/// counters with acquire/release ordering. The engine guarantees the SPSC
+/// contract by giving every channel exactly one publishing node (or the
+/// inject thread, for source streams) and exactly one consuming node, each
+/// owned by a single thread. Counters are exact in any quiesced state:
+/// pushed == popped + size, and drops are counted on this channel only.
 class RingChannel {
  public:
   explicit RingChannel(size_t capacity);
   RingChannel(const RingChannel&) = delete;
   RingChannel& operator=(const RingChannel&) = delete;
 
-  /// Enqueues; false when full (message untouched).
+  /// Enqueues; false when full. Producer-side only. The by-value argument
+  /// is consumed even on failure — retry loops must pass a copy.
   bool TryPush(StreamMessage message);
 
   /// Enqueues or records a drop; returns whether it was enqueued.
+  /// Producer-side only.
   bool PushOrDrop(StreamMessage message);
 
-  /// Dequeues; false when empty.
+  /// Dequeues; false when empty. Consumer-side only.
   bool TryPop(StreamMessage* out);
 
+  /// Occupancy. Exact when quiesced; a point-in-time estimate while the
+  /// producer and consumer are running.
   size_t size() const;
   size_t capacity() const { return capacity_; }
-  uint64_t pushed() const;
-  uint64_t popped() const;
-  uint64_t dropped() const;
+  uint64_t pushed() const { return pushed_.load(std::memory_order_relaxed); }
+  uint64_t popped() const { return popped_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Highest occupancy observed (for the E4 heartbeat experiment).
-  size_t high_water_mark() const;
+  size_t high_water_mark() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs the consumer's waker: successful pushes call Wake() so a
+  /// parked consumer resumes promptly (tuples and punctuations alike —
+  /// punctuations are what un-idle blocked operators, §3). Must be called
+  /// while no producer is running (the engine wires wakers before starting
+  /// its worker pool).
+  void SetWaker(std::shared_ptr<ConsumerWaker> waker) {
+    waker_ = std::move(waker);
+  }
 
  private:
-  const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<StreamMessage> queue_;
-  uint64_t pushed_ = 0;
-  uint64_t popped_ = 0;
-  uint64_t dropped_ = 0;
-  size_t high_water_ = 0;
+  const size_t capacity_;  // logical capacity (exact, any value >= 1)
+  const size_t mask_;      // slots_.size() - 1; slots_.size() is a power of 2
+  std::vector<StreamMessage> slots_;
+
+  // Free-running counters; slot index is counter & mask_.
+  alignas(64) std::atomic<uint64_t> head_{0};  // next slot to push
+  alignas(64) std::atomic<uint64_t> tail_{0};  // next slot to pop
+  // Producer-local cache of tail_ (avoids loading the consumer's cache
+  // line until the ring looks full); consumer-local cache of head_.
+  alignas(64) uint64_t cached_tail_ = 0;
+  alignas(64) uint64_t cached_head_ = 0;
+
+  // Stats: each counter has a single writer (producer or consumer).
+  std::atomic<uint64_t> pushed_{0};
+  std::atomic<uint64_t> popped_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<size_t> high_water_{0};
+
+  std::shared_ptr<ConsumerWaker> waker_;
 };
 
 }  // namespace gigascope::rts

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "workload/traffic_gen.h"
@@ -739,6 +742,182 @@ TEST(EngineTest, InjectIntoUnknownInterfaceFails) {
   engine.AddInterface("eth0");
   net::Packet packet = MakeTcpPacket(1, 1, 1, "");
   EXPECT_FALSE(engine.InjectPacket("eth9", packet).ok());
+}
+
+TEST(EngineTest, PunctuationOnlyChannelTerminates) {
+  // Regression: a subscriber on a channel that holds only punctuations
+  // (ordering-update tokens, no tuples) must see NextRow() terminate with
+  // nullopt rather than spin, and pending() must reflect the skipped
+  // messages correctly.
+  Engine engine;
+  std::vector<gsql::FieldDef> fields;
+  fields.push_back({"t", DataType::kUint, gsql::OrderSpec::Increasing()});
+  fields.push_back({"v", DataType::kUint, gsql::OrderSpec::None()});
+  ASSERT_TRUE(engine
+                  .DeclareStream(gsql::StreamSchema(
+                      "external", gsql::StreamKind::kStream, fields))
+                  .ok());
+  auto sub = engine.Subscribe("external");
+  ASSERT_TRUE(sub.ok());
+  for (uint64_t t : {1ull, 2ull, 3ull}) {
+    ASSERT_TRUE(
+        engine.InjectPunctuation("external", 0, Value::Uint(t)).ok());
+  }
+  EXPECT_EQ((*sub)->pending(), 3u);
+  EXPECT_FALSE((*sub)->NextRow().has_value());
+  EXPECT_EQ((*sub)->pending(), 0u);  // all three were consumed, not stuck
+
+  // A tuple behind punctuations is still found.
+  ASSERT_TRUE(engine.InjectPunctuation("external", 0, Value::Uint(4)).ok());
+  ASSERT_TRUE(
+      engine.InjectRow("external", {Value::Uint(5), Value::Uint(7)}).ok());
+  EXPECT_EQ((*sub)->pending(), 2u);
+  auto row = (*sub)->NextRow();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[1].uint_value(), 7u);
+  EXPECT_EQ((*sub)->pending(), 0u);
+}
+
+TEST(EngineTest, FlushAllSealsTheEngine) {
+  // Contract: FlushAll is the end-of-stream barrier. Afterwards the engine
+  // rejects further input with FailedPrecondition, and repeated FlushAll
+  // calls are no-ops (buffered state is not flushed twice).
+  Engine engine;
+  engine.AddInterface("eth0");
+  std::vector<gsql::FieldDef> fields;
+  fields.push_back({"t", DataType::kUint, gsql::OrderSpec::Increasing()});
+  ASSERT_TRUE(engine
+                  .DeclareStream(gsql::StreamSchema(
+                      "ext", gsql::StreamKind::kStream, fields))
+                  .ok());
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name persec; } "
+                            "SELECT time, count(*) FROM eth0.PKT "
+                            "GROUP BY time")
+                  .ok());
+  auto sub = engine.Subscribe("persec");
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0", MakeTcpPacket(kNanosPerSecond,
+                                                      0x0a000001, 80, "x"))
+                  .ok());
+  engine.FlushAll();
+  int rows = 0;
+  while ((*sub)->NextRow()) ++rows;
+  EXPECT_EQ(rows, 1);  // the open group was flushed exactly once
+
+  Status status = engine.InjectPacket(
+      "eth0", MakeTcpPacket(2 * kNanosPerSecond, 0x0a000001, 80, "x"));
+  EXPECT_EQ(status.code(), Status::Code::kFailedPrecondition);
+  status = engine.InjectRow("ext", {Value::Uint(1)});
+  EXPECT_EQ(status.code(), Status::Code::kFailedPrecondition);
+  status = engine.InjectPunctuation("ext", 0, Value::Uint(1));
+  EXPECT_EQ(status.code(), Status::Code::kFailedPrecondition);
+  status = engine.InjectHeartbeat("eth0", 3 * kNanosPerSecond);
+  EXPECT_EQ(status.code(), Status::Code::kFailedPrecondition);
+  EXPECT_EQ(engine.StartThreads(2).code(),
+            Status::Code::kFailedPrecondition);
+
+  engine.FlushAll();  // idempotent: no second flush of operator state
+  EXPECT_FALSE((*sub)->NextRow().has_value());
+}
+
+TEST(EngineThreadedTest, MutationsRejectedWhileWorkersRun) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name agg; } "
+                            "SELECT tb, count(*) FROM eth0.PKT "
+                            "GROUP BY time AS tb")
+                  .ok());
+  ASSERT_TRUE(engine.StartThreads(2).ok());
+  EXPECT_TRUE(engine.threads_running());
+  EXPECT_EQ(engine
+                .AddQuery("DEFINE { query_name late; } "
+                          "SELECT time FROM eth0.PKT")
+                .status()
+                .code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(engine.Subscribe("agg").status().code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(engine.SetParam("agg", "p", Value::Uint(1)).code(),
+            Status::Code::kFailedPrecondition);
+  engine.StopThreads();
+  EXPECT_FALSE(engine.threads_running());
+}
+
+TEST(EngineThreadedTest, SplitAggregationMatchesSingleThreaded) {
+  // The same packet batch through the single-threaded pump and through the
+  // worker-pool pump must produce identical aggregates: the SPSC handoff
+  // loses and reorders nothing on the LFTA→HFTA channel.
+  gigascope::workload::TrafficConfig config;
+  config.seed = 7;
+  config.num_flows = 50;
+  gigascope::workload::TrafficGenerator gen(config);
+  std::vector<net::Packet> batch;
+  for (int i = 0; i < 4000; ++i) batch.push_back(gen.Next());
+  const char* kQuery =
+      "DEFINE { query_name agg; } "
+      "SELECT tb, destIP, count(*), sum(len) FROM eth0.PKT "
+      "GROUP BY time AS tb, destIP";
+
+  auto run = [&](size_t threads) {
+    Engine engine;  // default capacity 8192 > batch: no drops
+    engine.AddInterface("eth0");
+    auto info = engine.AddQuery(kQuery);
+    EXPECT_TRUE(info.ok()) << info.status().ToString();
+    auto sub = engine.Subscribe("agg", 8192);
+    EXPECT_TRUE(sub.ok());
+    if (threads > 0) {
+      Status started = engine.StartThreads(threads);
+      EXPECT_TRUE(started.ok()) << started.ToString();
+    }
+    for (const net::Packet& packet : batch) {
+      EXPECT_TRUE(engine.InjectPacket("eth0", packet).ok());
+    }
+    engine.FlushAll();
+    EXPECT_FALSE(engine.threads_running());  // FlushAll joined the pool
+    std::vector<std::string> rows;
+    while (auto row = (*sub)->NextRow()) {
+      std::string text;
+      for (const Value& value : *row) text += value.ToString() + "\t";
+      rows.push_back(text);
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+
+  std::vector<std::string> single = run(0);
+  std::vector<std::string> threaded = run(2);
+  EXPECT_FALSE(single.empty());
+  EXPECT_EQ(single, threaded);
+}
+
+TEST(EngineThreadedTest, StartStopRestartDrainsEverything) {
+  Engine engine;
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name q3; } "
+                            "SELECT tb, count(*) FROM eth0.PKT "
+                            "GROUP BY time AS tb")
+                  .ok());
+  auto sub = engine.Subscribe("q3", 8192);
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(engine.StartThreads(1).ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(engine
+                    .InjectPacket("eth0",
+                                  MakeTcpPacket((i + 1) * kNanosPerSecond,
+                                                0x0a000001, 80, "x"))
+                    .ok());
+  }
+  engine.StopThreads();
+  // Undrained work survives StopThreads and can be pumped single-threaded.
+  ASSERT_TRUE(engine.StartThreads(2).ok());  // restart also allowed
+  engine.FlushAll();
+  uint64_t total = 0;
+  while (auto row = (*sub)->NextRow()) total += (*row)[1].uint_value();
+  EXPECT_EQ(total, 500u);
 }
 
 TEST(EngineTest, QueryInfoCarriesNicProgram) {

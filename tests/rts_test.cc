@@ -266,6 +266,108 @@ TEST(RingConcurrencyTest, ProducerConsumerLosesNothing) {
   EXPECT_EQ(channel.popped(), kMessages);
 }
 
+TEST(RingTest, NonPowerOfTwoCapacityExact) {
+  // The slot array rounds up to a power of two internally, but the logical
+  // capacity handed to the constructor must be enforced exactly.
+  RingChannel channel(3);
+  EXPECT_EQ(channel.capacity(), 3u);
+  StreamMessage message;
+  EXPECT_TRUE(channel.TryPush(message));
+  EXPECT_TRUE(channel.TryPush(message));
+  EXPECT_TRUE(channel.TryPush(message));
+  EXPECT_FALSE(channel.TryPush(message));
+  EXPECT_EQ(channel.size(), 3u);
+  StreamMessage out;
+  EXPECT_TRUE(channel.TryPop(&out));
+  EXPECT_TRUE(channel.TryPush(message));
+  EXPECT_FALSE(channel.TryPush(message));
+}
+
+TEST(RingConcurrencyTest, SpscStressFifoNoLoss) {
+  // Two-thread SPSC stress: over a million messages through a small ring,
+  // every message carries its sequence number, and the consumer asserts
+  // strict FIFO. Afterwards the stat counters must balance exactly.
+  RingChannel channel(64);
+  const uint64_t kMessages = 1 << 20;  // 1,048,576
+  std::atomic<bool> fifo_ok{true};
+
+  std::thread consumer([&] {
+    StreamMessage message;
+    uint64_t expected = 0;
+    while (expected < kMessages) {
+      if (!channel.TryPop(&message)) {
+        std::this_thread::yield();
+        continue;
+      }
+      uint64_t sequence = 0;
+      for (int b = 0; b < 8; ++b) {
+        sequence |= static_cast<uint64_t>(message.payload[b]) << (8 * b);
+      }
+      if (sequence != expected) {
+        fifo_ok.store(false);
+        break;
+      }
+      ++expected;
+    }
+  });
+
+  for (uint64_t i = 0; i < kMessages; ++i) {
+    StreamMessage message;
+    message.payload.resize(8);
+    for (int b = 0; b < 8; ++b) {
+      message.payload[b] = static_cast<uint8_t>(i >> (8 * b));
+    }
+    // TryPush takes its argument by value, so a failed push consumes the
+    // moved-from message: retry with copies.
+    while (!channel.TryPush(message)) {
+      std::this_thread::yield();  // backpressure, never drop
+    }
+  }
+  consumer.join();
+  EXPECT_TRUE(fifo_ok.load());
+  EXPECT_EQ(channel.dropped(), 0u);
+  EXPECT_EQ(channel.pushed(), kMessages);
+  EXPECT_EQ(channel.popped(), kMessages);
+  // Exact accounting invariant: everything pushed was either popped or is
+  // still queued.
+  EXPECT_EQ(channel.pushed(), channel.popped() + channel.size());
+}
+
+TEST(RegistryTest, FanOutDropChargedToFullChannelOnly) {
+  // Regression: a full subscriber channel must not stop delivery to the
+  // others, and its drop must be charged to that channel alone, exactly
+  // once per lost message.
+  StreamRegistry registry;
+  ASSERT_TRUE(registry.DeclareStream(MixedSchema()).ok());
+  auto tiny = registry.Subscribe("mixed", 1);
+  auto roomy = registry.Subscribe("mixed", 8);
+  ASSERT_TRUE(tiny.ok() && roomy.ok());
+
+  StreamMessage first, second;
+  first.payload = {1};
+  second.payload = {2};
+  EXPECT_EQ(registry.Publish("mixed", first), 2u);
+  // tiny is now full; the second publish reaches only roomy.
+  EXPECT_EQ(registry.Publish("mixed", second), 1u);
+
+  EXPECT_EQ((*tiny)->dropped(), 1u);
+  EXPECT_EQ((*tiny)->pushed(), 1u);
+  EXPECT_EQ((*roomy)->dropped(), 0u);
+  EXPECT_EQ((*roomy)->pushed(), 2u);
+  EXPECT_EQ(registry.TotalDrops("mixed"), 1u);
+
+  // roomy saw both messages, in publish order.
+  StreamMessage out;
+  ASSERT_TRUE((*roomy)->TryPop(&out));
+  EXPECT_EQ(out.payload, (ByteBuffer{1}));
+  ASSERT_TRUE((*roomy)->TryPop(&out));
+  EXPECT_EQ(out.payload, (ByteBuffer{2}));
+  // tiny kept the message that fit.
+  ASSERT_TRUE((*tiny)->TryPop(&out));
+  EXPECT_EQ(out.payload, (ByteBuffer{1}));
+  EXPECT_FALSE((*tiny)->TryPop(&out));
+}
+
 TEST(RegistryConcurrencyTest, PublisherAndSubscriberThreads) {
   StreamRegistry registry;
   ASSERT_TRUE(registry.DeclareStream(MixedSchema()).ok());

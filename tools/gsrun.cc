@@ -6,12 +6,15 @@
 // query's output stream prints as tab-separated rows.
 //
 // Usage:
-//   gsrun QUERIES.gsql CAPTURE.pcap [interface-name]
+//   gsrun [--threads=N] QUERIES.gsql CAPTURE.pcap [interface-name]
 //
 // The interface name (default "eth0") is what `FROM <iface>.PKT` in the
-// queries must reference.
+// queries must reference. With --threads=N the HFTA nodes run on a worker
+// pool while the replay thread drives interpretation and the LFTAs.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -28,8 +31,9 @@ using gigascope::core::Engine;
 using gigascope::core::TupleSubscription;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: gsrun QUERIES.gsql CAPTURE.pcap [interface]\n");
+  std::fprintf(
+      stderr,
+      "usage: gsrun [--threads=N] QUERIES.gsql CAPTURE.pcap [interface]\n");
   return 2;
 }
 
@@ -45,10 +49,22 @@ void PrintHeader(const gigascope::gsql::StreamSchema& schema) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const std::string gsql_path = argv[1];
-  const std::string pcap_path = argv[2];
-  const std::string interface_name = argc > 3 ? argv[3] : "eth0";
+  size_t threads = 0;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      return Usage();
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2) return Usage();
+  const std::string gsql_path = positional[0];
+  const std::string pcap_path = positional[1];
+  const std::string interface_name =
+      positional.size() > 2 ? positional[2] : "eth0";
 
   std::ifstream file(gsql_path);
   if (!file) {
@@ -139,6 +155,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "gsrun: %s\n", status.ToString().c_str());
     return 1;
   }
+  if (threads > 0) {
+    gigascope::Status started = engine.StartThreads(threads);
+    if (!started.ok()) {
+      std::fprintf(stderr, "gsrun: %s\n", started.ToString().c_str());
+      return 1;
+    }
+  }
+
   gigascope::net::Packet packet;
   bool eof = false;
   uint64_t replayed = 0;
