@@ -36,6 +36,16 @@ Engine::Engine(EngineOptions options) : options_(options) {
   // Built-in protocols.
   GS_CHECK(catalog_.AddSchema(gsql::Catalog::BuiltinPacketSchema()).ok());
   GS_CHECK(catalog_.AddSchema(gsql::Catalog::BuiltinNetflowSchema()).ok());
+  // The self-telemetry stream: registered in both the catalog and the
+  // stream registry up front, so any query can `FROM gs_stats` through the
+  // normal planner path, exactly like a user-declared stream.
+  GS_CHECK(catalog_.AddSchema(gsql::Catalog::BuiltinStatsSchema()).ok());
+  GS_CHECK(registry_.DeclareStream(gsql::Catalog::BuiltinStatsSchema()).ok());
+  stats_source_ =
+      std::make_unique<telemetry::StatsSource>(&telemetry_, &registry_);
+  telemetry_.Register("engine", "heartbeats", &heartbeats_);
+  telemetry_.Register("engine", "stats_snapshots",
+                      stats_source_->snapshots_counter());
 }
 
 Engine::~Engine() { StopThreads(); }
@@ -96,13 +106,20 @@ Status Engine::EnsureProtocolSource(const std::string& interface_name,
   if (protocol_sources_.count(stream_name) > 0) return Status::Ok();
   GS_ASSIGN_OR_RETURN(gsql::StreamSchema schema,
                       catalog_.GetSchema(protocol));
-  ProtocolSource source;
+  // Built in place: the telemetry counters are neither movable nor
+  // copyable, and map nodes are stable, so the registry can point at them.
+  ProtocolSource& source = protocol_sources_[stream_name];
   source.stream_name = stream_name;
   source.schema = gsql::StreamSchema(stream_name, gsql::StreamKind::kStream,
                                      schema.fields());
   source.codec = std::make_unique<rts::TupleCodec>(source.schema);
-  GS_RETURN_IF_ERROR(registry_.DeclareStream(source.schema));
-  protocol_sources_.emplace(stream_name, std::move(source));
+  Status declared = registry_.DeclareStream(source.schema);
+  if (!declared.ok()) {
+    protocol_sources_.erase(stream_name);
+    return declared;
+  }
+  telemetry_.Register(stream_name, "packets", &source.packets);
+  telemetry_.Register(stream_name, "last_punct_sec", &source.last_punct_sec);
   return Status::Ok();
 }
 
@@ -122,8 +139,10 @@ Result<QueryInfo> Engine::AddQuery(
     std::string_view gsql_text,
     const std::map<std::string, expr::Value>& params) {
   GS_RETURN_IF_ERROR(CheckMutable("AddQuery"));
-  // True-up stage bookkeeping if an earlier instantiation failed partway.
+  // True-up stage and telemetry bookkeeping if an earlier instantiation
+  // failed partway.
   node_stages_.resize(nodes_.size(), NodeStage::kHfta);
+  RegisterNewNodeTelemetry();
   GS_ASSIGN_OR_RETURN(gsql::Statement statement,
                       gsql::ParseStatement(gsql_text));
 
@@ -259,7 +278,15 @@ Result<QueryInfo> Engine::AddQuery(
   catalog_.PutStreamSchema(planned.output_schema);
   query_params_.emplace(info.name, std::move(query_params));
   query_infos_.push_back(info);
+  RegisterNewNodeTelemetry();
   return info;
+}
+
+void Engine::RegisterNewNodeTelemetry() {
+  for (; telemetry_registered_nodes_ < nodes_.size();
+       ++telemetry_registered_nodes_) {
+    nodes_[telemetry_registered_nodes_]->RegisterTelemetry(&telemetry_);
+  }
 }
 
 Status Engine::SetParam(const std::string& query_name,
@@ -289,6 +316,21 @@ Result<std::unique_ptr<TupleSubscription>> Engine::Subscribe(
                       registry_.GetSchema(stream_name));
   GS_ASSIGN_OR_RETURN(rts::Subscription channel,
                       registry_.Subscribe(stream_name, capacity));
+  // Subscriber-side channels are observable too; the readers share
+  // ownership so the ring outlives any snapshot.
+  std::string entity =
+      stream_name + "#sub" + std::to_string(subscriber_seq_++);
+  rts::Subscription shared = channel;
+  telemetry_.RegisterReader(entity, "ring_pushed",
+                            [shared] { return shared->pushed(); });
+  telemetry_.RegisterReader(entity, "ring_dropped",
+                            [shared] { return shared->dropped(); });
+  telemetry_.RegisterReader(entity, "ring_size", [shared] {
+    return static_cast<uint64_t>(shared->size());
+  });
+  telemetry_.RegisterReader(entity, "ring_high_water", [shared] {
+    return static_cast<uint64_t>(shared->high_water_mark());
+  });
   return std::make_unique<TupleSubscription>(std::move(channel),
                                              std::move(schema));
 }
@@ -388,13 +430,16 @@ Status Engine::InjectPacket(const std::string& interface_name,
     source.last_row = std::move(row);
     ++source.packets;
     if (options_.punctuation_interval > 0 &&
-        source.packets % options_.punctuation_interval == 0) {
+        source.packets.value() % options_.punctuation_interval == 0) {
       rts::Punctuation punctuation;
       for (size_t f = 0; f < source.schema.num_fields(); ++f) {
         const gsql::OrderSpec& order = source.schema.field(f).order;
         if (!order.IsIncreasingLike()) continue;
         if (source.schema.field(f).type == DataType::kString) continue;
         punctuation.bounds.emplace_back(f, source.last_row[f]);
+        if (source.schema.field(f).name == "time") {
+          source.last_punct_sec.Set(source.last_row[f].uint_value());
+        }
       }
       if (!punctuation.bounds.empty()) {
         registry_.Publish(stream_name, rts::MakePunctuationMessage(
@@ -406,6 +451,7 @@ Status Engine::InjectPacket(const std::string& interface_name,
     return Status::NotFound("no protocol sources on interface '" +
                             interface_name + "' (add a query first)");
   }
+  MaybeEmitStats(packet.timestamp);
   // Threaded mode: LFTAs run next to the capture loop (§4), so drive them
   // here; their outputs wake the HFTA workers.
   if (threads_running_) {
@@ -428,6 +474,8 @@ Status Engine::InjectHeartbeat(const std::string& interface_name,
       if (field.name == "time") {
         punctuation.bounds.emplace_back(
             f, Value::Uint(static_cast<uint64_t>(SimTimeToSeconds(now))));
+        source.last_punct_sec.Set(
+            static_cast<uint64_t>(SimTimeToSeconds(now)));
       } else if (field.name == "timestamp") {
         punctuation.bounds.emplace_back(
             f, Value::Uint(static_cast<uint64_t>(now)));
@@ -442,6 +490,8 @@ Status Engine::InjectHeartbeat(const std::string& interface_name,
     return Status::NotFound("no protocol sources on interface '" +
                             interface_name + "'");
   }
+  ++heartbeats_;
+  MaybeEmitStats(now);
   if (threads_running_) {
     PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
   }
@@ -482,6 +532,23 @@ Status Engine::InjectPunctuation(const std::string& stream_name, size_t field,
   return Status::Ok();
 }
 
+Status Engine::EmitStatsSnapshot(SimTime now) {
+  GS_RETURN_IF_ERROR(CheckAcceptingInput("EmitStatsSnapshot"));
+  stats_source_->EmitSnapshot(now);
+  last_stats_emit_ = now;
+  if (threads_running_) {
+    PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
+  }
+  return Status::Ok();
+}
+
+void Engine::MaybeEmitStats(SimTime now) {
+  if (options_.stats_period <= 0) return;
+  if (now - last_stats_emit_ < options_.stats_period) return;
+  stats_source_->EmitSnapshot(now);
+  last_stats_emit_ = now;
+}
+
 Status Engine::AddNode(std::unique_ptr<rts::QueryNode> node) {
   GS_RETURN_IF_ERROR(CheckMutable("AddNode"));
   if (node == nullptr) return Status::InvalidArgument("null node");
@@ -498,6 +565,7 @@ Status Engine::AddNode(std::unique_ptr<rts::QueryNode> node) {
   nodes_.push_back(std::move(node));
   // Custom nodes read stream channels, not raw packets: worker stage.
   node_stages_.resize(nodes_.size(), NodeStage::kHfta);
+  RegisterNewNodeTelemetry();
   return Status::Ok();
 }
 
@@ -505,7 +573,7 @@ size_t Engine::PumpStage(NodeStage stage, size_t budget_per_node) {
   size_t processed = 0;
   for (size_t i = 0; i < nodes_.size(); ++i) {
     if (i < node_stages_.size() && node_stages_[i] != stage) continue;
-    processed += nodes_[i]->Poll(budget_per_node);
+    processed += nodes_[i]->PollCounted(budget_per_node);
   }
   return processed;
 }
@@ -518,7 +586,7 @@ size_t Engine::Pump(size_t budget_per_node) {
   }
   size_t processed = 0;
   for (auto& node : nodes_) {
-    processed += node->Poll(budget_per_node);
+    processed += node->PollCounted(budget_per_node);
   }
   return processed;
 }
@@ -609,7 +677,7 @@ void Engine::WorkerLoop(Worker* worker) {
   while (!stop_workers_.load(std::memory_order_acquire)) {
     size_t processed = 0;
     for (rts::QueryNode* node : worker->nodes) {
-      processed += node->Poll(options_.worker_poll_budget);
+      processed += node->PollCounted(options_.worker_poll_budget);
     }
     if (processed > 0) {
       idle_rounds = 0;

@@ -14,6 +14,8 @@
 #include "rts/node.h"
 #include "rts/registry.h"
 #include "rts/tuple.h"
+#include "telemetry/registry.h"
+#include "telemetry/stats_source.h"
 #include "udf/registry.h"
 
 namespace gigascope::core {
@@ -49,6 +51,13 @@ struct EngineOptions {
   size_t punctuation_interval = 256;
   /// Per-node poll budget for worker threads in the threaded pump mode.
   size_t worker_poll_budget = 1024;
+  /// Period, in sim-time nanoseconds, of the built-in `gs_stats` telemetry
+  /// stream: the engine snapshots its metric registry and emits one tuple
+  /// per counter whenever injected time (packet timestamps, heartbeats)
+  /// advances past the period. 0 disables periodic emission; the counters
+  /// themselves are always maintained (one relaxed store on the hot path),
+  /// and EmitStatsSnapshot still works.
+  SimTime stats_period = 0;
 };
 
 /// Metadata about a compiled, running query.
@@ -153,6 +162,12 @@ class Engine {
   Status InjectPunctuation(const std::string& stream_name, size_t field,
                            const expr::Value& bound);
 
+  /// Forces one telemetry snapshot onto the `gs_stats` stream, stamped
+  /// `now` (clamped non-decreasing). An injection API like InjectPacket:
+  /// call from the inject thread only. With options.stats_period > 0
+  /// snapshots also happen automatically as injected time advances.
+  Status EmitStatsSnapshot(SimTime now);
+
   /// Registers a user-written query node (§3: "users can write their own
   /// query nodes to implement special operators by following this API",
   /// e.g. the IP defragmentation operator in ops/defrag.h). The node must
@@ -197,9 +212,15 @@ class Engine {
 
   rts::StreamRegistry& registry() { return registry_; }
 
+  /// The metric registry behind the `gs_stats` stream: every node, channel,
+  /// and packet source registers its counters here. Snapshot() is safe
+  /// from any thread, including while workers are pumping.
+  const telemetry::Registry& telemetry() const { return telemetry_; }
+
   /// Per-node statistics: (name, tuples_in, tuples_out, eval_errors).
-  /// Threaded mode: call only while workers are stopped (after StopThreads
-  /// or FlushAll) — node counters are owned by the polling thread.
+  /// Safe to call from any thread while workers are pumping: the counters
+  /// are single-writer relaxed atomics, so readings are torn-free (though
+  /// not a global atomic cut across nodes).
   struct NodeStats {
     std::string name;
     uint64_t tuples_in;
@@ -223,7 +244,10 @@ class Engine {
     std::string stream_name;
     gsql::StreamSchema schema;
     std::unique_ptr<rts::TupleCodec> codec;
-    uint64_t packets = 0;
+    telemetry::Counter packets;
+    /// Seconds bound of the last punctuation published on this source;
+    /// `gs_stats` consumers can compute punctuation lag against it.
+    telemetry::Counter last_punct_sec;
     rts::Row last_row;
   };
 
@@ -244,9 +268,24 @@ class Engine {
   size_t PumpStage(NodeStage stage, size_t budget_per_node);
   void WorkerLoop(Worker* worker);
 
+  /// Registers telemetry for nodes added since the last call (watermark
+  /// telemetry_registered_nodes_).
+  void RegisterNewNodeTelemetry();
+  /// Emits a `gs_stats` snapshot when injected time has advanced past
+  /// options_.stats_period since the previous one.
+  void MaybeEmitStats(SimTime now);
+
   EngineOptions options_;
   gsql::Catalog catalog_;
+  // Declared before nodes_/registry_ so registered readers (which point at
+  // node- and channel-owned counters) never outlive the registry's users.
+  telemetry::Registry telemetry_;
   rts::StreamRegistry registry_;
+  std::unique_ptr<telemetry::StatsSource> stats_source_;
+  SimTime last_stats_emit_ = 0;
+  size_t telemetry_registered_nodes_ = 0;
+  uint64_t subscriber_seq_ = 0;
+  telemetry::Counter heartbeats_;
   std::vector<std::unique_ptr<rts::QueryNode>> nodes_;
   std::vector<QueryInfo> query_infos_;
   /// Per-query parameter blocks and name->slot maps.

@@ -86,4 +86,18 @@ StreamSchema Catalog::BuiltinNetflowSchema() {
   return StreamSchema("NETFLOW", StreamKind::kProtocol, std::move(fields));
 }
 
+StreamSchema Catalog::BuiltinStatsSchema() {
+  std::vector<FieldDef> fields;
+  // Non-strict: every metric row of one snapshot carries the same time.
+  fields.push_back({"time", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"ts", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"node", DataType::kString, OrderSpec::None()});
+  fields.push_back({"metric", DataType::kString, OrderSpec::None()});
+  fields.push_back({"value", DataType::kUint, OrderSpec::None()});
+  return StreamSchema(StatsStreamName(), StreamKind::kStream,
+                      std::move(fields));
+}
+
+const char* Catalog::StatsStreamName() { return "gs_stats"; }
+
 }  // namespace gigascope::gsql

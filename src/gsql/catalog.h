@@ -56,6 +56,19 @@ class Catalog {
   ///   packets UINT, bytes UINT
   static StreamSchema BuiltinNetflowSchema();
 
+  /// The engine's self-telemetry stream (§4: the RTS keeps per-node
+  /// statistics and Gigascope monitors itself with queries over them).
+  /// One tuple per (entity, metric) per snapshot:
+  ///   time UINT INCREASING   -- snapshot time, 1-second granularity
+  ///   ts UINT INCREASING     -- snapshot time, nanoseconds
+  ///   node STRING            -- owning entity (query node, source, channel)
+  ///   metric STRING          -- counter name (tuples_in, ring_dropped, ...)
+  ///   value UINT
+  static StreamSchema BuiltinStatsSchema();
+
+  /// Name of the built-in self-telemetry stream ("gs_stats").
+  static const char* StatsStreamName();
+
  private:
   std::map<std::string, StreamSchema> schemas_;
   std::map<std::string, bool> interfaces_;

@@ -250,6 +250,7 @@ void OrderedAggregateNode::ProcessTuple(const ByteBuffer& payload) {
   if (it == groups_.end()) {
     it = groups_.emplace(std::move(keys),
                          GroupAccumulator(&spec_.agg_specs)).first;
+    open_groups_.Set(groups_.size());
   }
   it->second.Update(args);
 }
@@ -312,6 +313,7 @@ void OrderedAggregateNode::FlushGroups(const std::optional<Value>& bound) {
     EmitGroup(it->first, it->second);
     groups_.erase(it);
   }
+  open_groups_.Set(groups_.size());
 }
 
 void OrderedAggregateNode::EmitGroup(const rts::Row& keys,
@@ -328,5 +330,12 @@ void OrderedAggregateNode::EmitGroup(const rts::Row& keys,
 }
 
 void OrderedAggregateNode::Flush() { FlushGroups(std::nullopt); }
+
+void OrderedAggregateNode::RegisterTelemetry(
+    telemetry::Registry* metrics) const {
+  QueryNode::RegisterTelemetry(metrics);
+  metrics->Register(name(), "open_groups", &open_groups_);
+  metrics->Register(name(), "groups_flushed", &groups_flushed_);
+}
 
 }  // namespace gigascope::ops

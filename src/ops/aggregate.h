@@ -89,9 +89,10 @@ class OrderedAggregateNode : public rts::QueryNode {
 
   size_t Poll(size_t budget) override;
   void Flush() override;
+  void RegisterTelemetry(telemetry::Registry* metrics) const override;
 
   size_t open_groups() const { return groups_.size(); }
-  uint64_t groups_flushed() const { return groups_flushed_; }
+  uint64_t groups_flushed() const { return groups_flushed_.value(); }
 
  private:
   void ProcessTuple(const ByteBuffer& payload);
@@ -109,7 +110,10 @@ class OrderedAggregateNode : public rts::QueryNode {
   rts::TupleCodec output_codec_;
   std::unordered_map<rts::Row, GroupAccumulator, RowHash, RowEq> groups_;
   std::optional<expr::Value> epoch_;  // max ordered-key value seen
-  uint64_t groups_flushed_ = 0;
+  telemetry::Counter groups_flushed_;
+  /// Mirrors groups_.size() so other threads can read the gauge without
+  /// touching the (unsynchronized) group map.
+  telemetry::Counter open_groups_;
 };
 
 }  // namespace gigascope::ops

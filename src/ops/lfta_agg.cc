@@ -41,14 +41,14 @@ std::optional<std::pair<rts::Row, rts::Row>> DirectMappedAggTable::Upsert(
 
 std::vector<std::pair<rts::Row, rts::Row>> DirectMappedAggTable::DrainAll() {
   std::vector<std::pair<rts::Row, rts::Row>> out;
-  out.reserve(occupied_);
+  out.reserve(occupied());
   for (Slot& slot : slots_) {
     if (!slot.used) continue;
     out.emplace_back(std::move(slot.keys), slot.acc->Finalize());
     slot.used = false;
     slot.acc.reset();
   }
-  occupied_ = 0;
+  occupied_.Set(0);
   return out;
 }
 
@@ -194,6 +194,18 @@ void LftaAggregateNode::Flush() {
   for (const auto& [keys, aggs] : table_.DrainAll()) {
     EmitPartial(keys, aggs);
   }
+}
+
+void LftaAggregateNode::RegisterTelemetry(
+    telemetry::Registry* metrics) const {
+  QueryNode::RegisterTelemetry(metrics);
+  metrics->RegisterReader(name(), "lfta_updates",
+                          [this] { return table_.updates(); });
+  metrics->RegisterReader(name(), "lfta_evictions",
+                          [this] { return table_.evictions(); });
+  metrics->RegisterReader(name(), "lfta_occupied", [this] {
+    return static_cast<uint64_t>(table_.occupied());
+  });
 }
 
 }  // namespace gigascope::ops

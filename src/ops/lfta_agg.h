@@ -32,9 +32,9 @@ class DirectMappedAggTable {
   std::vector<std::pair<rts::Row, rts::Row>> DrainAll();
 
   size_t num_slots() const { return slots_.size(); }
-  size_t occupied() const { return occupied_; }
-  uint64_t updates() const { return updates_; }
-  uint64_t evictions() const { return evictions_; }
+  size_t occupied() const { return static_cast<size_t>(occupied_.value()); }
+  uint64_t updates() const { return updates_.value(); }
+  uint64_t evictions() const { return evictions_.value(); }
 
  private:
   struct Slot {
@@ -46,9 +46,11 @@ class DirectMappedAggTable {
   const std::vector<expr::AggregateSpec>* specs_;
   std::vector<Slot> slots_;
   size_t mask_;
-  size_t occupied_ = 0;
-  uint64_t updates_ = 0;
-  uint64_t evictions_ = 0;
+  // Telemetry counters: written by the owning LFTA thread only, readable
+  // from any thread via the engine's stats snapshots.
+  telemetry::Counter occupied_;
+  telemetry::Counter updates_;
+  telemetry::Counter evictions_;
 };
 
 /// LFTA-side pre-aggregation node: evaluates group keys and aggregate
@@ -64,6 +66,7 @@ class LftaAggregateNode : public rts::QueryNode {
 
   size_t Poll(size_t budget) override;
   void Flush() override;
+  void RegisterTelemetry(telemetry::Registry* metrics) const override;
 
   const DirectMappedAggTable& table() const { return table_; }
 

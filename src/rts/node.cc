@@ -2,6 +2,30 @@
 
 namespace gigascope::rts {
 
-// QueryNode is an abstract base; concrete operators live in src/ops.
+void QueryNode::RegisterTelemetry(telemetry::Registry* metrics) const {
+  metrics->Register(name_, "tuples_in", &tuples_in_);
+  metrics->Register(name_, "tuples_out", &tuples_out_);
+  metrics->Register(name_, "eval_errors", &eval_errors_);
+  metrics->Register(name_, "busy_polls", &busy_polls_);
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    std::string prefix =
+        inputs_.size() == 1 ? "ring" : "ring" + std::to_string(i);
+    // The closures share ownership of the channel: a registry snapshot
+    // stays safe even if the subscription is dropped before the registry.
+    Subscription channel = inputs_[i];
+    metrics->RegisterReader(name_, prefix + "_pushed",
+                            [channel] { return channel->pushed(); });
+    metrics->RegisterReader(name_, prefix + "_popped",
+                            [channel] { return channel->popped(); });
+    metrics->RegisterReader(name_, prefix + "_dropped",
+                            [channel] { return channel->dropped(); });
+    metrics->RegisterReader(name_, prefix + "_size", [channel] {
+      return static_cast<uint64_t>(channel->size());
+    });
+    metrics->RegisterReader(name_, prefix + "_high_water", [channel] {
+      return static_cast<uint64_t>(channel->high_water_mark());
+    });
+  }
+}
 
 }  // namespace gigascope::rts

@@ -7,6 +7,7 @@
 
 #include "expr/type.h"
 #include "rts/registry.h"
+#include "telemetry/registry.h"
 
 namespace gigascope::rts {
 
@@ -34,16 +35,36 @@ class QueryNode {
   /// consumed (0 = idle).
   virtual size_t Poll(size_t budget) = 0;
 
+  /// Poll + busy accounting: counts the polls that did work, the node's
+  /// cheap busy-time proxy (no clock reads on the hot path). All pump
+  /// loops go through this; the owning thread is the single writer.
+  size_t PollCounted(size_t budget) {
+    size_t processed = Poll(budget);
+    if (processed > 0) ++busy_polls_;
+    return processed;
+  }
+
   /// End-of-stream: emits any buffered state (open aggregate groups, join
   /// buffers). Idempotent.
   virtual void Flush() {}
 
   /// Tuples this node has emitted.
-  uint64_t tuples_out() const { return tuples_out_; }
+  uint64_t tuples_out() const { return tuples_out_.value(); }
   /// Tuples this node has consumed.
-  uint64_t tuples_in() const { return tuples_in_; }
+  uint64_t tuples_in() const { return tuples_in_.value(); }
   /// Input tuples that failed evaluation (runtime errors) and were dropped.
-  uint64_t eval_errors() const { return eval_errors_; }
+  uint64_t eval_errors() const { return eval_errors_.value(); }
+  /// Polls that consumed at least one message (busy-time proxy).
+  uint64_t busy_polls() const { return busy_polls_.value(); }
+
+  /// Registers this node's counters with the telemetry registry under the
+  /// node's name: the base tuples_in/tuples_out/eval_errors, plus the
+  /// pushed/popped/dropped/size/high-water counters of every input channel
+  /// (prefix "ring", or "ring<i>" with several inputs). Subclasses override
+  /// to add operator-specific metrics and must call the base version.
+  /// Counters stay readable from any thread while the node is polled; the
+  /// registry entries must not outlive the node.
+  virtual void RegisterTelemetry(telemetry::Registry* metrics) const;
 
   /// The input channels this node consumes (registered by subclasses at
   /// construction). The threaded engine uses these to wire consumer
@@ -57,9 +78,12 @@ class QueryNode {
     inputs_.push_back(std::move(input));
   }
 
-  uint64_t tuples_in_ = 0;
-  uint64_t tuples_out_ = 0;
-  uint64_t eval_errors_ = 0;
+  // Single-writer (the polling thread); readable from any thread, which is
+  // what makes Engine::GetNodeStats safe while workers are pumping.
+  telemetry::Counter tuples_in_;
+  telemetry::Counter tuples_out_;
+  telemetry::Counter eval_errors_;
+  telemetry::Counter busy_polls_;
 
  private:
   std::string name_;

@@ -52,21 +52,17 @@ bool RingChannel::TryPush(StreamMessage message) {
   }
   slots_[head & mask_] = std::move(message);
   head_.store(head + 1, std::memory_order_release);
-  pushed_.store(pushed_.load(std::memory_order_relaxed) + 1,
-                std::memory_order_relaxed);
+  ++pushed_;
   const size_t occupancy = static_cast<size_t>(
       head + 1 - tail_.load(std::memory_order_relaxed));
-  if (occupancy > high_water_.load(std::memory_order_relaxed)) {
-    high_water_.store(occupancy, std::memory_order_relaxed);
-  }
+  high_water_.Max(occupancy);
   if (ConsumerWaker* waker = waker_.get()) waker->Wake();
   return true;
 }
 
 bool RingChannel::PushOrDrop(StreamMessage message) {
   if (TryPush(std::move(message))) return true;
-  dropped_.store(dropped_.load(std::memory_order_relaxed) + 1,
-                 std::memory_order_relaxed);
+  ++dropped_;
   return false;
 }
 
@@ -80,8 +76,7 @@ bool RingChannel::TryPop(StreamMessage* out) {
   }
   *out = std::move(slots_[tail & mask_]);
   tail_.store(tail + 1, std::memory_order_release);
-  popped_.store(popped_.load(std::memory_order_relaxed) + 1,
-                std::memory_order_relaxed);
+  ++popped_;
   return true;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "rts/tuple.h"
+#include "telemetry/counter.h"
 
 namespace gigascope::rts {
 
@@ -68,15 +69,13 @@ class RingChannel {
   /// producer and consumer are running.
   size_t size() const;
   size_t capacity() const { return capacity_; }
-  uint64_t pushed() const { return pushed_.load(std::memory_order_relaxed); }
-  uint64_t popped() const { return popped_.load(std::memory_order_relaxed); }
-  uint64_t dropped() const {
-    return dropped_.load(std::memory_order_relaxed);
-  }
+  uint64_t pushed() const { return pushed_.value(); }
+  uint64_t popped() const { return popped_.value(); }
+  uint64_t dropped() const { return dropped_.value(); }
 
   /// Highest occupancy observed (for the E4 heartbeat experiment).
   size_t high_water_mark() const {
-    return high_water_.load(std::memory_order_relaxed);
+    return static_cast<size_t>(high_water_.value());
   }
 
   /// Installs the consumer's waker: successful pushes call Wake() so a
@@ -101,11 +100,13 @@ class RingChannel {
   alignas(64) uint64_t cached_tail_ = 0;
   alignas(64) uint64_t cached_head_ = 0;
 
-  // Stats: each counter has a single writer (producer or consumer).
-  std::atomic<uint64_t> pushed_{0};
-  std::atomic<uint64_t> popped_{0};
-  std::atomic<uint64_t> dropped_{0};
-  std::atomic<size_t> high_water_{0};
+  // Stats: telemetry counters so `micro_ring`, the engine's `gs_stats`
+  // stream, and direct accessors all report from one source of truth.
+  // Each counter has a single writer (producer or consumer).
+  telemetry::Counter pushed_;
+  telemetry::Counter popped_;
+  telemetry::Counter dropped_;
+  telemetry::Counter high_water_;
 
   std::shared_ptr<ConsumerWaker> waker_;
 };

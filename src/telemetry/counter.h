@@ -1,0 +1,63 @@
+#ifndef GIGASCOPE_TELEMETRY_COUNTER_H_
+#define GIGASCOPE_TELEMETRY_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gigascope::telemetry {
+
+/// A single-writer statistics counter (per Prasaad et al.'s shared-memory
+/// scaling argument: per-core statistics want uncontended writes).
+///
+/// Exactly one thread may write (the owning node's polling thread, or a
+/// ring's producer/consumer side); any thread may read. Because of the
+/// single-writer contract the increment is a relaxed load + relaxed store —
+/// no RMW, so the hot path pays one plain store and never a bus-locked
+/// instruction. Readers see a possibly slightly stale but torn-free value.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Writer side. Single writer only — concurrent Add calls lose updates.
+  void Add(uint64_t n) {
+    value_.store(value_.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+  }
+  void Sub(uint64_t n) {
+    value_.store(value_.load(std::memory_order_relaxed) - n,
+                 std::memory_order_relaxed);
+  }
+  /// Writer side: gauge semantics (last value wins).
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// Writer side: monotone running maximum (high-water marks).
+  void Max(uint64_t v) {
+    if (v > value_.load(std::memory_order_relaxed)) {
+      value_.store(v, std::memory_order_relaxed);
+    }
+  }
+
+  Counter& operator++() {
+    Add(1);
+    return *this;
+  }
+  Counter& operator--() {
+    Sub(1);
+    return *this;
+  }
+  Counter& operator+=(uint64_t n) {
+    Add(n);
+    return *this;
+  }
+
+  /// Reader side: any thread.
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+}  // namespace gigascope::telemetry
+
+#endif  // GIGASCOPE_TELEMETRY_COUNTER_H_

@@ -1,0 +1,64 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gigascope::telemetry {
+
+void Registry::Register(const std::string& entity, const std::string& metric,
+                        const Counter* counter) {
+  RegisterReader(entity, metric, [counter] { return counter->value(); });
+}
+
+void Registry::RegisterReader(const std::string& entity,
+                              const std::string& metric, Reader reader) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back({entity, metric, std::move(reader)});
+}
+
+std::vector<MetricSample> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> samples;
+  samples.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    samples.push_back({entry.entity, entry.metric, entry.read()});
+  }
+  return samples;
+}
+
+size_t Registry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::string FormatMetricsTable(const std::vector<MetricSample>& samples) {
+  std::vector<const MetricSample*> sorted;
+  sorted.reserve(samples.size());
+  for (const MetricSample& sample : samples) sorted.push_back(&sample);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MetricSample* a, const MetricSample* b) {
+              if (a->entity != b->entity) return a->entity < b->entity;
+              return a->metric < b->metric;
+            });
+  size_t entity_width = 6, metric_width = 6;
+  for (const MetricSample* sample : sorted) {
+    entity_width = std::max(entity_width, sample->entity.size());
+    metric_width = std::max(metric_width, sample->metric.size());
+  }
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-*s %-*s %20s\n",
+                static_cast<int>(entity_width), "entity",
+                static_cast<int>(metric_width), "metric", "value");
+  out += line;
+  for (const MetricSample* sample : sorted) {
+    std::snprintf(line, sizeof(line), "%-*s %-*s %20llu\n",
+                  static_cast<int>(entity_width), sample->entity.c_str(),
+                  static_cast<int>(metric_width), sample->metric.c_str(),
+                  static_cast<unsigned long long>(sample->value));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace gigascope::telemetry

@@ -1,0 +1,77 @@
+#ifndef GIGASCOPE_TELEMETRY_REGISTRY_H_
+#define GIGASCOPE_TELEMETRY_REGISTRY_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/counter.h"
+
+namespace gigascope::telemetry {
+
+/// One metric reading: the owning entity (a query node, a channel, a packet
+/// source, the engine itself), the metric name, and the counter value at
+/// snapshot time.
+struct MetricSample {
+  std::string entity;
+  std::string metric;
+  uint64_t value = 0;
+};
+
+/// The engine's metric registry: a catalog of per-node and per-channel
+/// counters/gauges, snapshotted by the `gs_stats` stream source.
+///
+/// The hot path — counter updates — never touches the registry: writers
+/// update their own relaxed-atomic `Counter`s (see counter.h) and the
+/// registry merely remembers how to read them. Registration happens on the
+/// control plane (query setup; the engine rejects setup calls while worker
+/// threads run), and Snapshot only performs atomic loads, so snapshotting
+/// is safe while workers are pumping. The internal entry list is guarded by
+/// a mutex purely so registration and snapshots from different control
+/// threads cannot race on the vector itself.
+class Registry {
+ public:
+  /// Reads one metric value; must be callable from any thread (atomic
+  /// loads only — never dereference state mutated without atomics).
+  using Reader = std::function<uint64_t()>;
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers a counter owned elsewhere; the counter must outlive every
+  /// subsequent Snapshot call.
+  void Register(const std::string& entity, const std::string& metric,
+                const Counter* counter);
+
+  /// Registers a reader-backed gauge. Capture shared ownership (e.g. a
+  /// `rts::Subscription`) in the closure when the underlying object can
+  /// otherwise die before the registry.
+  void RegisterReader(const std::string& entity, const std::string& metric,
+                      Reader reader);
+
+  /// Point-in-time reading of every registered metric, in registration
+  /// order. Values are per-counter atomic reads, not a global atomic cut.
+  std::vector<MetricSample> Snapshot() const;
+
+  size_t num_metrics() const;
+
+ private:
+  struct Entry {
+    std::string entity;
+    std::string metric;
+    Reader read;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+/// Renders samples as an aligned human-readable table (sorted by entity
+/// then metric), for gsrun's --stats-dump.
+std::string FormatMetricsTable(const std::vector<MetricSample>& samples);
+
+}  // namespace gigascope::telemetry
+
+#endif  // GIGASCOPE_TELEMETRY_REGISTRY_H_

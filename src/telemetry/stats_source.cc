@@ -1,0 +1,45 @@
+#include "telemetry/stats_source.h"
+
+#include "rts/punctuation.h"
+
+namespace gigascope::telemetry {
+
+using expr::Value;
+
+StatsSource::StatsSource(const Registry* metrics,
+                         rts::StreamRegistry* streams)
+    : metrics_(metrics),
+      streams_(streams),
+      schema_(gsql::Catalog::BuiltinStatsSchema()),
+      codec_(schema_) {}
+
+void StatsSource::EmitSnapshot(SimTime now) {
+  if (now < last_ts_) now = last_ts_;
+  last_ts_ = now;
+  const uint64_t seconds = static_cast<uint64_t>(SimTimeToSeconds(now));
+  const uint64_t nanos = static_cast<uint64_t>(now);
+  const std::string& stream = schema_.name();
+
+  rts::Row row(5);
+  row[0] = Value::Uint(seconds);
+  row[1] = Value::Uint(nanos);
+  for (const MetricSample& sample : metrics_->Snapshot()) {
+    row[2] = Value::String(sample.entity);
+    row[3] = Value::String(sample.metric);
+    row[4] = Value::Uint(sample.value);
+    rts::StreamMessage message;
+    message.kind = rts::StreamMessage::Kind::kTuple;
+    codec_.Encode(row, &message.payload);
+    streams_->Publish(stream, message);
+  }
+
+  // No tuple of a later snapshot will carry smaller time attributes, so
+  // downstream ordered aggregations can close groups up to this bound.
+  rts::Punctuation punctuation;
+  punctuation.bounds.emplace_back(0, Value::Uint(seconds));
+  punctuation.bounds.emplace_back(1, Value::Uint(nanos));
+  streams_->Publish(stream, rts::MakePunctuationMessage(punctuation, schema_));
+  ++snapshots_;
+}
+
+}  // namespace gigascope::telemetry

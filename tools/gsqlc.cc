@@ -47,6 +47,10 @@ int CompileProgram(const std::string& source) {
   if (!status.ok()) return Fail(status);
   status = catalog.AddSchema(Catalog::BuiltinNetflowSchema());
   if (!status.ok()) return Fail(status);
+  // The engine's self-monitoring stream: registered here too so queries
+  // over gs_stats compile in the explorer exactly as they do in gsrun.
+  status = catalog.AddSchema(Catalog::BuiltinStatsSchema());
+  if (!status.ok()) return Fail(status);
   catalog.AddInterface("eth0");
   catalog.AddInterface("eth1");
 

@@ -6,11 +6,14 @@
 // query's output stream prints as tab-separated rows.
 //
 // Usage:
-//   gsrun [--threads=N] QUERIES.gsql CAPTURE.pcap [interface-name]
+//   gsrun [options] QUERIES.gsql CAPTURE.pcap [interface-name]
 //
 // The interface name (default "eth0") is what `FROM <iface>.PKT` in the
 // queries must reference. With --threads=N the HFTA nodes run on a worker
-// pool while the replay thread drives interpretation and the LFTAs.
+// pool while the replay thread drives interpretation and the LFTAs. With
+// --stats-period=S the engine emits its self-telemetry onto the built-in
+// `gs_stats` stream every S seconds of capture time, so queries in the
+// program can aggregate the engine's own health feed.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,20 +24,59 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "core/engine.h"
 #include "gsql/parser.h"
 #include "net/pcap.h"
+#include "telemetry/registry.h"
 
 namespace {
 
 using gigascope::core::Engine;
+using gigascope::core::EngineOptions;
 using gigascope::core::TupleSubscription;
 
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: gsrun [--threads=N] QUERIES.gsql CAPTURE.pcap [interface]\n");
+      "usage: gsrun [options] QUERIES.gsql CAPTURE.pcap [interface]\n"
+      "\n"
+      "  QUERIES.gsql      GSQL program: CREATE statements and queries\n"
+      "  CAPTURE.pcap      pcap trace replayed through the interface\n"
+      "  interface         interface name bound to `FROM <iface>.PKT`\n"
+      "                    (default: eth0)\n"
+      "\n"
+      "options:\n"
+      "  --threads=N       run HFTA nodes on N worker threads; the replay\n"
+      "                    thread keeps interpretation and the LFTAs\n"
+      "                    (default: 0, fully single-threaded)\n"
+      "  --stats-period=S  emit engine telemetry on the built-in gs_stats\n"
+      "                    stream every S seconds of capture time (S may\n"
+      "                    be fractional); queries can SELECT ... FROM\n"
+      "                    gs_stats (default: off)\n"
+      "  --stats-dump      after the run, print every telemetry counter\n"
+      "                    as a table on stderr\n"
+      "  --help            this text\n");
   return 2;
+}
+
+int UnknownFlag(const char* flag) {
+  std::fprintf(stderr, "gsrun: unknown or malformed option '%s'\n\n", flag);
+  return Usage();
+}
+
+/// Parses "--name=<number>"; false when the value is missing or not a
+/// clean non-negative number.
+bool ParseNumericFlag(const char* arg, const char* prefix, double* out) {
+  size_t len = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, len) != 0) return false;
+  const char* value = arg + len;
+  if (*value == '\0') return false;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || parsed < 0) return false;
+  *out = parsed;
+  return true;
 }
 
 void PrintHeader(const gigascope::gsql::StreamSchema& schema) {
@@ -50,17 +92,31 @@ void PrintHeader(const gigascope::gsql::StreamSchema& schema) {
 
 int main(int argc, char** argv) {
   size_t threads = 0;
+  double stats_period_seconds = 0;
+  bool stats_dump = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = static_cast<size_t>(std::atoi(argv[i] + 10));
-    } else if (std::strncmp(argv[i], "--", 2) == 0) {
-      return Usage();
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      // Strict: every '--' argument must be a known flag with a
+      // well-formed value; anything else is an error, not a file name.
+      double parsed = 0;
+      if (ParseNumericFlag(argv[i], "--threads=", &parsed) &&
+          parsed == static_cast<size_t>(parsed)) {
+        threads = static_cast<size_t>(parsed);
+      } else if (ParseNumericFlag(argv[i], "--stats-period=", &parsed)) {
+        stats_period_seconds = parsed;
+      } else if (std::strcmp(argv[i], "--stats-dump") == 0) {
+        stats_dump = true;
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        return Usage();
+      } else {
+        return UnknownFlag(argv[i]);
+      }
     } else {
       positional.push_back(argv[i]);
     }
   }
-  if (positional.size() < 2) return Usage();
+  if (positional.size() < 2 || positional.size() > 3) return Usage();
   const std::string gsql_path = positional[0];
   const std::string pcap_path = positional[1];
   const std::string interface_name =
@@ -75,7 +131,11 @@ int main(int argc, char** argv) {
   buffer << file.rdbuf();
   std::string source = buffer.str();
 
-  Engine engine;
+  EngineOptions options;
+  if (stats_period_seconds > 0) {
+    options.stats_period = gigascope::SecondsToSimTime(stats_period_seconds);
+  }
+  Engine engine(options);
   engine.AddInterface(interface_name);
 
   // Route each statement: CREATE -> DDL, queries -> AddQuery.
@@ -190,6 +250,11 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "gsrun: %s: %llu rows\n", output.name.c_str(),
                  static_cast<unsigned long long>(rows));
+  }
+  if (stats_dump) {
+    std::string table = gigascope::telemetry::FormatMetricsTable(
+        engine.telemetry().Snapshot());
+    std::fprintf(stderr, "%s", table.c_str());
   }
   return 0;
 }
