@@ -46,7 +46,8 @@ std::vector<Packet> MakeBatch(int packets) {
 }
 
 std::unique_ptr<Engine> MakeEngine(const std::string& query, int packets,
-                                   gigascope::SimTime stats_period = 0) {
+                                   gigascope::SimTime stats_period = 0,
+                                   size_t trace_sample = 0) {
   EngineOptions options;
   // Size channels so a full run fits without drops: the comparison should
   // measure operator and handoff cost, not loss policy.
@@ -54,6 +55,7 @@ std::unique_ptr<Engine> MakeEngine(const std::string& query, int packets,
   while (capacity < static_cast<size_t>(packets) + 1024) capacity <<= 1;
   options.channel_capacity = capacity;
   options.stats_period = stats_period;
+  options.trace_sample = trace_sample;
   auto engine = std::make_unique<Engine>(options);
   engine->AddInterface("eth0");
   auto info = engine->AddQuery(query);
@@ -65,9 +67,10 @@ std::unique_ptr<Engine> MakeEngine(const std::string& query, int packets,
 }
 
 double MeasurePps(const std::string& query, const std::vector<Packet>& batch,
-                  gigascope::SimTime stats_period = 0) {
-  std::unique_ptr<Engine> owned =
-      MakeEngine(query, static_cast<int>(batch.size()), stats_period);
+                  gigascope::SimTime stats_period = 0,
+                  size_t trace_sample = 0) {
+  std::unique_ptr<Engine> owned = MakeEngine(
+      query, static_cast<int>(batch.size()), stats_period, trace_sample);
   Engine& engine = *owned;
   auto start = Clock::now();
   for (const Packet& packet : batch) {
@@ -197,6 +200,26 @@ int main(int argc, char** argv) {
       off = std::max(off, MeasurePps(workload.query, batch));
       on = std::max(
           on, MeasurePps(workload.query, batch, gigascope::kNanosPerSecond));
+    }
+    std::printf("%-22s %16.0f %16.0f %7.3fx\n", workload.label, off, on,
+                on / off);
+  }
+
+  // Sampled tracing overhead: untraced packets pay one RNG draw per
+  // injection and a trace_id==0 branch per operator; 1-in-128 packets take
+  // the mutex-guarded span-recording path. Tracing off must cost nothing
+  // (the engine holds no tracer at all), and 1-in-128 sampling should sit
+  // within a few percent of off.
+  std::printf(
+      "\ntracing overhead (--trace-sample=128, Chrome-trace event "
+      "recording):\n%-22s %16s %16s %8s\n",
+      "workload", "trace-off pps", "trace-on pps", "ratio");
+  for (const Workload& workload : workloads) {
+    double off = 0;
+    double on = 0;
+    for (int repetition = 0; repetition < 5; ++repetition) {
+      off = std::max(off, MeasurePps(workload.query, batch));
+      on = std::max(on, MeasurePps(workload.query, batch, 0, 128));
     }
     std::printf("%-22s %16.0f %16.0f %7.3fx\n", workload.label, off, on,
                 on / off);

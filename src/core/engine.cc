@@ -8,11 +8,13 @@
 #include "gsql/parser.h"
 #include "net/headers.h"
 #include "rts/punctuation.h"
+#include "telemetry/metric_names.h"
 
 namespace gigascope::core {
 
 using expr::Value;
 using gsql::DataType;
+namespace metric = telemetry::metric;
 
 TupleSubscription::TupleSubscription(rts::Subscription channel,
                                      gsql::StreamSchema schema)
@@ -43,9 +45,18 @@ Engine::Engine(EngineOptions options) : options_(options) {
   GS_CHECK(registry_.DeclareStream(gsql::Catalog::BuiltinStatsSchema()).ok());
   stats_source_ =
       std::make_unique<telemetry::StatsSource>(&telemetry_, &registry_);
-  telemetry_.Register("engine", "heartbeats", &heartbeats_);
-  telemetry_.Register("engine", "stats_snapshots",
+  telemetry_.Register("engine", metric::kHeartbeats, &heartbeats_);
+  telemetry_.Register("engine", metric::kStatsSnapshots,
                       stats_source_->snapshots_counter());
+  if (options_.trace_sample > 0) {
+    tracer_ = std::make_unique<telemetry::Tracer>(options_.trace_sample,
+                                                  options_.trace_seed);
+    tracer_->SetTrackName(0, "inject");
+    telemetry_.Register("engine", metric::kTraceSampled,
+                        tracer_->sampled_counter());
+    telemetry_.Register("engine", metric::kTraceDroppedEvents,
+                        tracer_->dropped_events_counter());
+  }
 }
 
 Engine::~Engine() { StopThreads(); }
@@ -118,8 +129,11 @@ Status Engine::EnsureProtocolSource(const std::string& interface_name,
     protocol_sources_.erase(stream_name);
     return declared;
   }
-  telemetry_.Register(stream_name, "packets", &source.packets);
-  telemetry_.Register(stream_name, "last_punct_sec", &source.last_punct_sec);
+  telemetry_.Register(stream_name, metric::kPackets, &source.packets);
+  telemetry_.Register(stream_name, metric::kLastPunctSec,
+                      &source.last_punct_sec);
+  telemetry_.RegisterHistogram(stream_name, metric::kPunctLagNs,
+                               &source.punct_lag);
   return Status::Ok();
 }
 
@@ -143,6 +157,7 @@ Result<QueryInfo> Engine::AddQuery(
   // failed partway.
   node_stages_.resize(nodes_.size(), NodeStage::kHfta);
   RegisterNewNodeTelemetry();
+  const size_t first_new_node = nodes_.size();
   GS_ASSIGN_OR_RETURN(gsql::Statement statement,
                       gsql::ParseStatement(gsql_text));
 
@@ -278,6 +293,13 @@ Result<QueryInfo> Engine::AddQuery(
   catalog_.PutStreamSchema(planned.output_schema);
   query_params_.emplace(info.name, std::move(query_params));
   query_infos_.push_back(info);
+  // The node publishing under the query's public name is its terminal:
+  // tuples it emits while processing a traced message record the
+  // inject→emit latency. Marked before telemetry registration so the
+  // e2e_latency_ns histogram is registered for it.
+  for (size_t i = first_new_node; i < nodes_.size(); ++i) {
+    if (nodes_[i]->name() == split.name) nodes_[i]->set_terminal(true);
+  }
   RegisterNewNodeTelemetry();
   return info;
 }
@@ -285,7 +307,13 @@ Result<QueryInfo> Engine::AddQuery(
 void Engine::RegisterNewNodeTelemetry() {
   for (; telemetry_registered_nodes_ < nodes_.size();
        ++telemetry_registered_nodes_) {
-    nodes_[telemetry_registered_nodes_]->RegisterTelemetry(&telemetry_);
+    rts::QueryNode* node = nodes_[telemetry_registered_nodes_].get();
+    if (tracer_ != nullptr) {
+      const uint32_t track = next_track_id_++;
+      node->SetTracer(tracer_.get(), track);
+      tracer_->SetTrackName(track, node->name());
+    }
+    node->RegisterTelemetry(&telemetry_);
   }
 }
 
@@ -321,16 +349,23 @@ Result<std::unique_ptr<TupleSubscription>> Engine::Subscribe(
   std::string entity =
       stream_name + "#sub" + std::to_string(subscriber_seq_++);
   rts::Subscription shared = channel;
-  telemetry_.RegisterReader(entity, "ring_pushed",
+  const std::string ring = metric::kRingPrefix;
+  telemetry_.RegisterReader(entity, ring + metric::kRingPushedSuffix,
                             [shared] { return shared->pushed(); });
-  telemetry_.RegisterReader(entity, "ring_dropped",
+  telemetry_.RegisterReader(entity, ring + metric::kRingDroppedSuffix,
                             [shared] { return shared->dropped(); });
-  telemetry_.RegisterReader(entity, "ring_size", [shared] {
-    return static_cast<uint64_t>(shared->size());
-  });
-  telemetry_.RegisterReader(entity, "ring_high_water", [shared] {
-    return static_cast<uint64_t>(shared->high_water_mark());
-  });
+  telemetry_.RegisterReader(entity, ring + metric::kRingSizeSuffix,
+                            [shared] {
+                              return static_cast<uint64_t>(shared->size());
+                            });
+  telemetry_.RegisterReader(entity, ring + metric::kRingHighWaterSuffix,
+                            [shared] {
+                              return static_cast<uint64_t>(
+                                  shared->high_water_mark());
+                            });
+  telemetry_.RegisterHistogram(
+      entity, ring + metric::kRingOccupancySuffix,
+      [shared] { return shared->occupancy_histogram().Snapshot(); });
   return std::make_unique<TupleSubscription>(std::move(channel),
                                              std::move(schema));
 }
@@ -418,6 +453,17 @@ rts::Row InterpretPacket(const gsql::StreamSchema& schema,
 Status Engine::InjectPacket(const std::string& interface_name,
                             const net::Packet& packet) {
   GS_RETURN_IF_ERROR(CheckAcceptingInput("InjectPacket"));
+  // One sampling decision per packet: every protocol stream's copy of a
+  // traced packet carries the same trace id.
+  uint64_t trace_id = 0;
+  int64_t trace_ns = 0;
+  if (tracer_ != nullptr) {
+    trace_id = tracer_->SampleInject();
+    if (trace_id != 0) {
+      trace_ns = tracer_->NowNs();
+      tracer_->RecordInstant("inject", /*tid=*/0, trace_id, trace_ns);
+    }
+  }
   bool any = false;
   for (auto& [stream_name, source] : protocol_sources_) {
     if (stream_name.rfind(interface_name + ".", 0) != 0) continue;
@@ -425,10 +471,17 @@ Status Engine::InjectPacket(const std::string& interface_name,
     rts::Row row = InterpretPacket(source.schema, packet);
     rts::StreamMessage message;
     message.kind = rts::StreamMessage::Kind::kTuple;
+    message.trace_id = trace_id;
+    message.trace_ns = trace_ns;
     source.codec->Encode(row, &message.payload);
     registry_.Publish(stream_name, message);
     source.last_row = std::move(row);
     ++source.packets;
+    if (source.last_punct_time > 0 &&
+        packet.timestamp >= source.last_punct_time) {
+      source.punct_lag.Record(
+          static_cast<uint64_t>(packet.timestamp - source.last_punct_time));
+    }
     if (options_.punctuation_interval > 0 &&
         source.packets.value() % options_.punctuation_interval == 0) {
       rts::Punctuation punctuation;
@@ -442,8 +495,16 @@ Status Engine::InjectPacket(const std::string& interface_name,
         }
       }
       if (!punctuation.bounds.empty()) {
-        registry_.Publish(stream_name, rts::MakePunctuationMessage(
-                                           punctuation, source.schema));
+        rts::StreamMessage punct_message =
+            rts::MakePunctuationMessage(punctuation, source.schema);
+        // Punctuation triggered by a traced packet carries its context:
+        // aggregate groups flushed by this punctuation downstream inherit
+        // the trace, so e2e latency covers inject -> group close even when
+        // the close is punctuation-driven.
+        punct_message.trace_id = trace_id;
+        punct_message.trace_ns = trace_ns;
+        registry_.Publish(stream_name, punct_message);
+        source.last_punct_time = packet.timestamp;
       }
     }
   }
@@ -484,6 +545,7 @@ Status Engine::InjectHeartbeat(const std::string& interface_name,
     if (!punctuation.bounds.empty()) {
       registry_.Publish(stream_name, rts::MakePunctuationMessage(
                                          punctuation, source.schema));
+      source.last_punct_time = now;
     }
   }
   if (!any) {
@@ -636,6 +698,15 @@ Status Engine::StartThreads(size_t workers) {
   for (size_t w = 0; w < pool; ++w) {
     auto worker = std::make_unique<Worker>();
     worker->waker = std::make_shared<rts::ConsumerWaker>();
+    // Slot w's park histogram persists across start/stop cycles (the
+    // registry reader must outlive this pool) and is registered once.
+    if (w >= worker_park_ns_.size()) {
+      worker_park_ns_.push_back(std::make_unique<telemetry::Histogram>());
+      telemetry_.RegisterHistogram("worker" + std::to_string(w),
+                                   metric::kParkNs,
+                                   worker_park_ns_.back().get());
+    }
+    worker->park_ns = worker_park_ns_[w].get();
     workers_.push_back(std::move(worker));
   }
   for (size_t i = 0; i < hfta_nodes.size(); ++i) {
@@ -687,7 +758,10 @@ void Engine::WorkerLoop(Worker* worker) {
       std::this_thread::yield();
       continue;
     }
+    const int64_t park_start = telemetry::MonotonicNowNs();
     worker->waker->Park(kParkTimeout);
+    worker->park_ns->Record(
+        static_cast<uint64_t>(telemetry::MonotonicNowNs() - park_start));
   }
 }
 

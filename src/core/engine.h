@@ -14,8 +14,10 @@
 #include "rts/node.h"
 #include "rts/registry.h"
 #include "rts/tuple.h"
+#include "telemetry/histogram.h"
 #include "telemetry/registry.h"
 #include "telemetry/stats_source.h"
+#include "telemetry/tracer.h"
 #include "udf/registry.h"
 
 namespace gigascope::core {
@@ -58,6 +60,16 @@ struct EngineOptions {
   /// themselves are always maintained (one relaxed store on the hot path),
   /// and EmitStatsSnapshot still works.
   SimTime stats_period = 0;
+  /// Sampled per-tuple tracing: tag roughly 1 in `trace_sample` injected
+  /// packets and follow them through LFTA pre-aggregation, the rings, and
+  /// the HFTA operators (gsrun --trace-sample). 0 disables the tracer
+  /// entirely — no clock reads, no per-message work beyond a null check.
+  /// The resulting trace exports as Chrome trace-event JSON
+  /// (Engine::tracer()->WriteJson), loadable in Perfetto.
+  size_t trace_sample = 0;
+  /// Seed of the tracer's sampling RNG; same seed + same injection
+  /// sequence = same packets traced.
+  uint64_t trace_seed = 42;
 };
 
 /// Metadata about a compiled, running query.
@@ -217,6 +229,10 @@ class Engine {
   /// from any thread, including while workers are pumping.
   const telemetry::Registry& telemetry() const { return telemetry_; }
 
+  /// The sampled-tuple tracer, or null when options.trace_sample == 0.
+  /// WriteJson is safe after FlushAll (and, being mutex-guarded, any time).
+  const telemetry::Tracer* tracer() const { return tracer_.get(); }
+
   /// Per-node statistics: (name, tuples_in, tuples_out, eval_errors).
   /// Safe to call from any thread while workers are pumping: the counters
   /// are single-writer relaxed atomics, so readings are torn-free (though
@@ -238,6 +254,9 @@ class Engine {
     std::thread thread;
     std::shared_ptr<rts::ConsumerWaker> waker;
     std::vector<rts::QueryNode*> nodes;
+    /// Points into worker_park_ns_ (engine-owned): StopThreads clears
+    /// workers_, but registered histogram readers must stay valid.
+    telemetry::Histogram* park_ns = nullptr;
   };
 
   struct ProtocolSource {
@@ -248,6 +267,10 @@ class Engine {
     /// Seconds bound of the last punctuation published on this source;
     /// `gs_stats` consumers can compute punctuation lag against it.
     telemetry::Counter last_punct_sec;
+    /// Sim-time distance from each packet to the source's previous
+    /// punctuation — the distribution behind the e4 heartbeat story.
+    telemetry::Histogram punct_lag;
+    SimTime last_punct_time = 0;
     rts::Row last_row;
   };
 
@@ -280,6 +303,14 @@ class Engine {
   // Declared before nodes_/registry_ so registered readers (which point at
   // node- and channel-owned counters) never outlive the registry's users.
   telemetry::Registry telemetry_;
+  // Also before nodes_: nodes keep a raw Tracer pointer (SetTracer).
+  std::unique_ptr<telemetry::Tracer> tracer_;
+  /// Trace-viewer track ids: 0 is the inject thread, nodes take 1..N.
+  uint32_t next_track_id_ = 1;
+  /// Park-time histograms per worker slot, engine-owned so the registered
+  /// readers survive StopThreads (which clears workers_). Grows lazily in
+  /// StartThreads; slot w is reused across start/stop cycles.
+  std::vector<std::unique_ptr<telemetry::Histogram>> worker_park_ns_;
   rts::StreamRegistry registry_;
   std::unique_ptr<telemetry::StatsSource> stats_source_;
   SimTime last_stats_emit_ = 0;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "expr/vm.h"
+#include "telemetry/metric_names.h"
 
 namespace gigascope::ops {
 
@@ -181,11 +182,13 @@ size_t OrderedAggregateNode::Poll(size_t budget) {
   rts::StreamMessage message;
   while (processed < budget && input_->TryPop(&message)) {
     ++processed;
+    BeginMessage(message);
     if (message.kind == rts::StreamMessage::Kind::kTuple) {
       ProcessTuple(message.payload);
     } else {
       ProcessPunctuation(message.payload);
     }
+    EndMessage();
   }
   return processed;
 }
@@ -225,9 +228,10 @@ void OrderedAggregateNode::ProcessTuple(const ByteBuffer& payload) {
       rts::Punctuation punctuation;
       punctuation.bounds.emplace_back(
           static_cast<size_t>(spec_.ordered_key), close_bound);
-      registry_->Publish(
-          name(), rts::MakePunctuationMessage(punctuation,
-                                              spec_.output_schema));
+      rts::StreamMessage punct_message = rts::MakePunctuationMessage(
+          punctuation, spec_.output_schema);
+      StampOutput(&punct_message);
+      registry_->Publish(name(), punct_message);
     }
     if (!epoch_.has_value() || ordered.Compare(*epoch_) > 0) {
       epoch_ = ordered;
@@ -286,8 +290,10 @@ void OrderedAggregateNode::ProcessPunctuation(const ByteBuffer& payload) {
   rts::Punctuation forward;
   forward.bounds.emplace_back(static_cast<size_t>(spec_.ordered_key),
                               out.value);
-  registry_->Publish(
-      name(), rts::MakePunctuationMessage(forward, spec_.output_schema));
+  rts::StreamMessage forward_message =
+      rts::MakePunctuationMessage(forward, spec_.output_schema);
+  StampOutput(&forward_message);
+  registry_->Publish(name(), forward_message);
 }
 
 void OrderedAggregateNode::FlushGroups(const std::optional<Value>& bound) {
@@ -324,6 +330,9 @@ void OrderedAggregateNode::EmitGroup(const rts::Row& keys,
   rts::StreamMessage message;
   message.kind = rts::StreamMessage::Kind::kTuple;
   output_codec_.Encode(out, &message.payload);
+  // Flushed groups inherit the trace context of the message that closed
+  // them, so a traced tuple's e2e latency spans inject → group close.
+  StampOutput(&message);
   registry_->Publish(name(), message);
   ++tuples_out_;
   ++groups_flushed_;
@@ -334,8 +343,9 @@ void OrderedAggregateNode::Flush() { FlushGroups(std::nullopt); }
 void OrderedAggregateNode::RegisterTelemetry(
     telemetry::Registry* metrics) const {
   QueryNode::RegisterTelemetry(metrics);
-  metrics->Register(name(), "open_groups", &open_groups_);
-  metrics->Register(name(), "groups_flushed", &groups_flushed_);
+  metrics->Register(name(), telemetry::metric::kOpenGroups, &open_groups_);
+  metrics->Register(name(), telemetry::metric::kGroupsFlushed,
+                    &groups_flushed_);
 }
 
 }  // namespace gigascope::ops

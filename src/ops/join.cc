@@ -48,12 +48,16 @@ size_t WindowJoinNode::Poll(size_t budget) {
   while (processed < budget) {
     bool any = false;
     if (left_->TryPop(&message)) {
+      BeginMessage(message);
       ProcessSide(/*is_left=*/true, message);
+      EndMessage();
       ++processed;
       any = true;
     }
     if (processed < budget && right_->TryPop(&message)) {
+      BeginMessage(message);
       ProcessSide(/*is_left=*/false, message);
+      EndMessage();
       ++processed;
       any = true;
     }
@@ -217,6 +221,10 @@ void WindowJoinNode::Publish(const rts::Row& out) {
   rts::StreamMessage message;
   message.kind = rts::StreamMessage::Kind::kTuple;
   output_codec_.Encode(out, &message.payload);
+  // A match against buffered state inherits the trace of the probing
+  // message; order-preserving holds released later lose it (no active
+  // message), which is fine for sampled tracing.
+  StampOutput(&message);
   registry_->Publish(name(), message);
   ++tuples_out_;
 }

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "expr/vm.h"
+#include "telemetry/metric_names.h"
 
 namespace gigascope::ops {
 
@@ -72,11 +73,13 @@ size_t LftaAggregateNode::Poll(size_t budget) {
   rts::StreamMessage message;
   while (processed < budget && input_->TryPop(&message)) {
     ++processed;
+    BeginMessage(message);
     if (message.kind == rts::StreamMessage::Kind::kTuple) {
       ProcessTuple(message.payload);
     } else {
       ProcessPunctuation(message.payload);
     }
+    EndMessage();
   }
   return processed;
 }
@@ -171,6 +174,9 @@ void LftaAggregateNode::EmitPartial(const rts::Row& keys,
   rts::StreamMessage message;
   message.kind = rts::StreamMessage::Kind::kTuple;
   output_codec_.Encode(out, &message.payload);
+  // Ejected/drained partials carry the trace of the packet that triggered
+  // them, keeping the sampled span chain unbroken across the LFTA table.
+  StampOutput(&message);
   registry_->Publish(name(), message);
   ++tuples_out_;
 }
@@ -186,8 +192,10 @@ void LftaAggregateNode::DrainEpoch(const Value& new_epoch) {
   punctuation.bounds.emplace_back(
       static_cast<size_t>(spec_.ordered_key),
       ReduceByBand(new_epoch, spec_.ordered_key_band));
-  registry_->Publish(
-      name(), rts::MakePunctuationMessage(punctuation, spec_.output_schema));
+  rts::StreamMessage punct_message =
+      rts::MakePunctuationMessage(punctuation, spec_.output_schema);
+  StampOutput(&punct_message);
+  registry_->Publish(name(), punct_message);
 }
 
 void LftaAggregateNode::Flush() {
@@ -199,11 +207,11 @@ void LftaAggregateNode::Flush() {
 void LftaAggregateNode::RegisterTelemetry(
     telemetry::Registry* metrics) const {
   QueryNode::RegisterTelemetry(metrics);
-  metrics->RegisterReader(name(), "lfta_updates",
+  metrics->RegisterReader(name(), telemetry::metric::kLftaUpdates,
                           [this] { return table_.updates(); });
-  metrics->RegisterReader(name(), "lfta_evictions",
+  metrics->RegisterReader(name(), telemetry::metric::kLftaEvictions,
                           [this] { return table_.evictions(); });
-  metrics->RegisterReader(name(), "lfta_occupied", [this] {
+  metrics->RegisterReader(name(), telemetry::metric::kLftaOccupied, [this] {
     return static_cast<uint64_t>(table_.occupied());
   });
 }

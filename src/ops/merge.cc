@@ -29,12 +29,14 @@ size_t MergeNode::Poll(size_t budget) {
   for (InputState& input : inputs_) {
     while (processed < budget && input.channel->TryPop(&message)) {
       ++processed;
+      BeginMessage(message);
       if (message.kind == rts::StreamMessage::Kind::kTuple) {
         ++tuples_in_;
         auto row = codec_.Decode(
             ByteSpan(message.payload.data(), message.payload.size()));
         if (!row.ok()) {
           ++eval_errors_;
+          EndMessage();
           continue;
         }
         const Value& key = row.value()[spec_.merge_field];
@@ -69,15 +71,16 @@ size_t MergeNode::Poll(size_t budget) {
         }
         // Banded inputs arrive slightly out of order; keep the buffer
         // sorted on the merge key so the head is always the minimum.
-        rts::Row decoded = std::move(row).value();
+        BufferedRow decoded{std::move(row).value(), message.trace_id,
+                            message.trace_ns};
         if (spec_.band > 0 && !input.buffer.empty() &&
-            input.buffer.back()[spec_.merge_field].Compare(
-                decoded[spec_.merge_field]) > 0) {
+            input.buffer.back().row[spec_.merge_field].Compare(
+                decoded.row[spec_.merge_field]) > 0) {
           auto pos = std::upper_bound(
               input.buffer.begin(), input.buffer.end(), decoded,
-              [this](const rts::Row& a, const rts::Row& b) {
-                return a[spec_.merge_field].Compare(b[spec_.merge_field]) <
-                       0;
+              [this](const BufferedRow& a, const BufferedRow& b) {
+                return a.row[spec_.merge_field].Compare(
+                           b.row[spec_.merge_field]) < 0;
               });
           input.buffer.insert(pos, std::move(decoded));
         } else {
@@ -96,6 +99,7 @@ size_t MergeNode::Poll(size_t budget) {
           input.watermark = *bound;
         }
       }
+      EndMessage();
     }
   }
   size_t total = buffered();
@@ -112,17 +116,17 @@ void MergeNode::EmitReady() {
     int best = -1;
     for (size_t i = 0; i < inputs_.size(); ++i) {
       if (inputs_[i].buffer.empty()) continue;
-      const Value& key = inputs_[i].buffer.front()[spec_.merge_field];
+      const Value& key = inputs_[i].buffer.front().row[spec_.merge_field];
       if (best < 0 ||
           key.Compare(
-              inputs_[static_cast<size_t>(best)].buffer.front()
+              inputs_[static_cast<size_t>(best)].buffer.front().row
                   [spec_.merge_field]) < 0) {
         best = static_cast<int>(i);
       }
     }
     if (best < 0) return;
-    const Value& candidate =
-        inputs_[static_cast<size_t>(best)].buffer.front()[spec_.merge_field];
+    const Value& candidate = inputs_[static_cast<size_t>(best)]
+                                 .buffer.front().row[spec_.merge_field];
     for (size_t i = 0; i < inputs_.size(); ++i) {
       if (static_cast<int>(i) == best) continue;
       if (!inputs_[i].buffer.empty()) continue;  // its head already compared
@@ -136,10 +140,14 @@ void MergeNode::EmitReady() {
   }
 }
 
-void MergeNode::EmitRow(const rts::Row& row) {
+void MergeNode::EmitRow(const BufferedRow& buffered) {
   rts::StreamMessage message;
   message.kind = rts::StreamMessage::Kind::kTuple;
-  codec_.Encode(row, &message.payload);
+  codec_.Encode(buffered.row, &message.payload);
+  // Restore the context carried through the buffer: the merged tuple keeps
+  // the trace of the input message it came from, not whichever message the
+  // poll loop happens to be processing.
+  StampOutputWithContext(&message, buffered.trace_id, buffered.trace_ns);
   registry_->Publish(name(), message);
   ++tuples_out_;
 
@@ -166,8 +174,8 @@ void MergeNode::Flush() {
     for (size_t i = 0; i < inputs_.size(); ++i) {
       if (inputs_[i].buffer.empty()) continue;
       if (best < 0 ||
-          inputs_[i].buffer.front()[spec_.merge_field].Compare(
-              inputs_[static_cast<size_t>(best)].buffer.front()
+          inputs_[i].buffer.front().row[spec_.merge_field].Compare(
+              inputs_[static_cast<size_t>(best)].buffer.front().row
                   [spec_.merge_field]) < 0) {
         best = static_cast<int>(i);
       }

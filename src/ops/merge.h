@@ -43,16 +43,24 @@ class MergeNode : public rts::QueryNode {
   size_t buffer_high_water() const { return buffer_high_water_; }
 
  private:
+  /// A decoded tuple parked until the watermark passes it, keeping its
+  /// trace context so sampled traces survive the buffering delay.
+  struct BufferedRow {
+    rts::Row row;
+    uint64_t trace_id = 0;
+    int64_t trace_ns = 0;
+  };
+
   struct InputState {
     rts::Subscription channel;
-    std::deque<rts::Row> buffer;
+    std::deque<BufferedRow> buffer;
     std::optional<expr::Value> watermark;  // all future tuples >= this
     bool saw_any = false;
   };
 
   /// Drains ready tuples to the output in merge order.
   void EmitReady();
-  void EmitRow(const rts::Row& row);
+  void EmitRow(const BufferedRow& buffered);
 
   Spec spec_;
   rts::StreamRegistry* registry_;

@@ -24,11 +24,13 @@ size_t SelectProjectNode::Poll(size_t budget) {
   rts::StreamMessage message;
   while (processed < budget && input_->TryPop(&message)) {
     ++processed;
+    BeginMessage(message);
     if (message.kind == rts::StreamMessage::Kind::kTuple) {
       ProcessTuple(message.payload);
     } else {
       ProcessPunctuation(message.payload);
     }
+    EndMessage();
   }
   return processed;
 }
@@ -74,6 +76,7 @@ void SelectProjectNode::ProcessTuple(const ByteBuffer& payload) {
   rts::StreamMessage out_message;
   out_message.kind = rts::StreamMessage::Kind::kTuple;
   output_codec_.Encode(out_row, &out_message.payload);
+  StampOutput(&out_message);
   registry_->Publish(name(), out_message);
   ++tuples_out_;
 }
@@ -108,8 +111,12 @@ void SelectProjectNode::ProcessPunctuation(const ByteBuffer& payload) {
     }
   }
   if (out.bounds.empty()) return;
-  registry_->Publish(name(),
-                     rts::MakePunctuationMessage(out, spec_.output_schema));
+  rts::StreamMessage out_message =
+      rts::MakePunctuationMessage(out, spec_.output_schema);
+  // Forwarded punctuation keeps the trace context so downstream
+  // punctuation-driven group closes stay attributed to the traced packet.
+  StampOutput(&out_message);
+  registry_->Publish(name(), out_message);
 }
 
 }  // namespace gigascope::ops

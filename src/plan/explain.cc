@@ -1,0 +1,311 @@
+#include "plan/explain.h"
+
+#include <cstdio>
+
+#include "expr/cost.h"
+
+namespace gigascope::plan {
+namespace {
+
+// Costs print via %g so integral estimates stay short ("5", not "5.000000")
+// and the text is stable across platforms.
+std::string FormatCost(double cost) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", cost);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+/// Per-evaluation expression cost of one operator (arithmetic-op units,
+/// the same scale as expr::kLftaCostBudget).
+double NodeCost(const PlanNode& node) {
+  double cost = 0;
+  switch (node.kind) {
+    case PlanKind::kSelectProject:
+      if (node.predicate != nullptr) cost += expr::EstimateCost(node.predicate);
+      for (const expr::IrPtr& p : node.projections) {
+        cost += expr::EstimateCost(p);
+      }
+      break;
+    case PlanKind::kAggregate:
+      for (const expr::IrPtr& k : node.group_keys) {
+        cost += expr::EstimateCost(k);
+      }
+      for (const expr::AggregateSpec& agg : node.aggregates) {
+        if (agg.arg != nullptr) cost += expr::EstimateCost(agg.arg);
+      }
+      break;
+    case PlanKind::kJoin:
+      if (node.join_predicate != nullptr) {
+        cost += expr::EstimateCost(node.join_predicate);
+      }
+      break;
+    case PlanKind::kSource:
+    case PlanKind::kMerge:
+      break;
+  }
+  return cost;
+}
+
+std::string PlacementName(const SplitQuery& split) {
+  if (split.lfta != nullptr && split.hfta != nullptr) return "split";
+  if (split.lfta != nullptr) return "lfta-only";
+  return "hfta-only";
+}
+
+std::string OrderingLine(const gsql::StreamSchema& schema) {
+  std::string out;
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    const gsql::FieldDef& field = schema.field(i);
+    if (i > 0) out += ", ";
+    out += field.name;
+    out += " ";
+    out += gsql::DataTypeName(field.type);
+    if (field.order.kind != gsql::OrderKind::kNone) {
+      out += " [" + field.order.ToString() + "]";
+    }
+  }
+  return out;
+}
+
+void ExplainNodeText(const PlanNode& node, const char* placement, int indent,
+                     std::string* out) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  const std::string pad2 = pad + "  ";
+  *out += pad;
+  *out += PlanKindName(node.kind);
+  *out += " @";
+  *out += placement;
+  *out += "\n";
+  switch (node.kind) {
+    case PlanKind::kSource:
+      *out += pad2 + "stream: " + node.source_stream;
+      if (!node.interface_name.empty()) {
+        *out += " (interface " + node.interface_name + ")";
+      }
+      *out += "\n";
+      break;
+    case PlanKind::kSelectProject: {
+      if (node.predicate != nullptr) {
+        *out += pad2 + "where: " + node.predicate->ToString() + " (cost " +
+                FormatCost(expr::EstimateCost(node.predicate)) + ")\n";
+      }
+      std::string projections;
+      for (size_t i = 0; i < node.projections.size(); ++i) {
+        if (i > 0) projections += ", ";
+        projections += node.projections[i]->ToString();
+      }
+      *out += pad2 + "project: [" + projections + "]\n";
+      break;
+    }
+    case PlanKind::kAggregate: {
+      std::string keys;
+      for (size_t i = 0; i < node.group_keys.size(); ++i) {
+        if (i > 0) keys += ", ";
+        keys += node.group_keys[i]->ToString();
+      }
+      *out += pad2 + "group-by: [" + keys + "]\n";
+      std::string aggs;
+      for (size_t i = 0; i < node.aggregates.size(); ++i) {
+        if (i > 0) aggs += ", ";
+        aggs += node.aggregates[i].ToString();
+      }
+      *out += pad2 + "aggregates: [" + aggs + "]\n";
+      if (node.ordered_key >= 0) {
+        *out += pad2 + "ordered-key: group key " +
+                std::to_string(node.ordered_key);
+        if (node.ordered_key_band > 0) {
+          *out += " (band " + std::to_string(node.ordered_key_band) + ")";
+        }
+        *out += "\n";
+      } else {
+        *out += pad2 + "ordered-key: none (unbounded state)\n";
+      }
+      break;
+    }
+    case PlanKind::kJoin:
+      *out += pad2 + "window: left[" +
+              std::to_string(node.left_window_field) + "] - right[" +
+              std::to_string(node.right_window_field) + "] in [" +
+              std::to_string(node.window_lo) + ", " +
+              std::to_string(node.window_hi) + "]\n";
+      if (node.join_predicate != nullptr) {
+        *out += pad2 + "on: " + node.join_predicate->ToString() + "\n";
+      }
+      *out += pad2 + "algorithm: ";
+      *out += node.join_order_preserving ? "order-preserving" : "eager";
+      *out += "\n";
+      break;
+    case PlanKind::kMerge:
+      *out += pad2 + "merge-field: " + std::to_string(node.merge_field) +
+              "\n";
+      break;
+  }
+  if (node.kind != PlanKind::kSource) {
+    *out += pad2 + "cost: " + FormatCost(NodeCost(node)) + " (lfta budget " +
+            FormatCost(expr::kLftaCostBudget) + ")\n";
+  }
+  *out += pad2 + "output: " + OrderingLine(node.output_schema) + "\n";
+  for (const PlanPtr& child : node.children) {
+    ExplainNodeText(*child, placement, indent + 1, out);
+  }
+}
+
+void ExplainNodeJson(const PlanNode& node, const char* placement,
+                     std::string* out) {
+  *out += "{\"op\":";
+  *out += JsonEscape(PlanKindName(node.kind));
+  *out += ",\"placement\":";
+  *out += JsonEscape(placement);
+  switch (node.kind) {
+    case PlanKind::kSource:
+      *out += ",\"stream\":" + JsonEscape(node.source_stream);
+      if (!node.interface_name.empty()) {
+        *out += ",\"interface\":" + JsonEscape(node.interface_name);
+      }
+      break;
+    case PlanKind::kSelectProject: {
+      if (node.predicate != nullptr) {
+        *out += ",\"where\":" + JsonEscape(node.predicate->ToString());
+      }
+      *out += ",\"projections\":[";
+      for (size_t i = 0; i < node.projections.size(); ++i) {
+        if (i > 0) *out += ",";
+        *out += JsonEscape(node.projections[i]->ToString());
+      }
+      *out += "]";
+      break;
+    }
+    case PlanKind::kAggregate: {
+      *out += ",\"group_keys\":[";
+      for (size_t i = 0; i < node.group_keys.size(); ++i) {
+        if (i > 0) *out += ",";
+        *out += JsonEscape(node.group_keys[i]->ToString());
+      }
+      *out += "],\"aggregates\":[";
+      for (size_t i = 0; i < node.aggregates.size(); ++i) {
+        if (i > 0) *out += ",";
+        *out += JsonEscape(node.aggregates[i].ToString());
+      }
+      *out += "],\"ordered_key\":" + std::to_string(node.ordered_key);
+      *out += ",\"ordered_key_band\":" +
+              std::to_string(node.ordered_key_band);
+      break;
+    }
+    case PlanKind::kJoin:
+      *out += ",\"window\":{\"left_field\":" +
+              std::to_string(node.left_window_field) + ",\"right_field\":" +
+              std::to_string(node.right_window_field) + ",\"lo\":" +
+              std::to_string(node.window_lo) + ",\"hi\":" +
+              std::to_string(node.window_hi) + "}";
+      if (node.join_predicate != nullptr) {
+        *out += ",\"on\":" + JsonEscape(node.join_predicate->ToString());
+      }
+      *out += ",\"algorithm\":";
+      *out += node.join_order_preserving ? "\"order-preserving\""
+                                         : "\"eager\"";
+      break;
+    case PlanKind::kMerge:
+      *out += ",\"merge_field\":" + std::to_string(node.merge_field);
+      break;
+  }
+  *out += ",\"cost\":" + FormatCost(NodeCost(node));
+  *out += ",\"output\":[";
+  for (size_t i = 0; i < node.output_schema.num_fields(); ++i) {
+    const gsql::FieldDef& field = node.output_schema.field(i);
+    if (i > 0) *out += ",";
+    *out += "{\"name\":" + JsonEscape(field.name) + ",\"type\":" +
+            JsonEscape(gsql::DataTypeName(field.type)) + ",\"order\":" +
+            JsonEscape(field.order.ToString()) + "}";
+  }
+  *out += "],\"children\":[";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) *out += ",";
+    ExplainNodeJson(*node.children[i], placement, out);
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string ExplainText(const PlannedQuery& planned,
+                        const SplitQuery& split) {
+  std::string out;
+  out += "query: " + split.name + "\n";
+  out += "placement: " + PlacementName(split) + "\n";
+  out += std::string("split-aggregation: ") +
+         (split.split_aggregation ? "yes" : "no") + "\n";
+  out += std::string("unbounded-aggregation: ") +
+         (planned.unbounded_aggregation ? "yes" : "no") + "\n";
+  if (split.has_nic_program) {
+    out += "nic-filter: yes (snap_len " + std::to_string(split.snap_len) +
+           ")\n";
+  } else {
+    out += "nic-filter: no\n";
+  }
+  if (split.hfta != nullptr) {
+    out += "hfta:\n";
+    ExplainNodeText(*split.hfta, "hfta", 1, &out);
+  }
+  if (split.lfta != nullptr) {
+    if (split.hfta != nullptr) {
+      out += "lfta (publishes " + split.lfta_name + "):\n";
+    } else {
+      out += "lfta:\n";
+    }
+    ExplainNodeText(*split.lfta, "lfta", 1, &out);
+  }
+  return out;
+}
+
+std::string ExplainJson(const PlannedQuery& planned,
+                        const SplitQuery& split) {
+  std::string out = "{\"query\":" + JsonEscape(split.name);
+  out += ",\"placement\":" + JsonEscape(PlacementName(split));
+  out += std::string(",\"split_aggregation\":") +
+         (split.split_aggregation ? "true" : "false");
+  out += std::string(",\"unbounded_aggregation\":") +
+         (planned.unbounded_aggregation ? "true" : "false");
+  out += std::string(",\"nic_filter\":") +
+         (split.has_nic_program ? "true" : "false");
+  out += ",\"snap_len\":" + std::to_string(split.snap_len);
+  if (split.hfta != nullptr) {
+    out += ",\"hfta\":";
+    ExplainNodeJson(*split.hfta, "hfta", &out);
+  } else {
+    out += ",\"hfta\":null";
+  }
+  if (split.lfta != nullptr) {
+    out += ",\"lfta_stream\":" +
+           JsonEscape(split.hfta != nullptr ? split.lfta_name : split.name);
+    out += ",\"lfta\":";
+    ExplainNodeJson(*split.lfta, "lfta", &out);
+  } else {
+    out += ",\"lfta\":null";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace gigascope::plan

@@ -1,0 +1,30 @@
+#ifndef GIGASCOPE_PLAN_EXPLAIN_H_
+#define GIGASCOPE_PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "plan/planner.h"
+#include "plan/splitter.h"
+
+namespace gigascope::plan {
+
+/// EXPLAIN introspection of a compiled query: renders the post-split plan
+/// — which operators landed in the LFTA next to the packet source and
+/// which in the HFTA, the ordering properties the planner imputed on every
+/// intermediate schema, window bounds, and per-operator expression cost
+/// against the LFTA budget — without instantiating anything.
+///
+/// Both renderings are stable (no pointers, timestamps, or hash-order
+/// iteration), so they serve as golden-test surfaces for the planner and
+/// splitter: a split regression shows up as a placement diff, a lost
+/// ordering property as an `order:` diff.
+
+/// Human-readable form, used by `gsqlc --explain`.
+std::string ExplainText(const PlannedQuery& planned, const SplitQuery& split);
+
+/// Machine-readable form (one JSON object), used by `gsqlc --explain=json`.
+std::string ExplainJson(const PlannedQuery& planned, const SplitQuery& split);
+
+}  // namespace gigascope::plan
+
+#endif  // GIGASCOPE_PLAN_EXPLAIN_H_

@@ -1,30 +1,59 @@
 #include "rts/node.h"
 
+#include "telemetry/metric_names.h"
+
 namespace gigascope::rts {
 
+namespace metric = telemetry::metric;
+
+size_t QueryNode::PollCounted(size_t budget) {
+  const int64_t start_ns = telemetry::MonotonicNowNs();
+  size_t processed = Poll(budget);
+  if (processed > 0) {
+    ++busy_polls_;
+    const int64_t dur_ns = telemetry::MonotonicNowNs() - start_ns;
+    if (dur_ns > 0) {
+      poll_ns_.Record(static_cast<uint64_t>(dur_ns));
+      tuple_ns_.Record(static_cast<uint64_t>(dur_ns) / processed);
+    }
+  }
+  return processed;
+}
+
 void QueryNode::RegisterTelemetry(telemetry::Registry* metrics) const {
-  metrics->Register(name_, "tuples_in", &tuples_in_);
-  metrics->Register(name_, "tuples_out", &tuples_out_);
-  metrics->Register(name_, "eval_errors", &eval_errors_);
-  metrics->Register(name_, "busy_polls", &busy_polls_);
+  metrics->Register(name_, metric::kTuplesIn, &tuples_in_);
+  metrics->Register(name_, metric::kTuplesOut, &tuples_out_);
+  metrics->Register(name_, metric::kEvalErrors, &eval_errors_);
+  metrics->Register(name_, metric::kBusyPolls, &busy_polls_);
+  metrics->RegisterHistogram(name_, metric::kPollNs, &poll_ns_);
+  metrics->RegisterHistogram(name_, metric::kTupleNs, &tuple_ns_);
+  if (terminal_) {
+    metrics->RegisterHistogram(name_, metric::kE2eLatencyNs, &e2e_ns_);
+  }
   for (size_t i = 0; i < inputs_.size(); ++i) {
-    std::string prefix =
-        inputs_.size() == 1 ? "ring" : "ring" + std::to_string(i);
+    std::string prefix = inputs_.size() == 1
+                             ? metric::kRingPrefix
+                             : metric::kRingPrefix + std::to_string(i);
     // The closures share ownership of the channel: a registry snapshot
     // stays safe even if the subscription is dropped before the registry.
     Subscription channel = inputs_[i];
-    metrics->RegisterReader(name_, prefix + "_pushed",
+    metrics->RegisterReader(name_, prefix + metric::kRingPushedSuffix,
                             [channel] { return channel->pushed(); });
-    metrics->RegisterReader(name_, prefix + "_popped",
+    metrics->RegisterReader(name_, prefix + metric::kRingPoppedSuffix,
                             [channel] { return channel->popped(); });
-    metrics->RegisterReader(name_, prefix + "_dropped",
+    metrics->RegisterReader(name_, prefix + metric::kRingDroppedSuffix,
                             [channel] { return channel->dropped(); });
-    metrics->RegisterReader(name_, prefix + "_size", [channel] {
-      return static_cast<uint64_t>(channel->size());
-    });
-    metrics->RegisterReader(name_, prefix + "_high_water", [channel] {
-      return static_cast<uint64_t>(channel->high_water_mark());
-    });
+    metrics->RegisterReader(name_, prefix + metric::kRingSizeSuffix,
+                            [channel] {
+                              return static_cast<uint64_t>(channel->size());
+                            });
+    metrics->RegisterReader(
+        name_, prefix + metric::kRingHighWaterSuffix, [channel] {
+          return static_cast<uint64_t>(channel->high_water_mark());
+        });
+    metrics->RegisterHistogram(
+        name_, prefix + metric::kRingOccupancySuffix,
+        [channel] { return channel->occupancy_histogram().Snapshot(); });
   }
 }
 

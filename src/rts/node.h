@@ -7,7 +7,10 @@
 
 #include "expr/type.h"
 #include "rts/registry.h"
+#include "rts/tuple.h"
+#include "telemetry/histogram.h"
 #include "telemetry/registry.h"
+#include "telemetry/tracer.h"
 
 namespace gigascope::rts {
 
@@ -35,14 +38,11 @@ class QueryNode {
   /// consumed (0 = idle).
   virtual size_t Poll(size_t budget) = 0;
 
-  /// Poll + busy accounting: counts the polls that did work, the node's
-  /// cheap busy-time proxy (no clock reads on the hot path). All pump
-  /// loops go through this; the owning thread is the single writer.
-  size_t PollCounted(size_t budget) {
-    size_t processed = Poll(budget);
-    if (processed > 0) ++busy_polls_;
-    return processed;
-  }
+  /// Poll + busy accounting: counts the polls that did work and feeds the
+  /// poll-duration and per-tuple latency histograms (two clock reads per
+  /// busy poll, one per idle poll). All pump loops go through this; the
+  /// owning thread is the single writer.
+  size_t PollCounted(size_t budget);
 
   /// End-of-stream: emits any buffered state (open aggregate groups, join
   /// buffers). Idempotent.
@@ -72,10 +72,81 @@ class QueryNode {
   /// every channel listed here — is polled by exactly one thread.
   const std::vector<Subscription>& inputs() const { return inputs_; }
 
+  /// Attaches the engine's tracer and this node's viewer track. Setup only
+  /// (before the node is polled); a null tracer disables span recording.
+  void SetTracer(telemetry::Tracer* tracer, uint32_t track_id) {
+    tracer_ = tracer;
+    track_id_ = track_id;
+  }
+
+  /// Marks this node as a query's terminal (public-output) node: tuples it
+  /// emits while processing a traced message record the inject→emit
+  /// latency. Setup only.
+  void set_terminal(bool terminal) { terminal_ = terminal; }
+  bool terminal() const { return terminal_; }
+
+  /// Inject→emit latency of traced tuples; populated only on terminal
+  /// nodes while a tracer with sampling is attached.
+  const telemetry::Histogram& e2e_histogram() const { return e2e_ns_; }
+  /// Busy-poll duration / per-message latency distributions (wall ns).
+  const telemetry::Histogram& poll_histogram() const { return poll_ns_; }
+  const telemetry::Histogram& tuple_histogram() const { return tuple_ns_; }
+
  protected:
   /// Subclasses call this once per input subscription.
   void RegisterInput(Subscription input) {
     inputs_.push_back(std::move(input));
+  }
+
+  // -- Trace hooks, called from the polling thread only. -------------------
+  // Operators bracket each dequeued message with BeginMessage/EndMessage
+  // (a span per traced message on this node's track) and stamp every
+  // output derived from it with StampOutput, which propagates the trace
+  // context downstream. Outputs emitted while a traced message is active
+  // inherit its context even when triggered indirectly (a group close, a
+  // join match against buffered state) — that convention is what makes the
+  // terminal e2e histogram measure inject→group-close latency. All three
+  // are no-ops (two predictable branches) when untraced.
+
+  /// Starts the span for a dequeued message, if it carries a trace.
+  void BeginMessage(const StreamMessage& message) {
+    active_trace_id_ = message.trace_id;
+    if (tracer_ == nullptr || message.trace_id == 0) return;
+    active_trace_ns_ = message.trace_ns;
+    span_start_ns_ = tracer_->NowNs();
+  }
+
+  /// Ends the active span (records it) and clears the trace context.
+  void EndMessage() {
+    if (tracer_ != nullptr && active_trace_id_ != 0) {
+      tracer_->RecordSpan(name_, track_id_, active_trace_id_, span_start_ns_,
+                          tracer_->NowNs());
+    }
+    active_trace_id_ = 0;
+  }
+
+  /// Propagates the active trace context onto an outgoing message; on a
+  /// terminal node, additionally records the inject→emit latency and an
+  /// emit instant for traced tuples.
+  void StampOutput(StreamMessage* out) {
+    StampOutputWithContext(out, active_trace_id_, active_trace_ns_);
+  }
+
+  /// Same, with an explicit context — for operators that buffer tuples
+  /// (merge) and emit them under a different active message than the one
+  /// that delivered them.
+  void StampOutputWithContext(StreamMessage* out, uint64_t trace_id,
+                              int64_t trace_ns) {
+    if (trace_id == 0 || tracer_ == nullptr) return;
+    out->trace_id = trace_id;
+    out->trace_ns = trace_ns;
+    if (terminal_ && out->kind == StreamMessage::Kind::kTuple) {
+      const int64_t now = tracer_->NowNs();
+      if (now > trace_ns) {
+        e2e_ns_.Record(static_cast<uint64_t>(now - trace_ns));
+      }
+      tracer_->RecordInstant(name_ + ":emit", track_id_, trace_id, now);
+    }
   }
 
   // Single-writer (the polling thread); readable from any thread, which is
@@ -88,6 +159,19 @@ class QueryNode {
  private:
   std::string name_;
   std::vector<Subscription> inputs_;
+
+  // Latency histograms, single-writer like the counters above.
+  telemetry::Histogram poll_ns_;
+  telemetry::Histogram tuple_ns_;
+  telemetry::Histogram e2e_ns_;
+
+  telemetry::Tracer* tracer_ = nullptr;  // engine-owned, outlives the node
+  uint32_t track_id_ = 0;
+  bool terminal_ = false;
+  // Trace context of the message currently being processed.
+  uint64_t active_trace_id_ = 0;
+  int64_t active_trace_ns_ = 0;
+  int64_t span_start_ns_ = 0;
 };
 
 }  // namespace gigascope::rts

@@ -56,6 +56,7 @@ bool RingChannel::TryPush(StreamMessage message) {
   const size_t occupancy = static_cast<size_t>(
       head + 1 - tail_.load(std::memory_order_relaxed));
   high_water_.Max(occupancy);
+  occupancy_.Record(occupancy);
   if (ConsumerWaker* waker = waker_.get()) waker->Wake();
   return true;
 }

@@ -11,6 +11,7 @@
 
 #include "rts/tuple.h"
 #include "telemetry/counter.h"
+#include "telemetry/histogram.h"
 
 namespace gigascope::rts {
 
@@ -78,6 +79,14 @@ class RingChannel {
     return static_cast<size_t>(high_water_.value());
   }
 
+  /// Occupancy distribution, one sample per successful push (so the
+  /// histogram shows how deep the queue usually runs, not just the
+  /// high-water spike). Producer is the single writer; snapshot from any
+  /// thread.
+  const telemetry::Histogram& occupancy_histogram() const {
+    return occupancy_;
+  }
+
   /// Installs the consumer's waker: successful pushes call Wake() so a
   /// parked consumer resumes promptly (tuples and punctuations alike —
   /// punctuations are what un-idle blocked operators, §3). Must be called
@@ -107,6 +116,7 @@ class RingChannel {
   telemetry::Counter popped_;
   telemetry::Counter dropped_;
   telemetry::Counter high_water_;
+  telemetry::Histogram occupancy_;  // producer-written, see TryPush
 
   std::shared_ptr<ConsumerWaker> waker_;
 };

@@ -39,10 +39,20 @@ class TupleCodec {
 
 /// A message flowing on a stream channel: a tuple or a punctuation
 /// (ordering-update token, §3 "Unblocking Operators").
+///
+/// The trace context piggybacks on the message: when the inject thread
+/// samples a packet (telemetry::Tracer), every message derived from it —
+/// through LFTA pre-aggregation, the rings, and the HFTA operators —
+/// carries the originating trace id and inject timestamp, so operators can
+/// record per-hop spans and the terminal node the inject→emit latency.
+/// trace_id 0 (the default) means untraced; the hot path only ever
+/// copies the two words.
 struct StreamMessage {
   enum class Kind : uint8_t { kTuple, kPunctuation };
   Kind kind = Kind::kTuple;
   ByteBuffer payload;
+  uint64_t trace_id = 0;
+  int64_t trace_ns = 0;  // inject time, in the tracer's epoch
 };
 
 }  // namespace gigascope::rts

@@ -1,0 +1,70 @@
+#ifndef GIGASCOPE_TELEMETRY_METRIC_NAMES_H_
+#define GIGASCOPE_TELEMETRY_METRIC_NAMES_H_
+
+namespace gigascope::telemetry::metric {
+
+/// The engine's metric catalog: every name that can appear in the `metric`
+/// column of the `gs_stats` stream, in one place. GSQL queries filter on
+/// these strings (`WHERE metric = 'tuples_out'`), so ad-hoc literals at
+/// call sites would make a typo fail silently — register and query through
+/// these constants only. The full catalog (name, unit, writer) is
+/// documented in DESIGN.md §11.
+
+// -- Per-node counters (writer: the node's polling thread) -------------------
+inline constexpr char kTuplesIn[] = "tuples_in";
+inline constexpr char kTuplesOut[] = "tuples_out";
+inline constexpr char kEvalErrors[] = "eval_errors";
+inline constexpr char kBusyPolls[] = "busy_polls";
+
+// -- Per-input-ring counters (prefix "ring" or "ring<i>") --------------------
+inline constexpr char kRingPrefix[] = "ring";
+inline constexpr char kRingPushedSuffix[] = "_pushed";
+inline constexpr char kRingPoppedSuffix[] = "_popped";
+inline constexpr char kRingDroppedSuffix[] = "_dropped";
+inline constexpr char kRingSizeSuffix[] = "_size";
+inline constexpr char kRingHighWaterSuffix[] = "_high_water";
+/// Ring occupancy histogram (messages queued, sampled at each push).
+inline constexpr char kRingOccupancySuffix[] = "_occupancy";
+
+// -- Aggregation operators ---------------------------------------------------
+inline constexpr char kOpenGroups[] = "open_groups";
+inline constexpr char kGroupsFlushed[] = "groups_flushed";
+inline constexpr char kLftaUpdates[] = "lfta_updates";
+inline constexpr char kLftaEvictions[] = "lfta_evictions";
+inline constexpr char kLftaOccupied[] = "lfta_occupied";
+
+// -- Packet sources (writer: the inject thread) ------------------------------
+inline constexpr char kPackets[] = "packets";
+inline constexpr char kLastPunctSec[] = "last_punct_sec";
+/// Sim-time gap between a packet and the last punctuation on its source.
+inline constexpr char kPunctLagNs[] = "punct_lag_ns";
+
+// -- Engine-level ------------------------------------------------------------
+inline constexpr char kHeartbeats[] = "heartbeats";
+inline constexpr char kStatsSnapshots[] = "stats_snapshots";
+/// Sampled packets tagged by the tracer (0 unless --trace-sample).
+inline constexpr char kTraceSampled[] = "trace_sampled";
+/// Trace events discarded once the tracer's event cap filled.
+inline constexpr char kTraceDroppedEvents[] = "trace_dropped_events";
+
+// -- Latency histogram bases (wall-clock ns unless noted) --------------------
+// A histogram named <base> surfaces as <base>_p50/_p90/_p99/_max/_count.
+/// Duration of one busy poll round of a node.
+inline constexpr char kPollNs[] = "poll_ns";
+/// Per-message share of a busy poll (poll duration / messages consumed).
+inline constexpr char kTupleNs[] = "tuple_ns";
+/// Inject→emit latency of traced tuples at a query's terminal node.
+inline constexpr char kE2eLatencyNs[] = "e2e_latency_ns";
+/// Time a worker spent parked waiting for input (one sample per park).
+inline constexpr char kParkNs[] = "park_ns";
+
+// -- Histogram stat suffixes -------------------------------------------------
+inline constexpr char kP50Suffix[] = "_p50";
+inline constexpr char kP90Suffix[] = "_p90";
+inline constexpr char kP99Suffix[] = "_p99";
+inline constexpr char kMaxSuffix[] = "_max";
+inline constexpr char kCountSuffix[] = "_count";
+
+}  // namespace gigascope::telemetry::metric
+
+#endif  // GIGASCOPE_TELEMETRY_METRIC_NAMES_H_

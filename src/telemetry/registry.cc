@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "telemetry/metric_names.h"
+
 namespace gigascope::telemetry {
 
 void Registry::Register(const std::string& entity, const std::string& metric,
@@ -14,6 +16,28 @@ void Registry::RegisterReader(const std::string& entity,
                               const std::string& metric, Reader reader) {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.push_back({entity, metric, std::move(reader)});
+}
+
+void Registry::RegisterHistogram(const std::string& entity,
+                                 const std::string& base,
+                                 HistogramReader read) {
+  RegisterReader(entity, base + metric::kP50Suffix,
+                 [read] { return read().Percentile(0.50); });
+  RegisterReader(entity, base + metric::kP90Suffix,
+                 [read] { return read().Percentile(0.90); });
+  RegisterReader(entity, base + metric::kP99Suffix,
+                 [read] { return read().Percentile(0.99); });
+  RegisterReader(entity, base + metric::kMaxSuffix,
+                 [read] { return read().max; });
+  RegisterReader(entity, base + metric::kCountSuffix,
+                 [read] { return read().TotalInBuckets(); });
+}
+
+void Registry::RegisterHistogram(const std::string& entity,
+                                 const std::string& base,
+                                 const Histogram* histogram) {
+  RegisterHistogram(entity, base,
+                    [histogram] { return histogram->Snapshot(); });
 }
 
 std::vector<MetricSample> Registry::Snapshot() const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "telemetry/counter.h"
+#include "telemetry/histogram.h"
 
 namespace gigascope::telemetry {
 
@@ -50,6 +51,21 @@ class Registry {
   /// otherwise die before the registry.
   void RegisterReader(const std::string& entity, const std::string& metric,
                       Reader reader);
+
+  /// Takes one histogram snapshot; must be callable from any thread.
+  using HistogramReader = std::function<HistogramSnapshot()>;
+
+  /// Registers the derived stats of a histogram as five gauges named
+  /// `<base>_p50`, `<base>_p90`, `<base>_p99`, `<base>_max`, and
+  /// `<base>_count` (see metric_names.h). Each reading snapshots through
+  /// `read`, so like RegisterReader this is safe while the single writer
+  /// keeps recording.
+  void RegisterHistogram(const std::string& entity, const std::string& base,
+                         HistogramReader read);
+
+  /// Raw-pointer convenience; the histogram must outlive every Snapshot.
+  void RegisterHistogram(const std::string& entity, const std::string& base,
+                         const Histogram* histogram);
 
   /// Point-in-time reading of every registered metric, in registration
   /// order. Values are per-counter atomic reads, not a global atomic cut.

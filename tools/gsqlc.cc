@@ -9,8 +9,13 @@
 // NIC.
 //
 // Usage:
-//   gsqlc [file.gsql]       # stdin when no file given
-//   echo "SELECT ..." | gsqlc
+//   gsqlc [--explain[=json]] [file.gsql]   # stdin when no file given
+//   echo "SELECT ..." | gsqlc --explain
+//
+// --explain switches to the stable EXPLAIN rendering (plan/explain.h):
+// per-operator LFTA/HFTA placement, imputed ordering properties, window
+// bounds, and expression cost against the LFTA budget. --explain=json
+// emits one JSON object per statement instead, for tooling.
 
 #include <cstdio>
 #include <fstream>
@@ -20,6 +25,7 @@
 
 #include "gsql/analyzer.h"
 #include "gsql/parser.h"
+#include "plan/explain.h"
 #include "plan/planner.h"
 #include "plan/splitter.h"
 #include "udf/registry.h"
@@ -38,7 +44,9 @@ void PrintSchema(const gigascope::gsql::StreamSchema& schema) {
   std::printf("  output schema: %s\n", schema.ToString().c_str());
 }
 
-int CompileProgram(const std::string& source) {
+enum class ExplainMode { kOff, kText, kJson };
+
+int CompileProgram(const std::string& source, ExplainMode explain) {
   auto program = gigascope::gsql::Parse(source);
   if (!program.ok()) return Fail(program.status());
 
@@ -64,8 +72,10 @@ int CompileProgram(const std::string& source) {
             std::get_if<gigascope::gsql::CreateStmt>(&statement)) {
       status = catalog.AddSchema(create->schema);
       if (!status.ok()) return Fail(status);
-      std::printf("[%d] registered %s\n\n", index,
-                  create->schema.ToString().c_str());
+      if (explain == ExplainMode::kOff) {
+        std::printf("[%d] registered %s\n\n", index,
+                    create->schema.ToString().c_str());
+      }
       continue;
     }
 
@@ -90,6 +100,20 @@ int CompileProgram(const std::string& source) {
       if (!result.ok()) return Fail(result.status());
       planned = std::move(result).value();
     } else {
+      continue;
+    }
+
+    if (explain != ExplainMode::kOff) {
+      auto split = gigascope::plan::SplitPlan(planned);
+      if (!split.ok()) return Fail(split.status());
+      if (explain == ExplainMode::kJson) {
+        std::printf("%s\n",
+                    gigascope::plan::ExplainJson(planned, *split).c_str());
+      } else {
+        std::printf("%s\n",
+                    gigascope::plan::ExplainText(planned, *split).c_str());
+      }
+      catalog.PutStreamSchema(planned.output_schema);
       continue;
     }
 
@@ -133,11 +157,31 @@ int CompileProgram(const std::string& source) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ExplainMode explain = ExplainMode::kOff;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--explain") {
+      explain = ExplainMode::kText;
+    } else if (arg == "--explain=json") {
+      explain = ExplainMode::kJson;
+    } else if (arg == "--explain=text") {
+      explain = ExplainMode::kText;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "gsqlc: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "gsqlc: at most one input file\n");
+      return 2;
+    }
+  }
   std::string source;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  if (path != nullptr) {
+    std::ifstream file(path);
     if (!file) {
-      std::fprintf(stderr, "gsqlc: cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "gsqlc: cannot open %s\n", path);
       return 1;
     }
     std::ostringstream buffer;
@@ -148,5 +192,5 @@ int main(int argc, char** argv) {
     buffer << std::cin.rdbuf();
     source = buffer.str();
   }
-  return CompileProgram(source);
+  return CompileProgram(source, explain);
 }

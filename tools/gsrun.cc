@@ -56,6 +56,12 @@ int Usage() {
       "                    gs_stats (default: off)\n"
       "  --stats-dump      after the run, print every telemetry counter\n"
       "                    as a table on stderr\n"
+      "  --trace-sample=N  tag 1-in-N injected packets and trace them\n"
+      "                    through every operator (default: off)\n"
+      "  --trace-out=FILE  write the collected trace as Chrome trace-event\n"
+      "                    JSON to FILE after the run; load it in Perfetto\n"
+      "                    or chrome://tracing (implies --trace-sample=128\n"
+      "                    unless given)\n"
       "  --help            this text\n");
   return 2;
 }
@@ -94,6 +100,8 @@ int main(int argc, char** argv) {
   size_t threads = 0;
   double stats_period_seconds = 0;
   bool stats_dump = false;
+  size_t trace_sample = 0;
+  std::string trace_out;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) == 0) {
@@ -105,6 +113,13 @@ int main(int argc, char** argv) {
         threads = static_cast<size_t>(parsed);
       } else if (ParseNumericFlag(argv[i], "--stats-period=", &parsed)) {
         stats_period_seconds = parsed;
+      } else if (ParseNumericFlag(argv[i], "--trace-sample=", &parsed) &&
+                 parsed == static_cast<size_t>(parsed) && parsed >= 1) {
+        trace_sample = static_cast<size_t>(parsed);
+      } else if (std::strncmp(argv[i], "--trace-out=",
+                              sizeof("--trace-out=") - 1) == 0) {
+        trace_out = argv[i] + sizeof("--trace-out=") - 1;
+        if (trace_out.empty()) return UnknownFlag(argv[i]);
       } else if (std::strcmp(argv[i], "--stats-dump") == 0) {
         stats_dump = true;
       } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -135,6 +150,10 @@ int main(int argc, char** argv) {
   if (stats_period_seconds > 0) {
     options.stats_period = gigascope::SecondsToSimTime(stats_period_seconds);
   }
+  // Asking for a trace file without a sampling rate still traces: pick a
+  // rate light enough to leave the hot path alone on real captures.
+  if (!trace_out.empty() && trace_sample == 0) trace_sample = 128;
+  options.trace_sample = trace_sample;
   Engine engine(options);
   engine.AddInterface(interface_name);
 
@@ -255,6 +274,20 @@ int main(int argc, char** argv) {
     std::string table = gigascope::telemetry::FormatMetricsTable(
         engine.telemetry().Snapshot());
     std::fprintf(stderr, "%s", table.c_str());
+  }
+  if (!trace_out.empty() && engine.tracer() != nullptr) {
+    std::ofstream trace_file(trace_out);
+    if (!trace_file) {
+      std::fprintf(stderr, "gsrun: cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    engine.tracer()->WriteJson(trace_file);
+    std::fprintf(stderr,
+                 "gsrun: wrote %llu traced packets to %s "
+                 "(open in https://ui.perfetto.dev)\n",
+                 static_cast<unsigned long long>(
+                     engine.tracer()->sampled()),
+                 trace_out.c_str());
   }
   return 0;
 }
