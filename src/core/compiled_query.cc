@@ -101,6 +101,7 @@ Status InstantiatePlan(const plan::PlanPtr& node,
     case PlanKind::kSelectProject: {
       ops::SelectProjectNode::Spec spec;
       spec.name = output_name;
+      spec.output_batch = ctx->output_batch;
       GS_ASSIGN_OR_RETURN(spec.input_schema,
                           ctx->registry->GetSchema(input_names[0]));
       spec.output_schema = node->output_schema;
@@ -127,6 +128,7 @@ Status InstantiatePlan(const plan::PlanPtr& node,
     case PlanKind::kAggregate: {
       ops::OrderedAggregateNode::Spec spec;
       spec.name = output_name;
+      spec.output_batch = ctx->output_batch;
       GS_ASSIGN_OR_RETURN(spec.input_schema,
                           ctx->registry->GetSchema(input_names[0]));
       spec.output_schema = node->output_schema;
@@ -172,6 +174,7 @@ Status InstantiatePlan(const plan::PlanPtr& node,
     case PlanKind::kJoin: {
       ops::WindowJoinNode::Spec spec;
       spec.name = output_name;
+      spec.output_batch = ctx->output_batch;
       GS_ASSIGN_OR_RETURN(spec.left_schema,
                           ctx->registry->GetSchema(input_names[0]));
       GS_ASSIGN_OR_RETURN(spec.right_schema,
@@ -206,6 +209,7 @@ Status InstantiatePlan(const plan::PlanPtr& node,
     case PlanKind::kMerge: {
       ops::MergeNode::Spec spec;
       spec.name = output_name;
+      spec.output_batch = ctx->output_batch;
       spec.schema = gsql::StreamSchema(output_name, gsql::StreamKind::kStream,
                                        node->output_schema.fields());
       spec.merge_field = node->merge_field;

@@ -18,6 +18,9 @@ struct InstantiationContext {
   std::vector<expr::Value> param_values;
   size_t channel_capacity = 4096;
   int lfta_hash_log2 = 12;
+  /// Upper bound on messages per output batch for instantiated operators
+  /// (EngineOptions::batch_max_size).
+  size_t output_batch = 64;
   /// Aggregate nodes in this plan use the LFTA direct-mapped table.
   bool use_lfta_table = false;
   /// Receives the created nodes, upstream first.

@@ -123,6 +123,19 @@ Status Engine::EnsureProtocolSource(const std::string& interface_name,
   source.stream_name = stream_name;
   source.schema = gsql::StreamSchema(stream_name, gsql::StreamKind::kStream,
                                      schema.fields());
+  source.interpret = BuildInterpretPlan(source.schema);
+  // Payload fields heap-copy packet bytes per interpretation; leave them
+  // off until a consumer that reads them shows up (MarkProtocolFieldUses,
+  // Subscribe, AddNode). With user nodes around, any stream may be read
+  // through registry(), so keep everything on.
+  if (!user_nodes_present_) {
+    for (size_t f = 0; f < source.interpret.fields.size(); ++f) {
+      if (source.interpret.fields[f] == InterpretPlan::Extract::kPayload ||
+          source.interpret.fields[f] == InterpretPlan::Extract::kIpPayload) {
+        source.interpret.wanted[f] = false;
+      }
+    }
+  }
   source.codec = std::make_unique<rts::TupleCodec>(source.schema);
   Status declared = registry_.DeclareStream(source.schema);
   if (!declared.ok()) {
@@ -147,6 +160,62 @@ Status Engine::EnsureSources(const plan::PlanPtr& plan) {
     GS_RETURN_IF_ERROR(EnsureSources(child));
   }
   return Status::Ok();
+}
+
+void Engine::MarkAllProtocolFields(ProtocolSource& source) {
+  source.interpret.wanted.assign(source.interpret.wanted.size(), true);
+}
+
+void Engine::MarkProtocolFieldUses(const plan::PlanPtr& node) {
+  if (node == nullptr || node->kind == plan::PlanKind::kSource) return;
+  for (const plan::PlanPtr& child : node->children) {
+    MarkProtocolFieldUses(child);
+  }
+  // (input, field) references of this operator's expressions; inputs that
+  // resolve to protocol-source children mark the field wanted.
+  std::vector<std::pair<size_t, size_t>> refs;
+  auto collect = [&refs](const expr::IrPtr& ir) {
+    if (ir != nullptr) expr::CollectFieldRefs(ir, &refs);
+  };
+  switch (node->kind) {
+    case plan::PlanKind::kSelectProject:
+      collect(node->predicate);
+      for (const expr::IrPtr& projection : node->projections) {
+        collect(projection);
+      }
+      break;
+    case plan::PlanKind::kAggregate:
+      for (const expr::IrPtr& key : node->group_keys) collect(key);
+      for (const expr::AggregateSpec& agg : node->aggregates) {
+        collect(agg.arg);
+      }
+      break;
+    case plan::PlanKind::kJoin:
+      collect(node->join_predicate);
+      refs.emplace_back(0, node->left_window_field);
+      refs.emplace_back(1, node->right_window_field);
+      break;
+    case plan::PlanKind::kMerge:
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        refs.emplace_back(i, node->merge_field);
+      }
+      break;
+    case plan::PlanKind::kSource:
+      return;
+  }
+  for (const auto& [input, field] : refs) {
+    if (input >= node->children.size()) continue;
+    const plan::PlanPtr& child = node->children[input];
+    if (child->kind != plan::PlanKind::kSource || !child->source_is_protocol) {
+      continue;
+    }
+    auto it = protocol_sources_.find(
+        ProtocolStreamName(child->interface_name, child->source_stream));
+    if (it == protocol_sources_.end()) continue;
+    if (field < it->second.interpret.wanted.size()) {
+      it->second.interpret.wanted[field] = true;
+    }
+  }
 }
 
 Result<QueryInfo> Engine::AddQuery(
@@ -269,10 +338,12 @@ Result<QueryInfo> Engine::AddQuery(
   ctx.param_values = param_values;
   ctx.channel_capacity = options_.channel_capacity;
   ctx.lfta_hash_log2 = options_.lfta_hash_log2;
+  ctx.output_batch = options_.batch_max_size;
   ctx.nodes = &nodes_;
 
   if (split.lfta != nullptr) {
     GS_RETURN_IF_ERROR(EnsureSources(split.lfta));
+    MarkProtocolFieldUses(split.lfta);
     ctx.use_lfta_table = split.split_aggregation;
     std::string lfta_output =
         split.hfta == nullptr ? split.name : split.lfta_name;
@@ -283,6 +354,7 @@ Result<QueryInfo> Engine::AddQuery(
   node_stages_.resize(nodes_.size(), NodeStage::kLfta);
   if (split.hfta != nullptr) {
     GS_RETURN_IF_ERROR(EnsureSources(split.hfta));
+    MarkProtocolFieldUses(split.hfta);
     ctx.use_lfta_table = false;
     GS_RETURN_IF_ERROR(InstantiatePlan(split.hfta, split.name, &ctx));
   }
@@ -342,6 +414,12 @@ Result<std::unique_ptr<TupleSubscription>> Engine::Subscribe(
   GS_RETURN_IF_ERROR(CheckMutable("Subscribe"));
   GS_ASSIGN_OR_RETURN(gsql::StreamSchema schema,
                       registry_.GetSchema(stream_name));
+  // A raw subscriber to a protocol stream sees whole rows; materialize
+  // every field from here on.
+  auto source_it = protocol_sources_.find(stream_name);
+  if (source_it != protocol_sources_.end()) {
+    MarkAllProtocolFields(source_it->second);
+  }
   GS_ASSIGN_OR_RETURN(rts::Subscription channel,
                       registry_.Subscribe(stream_name, capacity));
   // Subscriber-side channels are observable too; the readers share
@@ -366,88 +444,159 @@ Result<std::unique_ptr<TupleSubscription>> Engine::Subscribe(
   telemetry_.RegisterHistogram(
       entity, ring + metric::kRingOccupancySuffix,
       [shared] { return shared->occupancy_histogram().Snapshot(); });
+  telemetry_.RegisterHistogram(
+      entity, ring + metric::kRingBatchSizeSuffix,
+      [shared] { return shared->batch_size_histogram().Snapshot(); });
   return std::make_unique<TupleSubscription>(std::move(channel),
                                              std::move(schema));
 }
 
-rts::Row InterpretPacket(const gsql::StreamSchema& schema,
-                         const net::Packet& packet) {
-  auto decoded_result = net::DecodePacket(packet.view());
-  const net::DecodedPacket* decoded =
-      decoded_result.ok() ? &decoded_result.value() : nullptr;
-
-  rts::Row row;
-  row.reserve(schema.num_fields());
+InterpretPlan BuildInterpretPlan(const gsql::StreamSchema& schema) {
+  using Extract = InterpretPlan::Extract;
+  InterpretPlan plan;
+  plan.fields.reserve(schema.num_fields());
   for (size_t f = 0; f < schema.num_fields(); ++f) {
     const gsql::FieldDef& field = schema.field(f);
     const std::string& name = field.name;
-    if (name == "time") {
-      row.push_back(Value::Uint(
-          static_cast<uint64_t>(SimTimeToSeconds(packet.timestamp))));
-    } else if (name == "timestamp") {
-      row.push_back(Value::Uint(static_cast<uint64_t>(packet.timestamp)));
-    } else if (name == "len") {
-      row.push_back(Value::Uint(packet.orig_len));
-    } else if (decoded != nullptr && decoded->ip.has_value() &&
-               name == "srcIP") {
-      row.push_back(Value::Ip(decoded->ip->src_addr));
-    } else if (decoded != nullptr && decoded->ip.has_value() &&
-               name == "destIP") {
-      row.push_back(Value::Ip(decoded->ip->dst_addr));
-    } else if (decoded != nullptr && name == "srcPort") {
-      uint16_t port = decoded->is_tcp()   ? decoded->tcp->src_port
-                      : decoded->is_udp() ? decoded->udp->src_port
-                                          : 0;
-      row.push_back(Value::Uint(port));
-    } else if (decoded != nullptr && name == "destPort") {
-      uint16_t port = decoded->is_tcp()   ? decoded->tcp->dst_port
-                      : decoded->is_udp() ? decoded->udp->dst_port
-                                          : 0;
-      row.push_back(Value::Uint(port));
-    } else if (decoded != nullptr && decoded->ip.has_value() &&
-               name == "protocol") {
-      row.push_back(Value::Uint(decoded->ip->protocol));
-    } else if (decoded != nullptr && name == "ipVersion") {
-      row.push_back(Value::Uint(decoded->ip.has_value() ? 4 : 0));
-    } else if (decoded != nullptr && name == "tcpFlags") {
-      row.push_back(
-          Value::Uint(decoded->is_tcp() ? decoded->tcp->flags : 0));
-    } else if (decoded != nullptr && name == "tcpSeq") {
-      row.push_back(Value::Uint(decoded->is_tcp() ? decoded->tcp->seq : 0));
-    } else if (decoded != nullptr && decoded->ip.has_value() &&
-               name == "ipId") {
-      row.push_back(Value::Uint(decoded->ip->identification));
-    } else if (decoded != nullptr && decoded->ip.has_value() &&
-               name == "fragOffset") {
-      row.push_back(Value::Uint(decoded->ip->fragment_offset));
-    } else if (decoded != nullptr && decoded->ip.has_value() &&
-               name == "moreFrags") {
-      row.push_back(Value::Uint(decoded->ip->more_fragments() ? 1 : 0));
-    } else if (decoded != nullptr && decoded->ip.has_value() &&
-               name == "ipPayload") {
-      // The IP payload including any transport header — what an IP
-      // defragmenter reassembles.
-      size_t start = net::kEthernetHeaderLen + decoded->ip->header_len;
-      std::string ip_payload;
-      if (packet.bytes.size() > start) {
-        ip_payload.assign(
-            reinterpret_cast<const char*>(packet.bytes.data() + start),
-            packet.bytes.size() - start);
+    Extract extract = Extract::kDefault;
+    if (name == "time") extract = Extract::kTime;
+    else if (name == "timestamp") extract = Extract::kTimestamp;
+    else if (name == "len") extract = Extract::kLen;
+    else if (name == "srcIP") extract = Extract::kSrcIp;
+    else if (name == "destIP") extract = Extract::kDestIp;
+    else if (name == "srcPort") extract = Extract::kSrcPort;
+    else if (name == "destPort") extract = Extract::kDestPort;
+    else if (name == "protocol") extract = Extract::kProtocol;
+    else if (name == "ipVersion") extract = Extract::kIpVersion;
+    else if (name == "tcpFlags") extract = Extract::kTcpFlags;
+    else if (name == "tcpSeq") extract = Extract::kTcpSeq;
+    else if (name == "ipId") extract = Extract::kIpId;
+    else if (name == "fragOffset") extract = Extract::kFragOffset;
+    else if (name == "moreFrags") extract = Extract::kMoreFrags;
+    else if (name == "payload") extract = Extract::kPayload;
+    else if (name == "ipPayload") extract = Extract::kIpPayload;
+    plan.fields.push_back(extract);
+    plan.types.push_back(field.type);
+    plan.wanted.push_back(true);
+  }
+  return plan;
+}
+
+rts::Row InterpretPacket(const InterpretPlan& plan,
+                         const net::Packet& packet) {
+  using Extract = InterpretPlan::Extract;
+  auto decoded_result = net::DecodePacket(packet.view());
+  const net::DecodedPacket* decoded =
+      decoded_result.ok() ? &decoded_result.value() : nullptr;
+  const bool has_ip = decoded != nullptr && decoded->ip.has_value();
+
+  rts::Row row;
+  row.reserve(plan.fields.size());
+  for (size_t f = 0; f < plan.fields.size(); ++f) {
+    Extract extract = plan.fields[f];
+    // Gated-off fields and extractors whose protocol layer is absent both
+    // interpret as the type default, matching name-based interpretation of
+    // an undecodable packet.
+    if (!plan.wanted[f]) extract = Extract::kDefault;
+    switch (extract) {
+      case Extract::kTime:
+        row.push_back(Value::Uint(
+            static_cast<uint64_t>(SimTimeToSeconds(packet.timestamp))));
+        continue;
+      case Extract::kTimestamp:
+        row.push_back(Value::Uint(static_cast<uint64_t>(packet.timestamp)));
+        continue;
+      case Extract::kLen:
+        row.push_back(Value::Uint(packet.orig_len));
+        continue;
+      case Extract::kSrcIp:
+        if (!has_ip) break;
+        row.push_back(Value::Ip(decoded->ip->src_addr));
+        continue;
+      case Extract::kDestIp:
+        if (!has_ip) break;
+        row.push_back(Value::Ip(decoded->ip->dst_addr));
+        continue;
+      case Extract::kSrcPort: {
+        if (decoded == nullptr) break;
+        uint16_t port = decoded->is_tcp()   ? decoded->tcp->src_port
+                        : decoded->is_udp() ? decoded->udp->src_port
+                                            : 0;
+        row.push_back(Value::Uint(port));
+        continue;
       }
-      row.push_back(Value::String(std::move(ip_payload)));
-    } else if (name == "payload") {
-      std::string payload;
-      if (decoded != nullptr) {
-        payload.assign(
-            reinterpret_cast<const char*>(decoded->payload.data()),
-            decoded->payload.size());
+      case Extract::kDestPort: {
+        if (decoded == nullptr) break;
+        uint16_t port = decoded->is_tcp()   ? decoded->tcp->dst_port
+                        : decoded->is_udp() ? decoded->udp->dst_port
+                                            : 0;
+        row.push_back(Value::Uint(port));
+        continue;
       }
-      row.push_back(Value::String(std::move(payload)));
-    } else {
-      row.push_back(Value::Default(field.type));
+      case Extract::kProtocol:
+        if (!has_ip) break;
+        row.push_back(Value::Uint(decoded->ip->protocol));
+        continue;
+      case Extract::kIpVersion:
+        if (decoded == nullptr) break;
+        row.push_back(Value::Uint(has_ip ? 4 : 0));
+        continue;
+      case Extract::kTcpFlags:
+        if (decoded == nullptr) break;
+        row.push_back(
+            Value::Uint(decoded->is_tcp() ? decoded->tcp->flags : 0));
+        continue;
+      case Extract::kTcpSeq:
+        if (decoded == nullptr) break;
+        row.push_back(Value::Uint(decoded->is_tcp() ? decoded->tcp->seq : 0));
+        continue;
+      case Extract::kIpId:
+        if (!has_ip) break;
+        row.push_back(Value::Uint(decoded->ip->identification));
+        continue;
+      case Extract::kFragOffset:
+        if (!has_ip) break;
+        row.push_back(Value::Uint(decoded->ip->fragment_offset));
+        continue;
+      case Extract::kMoreFrags:
+        if (!has_ip) break;
+        row.push_back(Value::Uint(decoded->ip->more_fragments() ? 1 : 0));
+        continue;
+      case Extract::kIpPayload: {
+        if (!has_ip) break;
+        // The IP payload including any transport header — what an IP
+        // defragmenter reassembles.
+        size_t start = net::kEthernetHeaderLen + decoded->ip->header_len;
+        std::string ip_payload;
+        if (packet.bytes.size() > start) {
+          ip_payload.assign(
+              reinterpret_cast<const char*>(packet.bytes.data() + start),
+              packet.bytes.size() - start);
+        }
+        row.push_back(Value::String(std::move(ip_payload)));
+        continue;
+      }
+      case Extract::kPayload: {
+        std::string payload;
+        if (decoded != nullptr) {
+          payload.assign(
+              reinterpret_cast<const char*>(decoded->payload.data()),
+              decoded->payload.size());
+        }
+        row.push_back(Value::String(std::move(payload)));
+        continue;
+      }
+      case Extract::kDefault:
+        break;
     }
+    row.push_back(Value::Default(plan.types[f]));
   }
   return row;
+}
+
+rts::Row InterpretPacket(const gsql::StreamSchema& schema,
+                         const net::Packet& packet) {
+  return InterpretPacket(BuildInterpretPlan(schema), packet);
 }
 
 Status Engine::InjectPacket(const std::string& interface_name,
@@ -465,16 +614,23 @@ Status Engine::InjectPacket(const std::string& interface_name,
     }
   }
   bool any = false;
+  bool published = false;
   for (auto& [stream_name, source] : protocol_sources_) {
     if (stream_name.rfind(interface_name + ".", 0) != 0) continue;
     any = true;
-    rts::Row row = InterpretPacket(source.schema, packet);
+    rts::Row row = InterpretPacket(source.interpret, packet);
     rts::StreamMessage message;
     message.kind = rts::StreamMessage::Kind::kTuple;
     message.trace_id = trace_id;
     message.trace_ns = trace_ns;
     source.codec->Encode(row, &message.payload);
-    registry_.Publish(stream_name, message);
+    // Batched inject path: the tuple joins the source's open batch, which
+    // publishes as one ring message when it fills, ages out, or a
+    // punctuation closes it (a punctuation is always a batch's last item).
+    if (source.open_batch.items.empty()) {
+      source.batch_open_time = packet.timestamp;
+    }
+    source.open_batch.items.push_back(std::move(message));
     source.last_row = std::move(row);
     ++source.packets;
     if (source.last_punct_time > 0 &&
@@ -482,6 +638,7 @@ Status Engine::InjectPacket(const std::string& interface_name,
       source.punct_lag.Record(
           static_cast<uint64_t>(packet.timestamp - source.last_punct_time));
     }
+    bool flush = source.open_batch.items.size() >= options_.batch_max_size;
     if (options_.punctuation_interval > 0 &&
         source.packets.value() % options_.punctuation_interval == 0) {
       rts::Punctuation punctuation;
@@ -503,19 +660,34 @@ Status Engine::InjectPacket(const std::string& interface_name,
         // the close is punctuation-driven.
         punct_message.trace_id = trace_id;
         punct_message.trace_ns = trace_ns;
-        registry_.Publish(stream_name, punct_message);
+        source.open_batch.items.push_back(std::move(punct_message));
         source.last_punct_time = packet.timestamp;
+        flush = true;
       }
+    }
+    if (!flush && options_.batch_max_delay > 0 &&
+        packet.timestamp - source.batch_open_time >=
+            options_.batch_max_delay) {
+      flush = true;
+    }
+    if (flush) {
+      registry_.PublishBatch(stream_name, std::move(source.open_batch));
+      source.open_batch.items.clear();
+      published = true;
     }
   }
   if (!any) {
     return Status::NotFound("no protocol sources on interface '" +
                             interface_name + "' (add a query first)");
   }
+  if (packet.timestamp > last_input_time_) {
+    last_input_time_ = packet.timestamp;
+  }
   MaybeEmitStats(packet.timestamp);
   // Threaded mode: LFTAs run next to the capture loop (§4), so drive them
-  // here; their outputs wake the HFTA workers.
-  if (threads_running_) {
+  // here when this packet published anything; their outputs wake the HFTA
+  // workers.
+  if (threads_running_ && published) {
     PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
   }
   return Status::Ok();
@@ -543,8 +715,12 @@ Status Engine::InjectHeartbeat(const std::string& interface_name,
       }
     }
     if (!punctuation.bounds.empty()) {
-      registry_.Publish(stream_name, rts::MakePunctuationMessage(
-                                         punctuation, source.schema));
+      // The punctuation closes (and flushes) the source's open batch so it
+      // arrives after every tuple injected before the heartbeat.
+      source.open_batch.items.push_back(
+          rts::MakePunctuationMessage(punctuation, source.schema));
+      registry_.PublishBatch(stream_name, std::move(source.open_batch));
+      source.open_batch.items.clear();
       source.last_punct_time = now;
     }
   }
@@ -553,6 +729,7 @@ Status Engine::InjectHeartbeat(const std::string& interface_name,
                             interface_name + "'");
   }
   ++heartbeats_;
+  if (now > last_input_time_) last_input_time_ = now;
   MaybeEmitStats(now);
   if (threads_running_) {
     PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
@@ -598,6 +775,7 @@ Status Engine::EmitStatsSnapshot(SimTime now) {
   GS_RETURN_IF_ERROR(CheckAcceptingInput("EmitStatsSnapshot"));
   stats_source_->EmitSnapshot(now);
   last_stats_emit_ = now;
+  if (now > last_input_time_) last_input_time_ = now;
   if (threads_running_) {
     PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
   }
@@ -624,6 +802,13 @@ Status Engine::AddNode(std::unique_ptr<rts::QueryNode> node) {
   GS_ASSIGN_OR_RETURN(gsql::StreamSchema schema,
                       registry_.GetSchema(node->name()));
   catalog_.PutStreamSchema(schema);
+  // A user node's input reads are opaque (it subscribed through the
+  // registry before this call): assume it reads every field of every
+  // protocol source, present and future.
+  user_nodes_present_ = true;
+  for (auto& [source_name, source] : protocol_sources_) {
+    MarkAllProtocolFields(source);
+  }
   nodes_.push_back(std::move(node));
   // Custom nodes read stream channels, not raw packets: worker stage.
   node_stages_.resize(nodes_.size(), NodeStage::kHfta);
@@ -640,7 +825,23 @@ size_t Engine::PumpStage(NodeStage stage, size_t budget_per_node) {
   return processed;
 }
 
+bool Engine::FlushSourceBatches() {
+  bool published = false;
+  for (auto& [stream_name, source] : protocol_sources_) {
+    if (source.open_batch.items.empty()) continue;
+    registry_.PublishBatch(stream_name, std::move(source.open_batch));
+    source.open_batch.items.clear();
+    published = true;
+  }
+  return published;
+}
+
 size_t Engine::Pump(size_t budget_per_node) {
+  // A Pump is a request to make progress: injected tuples still sitting in
+  // open source batches publish now rather than waiting for the batch-size
+  // threshold (keeps inject→pump→read sequences working at any batch
+  // size).
+  FlushSourceBatches();
   if (threads_running_) {
     // Workers own the HFTA nodes; polling them here would add a second
     // consumer to their SPSC channels.
@@ -654,7 +855,17 @@ size_t Engine::Pump(size_t budget_per_node) {
 }
 
 void Engine::PumpUntilIdle() {
-  while (Pump() > 0) {
+  while (true) {
+    if (Pump() > 0) continue;
+    // Idle with space freed: retry punctuations parked on once-full rings
+    // so windows close without waiting for the seal. Parked punctuations
+    // may only be retried from their producing thread; with workers
+    // running the producers of intermediate rings are the workers, so this
+    // is deferred to FlushAll (which stops them first).
+    if (!threads_running_ && registry_.FlushParkedPunctuations() > 0) {
+      continue;
+    }
+    break;
   }
 }
 
@@ -664,13 +875,28 @@ void Engine::FlushAll() {
   // this thread — deterministic regardless of worker scheduling, because
   // channels hand over their remaining contents in FIFO order.
   StopThreads();
-  PumpUntilIdle();
+  PumpUntilIdle();  // also publishes any open source batches
+  // Deliver punctuations parked on once-full rings before flushing
+  // operator state, so windows close through ordinary bounds where
+  // possible. The loop ends when no parked punctuation could be placed
+  // (e.g. a full subscriber ring nobody drains).
+  while (registry_.FlushParkedPunctuations() > 0) PumpUntilIdle();
+  // One terminal telemetry snapshot before the engine seals: the periodic
+  // gate in MaybeEmitStats can skip the tail of the run, under-reporting
+  // end-of-run counters to gs_stats consumers. Emitted before the node
+  // flush below so stats-fed queries process it like any other input.
+  if (options_.stats_period > 0) {
+    stats_source_->EmitSnapshot(last_input_time_);
+    last_stats_emit_ = last_input_time_;
+    PumpUntilIdle();
+  }
   // Flush upstream-to-downstream, pumping between rounds so flushed state
   // propagates through the chain.
   for (auto& node : nodes_) {
     node->Flush();
     PumpUntilIdle();
   }
+  while (registry_.FlushParkedPunctuations() > 0) PumpUntilIdle();
   flushed_ = true;
 }
 

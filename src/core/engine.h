@@ -45,7 +45,9 @@ class TupleSubscription {
 struct EngineOptions {
   /// UDF registry (defaults to the built-in function library).
   const expr::FunctionResolver* functions = nullptr;
-  /// Capacity of inter-node channels, messages.
+  /// Capacity of inter-node channels, in ring slots. Each slot carries one
+  /// StreamBatch (up to batch_max_size messages), so the message capacity
+  /// is channel_capacity * batch_max_size when sources batch fully.
   size_t channel_capacity = 8192;
   /// log2 of the LFTA direct-mapped hash table slot count.
   int lfta_hash_log2 = 12;
@@ -53,6 +55,16 @@ struct EngineOptions {
   size_t punctuation_interval = 256;
   /// Per-node poll budget for worker threads in the threaded pump mode.
   size_t worker_poll_budget = 1024;
+  /// Batched data plane: source tuples accumulate into a StreamBatch that
+  /// is published as one ring message once it holds this many tuples.
+  /// Operators reuse the same bound for their output batches. 1 restores
+  /// per-tuple message flow (each message rides alone).
+  size_t batch_max_size = 64;
+  /// Maximum sim-time an open source batch may age before a newly injected
+  /// packet forces a flush: bounds the latency a tuple can sit unflushed
+  /// while the stream is slow. 0 disables the age check (batches flush on
+  /// size, punctuations, and every Pump).
+  SimTime batch_max_delay = 0;
   /// Period, in sim-time nanoseconds, of the built-in `gs_stats` telemetry
   /// stream: the engine snapshots its metric registry and emits one tuple
   /// per counter whenever injected time (packet timestamps, heartbeats)
@@ -71,6 +83,35 @@ struct EngineOptions {
   /// sequence = same packets traced.
   uint64_t trace_seed = 42;
 };
+
+/// Precompiled packet-interpretation plan for one schema: which built-in
+/// extractor feeds each field, resolved by name once at source creation
+/// instead of by string comparison per packet, plus a materialization gate
+/// per field. The variable-length fields (payload, ipPayload) copy packet
+/// bytes on every interpretation; the engine leaves them unmaterialized
+/// until a consumer that reads them registers — the same
+/// haul-only-what-queries-need idea as the NIC snap length (§4), applied
+/// at the interpretation layer.
+struct InterpretPlan {
+  enum class Extract : uint8_t {
+    kTime, kTimestamp, kLen,
+    kSrcIp, kDestIp, kSrcPort, kDestPort,
+    kProtocol, kIpVersion, kTcpFlags, kTcpSeq,
+    kIpId, kFragOffset, kMoreFrags,
+    kPayload, kIpPayload,
+    kDefault,
+  };
+  std::vector<Extract> fields;
+  std::vector<gsql::DataType> types;
+  /// Unwanted fields interpret as their type default. Only kPayload and
+  /// kIpPayload are ever gated off; fixed-width fields are always cheap
+  /// enough to materialize.
+  std::vector<bool> wanted;
+};
+
+/// Resolves `schema`'s field names against the built-in interpretation
+/// library (§2.2). All fields start wanted.
+InterpretPlan BuildInterpretPlan(const gsql::StreamSchema& schema);
 
 /// Metadata about a compiled, running query.
 struct QueryInfo {
@@ -262,6 +303,9 @@ class Engine {
   struct ProtocolSource {
     std::string stream_name;
     gsql::StreamSchema schema;
+    /// Field extraction resolved once; payload fields start unwanted and
+    /// are switched on as consumers that read them appear.
+    InterpretPlan interpret;
     std::unique_ptr<rts::TupleCodec> codec;
     telemetry::Counter packets;
     /// Seconds bound of the last punctuation published on this source;
@@ -272,6 +316,10 @@ class Engine {
     telemetry::Histogram punct_lag;
     SimTime last_punct_time = 0;
     rts::Row last_row;
+    /// Inject-side batch under construction: packets append here and the
+    /// batch publishes on size/age/punctuation, or at the next Pump.
+    rts::StreamBatch open_batch;
+    SimTime batch_open_time = 0;
   };
 
   /// Ensures a packet stream for (interface, protocol) exists.
@@ -280,6 +328,13 @@ class Engine {
 
   /// Registers sources required by every Source leaf of `plan`.
   Status EnsureSources(const plan::PlanPtr& plan);
+
+  /// Walks `plan` and marks every protocol-source field some operator
+  /// expression references as wanted, so InterpretPacket materializes it.
+  /// Consumers the engine cannot introspect (AddNode user nodes, raw
+  /// registry subscriptions routed through Subscribe) mark all fields.
+  void MarkProtocolFieldUses(const plan::PlanPtr& plan);
+  static void MarkAllProtocolFields(ProtocolSource& source);
 
   /// Rejects mutations while the worker pool runs (structures the workers
   /// read are not guarded by locks) and input after FlushAll sealed the
@@ -290,6 +345,11 @@ class Engine {
   /// One poll round over nodes of `stage`; returns messages processed.
   size_t PumpStage(NodeStage stage, size_t budget_per_node);
   void WorkerLoop(Worker* worker);
+
+  /// Publishes every source's open batch (Pump and FlushAll call this so
+  /// no injected tuple waits on the batch-size threshold once the engine
+  /// is asked to make progress). Returns whether anything was published.
+  bool FlushSourceBatches();
 
   /// Registers telemetry for nodes added since the last call (watermark
   /// telemetry_registered_nodes_).
@@ -314,6 +374,8 @@ class Engine {
   rts::StreamRegistry registry_;
   std::unique_ptr<telemetry::StatsSource> stats_source_;
   SimTime last_stats_emit_ = 0;
+  /// Highest injected sim-time seen; stamps the terminal stats snapshot.
+  SimTime last_input_time_ = 0;
   size_t telemetry_registered_nodes_ = 0;
   uint64_t subscriber_seq_ = 0;
   telemetry::Counter heartbeats_;
@@ -332,13 +394,20 @@ class Engine {
   std::atomic<bool> stop_workers_{false};
   bool threads_running_ = false;
   bool flushed_ = false;
+  /// Once a user node exists, sources created later also materialize every
+  /// field — the node may subscribe to them through registry().
+  bool user_nodes_present_ = false;
 };
 
-/// Interprets a raw packet into a row of `schema` using the built-in
-/// interpretation-function library (§2.2): fields are extracted by name
-/// (time, timestamp, srcIP, destIP, srcPort, destPort, protocol,
-/// ipVersion, len, tcpFlags, tcpSeq, payload); unknown names get default
-/// values.
+/// Interprets a raw packet into a row under a precompiled plan: one packet
+/// decode, then a switch per field — no name lookups on the hot path.
+rts::Row InterpretPacket(const InterpretPlan& plan,
+                         const net::Packet& packet);
+
+/// Convenience overload: resolves `schema` (time, timestamp, srcIP,
+/// destIP, srcPort, destPort, protocol, ipVersion, len, tcpFlags, tcpSeq,
+/// ipId, fragOffset, moreFrags, payload, ipPayload; unknown names get
+/// default values) and interprets with every field materialized.
 rts::Row InterpretPacket(const gsql::StreamSchema& schema,
                          const net::Packet& packet);
 

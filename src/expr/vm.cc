@@ -90,12 +90,12 @@ bool CompareOp(ByteOp op, const Value& left, const Value& right) {
   }
 }
 
-}  // namespace
-
-Status Eval(const CompiledExpr& expr, const EvalContext& ctx,
-            EvalOutput* out) {
-  // Value stack; sized from the compile-time bound.
-  std::vector<Value> stack;
+/// Shared evaluation core: `stack` is caller-provided scratch (cleared
+/// here), so a reusable Evaluator can amortize its allocation across a
+/// batch while the free functions keep a per-call stack.
+Status EvalWithStack(const CompiledExpr& expr, const EvalContext& ctx,
+                     EvalOutput* out, std::vector<Value>& stack) {
+  stack.clear();
   stack.reserve(expr.max_stack);
   out->has_value = true;
 
@@ -208,11 +208,76 @@ Status Eval(const CompiledExpr& expr, const EvalContext& ctx,
   return Status::Ok();
 }
 
+}  // namespace
+
+Status Eval(const CompiledExpr& expr, const EvalContext& ctx,
+            EvalOutput* out) {
+  std::vector<Value> stack;
+  return EvalWithStack(expr, ctx, out, stack);
+}
+
 bool EvalPredicate(const CompiledExpr& expr, const EvalContext& ctx) {
   EvalOutput out;
   Status status = Eval(expr, ctx, &out);
   if (!status.ok() || !out.has_value) return false;
   return out.value.bool_value();
+}
+
+Status Evaluator::Eval(const CompiledExpr& expr, const EvalContext& ctx,
+                       EvalOutput* out) {
+  return EvalWithStack(expr, ctx, out, stack_);
+}
+
+bool Evaluator::EvalPredicate(const CompiledExpr& expr,
+                              const EvalContext& ctx) {
+  EvalOutput out;
+  Status status = EvalWithStack(expr, ctx, &out, stack_);
+  if (!status.ok() || !out.has_value) return false;
+  return out.value.bool_value();
+}
+
+std::optional<std::vector<FilterTerm>> MatchFilterTerms(
+    const CompiledExpr& expr) {
+  auto is_compare = [](ByteOp op) {
+    switch (op) {
+      case ByteOp::kCmpEq:
+      case ByteOp::kCmpNe:
+      case ByteOp::kCmpLt:
+      case ByteOp::kCmpLe:
+      case ByteOp::kCmpGt:
+      case ByteOp::kCmpGe:
+        return true;
+      default:
+        return false;
+    }
+  };
+  const std::vector<Instr>& code = expr.code;
+  std::vector<FilterTerm> terms;
+  size_t i = 0;
+  auto parse_term = [&]() {
+    if (i + 3 > code.size()) return false;
+    if (code[i].op != ByteOp::kLoadField || code[i].a != 0) return false;
+    if (code[i + 1].op != ByteOp::kPushConst ||
+        code[i + 1].a >= expr.constants.size()) {
+      return false;
+    }
+    if (!is_compare(code[i + 2].op)) return false;
+    FilterTerm term;
+    term.field = code[i].b;
+    term.cmp = code[i + 2].op;
+    term.constant = expr.constants[code[i + 1].a];
+    terms.push_back(std::move(term));
+    i += 3;
+    return true;
+  };
+  // `a AND b AND c` compiles left-associated: term, (term, kAnd)*.
+  if (!parse_term()) return std::nullopt;
+  while (i < code.size()) {
+    if (!parse_term()) return std::nullopt;
+    if (i >= code.size() || code[i].op != ByteOp::kAnd) return std::nullopt;
+    ++i;
+  }
+  return terms;
 }
 
 }  // namespace gigascope::expr

@@ -1,6 +1,7 @@
 #ifndef GIGASCOPE_EXPR_VM_H_
 #define GIGASCOPE_EXPR_VM_H_
 
+#include <optional>
 #include <vector>
 
 #include "expr/codegen.h"
@@ -31,6 +32,39 @@ Status Eval(const CompiledExpr& expr, const EvalContext& ctx,
 /// Evaluates a BOOL expression as a predicate. A missing value (partial
 /// function miss) and a runtime error both yield `false`.
 bool EvalPredicate(const CompiledExpr& expr, const EvalContext& ctx);
+
+/// A reusable evaluator for the batch hot path: same semantics as the free
+/// functions but the value stack persists across calls, so a batch of N
+/// tuples pays one stack allocation instead of N. Owned by exactly one
+/// operator and called only from its polling thread.
+class Evaluator {
+ public:
+  Status Eval(const CompiledExpr& expr, const EvalContext& ctx,
+              EvalOutput* out);
+  bool EvalPredicate(const CompiledExpr& expr, const EvalContext& ctx);
+
+ private:
+  std::vector<Value> stack_;
+};
+
+/// One conjunct of a filter in `field <cmp> constant` form (the field is
+/// always from row0).
+struct FilterTerm {
+  size_t field = 0;
+  ByteOp cmp = ByteOp::kCmpEq;
+  Value constant;
+};
+
+/// Recognizes predicates of the shape `t1 AND t2 AND ... AND tn` where
+/// every term is `LoadField(row0, f); PushConst(c); Cmp*` — the dominant
+/// LFTA filter shape after constant folding (`protocol = 6 AND destPort =
+/// 80`). Returns the terms in evaluation order, or nullopt for any other
+/// bytecode; callers fall back to the general VM. Matching terms evaluate
+/// identically to the VM (Value::Compare on same-type operands), which is
+/// what lets ops/select_project compare packed bytes directly without
+/// decoding the row.
+std::optional<std::vector<FilterTerm>> MatchFilterTerms(
+    const CompiledExpr& expr);
 
 }  // namespace gigascope::expr
 

@@ -173,23 +173,29 @@ OrderedAggregateNode::OrderedAggregateNode(Spec spec, rts::Subscription input,
       registry_(registry),
       params_(std::move(params)),
       input_codec_(spec_.input_schema),
-      output_codec_(spec_.output_schema) {
+      output_codec_(spec_.output_schema),
+      writer_(registry, spec_.name, spec_.output_batch) {
   RegisterInput(input_);
 }
 
 size_t OrderedAggregateNode::Poll(size_t budget) {
   size_t processed = 0;
-  rts::StreamMessage message;
-  while (processed < budget && input_->TryPop(&message)) {
-    ++processed;
-    BeginMessage(message);
-    if (message.kind == rts::StreamMessage::Kind::kTuple) {
-      ProcessTuple(message.payload);
-    } else {
-      ProcessPunctuation(message.payload);
+  rts::StreamBatch batch;
+  // Batch-at-a-time: one pop per ring slot, then a tight loop over its
+  // messages (the budget may overshoot by at most one batch).
+  while (processed < budget && input_->TryPop(&batch)) {
+    for (rts::StreamMessage& message : batch.items) {
+      ++processed;
+      BeginMessage(message);
+      if (message.kind == rts::StreamMessage::Kind::kTuple) {
+        ProcessTuple(message.payload);
+      } else {
+        ProcessPunctuation(message.payload);
+      }
+      EndMessage();
     }
-    EndMessage();
   }
+  writer_.Flush();
   return processed;
 }
 
@@ -208,7 +214,7 @@ void OrderedAggregateNode::ProcessTuple(const ByteBuffer& payload) {
   keys.reserve(spec_.keys.size());
   for (const expr::CompiledExpr& key : spec_.keys) {
     expr::EvalOutput out;
-    if (!expr::Eval(key, ctx, &out).ok()) {
+    if (!vm_.Eval(key, ctx, &out).ok()) {
       ++eval_errors_;
       return;
     }
@@ -231,7 +237,7 @@ void OrderedAggregateNode::ProcessTuple(const ByteBuffer& payload) {
       rts::StreamMessage punct_message = rts::MakePunctuationMessage(
           punctuation, spec_.output_schema);
       StampOutput(&punct_message);
-      registry_->Publish(name(), punct_message);
+      writer_.Write(std::move(punct_message));
     }
     if (!epoch_.has_value() || ordered.Compare(*epoch_) > 0) {
       epoch_ = ordered;
@@ -242,7 +248,7 @@ void OrderedAggregateNode::ProcessTuple(const ByteBuffer& payload) {
   for (size_t i = 0; i < spec_.agg_args.size(); ++i) {
     if (!spec_.agg_args[i].has_value()) continue;
     expr::EvalOutput out;
-    if (!expr::Eval(*spec_.agg_args[i], ctx, &out).ok()) {
+    if (!vm_.Eval(*spec_.agg_args[i], ctx, &out).ok()) {
       ++eval_errors_;
       return;
     }
@@ -281,8 +287,8 @@ void OrderedAggregateNode::ProcessPunctuation(const ByteBuffer& payload) {
   ctx.row0 = &synthetic;
   ctx.params = params_.get();
   expr::EvalOutput out;
-  if (!expr::Eval(spec_.keys[static_cast<size_t>(spec_.ordered_key)], ctx,
-                  &out).ok() ||
+  if (!vm_.Eval(spec_.keys[static_cast<size_t>(spec_.ordered_key)], ctx,
+                &out).ok() ||
       !out.has_value) {
     return;
   }
@@ -293,7 +299,7 @@ void OrderedAggregateNode::ProcessPunctuation(const ByteBuffer& payload) {
   rts::StreamMessage forward_message =
       rts::MakePunctuationMessage(forward, spec_.output_schema);
   StampOutput(&forward_message);
-  registry_->Publish(name(), forward_message);
+  writer_.Write(std::move(forward_message));
 }
 
 void OrderedAggregateNode::FlushGroups(const std::optional<Value>& bound) {
@@ -333,12 +339,15 @@ void OrderedAggregateNode::EmitGroup(const rts::Row& keys,
   // Flushed groups inherit the trace context of the message that closed
   // them, so a traced tuple's e2e latency spans inject → group close.
   StampOutput(&message);
-  registry_->Publish(name(), message);
+  writer_.Write(std::move(message));
   ++tuples_out_;
   ++groups_flushed_;
 }
 
-void OrderedAggregateNode::Flush() { FlushGroups(std::nullopt); }
+void OrderedAggregateNode::Flush() {
+  FlushGroups(std::nullopt);
+  writer_.Flush();  // Flush may run outside a Poll round
+}
 
 void OrderedAggregateNode::RegisterTelemetry(
     telemetry::Registry* metrics) const {

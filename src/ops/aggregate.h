@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "expr/codegen.h"
+#include "expr/vm.h"
 #include "rts/node.h"
 #include "rts/punctuation.h"
 #include "rts/tuple.h"
@@ -82,6 +83,8 @@ class OrderedAggregateNode : public rts::QueryNode {
     /// The single input field each key depends on (for punctuation), -1
     /// otherwise.
     std::vector<int> key_punctuation_source;
+    /// Upper bound on messages per published output batch.
+    size_t output_batch = 64;
   };
 
   OrderedAggregateNode(Spec spec, rts::Subscription input,
@@ -108,6 +111,8 @@ class OrderedAggregateNode : public rts::QueryNode {
   rts::ParamBlock params_;
   rts::TupleCodec input_codec_;
   rts::TupleCodec output_codec_;
+  rts::BatchWriter writer_;
+  expr::Evaluator vm_;
   std::unordered_map<rts::Row, GroupAccumulator, RowHash, RowEq> groups_;
   std::optional<expr::Value> epoch_;  // max ordered-key value seen
   telemetry::Counter groups_flushed_;

@@ -65,13 +65,15 @@ IpDefragNode::IpDefragNode(Spec spec, FieldSlots slots,
 
 size_t IpDefragNode::Poll(size_t budget) {
   size_t processed = 0;
-  rts::StreamMessage message;
-  while (processed < budget && input_->TryPop(&message)) {
-    ++processed;
-    // Punctuations carry no fragment data; reassembly state is bounded by
-    // the timeout instead.
-    if (message.kind != rts::StreamMessage::Kind::kTuple) continue;
-    ProcessTuple(message.payload);
+  rts::StreamBatch batch;
+  while (processed < budget && input_->TryPop(&batch)) {
+    for (rts::StreamMessage& message : batch.items) {
+      ++processed;
+      // Punctuations carry no fragment data; reassembly state is bounded by
+      // the timeout instead.
+      if (message.kind != rts::StreamMessage::Kind::kTuple) continue;
+      ProcessTuple(message.payload);
+    }
   }
   return processed;
 }

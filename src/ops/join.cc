@@ -21,7 +21,8 @@ WindowJoinNode::WindowJoinNode(Spec spec, rts::Subscription left,
       params_(std::move(params)),
       left_codec_(spec_.left_schema),
       right_codec_(spec_.right_schema),
-      output_codec_(spec_.output_schema) {
+      output_codec_(spec_.output_schema),
+      writer_(registry, spec_.name, spec_.output_batch) {
   RegisterInput(left_);
   RegisterInput(right_);
 }
@@ -44,21 +45,27 @@ int64_t WindowJoinNode::KeyOf(const rts::Row& row, bool is_left) const {
 
 size_t WindowJoinNode::Poll(size_t budget) {
   size_t processed = 0;
-  rts::StreamMessage message;
+  rts::StreamBatch batch;
+  // Alternate whole batches between the sides so neither input starves;
+  // the budget may overshoot by at most one batch per side.
   while (processed < budget) {
     bool any = false;
-    if (left_->TryPop(&message)) {
-      BeginMessage(message);
-      ProcessSide(/*is_left=*/true, message);
-      EndMessage();
-      ++processed;
+    if (left_->TryPop(&batch)) {
+      for (rts::StreamMessage& message : batch.items) {
+        BeginMessage(message);
+        ProcessSide(/*is_left=*/true, message);
+        EndMessage();
+        ++processed;
+      }
       any = true;
     }
-    if (processed < budget && right_->TryPop(&message)) {
-      BeginMessage(message);
-      ProcessSide(/*is_left=*/false, message);
-      EndMessage();
-      ++processed;
+    if (processed < budget && right_->TryPop(&batch)) {
+      for (rts::StreamMessage& message : batch.items) {
+        BeginMessage(message);
+        ProcessSide(/*is_left=*/false, message);
+        EndMessage();
+        ++processed;
+      }
       any = true;
     }
     if (!any) break;
@@ -69,6 +76,7 @@ size_t WindowJoinNode::Poll(size_t budget) {
   buffer_high_water_ = std::max(
       buffer_high_water_,
       left_buffer_.size() + right_buffer_.size() + pending_.size());
+  writer_.Flush();
   return processed;
 }
 
@@ -149,7 +157,7 @@ void WindowJoinNode::ProbeAndEmit(bool from_left, const rts::Row& row) {
       ctx.row0 = &left_row;
       ctx.row1 = &right_row;
       ctx.params = params_.get();
-      if (!expr::EvalPredicate(*spec_.predicate, ctx)) continue;
+      if (!vm_.EvalPredicate(*spec_.predicate, ctx)) continue;
     }
     EmitJoined(left_row, right_row);
   }
@@ -197,8 +205,7 @@ void WindowJoinNode::Purge() {
                       : Value::Uint(bound < 0 ? 0
                                               : static_cast<uint64_t>(bound));
     punctuation.bounds.emplace_back(spec_.left_field, std::move(value));
-    registry_->Publish(
-        name(),
+    writer_.Write(
         rts::MakePunctuationMessage(punctuation, spec_.output_schema));
   }
 }
@@ -225,7 +232,7 @@ void WindowJoinNode::Publish(const rts::Row& out) {
   // message; order-preserving holds released later lose it (no active
   // message), which is fine for sampled tracing.
   StampOutput(&message);
-  registry_->Publish(name(), message);
+  writer_.Write(std::move(message));
   ++tuples_out_;
 }
 
@@ -245,6 +252,7 @@ void WindowJoinNode::Flush() {
   right_buffer_.clear();
   for (const auto& [key, row] : pending_) Publish(row);
   pending_.clear();
+  writer_.Flush();  // Flush runs outside any Poll round
 }
 
 }  // namespace gigascope::ops

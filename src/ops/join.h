@@ -7,6 +7,7 @@
 #include <string>
 
 #include "expr/codegen.h"
+#include "expr/vm.h"
 #include "rts/node.h"
 #include "rts/punctuation.h"
 #include "rts/tuple.h"
@@ -43,6 +44,8 @@ class WindowJoinNode : public rts::QueryNode {
     /// window-attribute order once the watermarks pass — monotone output,
     /// "more buffer space".
     bool order_preserving = false;
+    /// Upper bound on messages per published output batch.
+    size_t output_batch = 64;
   };
 
   WindowJoinNode(Spec spec, rts::Subscription left, rts::Subscription right,
@@ -76,6 +79,8 @@ class WindowJoinNode : public rts::QueryNode {
   rts::TupleCodec left_codec_;
   rts::TupleCodec right_codec_;
   rts::TupleCodec output_codec_;
+  rts::BatchWriter writer_;
+  expr::Evaluator vm_;
 
   std::deque<rts::Row> left_buffer_;
   std::deque<rts::Row> right_buffer_;

@@ -64,23 +64,29 @@ LftaAggregateNode::LftaAggregateNode(Spec spec, int log2_slots,
       params_(std::move(params)),
       input_codec_(spec_.input_schema),
       output_codec_(spec_.output_schema),
+      writer_(registry, spec_.name, spec_.output_batch),
       table_(log2_slots, &spec_.agg_specs) {
   RegisterInput(input_);
 }
 
 size_t LftaAggregateNode::Poll(size_t budget) {
   size_t processed = 0;
-  rts::StreamMessage message;
-  while (processed < budget && input_->TryPop(&message)) {
-    ++processed;
-    BeginMessage(message);
-    if (message.kind == rts::StreamMessage::Kind::kTuple) {
-      ProcessTuple(message.payload);
-    } else {
-      ProcessPunctuation(message.payload);
+  rts::StreamBatch batch;
+  // Batch-at-a-time: one pop per ring slot, then a tight loop over its
+  // messages (the budget may overshoot by at most one batch).
+  while (processed < budget && input_->TryPop(&batch)) {
+    for (rts::StreamMessage& message : batch.items) {
+      ++processed;
+      BeginMessage(message);
+      if (message.kind == rts::StreamMessage::Kind::kTuple) {
+        ProcessTuple(message.payload);
+      } else {
+        ProcessPunctuation(message.payload);
+      }
+      EndMessage();
     }
-    EndMessage();
   }
+  writer_.Flush();
   return processed;
 }
 
@@ -99,7 +105,7 @@ void LftaAggregateNode::ProcessTuple(const ByteBuffer& payload) {
   keys.reserve(spec_.keys.size());
   for (const expr::CompiledExpr& key : spec_.keys) {
     expr::EvalOutput out;
-    if (!expr::Eval(key, ctx, &out).ok()) {
+    if (!vm_.Eval(key, ctx, &out).ok()) {
       ++eval_errors_;
       return;
     }
@@ -121,7 +127,7 @@ void LftaAggregateNode::ProcessTuple(const ByteBuffer& payload) {
   for (size_t i = 0; i < spec_.agg_args.size(); ++i) {
     if (!spec_.agg_args[i].has_value()) continue;
     expr::EvalOutput out;
-    if (!expr::Eval(*spec_.agg_args[i], ctx, &out).ok()) {
+    if (!vm_.Eval(*spec_.agg_args[i], ctx, &out).ok()) {
       ++eval_errors_;
       return;
     }
@@ -156,8 +162,8 @@ void LftaAggregateNode::ProcessPunctuation(const ByteBuffer& payload) {
   ctx.row0 = &synthetic;
   ctx.params = params_.get();
   expr::EvalOutput out;
-  if (!expr::Eval(spec_.keys[static_cast<size_t>(spec_.ordered_key)], ctx,
-                  &out).ok() ||
+  if (!vm_.Eval(spec_.keys[static_cast<size_t>(spec_.ordered_key)], ctx,
+                &out).ok() ||
       !out.has_value) {
     return;
   }
@@ -177,7 +183,7 @@ void LftaAggregateNode::EmitPartial(const rts::Row& keys,
   // Ejected/drained partials carry the trace of the packet that triggered
   // them, keeping the sampled span chain unbroken across the LFTA table.
   StampOutput(&message);
-  registry_->Publish(name(), message);
+  writer_.Write(std::move(message));
   ++tuples_out_;
 }
 
@@ -195,13 +201,14 @@ void LftaAggregateNode::DrainEpoch(const Value& new_epoch) {
   rts::StreamMessage punct_message =
       rts::MakePunctuationMessage(punctuation, spec_.output_schema);
   StampOutput(&punct_message);
-  registry_->Publish(name(), punct_message);
+  writer_.Write(std::move(punct_message));
 }
 
 void LftaAggregateNode::Flush() {
   for (const auto& [keys, aggs] : table_.DrainAll()) {
     EmitPartial(keys, aggs);
   }
+  writer_.Flush();  // Flush may run outside a Poll round
 }
 
 void LftaAggregateNode::RegisterTelemetry(

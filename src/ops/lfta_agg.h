@@ -82,6 +82,8 @@ class LftaAggregateNode : public rts::QueryNode {
   rts::ParamBlock params_;
   rts::TupleCodec input_codec_;
   rts::TupleCodec output_codec_;
+  rts::BatchWriter writer_;
+  expr::Evaluator vm_;
   DirectMappedAggTable table_;
   std::optional<expr::Value> epoch_;
 };

@@ -13,7 +13,8 @@ MergeNode::MergeNode(Spec spec, std::vector<rts::Subscription> inputs,
     : QueryNode(spec.name),
       spec_(std::move(spec)),
       registry_(registry),
-      codec_(spec_.schema) {
+      codec_(spec_.schema),
+      writer_(registry, spec_.name, spec_.output_batch) {
   GS_CHECK(inputs.size() >= 2);
   for (rts::Subscription& input : inputs) {
     InputState state;
@@ -25,87 +26,97 @@ MergeNode::MergeNode(Spec spec, std::vector<rts::Subscription> inputs,
 
 size_t MergeNode::Poll(size_t budget) {
   size_t processed = 0;
-  rts::StreamMessage message;
+  rts::StreamBatch batch;
+  // Batch-at-a-time: drain whole ring slots per input; the budget may
+  // overshoot by at most one batch (a batch is never split across polls).
   for (InputState& input : inputs_) {
-    while (processed < budget && input.channel->TryPop(&message)) {
-      ++processed;
-      BeginMessage(message);
-      if (message.kind == rts::StreamMessage::Kind::kTuple) {
-        ++tuples_in_;
-        auto row = codec_.Decode(
-            ByteSpan(message.payload.data(), message.payload.size()));
-        if (!row.ok()) {
-          ++eval_errors_;
-          EndMessage();
-          continue;
-        }
-        const Value& key = row.value()[spec_.merge_field];
-        // A tuple also carries ordering information: on a
-        // (banded-)increasing stream no future tuple can fall more than
-        // `band` below it, so it advances the watermark like a punctuation
-        // would (slackened by the band).
-        Value guarantee = key;
-        if (spec_.band > 0) {
-          switch (key.type()) {
-            case gsql::DataType::kUint:
-              guarantee = Value::Uint(
-                  key.uint_value() >= spec_.band
-                      ? key.uint_value() - spec_.band
-                      : 0);
-              break;
-            case gsql::DataType::kInt:
-              guarantee = Value::Int(key.int_value() -
-                                     static_cast<int64_t>(spec_.band));
-              break;
-            case gsql::DataType::kFloat:
-              guarantee = Value::Float(key.float_value() -
-                                       static_cast<double>(spec_.band));
-              break;
-            default:
-              break;
-          }
-        }
-        if (!input.watermark.has_value() ||
-            guarantee.Compare(*input.watermark) > 0) {
-          input.watermark = guarantee;
-        }
-        // Banded inputs arrive slightly out of order; keep the buffer
-        // sorted on the merge key so the head is always the minimum.
-        BufferedRow decoded{std::move(row).value(), message.trace_id,
-                            message.trace_ns};
-        if (spec_.band > 0 && !input.buffer.empty() &&
-            input.buffer.back().row[spec_.merge_field].Compare(
-                decoded.row[spec_.merge_field]) > 0) {
-          auto pos = std::upper_bound(
-              input.buffer.begin(), input.buffer.end(), decoded,
-              [this](const BufferedRow& a, const BufferedRow& b) {
-                return a.row[spec_.merge_field].Compare(
-                           b.row[spec_.merge_field]) < 0;
-              });
-          input.buffer.insert(pos, std::move(decoded));
-        } else {
-          input.buffer.push_back(std::move(decoded));
-        }
-        input.saw_any = true;
-      } else {
-        auto punctuation = rts::DecodePunctuation(
-            ByteSpan(message.payload.data(), message.payload.size()),
-            spec_.schema);
-        if (!punctuation.ok()) continue;
-        auto bound = punctuation->BoundFor(spec_.merge_field);
-        if (bound.has_value() &&
-            (!input.watermark.has_value() ||
-             bound->Compare(*input.watermark) > 0)) {
-          input.watermark = *bound;
-        }
+    while (processed < budget && input.channel->TryPop(&batch)) {
+      for (rts::StreamMessage& message : batch.items) {
+        ++processed;
+        BeginMessage(message);
+        Absorb(input, message);
+        EndMessage();
       }
-      EndMessage();
     }
   }
   size_t total = buffered();
   buffer_high_water_ = std::max(buffer_high_water_, total);
   EmitReady();
+  writer_.Flush();
   return processed;
+}
+
+void MergeNode::Absorb(InputState& input, rts::StreamMessage& message) {
+  if (message.kind == rts::StreamMessage::Kind::kTuple) {
+    ++tuples_in_;
+    auto row = codec_.Decode(
+        ByteSpan(message.payload.data(), message.payload.size()));
+    if (!row.ok()) {
+      ++eval_errors_;
+      return;
+    }
+    const Value& key = row.value()[spec_.merge_field];
+    // A tuple also carries ordering information: on a
+    // (banded-)increasing stream no future tuple can fall more than
+    // `band` below it, so it advances the watermark like a punctuation
+    // would (slackened by the band).
+    Value guarantee = key;
+    if (spec_.band > 0) {
+      switch (key.type()) {
+        case gsql::DataType::kUint:
+          guarantee = Value::Uint(key.uint_value() >= spec_.band
+                                      ? key.uint_value() - spec_.band
+                                      : 0);
+          break;
+        case gsql::DataType::kInt:
+          guarantee =
+              Value::Int(key.int_value() - static_cast<int64_t>(spec_.band));
+          break;
+        case gsql::DataType::kFloat:
+          guarantee = Value::Float(key.float_value() -
+                                   static_cast<double>(spec_.band));
+          break;
+        default:
+          break;
+      }
+    }
+    if (!input.watermark.has_value() ||
+        guarantee.Compare(*input.watermark) > 0) {
+      input.watermark = guarantee;
+    }
+    // Banded inputs arrive slightly out of order; keep the buffer
+    // sorted on the merge key so the head is always the minimum.
+    BufferedRow decoded{std::move(row).value(), message.trace_id,
+                        message.trace_ns};
+    if (spec_.band > 0 && !input.buffer.empty() &&
+        input.buffer.back().row[spec_.merge_field].Compare(
+            decoded.row[spec_.merge_field]) > 0) {
+      auto pos = std::upper_bound(
+          input.buffer.begin(), input.buffer.end(), decoded,
+          [this](const BufferedRow& a, const BufferedRow& b) {
+            return a.row[spec_.merge_field].Compare(
+                       b.row[spec_.merge_field]) < 0;
+          });
+      input.buffer.insert(pos, std::move(decoded));
+    } else {
+      input.buffer.push_back(std::move(decoded));
+    }
+    input.saw_any = true;
+  } else {
+    auto punctuation = rts::DecodePunctuation(
+        ByteSpan(message.payload.data(), message.payload.size()),
+        spec_.schema);
+    // Undecodable punctuations fall through to the caller's EndMessage: an
+    // early return that skipped it used to leak the message's trace
+    // context into whatever the node processed next.
+    if (!punctuation.ok()) return;
+    auto bound = punctuation->BoundFor(spec_.merge_field);
+    if (bound.has_value() &&
+        (!input.watermark.has_value() ||
+         bound->Compare(*input.watermark) > 0)) {
+      input.watermark = *bound;
+    }
+  }
 }
 
 void MergeNode::EmitReady() {
@@ -148,7 +159,7 @@ void MergeNode::EmitRow(const BufferedRow& buffered) {
   // the trace of the input message it came from, not whichever message the
   // poll loop happens to be processing.
   StampOutputWithContext(&message, buffered.trace_id, buffered.trace_ns);
-  registry_->Publish(name(), message);
+  writer_.Write(std::move(message));
   ++tuples_out_;
 
   // Downstream watermark: the smallest guarantee across inputs.
@@ -162,8 +173,7 @@ void MergeNode::EmitRow(const BufferedRow& buffered) {
   if (low.has_value()) {
     rts::Punctuation punctuation;
     punctuation.bounds.emplace_back(spec_.merge_field, *low);
-    registry_->Publish(
-        name(), rts::MakePunctuationMessage(punctuation, spec_.schema));
+    writer_.Write(rts::MakePunctuationMessage(punctuation, spec_.schema));
   }
 }
 
@@ -180,10 +190,11 @@ void MergeNode::Flush() {
         best = static_cast<int>(i);
       }
     }
-    if (best < 0) return;
+    if (best < 0) break;
     EmitRow(inputs_[static_cast<size_t>(best)].buffer.front());
     inputs_[static_cast<size_t>(best)].buffer.pop_front();
   }
+  writer_.Flush();  // Flush runs outside any Poll round
 }
 
 size_t MergeNode::buffered() const {

@@ -30,6 +30,8 @@ class MergeNode : public rts::QueryNode {
     /// tuple with key k only guarantees that no future tuple is below
     /// k - band, so tuple-derived watermarks are slackened by this much.
     uint64_t band = 0;
+    /// Upper bound on messages per published output batch.
+    size_t output_batch = 64;
   };
 
   MergeNode(Spec spec, std::vector<rts::Subscription> inputs,
@@ -58,6 +60,8 @@ class MergeNode : public rts::QueryNode {
     bool saw_any = false;
   };
 
+  /// Folds one input message into the input's buffer and watermark.
+  void Absorb(InputState& input, rts::StreamMessage& message);
   /// Drains ready tuples to the output in merge order.
   void EmitReady();
   void EmitRow(const BufferedRow& buffered);
@@ -65,6 +69,7 @@ class MergeNode : public rts::QueryNode {
   Spec spec_;
   rts::StreamRegistry* registry_;
   rts::TupleCodec codec_;
+  rts::BatchWriter writer_;
   std::vector<InputState> inputs_;
   size_t buffer_high_water_ = 0;
 };

@@ -1,10 +1,48 @@
 #include "ops/select_project.h"
 
+#include <cstring>
+
 #include "expr/vm.h"
 
 namespace gigascope::ops {
 
 using expr::Value;
+using gsql::DataType;
+
+namespace {
+
+uint64_t ReadU64Le(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+uint32_t ReadU32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+/// Mirrors CompareOp over Value::Compare's three-way result.
+bool ApplyCompare(expr::ByteOp op, int cmp) {
+  switch (op) {
+    case expr::ByteOp::kCmpEq: return cmp == 0;
+    case expr::ByteOp::kCmpNe: return cmp != 0;
+    case expr::ByteOp::kCmpLt: return cmp < 0;
+    case expr::ByteOp::kCmpLe: return cmp <= 0;
+    case expr::ByteOp::kCmpGt: return cmp > 0;
+    case expr::ByteOp::kCmpGe: return cmp >= 0;
+    default: return false;
+  }
+}
+
+template <typename T>
+int ThreeWay(T a, T b) {
+  // Identical to Value::Compare's cmp3 (NaN compares "equal" for floats).
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+}  // namespace
 
 SelectProjectNode::SelectProjectNode(Spec spec, rts::Subscription input,
                                      rts::StreamRegistry* registry,
@@ -15,27 +53,122 @@ SelectProjectNode::SelectProjectNode(Spec spec, rts::Subscription input,
       registry_(registry),
       params_(std::move(params)),
       input_codec_(spec_.input_schema),
-      output_codec_(spec_.output_schema) {
+      output_codec_(spec_.output_schema),
+      writer_(registry, spec_.name, spec_.output_batch) {
   RegisterInput(input_);
+  BuildRawFilter();
+}
+
+void SelectProjectNode::BuildRawFilter() {
+  if (!spec_.predicate.has_value()) return;
+  auto terms = expr::MatchFilterTerms(*spec_.predicate);
+  if (!terms.has_value()) return;
+  std::vector<RawTerm> raw;
+  size_t min_payload = 0;
+  for (const expr::FilterTerm& term : *terms) {
+    if (term.field >= spec_.input_schema.num_fields()) return;
+    const DataType type = spec_.input_schema.field(term.field).type;
+    // Same-type comparison only: that is what the VM executes (compiled
+    // predicates insert casts otherwise, and those bytecodes don't match).
+    if (term.constant.type() != type) return;
+    std::optional<size_t> offset = input_codec_.FixedFieldOffset(term.field);
+    std::optional<size_t> width = rts::TupleCodec::FixedTypeWidth(type);
+    if (!offset.has_value() || !width.has_value()) return;
+    RawTerm rt;
+    rt.offset = *offset;
+    rt.type = type;
+    rt.cmp = term.cmp;
+    switch (type) {
+      case DataType::kUint: rt.u = term.constant.uint_value(); break;
+      case DataType::kIp: rt.u = term.constant.ip_value(); break;
+      case DataType::kBool: rt.u = term.constant.bool_value() ? 1 : 0; break;
+      case DataType::kInt: rt.i = term.constant.int_value(); break;
+      case DataType::kFloat: rt.f = term.constant.float_value(); break;
+      case DataType::kString: return;  // unreachable (no fixed width)
+    }
+    min_payload = std::max(min_payload, *offset + *width);
+    raw.push_back(rt);
+  }
+  raw_terms_ = std::move(raw);
+  raw_min_payload_ = min_payload;
+}
+
+bool SelectProjectNode::RawFilterPass(const ByteBuffer& payload) const {
+  const uint8_t* data = payload.data();
+  for (const RawTerm& term : raw_terms_) {
+    int cmp = 0;
+    switch (term.type) {
+      case DataType::kUint:
+        cmp = ThreeWay(ReadU64Le(data + term.offset), term.u);
+        break;
+      case DataType::kIp:
+        cmp = ThreeWay<uint64_t>(ReadU32Le(data + term.offset), term.u);
+        break;
+      case DataType::kBool:
+        cmp = ThreeWay<uint64_t>(data[term.offset] != 0 ? 1 : 0, term.u);
+        break;
+      case DataType::kInt:
+        cmp = ThreeWay(static_cast<int64_t>(ReadU64Le(data + term.offset)),
+                       term.i);
+        break;
+      case DataType::kFloat: {
+        uint64_t bits = ReadU64Le(data + term.offset);
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        cmp = ThreeWay(v, term.f);
+        break;
+      }
+      case DataType::kString:
+        return false;  // never built
+    }
+    if (!ApplyCompare(term.cmp, cmp)) return false;
+  }
+  return true;
 }
 
 size_t SelectProjectNode::Poll(size_t budget) {
   size_t processed = 0;
-  rts::StreamMessage message;
-  while (processed < budget && input_->TryPop(&message)) {
-    ++processed;
-    BeginMessage(message);
-    if (message.kind == rts::StreamMessage::Kind::kTuple) {
-      ProcessTuple(message.payload);
-    } else {
-      ProcessPunctuation(message.payload);
+  rts::StreamBatch batch;
+  // Batch-at-a-time: one pop per ring slot, then a tight loop over its
+  // messages. The budget may overshoot by at most one batch (a batch is
+  // never split across polls).
+  while (processed < budget && input_->TryPop(&batch)) {
+    for (rts::StreamMessage& message : batch.items) {
+      ++processed;
+      if (message.kind == rts::StreamMessage::Kind::kTuple) {
+        if (!raw_terms_.empty() &&
+            message.payload.size() >= raw_min_payload_) {
+          // Columnar fast path: the whole predicate runs on packed bytes;
+          // rejected tuples are never decoded.
+          if (!RawFilterPass(message.payload)) {
+            ++tuples_in_;
+            if (message.trace_id != 0) {
+              BeginMessage(message);
+              EndMessage();
+            }
+            continue;
+          }
+          BeginMessage(message);
+          ProcessTuple(message.payload, /*predicate_checked=*/true);
+          EndMessage();
+          continue;
+        }
+        BeginMessage(message);
+        ProcessTuple(message.payload, /*predicate_checked=*/false);
+        EndMessage();
+      } else {
+        BeginMessage(message);
+        ProcessPunctuation(message.payload);
+        EndMessage();
+      }
     }
-    EndMessage();
   }
+  writer_.Flush();
   return processed;
 }
 
-void SelectProjectNode::ProcessTuple(const ByteBuffer& payload) {
+void SelectProjectNode::ProcessTuple(const ByteBuffer& payload,
+                                     bool predicate_checked) {
   ++tuples_in_;
   auto row = input_codec_.Decode(ByteSpan(payload.data(), payload.size()));
   if (!row.ok()) {
@@ -46,9 +179,9 @@ void SelectProjectNode::ProcessTuple(const ByteBuffer& payload) {
   ctx.row0 = &row.value();
   ctx.params = params_.get();
 
-  if (spec_.predicate.has_value()) {
+  if (!predicate_checked && spec_.predicate.has_value()) {
     expr::EvalOutput predicate_result;
-    Status status = expr::Eval(*spec_.predicate, ctx, &predicate_result);
+    Status status = vm_.Eval(*spec_.predicate, ctx, &predicate_result);
     if (!status.ok()) {
       ++eval_errors_;
       return;
@@ -64,7 +197,7 @@ void SelectProjectNode::ProcessTuple(const ByteBuffer& payload) {
   out_row.reserve(spec_.projections.size());
   for (const expr::CompiledExpr& projection : spec_.projections) {
     expr::EvalOutput out;
-    Status status = expr::Eval(projection, ctx, &out);
+    Status status = vm_.Eval(projection, ctx, &out);
     if (!status.ok()) {
       ++eval_errors_;
       return;
@@ -77,7 +210,7 @@ void SelectProjectNode::ProcessTuple(const ByteBuffer& payload) {
   out_message.kind = rts::StreamMessage::Kind::kTuple;
   output_codec_.Encode(out_row, &out_message.payload);
   StampOutput(&out_message);
-  registry_->Publish(name(), out_message);
+  writer_.Write(std::move(out_message));
   ++tuples_out_;
 }
 
@@ -105,7 +238,7 @@ void SelectProjectNode::ProcessPunctuation(const ByteBuffer& payload) {
     ctx.row0 = &synthetic;
     ctx.params = params_.get();
     expr::EvalOutput result;
-    if (expr::Eval(spec_.projections[i], ctx, &result).ok() &&
+    if (vm_.Eval(spec_.projections[i], ctx, &result).ok() &&
         result.has_value) {
       out.bounds.emplace_back(i, std::move(result.value));
     }
@@ -116,7 +249,7 @@ void SelectProjectNode::ProcessPunctuation(const ByteBuffer& payload) {
   // Forwarded punctuation keeps the trace context so downstream
   // punctuation-driven group closes stay attributed to the traced packet.
   StampOutput(&out_message);
-  registry_->Publish(name(), out_message);
+  writer_.Write(std::move(out_message));
 }
 
 }  // namespace gigascope::ops

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "expr/codegen.h"
+#include "expr/vm.h"
 #include "rts/node.h"
 #include "rts/punctuation.h"
 #include "rts/tuple.h"
@@ -19,6 +20,12 @@ namespace gigascope::ops {
 /// projection. Punctuations pass through: a bound on an input field maps to
 /// a bound on every output field whose projection is an order-preserving
 /// function of exactly that field (e.g. `time/60`).
+///
+/// Polls a whole StreamBatch at a time and emits through a BatchWriter.
+/// When the predicate is a conjunction of `field <cmp> constant` terms over
+/// fixed-offset fields (the dominant LFTA filter shape), it is evaluated
+/// columnar-style straight off the packed tuple bytes: rejected tuples —
+/// the vast majority on a selective filter — never get decoded.
 class SelectProjectNode : public rts::QueryNode {
  public:
   struct Spec {
@@ -31,6 +38,8 @@ class SelectProjectNode : public rts::QueryNode {
     /// depends on, or -1 when it depends on zero or several fields or is
     /// not order-preserving.
     std::vector<int> punctuation_source;
+    /// Upper bound on messages per published output batch.
+    size_t output_batch = 64;
   };
 
   SelectProjectNode(Spec spec, rts::Subscription input,
@@ -38,8 +47,25 @@ class SelectProjectNode : public rts::QueryNode {
 
   size_t Poll(size_t budget) override;
 
+  /// Whether the predicate compiled to the raw byte-comparing fast path
+  /// (introspection for tests and EXPLAIN).
+  bool has_raw_filter() const { return !raw_terms_.empty(); }
+
  private:
-  void ProcessTuple(const ByteBuffer& payload);
+  /// One predicate conjunct evaluated on packed bytes: the field at a
+  /// fixed offset compared against a pre-extracted constant.
+  struct RawTerm {
+    size_t offset = 0;
+    gsql::DataType type = gsql::DataType::kUint;
+    expr::ByteOp cmp = expr::ByteOp::kCmpEq;
+    uint64_t u = 0;  // kUint/kIp/kBool constant
+    int64_t i = 0;   // kInt constant
+    double f = 0;    // kFloat constant
+  };
+
+  void BuildRawFilter();
+  bool RawFilterPass(const ByteBuffer& payload) const;
+  void ProcessTuple(const ByteBuffer& payload, bool predicate_checked);
   void ProcessPunctuation(const ByteBuffer& payload);
 
   Spec spec_;
@@ -48,6 +74,10 @@ class SelectProjectNode : public rts::QueryNode {
   rts::ParamBlock params_;
   rts::TupleCodec input_codec_;
   rts::TupleCodec output_codec_;
+  rts::BatchWriter writer_;
+  expr::Evaluator vm_;
+  std::vector<RawTerm> raw_terms_;  // empty: use the general VM
+  size_t raw_min_payload_ = 0;      // shorter payloads take the slow path
 };
 
 }  // namespace gigascope::ops

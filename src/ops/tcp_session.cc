@@ -70,11 +70,13 @@ TcpSessionNode::TcpSessionNode(Spec spec, FieldSlots slots,
 
 size_t TcpSessionNode::Poll(size_t budget) {
   size_t processed = 0;
-  rts::StreamMessage message;
-  while (processed < budget && input_->TryPop(&message)) {
-    ++processed;
-    if (message.kind != rts::StreamMessage::Kind::kTuple) continue;
-    ProcessTuple(message.payload);
+  rts::StreamBatch batch;
+  while (processed < budget && input_->TryPop(&batch)) {
+    for (rts::StreamMessage& message : batch.items) {
+      ++processed;
+      if (message.kind != rts::StreamMessage::Kind::kTuple) continue;
+      ProcessTuple(message.payload);
+    }
   }
   return processed;
 }

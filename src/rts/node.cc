@@ -54,6 +54,9 @@ void QueryNode::RegisterTelemetry(telemetry::Registry* metrics) const {
     metrics->RegisterHistogram(
         name_, prefix + metric::kRingOccupancySuffix,
         [channel] { return channel->occupancy_histogram().Snapshot(); });
+    metrics->RegisterHistogram(
+        name_, prefix + metric::kRingBatchSizeSuffix,
+        [channel] { return channel->batch_size_histogram().Snapshot(); });
   }
 }
 

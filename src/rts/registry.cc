@@ -52,6 +52,31 @@ size_t StreamRegistry::Publish(const std::string& name,
   return accepted;
 }
 
+size_t StreamRegistry::PublishBatch(const std::string& name,
+                                    StreamBatch&& batch) {
+  auto it = streams_.find(name);
+  if (it == streams_.end() || batch.items.empty()) return 0;
+  auto& subscribers = it->second.subscribers;
+  if (subscribers.empty()) return 0;
+  size_t accepted = 0;
+  for (size_t s = 0; s + 1 < subscribers.size(); ++s) {
+    StreamBatch copy = batch;
+    if (subscribers[s]->PushOrDrop(std::move(copy))) ++accepted;
+  }
+  if (subscribers.back()->PushOrDrop(std::move(batch))) ++accepted;
+  return accepted;
+}
+
+size_t StreamRegistry::FlushParkedPunctuations() {
+  size_t flushed = 0;
+  for (auto& [name, entry] : streams_) {
+    for (const Subscription& subscriber : entry.subscribers) {
+      if (subscriber->has_parked() && subscriber->FlushParked()) ++flushed;
+    }
+  }
+  return flushed;
+}
+
 std::vector<std::string> StreamRegistry::StreamNames() const {
   std::vector<std::string> names;
   names.reserve(streams_.size());

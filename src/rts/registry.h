@@ -38,6 +38,19 @@ class StreamRegistry {
   /// subscribers that accepted it (others counted drops).
   size_t Publish(const std::string& name, const StreamMessage& message);
 
+  /// Publishes a whole batch to all subscribers (copied per subscriber,
+  /// moved to the last). Returns the number of subscribers that accepted
+  /// it; the ring parks a trailing punctuation instead of dropping it.
+  size_t PublishBatch(const std::string& name, StreamBatch&& batch);
+
+  /// Retries every parked punctuation across all subscriber channels.
+  /// Returns how many were delivered by this call — callers loop
+  /// `while (FlushParkedPunctuations() > 0) <drain consumers>;` which
+  /// terminates once no further progress is possible (e.g. a full channel
+  /// nobody is consuming). Must run on the publishing thread (the parked
+  /// message is producer-side state), i.e. single-threaded pump only.
+  size_t FlushParkedPunctuations();
+
   std::vector<std::string> StreamNames() const;
 
   /// Total drops across all subscriber channels of `name`.
@@ -49,6 +62,39 @@ class StreamRegistry {
     std::vector<Subscription> subscribers;
   };
   std::map<std::string, StreamEntry> streams_;
+};
+
+/// Producer-side accumulator for a node's output stream: operators append
+/// messages and the writer publishes them as batches. A batch flushes when
+/// it reaches `max_batch` messages or when a punctuation closes it (the
+/// batch invariant: punctuation only at the tail); the owning operator
+/// calls Flush() at the end of every Poll so no output outlives the poll
+/// round that produced it.
+class BatchWriter {
+ public:
+  BatchWriter(StreamRegistry* registry, std::string stream, size_t max_batch)
+      : registry_(registry),
+        stream_(std::move(stream)),
+        max_batch_(max_batch == 0 ? 1 : max_batch) {}
+
+  void Write(StreamMessage&& message) {
+    const bool punctuation =
+        message.kind == StreamMessage::Kind::kPunctuation;
+    open_.items.push_back(std::move(message));
+    if (punctuation || open_.items.size() >= max_batch_) Flush();
+  }
+
+  void Flush() {
+    if (open_.items.empty()) return;
+    registry_->PublishBatch(stream_, std::move(open_));
+    open_.items.clear();
+  }
+
+ private:
+  StreamRegistry* registry_;
+  std::string stream_;
+  size_t max_batch_;
+  StreamBatch open_;
 };
 
 }  // namespace gigascope::rts

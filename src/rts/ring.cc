@@ -42,17 +42,24 @@ RingChannel::RingChannel(size_t capacity)
   GS_CHECK(capacity > 0);
 }
 
-bool RingChannel::TryPush(StreamMessage message) {
+bool RingChannel::TryPush(StreamBatch&& batch) {
+  if (batch.items.empty()) return true;  // nothing to enqueue
   const uint64_t head = head_.load(std::memory_order_relaxed);
   if (head - cached_tail_ >= capacity_) {
     // Refresh the cached tail; acquire pairs with the consumer's release
     // store so the slot we are about to overwrite is truly vacated.
     cached_tail_ = tail_.load(std::memory_order_acquire);
+    // The batch has not been touched: the caller keeps ownership and can
+    // retry with the very same object (the old by-value API consumed the
+    // message even on failure, which made retry loops re-send a
+    // moved-from shell).
     if (head - cached_tail_ >= capacity_) return false;
   }
-  slots_[head & mask_] = std::move(message);
+  const size_t messages = batch.items.size();
+  slots_[head & mask_] = std::move(batch);
   head_.store(head + 1, std::memory_order_release);
-  ++pushed_;
+  pushed_.Add(messages);
+  batch_size_.Record(messages);
   const size_t occupancy = static_cast<size_t>(
       head + 1 - tail_.load(std::memory_order_relaxed));
   high_water_.Max(occupancy);
@@ -61,13 +68,69 @@ bool RingChannel::TryPush(StreamMessage message) {
   return true;
 }
 
-bool RingChannel::PushOrDrop(StreamMessage message) {
-  if (TryPush(std::move(message))) return true;
-  ++dropped_;
+bool RingChannel::TryPush(StreamMessage&& message) {
+  StreamBatch batch;
+  batch.items.push_back(std::move(message));
+  if (TryPush(std::move(batch))) return true;
+  message = std::move(batch.items.front());  // restore: no-consume contract
   return false;
 }
 
-bool RingChannel::TryPop(StreamMessage* out) {
+bool RingChannel::TryPush(const StreamMessage& message) {
+  StreamBatch batch;
+  batch.items.push_back(message);
+  return TryPush(std::move(batch));
+}
+
+bool RingChannel::PushOrDrop(StreamBatch&& batch) {
+  if (parked_punct_.has_value()) {
+    if (batch.has_punctuation()) {
+      // The batch's own punctuation carries a bound at least as new as the
+      // parked one (bounds are non-decreasing on a stream), so the parked
+      // punctuation is superseded — dropping it loses no information.
+      parked_punct_.reset();
+    } else {
+      // Ride the parked punctuation at the tail of this batch. It now
+      // follows tuples that were produced after it, which is safe: its
+      // bound ("no future tuple below v") still holds after any later
+      // tuple.
+      batch.items.push_back(std::move(*parked_punct_));
+      parked_punct_.reset();
+    }
+  }
+  if (batch.items.empty()) return true;
+  if (TryPush(std::move(batch))) return true;
+  // Full ring: the tuples drop here — as early in the chain as possible,
+  // per §4/§5 — but the punctuation must not, or downstream group-close
+  // stalls until the next one happens to arrive. Park it for the next
+  // push.
+  size_t tuples = batch.items.size();
+  if (batch.has_punctuation()) {
+    --tuples;
+    parked_punct_ = std::move(batch.items.back());
+  }
+  dropped_.Add(tuples);
+  batch.items.clear();
+  return false;
+}
+
+bool RingChannel::PushOrDrop(StreamMessage message) {
+  StreamBatch batch;
+  batch.items.push_back(std::move(message));
+  return PushOrDrop(std::move(batch));
+}
+
+bool RingChannel::FlushParked() {
+  if (!parked_punct_.has_value()) return true;
+  StreamBatch batch;
+  batch.items.push_back(std::move(*parked_punct_));
+  parked_punct_.reset();
+  if (TryPush(std::move(batch))) return true;
+  parked_punct_ = std::move(batch.items.back());  // still full: re-park
+  return false;
+}
+
+bool RingChannel::PopSlot(StreamBatch* out) {
   const uint64_t tail = tail_.load(std::memory_order_relaxed);
   if (tail == cached_head_) {
     // Acquire pairs with the producer's release store: the slot contents
@@ -77,7 +140,32 @@ bool RingChannel::TryPop(StreamMessage* out) {
   }
   *out = std::move(slots_[tail & mask_]);
   tail_.store(tail + 1, std::memory_order_release);
-  ++popped_;
+  popped_.Add(out->items.size());
+  return true;
+}
+
+bool RingChannel::TryPop(StreamBatch* out) {
+  if (staged_index_ < staged_.items.size()) {
+    // Hand over the remainder of a partially drained batch first so the
+    // batch- and message-level pop APIs interleave in FIFO order.
+    out->items.assign(
+        std::make_move_iterator(staged_.items.begin() + staged_index_),
+        std::make_move_iterator(staged_.items.end()));
+    staged_.items.clear();
+    staged_index_ = 0;
+    return true;
+  }
+  out->items.clear();
+  return PopSlot(out);
+}
+
+bool RingChannel::TryPop(StreamMessage* out) {
+  while (staged_index_ >= staged_.items.size()) {
+    staged_.items.clear();
+    staged_index_ = 0;
+    if (!PopSlot(&staged_)) return false;
+  }
+  *out = std::move(staged_.items[staged_index_++]);
   return true;
 }
 

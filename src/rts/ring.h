@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "rts/tuple.h"
@@ -40,7 +41,18 @@ class ConsumerWaker {
 /// shared-memory segments. Pushing to a full channel fails; the producer
 /// decides whether to drop (and the channel counts it) — per §4/§5, lightly
 /// processed tuples drop before highly processed ones, so drops happen as
-/// early in the chain as possible.
+/// early in the chain as possible. Punctuations are the exception: they
+/// carry ordering guarantees downstream operators block on, so PushOrDrop
+/// never discards one — it parks the punctuation producer-side and rides it
+/// on the next push that fits (safe because a punctuation's bound still
+/// holds after later tuples, and a newer punctuation supersedes an older
+/// one: bounds are non-decreasing).
+///
+/// Each slot carries a StreamBatch — tuples plus at most one trailing
+/// punctuation — so one push/pop pair amortizes the synchronization cost
+/// over the whole batch. Message-level TryPush/TryPop overloads wrap the
+/// batch API (singleton batches in; a consumer-side staging batch out) for
+/// callers that still speak one message at a time.
 ///
 /// Lock-free single-producer/single-consumer ring: a fixed power-of-two
 /// slot array indexed by free-running head (producer) and tail (consumer)
@@ -48,33 +60,62 @@ class ConsumerWaker {
 /// contract by giving every channel exactly one publishing node (or the
 /// inject thread, for source streams) and exactly one consuming node, each
 /// owned by a single thread. Counters are exact in any quiesced state:
-/// pushed == popped + size, and drops are counted on this channel only.
+/// pushed == popped + queued messages, and drops are counted on this
+/// channel only. pushed/popped/dropped count messages; size(), capacity()
+/// and the high-water mark count slots (batches).
 class RingChannel {
  public:
   explicit RingChannel(size_t capacity);
   RingChannel(const RingChannel&) = delete;
   RingChannel& operator=(const RingChannel&) = delete;
 
-  /// Enqueues; false when full. Producer-side only. The by-value argument
-  /// is consumed even on failure — retry loops must pass a copy.
-  bool TryPush(StreamMessage message);
+  /// Enqueues a batch; false when full. Producer-side only. On failure the
+  /// batch is NOT consumed — the caller still owns its contents and may
+  /// retry with the same object (no re-send of a moved-from shell). An
+  /// empty batch is accepted as a no-op.
+  bool TryPush(StreamBatch&& batch);
 
-  /// Enqueues or records a drop; returns whether it was enqueued.
+  /// Message-level compatibility: enqueues a singleton batch. Same
+  /// no-consume contract — on failure `message` still holds its payload.
+  bool TryPush(StreamMessage&& message);
+  bool TryPush(const StreamMessage& message);
+
+  /// Enqueues, or drops the batch's tuples and records them as drops;
+  /// returns whether the batch was enqueued. A trailing punctuation is
+  /// never dropped: on failure it is parked and attached to the next
+  /// push (see class comment). Consumes the batch either way.
   /// Producer-side only.
+  bool PushOrDrop(StreamBatch&& batch);
   bool PushOrDrop(StreamMessage message);
 
-  /// Dequeues; false when empty. Consumer-side only.
+  /// Retries a parked punctuation (pushes it as its own batch). Returns
+  /// true when nothing remains parked. Producer-side only.
+  bool FlushParked();
+
+  /// Whether a punctuation is parked waiting for ring space. Producer-side
+  /// only (the parked message lives outside the slots).
+  bool has_parked() const { return parked_punct_.has_value(); }
+
+  /// Dequeues a whole batch; false when empty. Consumer-side only. If a
+  /// previous message-level TryPop left part of a batch staged, the staged
+  /// remainder is returned first so the two pop APIs interleave in FIFO
+  /// order.
+  bool TryPop(StreamBatch* out);
+
+  /// Message-level compatibility: dequeues the next message, staging the
+  /// rest of its batch for subsequent calls. Consumer-side only.
   bool TryPop(StreamMessage* out);
 
-  /// Occupancy. Exact when quiesced; a point-in-time estimate while the
-  /// producer and consumer are running.
+  /// Occupied slots (batches). Exact when quiesced; a point-in-time
+  /// estimate while the producer and consumer are running. Does not count
+  /// the consumer's staged remainder.
   size_t size() const;
   size_t capacity() const { return capacity_; }
   uint64_t pushed() const { return pushed_.value(); }
   uint64_t popped() const { return popped_.value(); }
   uint64_t dropped() const { return dropped_.value(); }
 
-  /// Highest occupancy observed (for the E4 heartbeat experiment).
+  /// Highest slot occupancy observed (for the E4 heartbeat experiment).
   size_t high_water_mark() const {
     return static_cast<size_t>(high_water_.value());
   }
@@ -87,6 +128,12 @@ class RingChannel {
     return occupancy_;
   }
 
+  /// Messages per pushed batch — how well the data plane is amortizing
+  /// the per-slot handoff. Producer-written; snapshot from any thread.
+  const telemetry::Histogram& batch_size_histogram() const {
+    return batch_size_;
+  }
+
   /// Installs the consumer's waker: successful pushes call Wake() so a
   /// parked consumer resumes promptly (tuples and punctuations alike —
   /// punctuations are what un-idle blocked operators, §3). Must be called
@@ -97,9 +144,12 @@ class RingChannel {
   }
 
  private:
+  /// Pops the next slot into `out` (bypassing the staging batch).
+  bool PopSlot(StreamBatch* out);
+
   const size_t capacity_;  // logical capacity (exact, any value >= 1)
   const size_t mask_;      // slots_.size() - 1; slots_.size() is a power of 2
-  std::vector<StreamMessage> slots_;
+  std::vector<StreamBatch> slots_;
 
   // Free-running counters; slot index is counter & mask_.
   alignas(64) std::atomic<uint64_t> head_{0};  // next slot to push
@@ -109,6 +159,15 @@ class RingChannel {
   alignas(64) uint64_t cached_tail_ = 0;
   alignas(64) uint64_t cached_head_ = 0;
 
+  // Producer-side only: a punctuation whose batch could not be pushed,
+  // waiting to ride the next successful push (never dropped).
+  std::optional<StreamMessage> parked_punct_;
+
+  // Consumer-side only: remainder of a batch being drained one message at
+  // a time by the message-level TryPop.
+  StreamBatch staged_;
+  size_t staged_index_ = 0;
+
   // Stats: telemetry counters so `micro_ring`, the engine's `gs_stats`
   // stream, and direct accessors all report from one source of truth.
   // Each counter has a single writer (producer or consumer).
@@ -116,7 +175,8 @@ class RingChannel {
   telemetry::Counter popped_;
   telemetry::Counter dropped_;
   telemetry::Counter high_water_;
-  telemetry::Histogram occupancy_;  // producer-written, see TryPush
+  telemetry::Histogram occupancy_;   // producer-written, see TryPush
+  telemetry::Histogram batch_size_;  // producer-written, messages per push
 
   std::shared_ptr<ConsumerWaker> waker_;
 };

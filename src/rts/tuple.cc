@@ -112,6 +112,29 @@ Result<Row> TupleCodec::Decode(ByteSpan bytes) const {
   return row;
 }
 
+std::optional<size_t> TupleCodec::FixedTypeWidth(gsql::DataType type) {
+  switch (type) {
+    case DataType::kBool: return 1;
+    case DataType::kInt:
+    case DataType::kUint:
+    case DataType::kFloat: return 8;
+    case DataType::kIp: return 4;
+    case DataType::kString: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> TupleCodec::FixedFieldOffset(size_t field) const {
+  if (field >= schema_.num_fields()) return std::nullopt;
+  size_t offset = 0;
+  for (size_t f = 0; f < field; ++f) {
+    std::optional<size_t> width = FixedTypeWidth(schema_.field(f).type);
+    if (!width.has_value()) return std::nullopt;  // variable-width prefix
+    offset += *width;
+  }
+  return offset;
+}
+
 size_t TupleCodec::EncodedSize(const Row& row) const {
   size_t size = 0;
   for (size_t f = 0; f < row.size(); ++f) {

@@ -1,6 +1,7 @@
 #ifndef GIGASCOPE_RTS_TUPLE_H_
 #define GIGASCOPE_RTS_TUPLE_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/bytes.h"
@@ -33,6 +34,16 @@ class TupleCodec {
   /// Encoded size of `row` in bytes.
   size_t EncodedSize(const Row& row) const;
 
+  /// Byte offset of field `field` in every encoded tuple of this schema,
+  /// when all preceding fields are fixed-width (no strings); nullopt when
+  /// the offset varies per row or `field` is out of range. Lets a filter
+  /// read one field straight out of the packed bytes without decoding the
+  /// whole row (the columnar fast path in ops/select_project).
+  std::optional<size_t> FixedFieldOffset(size_t field) const;
+
+  /// Encoded width in bytes of a fixed-width type; nullopt for strings.
+  static std::optional<size_t> FixedTypeWidth(gsql::DataType type);
+
  private:
   gsql::StreamSchema schema_;
 };
@@ -53,6 +64,27 @@ struct StreamMessage {
   ByteBuffer payload;
   uint64_t trace_id = 0;
   int64_t trace_ns = 0;  // inject time, in the tracer's epoch
+};
+
+/// The unit a ring slot carries: zero or more tuples followed by at most
+/// one punctuation, in stream order. Batching amortizes the per-message
+/// ring handoff and operator dispatch over many tuples while preserving
+/// the paper's §2 ordering semantics — everything inside a batch stays in
+/// the order it was produced, and a punctuation always closes its batch
+/// (nothing in this batch follows it, so its ordering guarantee covers
+/// exactly the tuples that preceded it on the stream).
+struct StreamBatch {
+  std::vector<StreamMessage> items;
+
+  size_t size() const { return items.size(); }
+  bool empty() const { return items.empty(); }
+
+  /// True when the batch ends in a punctuation. Producers maintain the
+  /// invariant that a punctuation can only be the last item.
+  bool has_punctuation() const {
+    return !items.empty() &&
+           items.back().kind == StreamMessage::Kind::kPunctuation;
+  }
 };
 
 }  // namespace gigascope::rts

@@ -23,8 +23,10 @@ inline constexpr char kRingPoppedSuffix[] = "_popped";
 inline constexpr char kRingDroppedSuffix[] = "_dropped";
 inline constexpr char kRingSizeSuffix[] = "_size";
 inline constexpr char kRingHighWaterSuffix[] = "_high_water";
-/// Ring occupancy histogram (messages queued, sampled at each push).
+/// Ring occupancy histogram (batches queued, sampled at each push).
 inline constexpr char kRingOccupancySuffix[] = "_occupancy";
+/// Messages per pushed batch (how well the data plane amortizes pushes).
+inline constexpr char kRingBatchSizeSuffix[] = "_batch_size";
 
 // -- Aggregation operators ---------------------------------------------------
 inline constexpr char kOpenGroups[] = "open_groups";

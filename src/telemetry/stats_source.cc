@@ -23,6 +23,9 @@ void StatsSource::EmitSnapshot(SimTime now) {
   rts::Row row(5);
   row[0] = Value::Uint(seconds);
   row[1] = Value::Uint(nanos);
+  // One snapshot is one batch (plus the closing punctuation at its tail);
+  // a snapshot has a few dozen rows, comfortably within one ring slot.
+  rts::StreamBatch batch;
   for (const MetricSample& sample : metrics_->Snapshot()) {
     row[2] = Value::String(sample.entity);
     row[3] = Value::String(sample.metric);
@@ -30,7 +33,7 @@ void StatsSource::EmitSnapshot(SimTime now) {
     rts::StreamMessage message;
     message.kind = rts::StreamMessage::Kind::kTuple;
     codec_.Encode(row, &message.payload);
-    streams_->Publish(stream, message);
+    batch.items.push_back(std::move(message));
   }
 
   // No tuple of a later snapshot will carry smaller time attributes, so
@@ -38,7 +41,8 @@ void StatsSource::EmitSnapshot(SimTime now) {
   rts::Punctuation punctuation;
   punctuation.bounds.emplace_back(0, Value::Uint(seconds));
   punctuation.bounds.emplace_back(1, Value::Uint(nanos));
-  streams_->Publish(stream, rts::MakePunctuationMessage(punctuation, schema_));
+  batch.items.push_back(rts::MakePunctuationMessage(punctuation, schema_));
+  streams_->PublishBatch(stream, std::move(batch));
   ++snapshots_;
 }
 

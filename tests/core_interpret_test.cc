@@ -106,6 +106,31 @@ TEST(InterpretPacketTest, MalformedPacketYieldsDefaults) {
   EXPECT_EQ(row[*schema.FieldIndex("payload")].string_value(), "");
 }
 
+TEST(InterpretPacketTest, PlannedInterpretationMatchesNameResolved) {
+  auto schema = gsql::Catalog::BuiltinPacketSchema();
+  InterpretPlan plan = BuildInterpretPlan(schema);
+  net::Packet packet = SamplePacket();
+  rts::Row by_name = InterpretPacket(schema, packet);
+  rts::Row by_plan = InterpretPacket(plan, packet);
+  ASSERT_EQ(by_plan.size(), by_name.size());
+  for (size_t f = 0; f < by_name.size(); ++f) {
+    EXPECT_EQ(by_plan[f].Compare(by_name[f]), 0) << f;
+  }
+}
+
+TEST(InterpretPacketTest, UnwantedPayloadFieldsInterpretAsDefaults) {
+  auto schema = gsql::Catalog::BuiltinPacketSchema();
+  InterpretPlan plan = BuildInterpretPlan(schema);
+  plan.wanted[*schema.FieldIndex("payload")] = false;
+  plan.wanted[*schema.FieldIndex("ipPayload")] = false;
+  rts::Row row = InterpretPacket(plan, SamplePacket());
+  EXPECT_EQ(row[*schema.FieldIndex("payload")].string_value(), "");
+  EXPECT_EQ(row[*schema.FieldIndex("ipPayload")].string_value(), "");
+  // Fixed-width fields are never gated.
+  EXPECT_EQ(row[*schema.FieldIndex("destPort")].uint_value(), 443u);
+  EXPECT_EQ(row[*schema.FieldIndex("srcIP")].ip_value(), 0x0a000001u);
+}
+
 TEST(InterpretPacketTest, UnknownFieldsGetTypeDefaults) {
   std::vector<gsql::FieldDef> fields;
   fields.push_back({"time", DataType::kUint, gsql::OrderSpec::Increasing()});

@@ -684,6 +684,10 @@ TEST(EngineTest, OverloadDropsEarliestInTheChain) {
   // output.
   EngineOptions options;
   options.channel_capacity = 8;
+  // Per-tuple flow: ring capacity counts slots, and a slot holds a whole
+  // batch — size 1 makes slot == tuple so the drop arithmetic below is
+  // exact. Batched overload behavior is covered by batch_equivalence_test.
+  options.batch_max_size = 1;
   Engine engine(options);
   engine.AddInterface("eth0");
   ASSERT_TRUE(engine

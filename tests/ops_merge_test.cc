@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "ops/merge.h"
 #include "rts/punctuation.h"
 
@@ -190,6 +193,37 @@ TEST_F(MergeTest, BufferHighWaterTracked) {
   for (uint64_t t = 1; t <= 30; ++t) Send("a", t, 0);
   node_->Poll(1000);
   EXPECT_GE(node_->buffer_high_water(), 30u);
+}
+
+TEST_F(MergeTest, SkewedBandedInputSortsViaBinaryInsert) {
+  // Adversarial insertion pattern for the sorted buffer: every block of
+  // ten arrives fully reversed, so all but the first tuple of each block
+  // take the binary-search (upper_bound) insertion path. The output must
+  // still come out sorted, and the high-water mark must reflect the full
+  // buffered backlog — the same accounting as the linear-append path.
+  Init(/*band=*/64);
+  std::vector<uint64_t> sent;
+  for (uint64_t block = 0; block < 10; ++block) {
+    for (uint64_t j = 0; j < 10; ++j) {
+      uint64_t t = block * 10 + (9 - j) + 1;
+      Send("a", t, 0);
+      sent.push_back(t);
+    }
+  }
+  node_->Poll(1000);
+  // b is silent: nothing can be emitted, everything is buffered.
+  EXPECT_TRUE(ReceiveTimes().empty());
+  EXPECT_EQ(node_->buffered(), sent.size());
+  EXPECT_EQ(node_->buffer_high_water(), sent.size());
+
+  SendHeartbeat("b", 1000);
+  node_->Poll(1000);
+  node_->Flush();
+  auto times = ReceiveTimes();
+  std::sort(sent.begin(), sent.end());
+  EXPECT_EQ(times, sent);  // fully sorted, nothing lost or duplicated
+  // Draining must never push the mark higher than the true backlog.
+  EXPECT_EQ(node_->buffer_high_water(), sent.size());
 }
 
 }  // namespace

@@ -317,9 +317,9 @@ TEST(RingConcurrencyTest, SpscStressFifoNoLoss) {
     for (int b = 0; b < 8; ++b) {
       message.payload[b] = static_cast<uint8_t>(i >> (8 * b));
     }
-    // TryPush takes its argument by value, so a failed push consumes the
-    // moved-from message: retry with copies.
-    while (!channel.TryPush(message)) {
+    // A failed TryPush leaves the message untouched (no-consume
+    // contract), so the retry loop can move the very same object.
+    while (!channel.TryPush(std::move(message))) {
       std::this_thread::yield();  // backpressure, never drop
     }
   }
@@ -331,6 +331,169 @@ TEST(RingConcurrencyTest, SpscStressFifoNoLoss) {
   // Exact accounting invariant: everything pushed was either popped or is
   // still queued.
   EXPECT_EQ(channel.pushed(), channel.popped() + channel.size());
+}
+
+TEST(RingTest, FailedPushLeavesMessageIntact) {
+  // Regression: the old by-value TryPush consumed the message even when
+  // the ring was full, so retry loops re-sent a moved-from shell.
+  RingChannel channel(1);
+  StreamMessage filler;
+  filler.payload = {9};
+  ASSERT_TRUE(channel.TryPush(std::move(filler)));
+
+  StreamMessage message;
+  message.payload = {1, 2, 3};
+  message.trace_id = 77;
+  EXPECT_FALSE(channel.TryPush(std::move(message)));
+  // The caller still owns the payload and can retry with the same object.
+  EXPECT_EQ(message.payload, (ByteBuffer{1, 2, 3}));
+  EXPECT_EQ(message.trace_id, 77u);
+
+  StreamMessage out;
+  ASSERT_TRUE(channel.TryPop(&out));
+  EXPECT_TRUE(channel.TryPush(std::move(message)));
+  ASSERT_TRUE(channel.TryPop(&out));
+  EXPECT_EQ(out.payload, (ByteBuffer{1, 2, 3}));
+}
+
+TEST(RingTest, FailedBatchPushLeavesBatchIntact) {
+  RingChannel channel(1);
+  StreamBatch filler;
+  filler.items.emplace_back();
+  ASSERT_TRUE(channel.TryPush(std::move(filler)));
+
+  StreamBatch batch;
+  for (uint8_t i = 0; i < 3; ++i) {
+    StreamMessage message;
+    message.payload = {i};
+    batch.items.push_back(std::move(message));
+  }
+  EXPECT_FALSE(channel.TryPush(std::move(batch)));
+  ASSERT_EQ(batch.items.size(), 3u);
+  for (uint8_t i = 0; i < 3; ++i) EXPECT_EQ(batch.items[i].payload[0], i);
+
+  StreamBatch out;
+  ASSERT_TRUE(channel.TryPop(&out));
+  EXPECT_TRUE(channel.TryPush(std::move(batch)));
+  EXPECT_EQ(channel.pushed(), 4u);  // counters count messages, not slots
+}
+
+TEST(RingTest, PunctuationParksOnFullRingAndRidesNextPush) {
+  RingChannel channel(1);
+  StreamMessage filler;
+  ASSERT_TRUE(channel.TryPush(std::move(filler)));
+
+  // A full ring drops the batch's tuples but never its punctuation.
+  StreamBatch batch;
+  batch.items.emplace_back();  // tuple, will drop
+  StreamMessage punct;
+  punct.kind = StreamMessage::Kind::kPunctuation;
+  punct.payload = {42};
+  batch.items.push_back(std::move(punct));
+  EXPECT_FALSE(channel.PushOrDrop(std::move(batch)));
+  EXPECT_EQ(channel.dropped(), 1u);  // the tuple only
+  EXPECT_TRUE(channel.has_parked());
+
+  // Space frees; the parked punctuation rides the tail of the next push.
+  StreamBatch out;
+  ASSERT_TRUE(channel.TryPop(&out));
+  StreamBatch next;
+  next.items.emplace_back();
+  EXPECT_TRUE(channel.PushOrDrop(std::move(next)));
+  EXPECT_FALSE(channel.has_parked());
+  ASSERT_TRUE(channel.TryPop(&out));
+  ASSERT_EQ(out.items.size(), 2u);
+  EXPECT_EQ(out.items[1].kind, StreamMessage::Kind::kPunctuation);
+  EXPECT_EQ(out.items[1].payload, (ByteBuffer{42}));
+}
+
+TEST(RingTest, ParkedPunctuationSupersededByNewer) {
+  RingChannel channel(1);
+  StreamMessage filler;
+  ASSERT_TRUE(channel.TryPush(std::move(filler)));
+
+  StreamMessage old_punct;
+  old_punct.kind = StreamMessage::Kind::kPunctuation;
+  old_punct.payload = {1};
+  EXPECT_FALSE(channel.PushOrDrop(std::move(old_punct)));
+  EXPECT_TRUE(channel.has_parked());
+
+  // A newer punctuation carries a bound at least as tight: the parked one
+  // is dropped as superseded, and the newer one parks in its place.
+  StreamMessage new_punct;
+  new_punct.kind = StreamMessage::Kind::kPunctuation;
+  new_punct.payload = {2};
+  EXPECT_FALSE(channel.PushOrDrop(std::move(new_punct)));
+  EXPECT_TRUE(channel.has_parked());
+  EXPECT_EQ(channel.dropped(), 0u);  // punctuations never count as drops
+
+  StreamBatch out;
+  ASSERT_TRUE(channel.TryPop(&out));
+  EXPECT_TRUE(channel.FlushParked());
+  EXPECT_FALSE(channel.has_parked());
+  ASSERT_TRUE(channel.TryPop(&out));
+  ASSERT_EQ(out.items.size(), 1u);
+  EXPECT_EQ(out.items[0].payload, (ByteBuffer{2}));  // only the newer one
+}
+
+TEST(RingTest, FlushParkedReparksWhileStillFull) {
+  RingChannel channel(1);
+  StreamMessage filler;
+  ASSERT_TRUE(channel.TryPush(std::move(filler)));
+  StreamMessage punct;
+  punct.kind = StreamMessage::Kind::kPunctuation;
+  EXPECT_FALSE(channel.PushOrDrop(std::move(punct)));
+  EXPECT_FALSE(channel.FlushParked());  // no room yet
+  EXPECT_TRUE(channel.has_parked());
+  StreamBatch out;
+  ASSERT_TRUE(channel.TryPop(&out));
+  EXPECT_TRUE(channel.FlushParked());
+  ASSERT_TRUE(channel.TryPop(&out));
+  EXPECT_EQ(out.items[0].kind, StreamMessage::Kind::kPunctuation);
+}
+
+TEST(RingTest, BatchPopAndMessagePopInterleaveFifo) {
+  RingChannel channel(4);
+  for (uint8_t b = 0; b < 3; ++b) {
+    StreamBatch batch;
+    for (uint8_t i = 0; i < 3; ++i) {
+      StreamMessage message;
+      message.payload = {static_cast<uint8_t>(b * 3 + i)};
+      batch.items.push_back(std::move(message));
+    }
+    ASSERT_TRUE(channel.TryPush(std::move(batch)));
+  }
+  // Drain one message from the first batch, then switch to batch pops:
+  // the staged remainder must come out before the next slot.
+  StreamMessage message;
+  ASSERT_TRUE(channel.TryPop(&message));
+  EXPECT_EQ(message.payload[0], 0);
+  StreamBatch batch;
+  ASSERT_TRUE(channel.TryPop(&batch));
+  ASSERT_EQ(batch.items.size(), 2u);
+  EXPECT_EQ(batch.items[0].payload[0], 1);
+  EXPECT_EQ(batch.items[1].payload[0], 2);
+  // Remaining six messages, message-at-a-time across slot boundaries.
+  for (uint8_t expected = 3; expected < 9; ++expected) {
+    ASSERT_TRUE(channel.TryPop(&message));
+    EXPECT_EQ(message.payload[0], expected);
+  }
+  EXPECT_FALSE(channel.TryPop(&message));
+  EXPECT_EQ(channel.pushed(), 9u);
+  EXPECT_EQ(channel.popped(), 9u);
+}
+
+TEST(RingTest, BatchSizeHistogramCountsMessagesPerPush) {
+  RingChannel channel(8);
+  StreamBatch batch;
+  for (int i = 0; i < 5; ++i) batch.items.emplace_back();
+  ASSERT_TRUE(channel.TryPush(std::move(batch)));
+  StreamMessage single;
+  ASSERT_TRUE(channel.TryPush(std::move(single)));
+  auto snapshot = channel.batch_size_histogram().Snapshot();
+  EXPECT_EQ(snapshot.count, 2u);  // two pushes...
+  EXPECT_EQ(snapshot.sum, 6u);    // ...carrying six messages
+  EXPECT_EQ(snapshot.max, 5u);
 }
 
 TEST(RegistryTest, FanOutDropChargedToFullChannelOnly) {

@@ -270,6 +270,65 @@ TEST(TelemetryEngineTest, GsqlAggregationOverStatsStream) {
   EXPECT_TRUE(saw_base_node);
 }
 
+// The run's tail used to go missing from gs_stats: work done after the
+// last periodic snapshot was never reported. FlushAll now emits one
+// terminal snapshot, stamped at the last input time, as it seals.
+TEST(TelemetryEngineTest, FlushAllEmitsTerminalSnapshot) {
+  EngineOptions options;
+  options.stats_period = kNanosPerSecond;
+  Engine engine(options);
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name base; } "
+                            "SELECT time, len FROM eth0.PKT "
+                            "WHERE protocol = 6")
+                  .ok());
+  auto channel = engine.registry().Subscribe("gs_stats", 1 << 14);
+  ASSERT_TRUE(channel.ok());
+
+  // Ten packets; the last lands mid-period at 2.5s, after the final
+  // periodic snapshot fires.
+  const SimTime last_time = 5 * kNanosPerSecond / 2;
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(engine
+                    .InjectPacket("eth0",
+                                  MakeTcpPacket(i * kNanosPerSecond / 4,
+                                                0x0a000001, 80, "x"))
+                    .ok());
+  }
+  engine.PumpUntilIdle();
+  engine.FlushAll();
+
+  gsql::StreamSchema schema = gsql::Catalog::BuiltinStatsSchema();
+  rts::TupleCodec codec(schema);
+  uint64_t last_snapshot_ts = 0;
+  uint64_t terminal_base_tuples = 0;
+  size_t punctuations = 0;
+  rts::StreamMessage message;
+  while ((*channel)->TryPop(&message)) {
+    ByteSpan bytes(message.payload.data(), message.payload.size());
+    if (message.kind == rts::StreamMessage::Kind::kTuple) {
+      auto row = codec.Decode(bytes);
+      ASSERT_TRUE(row.ok());
+      last_snapshot_ts = (*row)[1].uint_value();
+      if ((*row)[2].string_value() == "base" &&
+          (*row)[3].string_value() == "tuples_out") {
+        terminal_base_tuples = (*row)[4].uint_value();
+      }
+    } else {
+      ++punctuations;
+    }
+  }
+  // The terminal snapshot is stamped with the last input time, not the
+  // last period boundary...
+  EXPECT_EQ(last_snapshot_ts, static_cast<uint64_t>(last_time));
+  // ...and reports the complete run: all ten tuples, including the ones
+  // processed after the 2s periodic snapshot.
+  EXPECT_EQ(terminal_base_tuples, 10u);
+  // Two periodic snapshots (at 1s and 2s) plus the terminal one.
+  EXPECT_EQ(punctuations, 3u);
+}
+
 // TSan regression: GetNodeStats and telemetry().Snapshot() must be safe
 // from a control thread while the inject thread pumps packets (with the
 // periodic gs_stats emitter enabled) and workers drain the HFTA stage.

@@ -56,6 +56,12 @@ int Usage() {
       "                    gs_stats (default: off)\n"
       "  --stats-dump      after the run, print every telemetry counter\n"
       "                    as a table on stderr\n"
+      "  --batch-size=N    accumulate up to N tuples per source batch\n"
+      "                    before publishing into the data plane; 1\n"
+      "                    restores per-tuple flow (default: 64)\n"
+      "  --batch-delay=S   flush an open source batch once it is S seconds\n"
+      "                    of capture time old, bounding batching latency\n"
+      "                    (S may be fractional; default: 0, no age flush)\n"
       "  --trace-sample=N  tag 1-in-N injected packets and trace them\n"
       "                    through every operator (default: off)\n"
       "  --trace-out=FILE  write the collected trace as Chrome trace-event\n"
@@ -99,6 +105,8 @@ void PrintHeader(const gigascope::gsql::StreamSchema& schema) {
 int main(int argc, char** argv) {
   size_t threads = 0;
   double stats_period_seconds = 0;
+  size_t batch_size = 64;
+  double batch_delay_seconds = 0;
   bool stats_dump = false;
   size_t trace_sample = 0;
   std::string trace_out;
@@ -113,6 +121,11 @@ int main(int argc, char** argv) {
         threads = static_cast<size_t>(parsed);
       } else if (ParseNumericFlag(argv[i], "--stats-period=", &parsed)) {
         stats_period_seconds = parsed;
+      } else if (ParseNumericFlag(argv[i], "--batch-size=", &parsed) &&
+                 parsed == static_cast<size_t>(parsed) && parsed >= 1) {
+        batch_size = static_cast<size_t>(parsed);
+      } else if (ParseNumericFlag(argv[i], "--batch-delay=", &parsed)) {
+        batch_delay_seconds = parsed;
       } else if (ParseNumericFlag(argv[i], "--trace-sample=", &parsed) &&
                  parsed == static_cast<size_t>(parsed) && parsed >= 1) {
         trace_sample = static_cast<size_t>(parsed);
@@ -149,6 +162,10 @@ int main(int argc, char** argv) {
   EngineOptions options;
   if (stats_period_seconds > 0) {
     options.stats_period = gigascope::SecondsToSimTime(stats_period_seconds);
+  }
+  options.batch_max_size = batch_size;
+  if (batch_delay_seconds > 0) {
+    options.batch_max_delay = gigascope::SecondsToSimTime(batch_delay_seconds);
   }
   // Asking for a trace file without a sampling rate still traces: pick a
   // rate light enough to leave the hot path alone on real captures.
