@@ -1,0 +1,209 @@
+// E10 — closed-loop overload management (§3 graceful degradation):
+//
+//   "If the load is too high ... it is better to gracefully degrade the
+//    answer than to fail or fall behind arbitrarily."
+//
+// Models a constrained service capacity: the engine receives a fixed pump
+// budget per block of injected packets, and the offered-load multiple
+// divides it (2x load = half the service per packet). At 1x the engine
+// keeps up; beyond that, rings back up and the run either silently drops
+// tuples (shed off) or walks the shedding ladder (shed on): 1-in-k source
+// sampling with Horvitz-Thompson-scaled COUNT/SUM, coarser LFTA epochs,
+// and a bounded LFTA table.
+//
+// Reported per (load, shed) cell:
+//   accounted   sum of output COUNTs — the packets the answer accounts
+//               for, directly (weight 1) or through a survivor's weight.
+//               goodput here: accounted/offered is the answer fidelity.
+//   drops       ring messages dropped (tuples lost without accounting)
+//   shed        packets deliberately shed at the source (covered by HT
+//               weights, not lost)
+//   max lag     worst observed window-close lag in stream seconds after
+//               warmup — bounded lag means windows kept closing.
+//
+// Usage: e10_overload [--packets=N]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/engine.h"
+#include "telemetry/metric_names.h"
+#include "workload/traffic_gen.h"
+
+namespace {
+
+using gigascope::SimTime;
+using gigascope::core::Engine;
+using gigascope::core::EngineOptions;
+using gigascope::core::TupleSubscription;
+using gigascope::net::Packet;
+
+// Service model: one Pump(kBaseBudget / load) per kServiceEvery injected
+// packets. kBaseBudget is sized so a 1x run keeps up with headroom and a
+// 2x run cannot.
+constexpr int kServiceEvery = 256;
+constexpr size_t kBaseBudget = 300;
+
+std::vector<Packet> MakeTraffic(int packets) {
+  gigascope::workload::TrafficConfig config;
+  config.seed = 17;
+  config.num_flows = 1000;
+  config.port80_fraction = 0.1;
+  config.http_fraction = 0.5;
+  // Slow enough that the run spans ~20 stream seconds: second-granular
+  // GROUP BY windows and the 50ms shed checks both get a real timeline.
+  config.offered_bits_per_sec = 50e6;
+  gigascope::workload::TrafficGenerator gen(config);
+  std::vector<Packet> traffic;
+  traffic.reserve(static_cast<size_t>(packets));
+  for (int i = 0; i < packets; ++i) traffic.push_back(gen.Next());
+  return traffic;
+}
+
+uint64_t Metric(const Engine& engine, const char* entity,
+                const char* metric) {
+  for (const auto& sample : engine.telemetry().Snapshot()) {
+    if (sample.entity == entity && sample.metric == metric) {
+      return sample.value;
+    }
+  }
+  return 0;
+}
+
+struct CellResult {
+  uint64_t offered = 0;
+  uint64_t accounted = 0;   // sum of output COUNTs
+  uint64_t drops = 0;       // ring messages lost
+  uint64_t shed = 0;        // packets shed at the source (accounted via HT)
+  uint64_t max_level = 0;   // highest shed level reached
+  uint64_t final_level = 0;
+  double max_lag_sec = 0;   // worst window-close lag after warmup
+};
+
+CellResult RunCell(const std::vector<Packet>& traffic, int load_mult,
+                   bool shed) {
+  EngineOptions options;
+  options.channel_capacity = 512;
+  options.batch_max_size = 4;
+  options.punctuation_interval = 64;
+  options.shed.enabled = shed;
+  options.shed.check_period = gigascope::kNanosPerSecond / 20;
+  Engine engine(options);
+  engine.AddInterface("eth0");
+  auto info = engine.AddQuery(
+      "DEFINE { query_name e10; } "
+      "SELECT tb, count(*) FROM eth0.PKT GROUP BY time AS tb");
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto sub = engine.Subscribe("e10", 65536);
+  if (!sub.ok()) std::exit(1);
+
+  CellResult result;
+  result.offered = traffic.size();
+  const size_t budget =
+      std::max<size_t>(1, kBaseBudget / static_cast<size_t>(load_mult));
+  const size_t warmup = traffic.size() / 4;
+  uint64_t max_tb = 0;
+  for (size_t i = 0; i < traffic.size(); ++i) {
+    engine.InjectPacket("eth0", traffic[i]).ok();
+    if (i % kServiceEvery == kServiceEvery - 1) {
+      engine.Pump(budget);
+      while (auto row = (*sub)->NextRow()) {
+        max_tb = std::max(max_tb, (*row)[0].uint_value());
+        result.accounted += (*row)[1].uint_value();
+      }
+      result.max_level =
+          std::max(result.max_level,
+                   Metric(engine, "engine",
+                          gigascope::telemetry::metric::kShedLevel));
+      if (i > warmup && max_tb > 0) {
+        const double inject_sec =
+            static_cast<double>(traffic[i].timestamp) /
+            static_cast<double>(gigascope::kNanosPerSecond);
+        result.max_lag_sec = std::max(
+            result.max_lag_sec, inject_sec - static_cast<double>(max_tb));
+      }
+    }
+  }
+  result.final_level =
+      Metric(engine, "engine", gigascope::telemetry::metric::kShedLevel);
+  engine.FlushAll();
+  while (auto row = (*sub)->NextRow()) {
+    result.accounted += (*row)[1].uint_value();
+  }
+  result.drops = engine.registry().TotalDropsAll();
+  result.shed =
+      Metric(engine, "engine", gigascope::telemetry::metric::kShedTuples);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int packets = 200000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--packets=", 10) == 0) {
+      packets = std::atoi(argv[i] + 10);
+    } else {
+      std::fprintf(stderr, "usage: e10_overload [--packets=N]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<Packet> traffic = MakeTraffic(packets);
+  std::printf(
+      "E10: closed-loop overload management, %d packets, service budget\n"
+      "     %zu msgs per %d packets divided by the load multiple\n\n",
+      packets, kBaseBudget, kServiceEvery);
+  std::printf("%4s %5s %10s %10s %9s %9s %6s %8s %9s\n", "load", "shed",
+              "offered", "accounted", "fidelity", "drops", "shed%",
+              "maxlvl", "lag(s)");
+
+  double goodput_2x_off = 0;
+  double goodput_2x_on = 0;
+  double lag_2x_on = 0;
+  for (int load : {1, 2, 4}) {
+    for (bool shed : {false, true}) {
+      CellResult cell = RunCell(traffic, load, shed);
+      const double fidelity = static_cast<double>(cell.accounted) /
+                              static_cast<double>(cell.offered);
+      const double shed_pct = 100.0 * static_cast<double>(cell.shed) /
+                              static_cast<double>(cell.offered);
+      std::printf("%3dx %5s %10lu %10lu %8.1f%% %9lu %5.1f%% %8lu %9.2f\n",
+                  load, shed ? "on" : "off",
+                  static_cast<unsigned long>(cell.offered),
+                  static_cast<unsigned long>(cell.accounted),
+                  100.0 * fidelity, static_cast<unsigned long>(cell.drops),
+                  shed_pct, static_cast<unsigned long>(cell.max_level),
+                  cell.max_lag_sec);
+      if (load == 2 && !shed) goodput_2x_off = fidelity;
+      if (load == 2 && shed) {
+        goodput_2x_on = fidelity;
+        lag_2x_on = cell.max_lag_sec;
+      }
+    }
+  }
+
+  const double ratio =
+      goodput_2x_off > 0 ? goodput_2x_on / goodput_2x_off : 0;
+  std::printf(
+      "\n2x overload: shed-on accounts for %.2fx the packets shed-off "
+      "does\n(acceptance: >= 1.5x, window-close lag bounded: %.2fs)\n",
+      ratio, lag_2x_on);
+  std::printf(
+      "\nexpected shape: at 1x both runs account for ~100%%. Beyond the\n"
+      "service capacity the shed-off run silently drops whatever the full\n"
+      "rings reject, while the shed-on run escalates the ladder (sampling\n"
+      "first), keeps windows closing, and covers shed packets through the\n"
+      "Horvitz-Thompson weights — losing fidelity gracefully instead of\n"
+      "arbitrarily.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs the test suite (everything by default; pass a ctest -L label like
+# `robustness` to narrow). The malformed-input and shedding suites are
+# written to be ASan/UBSan-clean — hostile bytes must never read out of
+# bounds, and the overload path must never overflow its arithmetic.
+#
+# Usage: scripts/check_asan.sh [label]
+#   scripts/check_asan.sh             # full suite under ASan+UBSan
+#   scripts/check_asan.sh robustness  # just the hostile-input suites
+#
+# A TSan pass over the threaded suites is the same recipe with a different
+# flag: cmake -B build-tsan -DGS_SANITIZE=thread && ctest -L concurrency.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-asan
+LABEL="${1:-}"
+
+cmake -B "${BUILD_DIR}" -S . -DGS_SANITIZE=address,undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+
+# halt_on_error: fail the test, not just print; detect_leaks off — the
+# engine tears down at process exit and gtest mains are leak-noisy.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=0"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+cd "${BUILD_DIR}"
+if [[ -n "${LABEL}" ]]; then
+  ctest -L "${LABEL}" --output-on-failure
+else
+  ctest --output-on-failure
+fi

@@ -163,7 +163,7 @@ Status InstantiatePlan(const plan::PlanPtr& node,
       if (ctx->use_lfta_table) {
         ctx->nodes->push_back(std::make_unique<ops::LftaAggregateNode>(
             std::move(spec), ctx->lfta_hash_log2, std::move(input),
-            ctx->registry, ctx->params));
+            ctx->registry, ctx->params, ctx->shed));
       } else {
         ctx->nodes->push_back(std::make_unique<ops::OrderedAggregateNode>(
             std::move(spec), std::move(input), ctx->registry, ctx->params));

@@ -7,6 +7,7 @@
 
 #include "plan/splitter.h"
 #include "rts/node.h"
+#include "rts/shed_state.h"
 
 namespace gigascope::core {
 
@@ -23,6 +24,8 @@ struct InstantiationContext {
   size_t output_batch = 64;
   /// Aggregate nodes in this plan use the LFTA direct-mapped table.
   bool use_lfta_table = false;
+  /// Shared shedding state read by LFTA-stage nodes (nullable = no shedding).
+  const rts::ShedState* shed = nullptr;
   /// Receives the created nodes, upstream first.
   std::vector<std::unique_ptr<rts::QueryNode>>* nodes = nullptr;
 };

@@ -7,6 +7,7 @@
 #include "core/compiled_query.h"
 #include "gsql/parser.h"
 #include "net/headers.h"
+#include "ops/lfta_agg.h"
 #include "rts/punctuation.h"
 #include "telemetry/metric_names.h"
 
@@ -56,6 +57,12 @@ Engine::Engine(EngineOptions options) : options_(options) {
                         tracer_->sampled_counter());
     telemetry_.Register("engine", metric::kTraceDroppedEvents,
                         tracer_->dropped_events_counter());
+  }
+  if (options_.shed.enabled) {
+    shed_controller_ =
+        std::make_unique<OverloadController>(options_.shed, &shed_state_);
+    shed_controller_->RegisterTelemetry(&telemetry_, "engine");
+    telemetry_.Register("engine", metric::kShedTuples, &shed_tuples_);
   }
 }
 
@@ -147,6 +154,10 @@ Status Engine::EnsureProtocolSource(const std::string& interface_name,
                       &source.last_punct_sec);
   telemetry_.RegisterHistogram(stream_name, metric::kPunctLagNs,
                                &source.punct_lag);
+  telemetry_.Register(stream_name, metric::kParseErrors,
+                      &source.parse_errors);
+  telemetry_.Register(stream_name, metric::kTimeRegressions,
+                      &source.time_regressions);
   return Status::Ok();
 }
 
@@ -339,6 +350,8 @@ Result<QueryInfo> Engine::AddQuery(
   ctx.channel_capacity = options_.channel_capacity;
   ctx.lfta_hash_log2 = options_.lfta_hash_log2;
   ctx.output_batch = options_.batch_max_size;
+  // With shedding off, nodes keep a null pointer and pay nothing.
+  ctx.shed = options_.shed.enabled ? &shed_state_ : nullptr;
   ctx.nodes = &nodes_;
 
   if (split.lfta != nullptr) {
@@ -386,6 +399,11 @@ void Engine::RegisterNewNodeTelemetry() {
       tracer_->SetTrackName(track, node->name());
     }
     node->RegisterTelemetry(&telemetry_);
+    // Cache LFTA-table nodes so the overload controller's pressure checks
+    // can read table occupancy without a scan-and-cast per check.
+    if (const auto* lfta = dynamic_cast<const ops::LftaAggregateNode*>(node)) {
+      lfta_agg_nodes_.push_back(lfta);
+    }
   }
 }
 
@@ -484,10 +502,16 @@ InterpretPlan BuildInterpretPlan(const gsql::StreamSchema& schema) {
 
 rts::Row InterpretPacket(const InterpretPlan& plan,
                          const net::Packet& packet) {
+  return InterpretPacket(plan, packet, nullptr);
+}
+
+rts::Row InterpretPacket(const InterpretPlan& plan, const net::Packet& packet,
+                         bool* malformed) {
   using Extract = InterpretPlan::Extract;
   auto decoded_result = net::DecodePacket(packet.view());
   const net::DecodedPacket* decoded =
       decoded_result.ok() ? &decoded_result.value() : nullptr;
+  if (malformed != nullptr) *malformed = decoded == nullptr;
   const bool has_ip = decoded != nullptr && decoded->ip.has_value();
 
   rts::Row row;
@@ -613,30 +637,89 @@ Status Engine::InjectPacket(const std::string& interface_name,
       tracer_->RecordInstant("inject", /*tid=*/0, trace_id, trace_ns);
     }
   }
+  // L1 shedding: deterministic 1-in-k sampling at the source. One decision
+  // per offered packet (not per source) keeps protocol streams of the same
+  // interface consistent. Shed packets are accounted — the counter below
+  // and the Horvitz-Thompson weight the LFTA folds survivors with — never
+  // silently lost.
+  ++inject_seq_;
+  const uint32_t sample_k = shed_state_.SampleK();
+  const bool shed_this = sample_k > 1 && (inject_seq_ % sample_k) != 0;
   bool any = false;
   bool published = false;
   for (auto& [stream_name, source] : protocol_sources_) {
     if (stream_name.rfind(interface_name + ".", 0) != 0) continue;
     any = true;
-    rts::Row row = InterpretPacket(source.interpret, packet);
+    // A packet timestamped behind the source's last punctuation would
+    // violate the ordering promise already published downstream; clamp it
+    // to the bound (windows at the bound are still open — closes are
+    // strictly-below) and count the regression.
+    const net::Packet* effective = &packet;
+    net::Packet clamped;
+    if (packet.timestamp < source.last_punct_time) {
+      clamped = packet;
+      clamped.timestamp = source.last_punct_time;
+      effective = &clamped;
+      ++source.time_regressions;
+    }
+    if (shed_this) {
+      // The shed packet still advances the source's packet count and, on
+      // punctuation boundaries, emits a time-only punctuation (like a
+      // heartbeat) so windows keep closing under heavy shed.
+      ++source.packets;
+      ++shed_tuples_;
+      if (options_.punctuation_interval > 0 &&
+          source.packets.value() % options_.punctuation_interval == 0) {
+        rts::Punctuation punctuation;
+        for (size_t f = 0; f < source.schema.num_fields(); ++f) {
+          const gsql::FieldDef& field = source.schema.field(f);
+          if (!field.order.IsIncreasingLike()) continue;
+          if (field.name == "time") {
+            const auto sec = static_cast<uint64_t>(
+                SimTimeToSeconds(effective->timestamp));
+            punctuation.bounds.emplace_back(f, Value::Uint(sec));
+            source.last_punct_sec.Set(sec);
+          } else if (field.name == "timestamp") {
+            punctuation.bounds.emplace_back(
+                f, Value::Uint(static_cast<uint64_t>(effective->timestamp)));
+          }
+        }
+        if (!punctuation.bounds.empty()) {
+          source.open_batch.items.push_back(
+              rts::MakePunctuationMessage(punctuation, source.schema));
+          registry_.PublishBatch(stream_name, std::move(source.open_batch));
+          source.open_batch.items.clear();
+          source.last_punct_time = effective->timestamp;
+          published = true;
+        }
+      }
+      continue;
+    }
+    bool malformed = false;
+    rts::Row row = InterpretPacket(source.interpret, *effective, &malformed);
+    if (malformed) ++source.parse_errors;
     rts::StreamMessage message;
     message.kind = rts::StreamMessage::Kind::kTuple;
     message.trace_id = trace_id;
     message.trace_ns = trace_ns;
+    // Horvitz-Thompson weight, stamped at the sampling decision: this
+    // survivor stands for itself plus the sample_k - 1 packets the L1
+    // sampler sheds around it.
+    message.weight = sample_k;
     source.codec->Encode(row, &message.payload);
     // Batched inject path: the tuple joins the source's open batch, which
     // publishes as one ring message when it fills, ages out, or a
     // punctuation closes it (a punctuation is always a batch's last item).
     if (source.open_batch.items.empty()) {
-      source.batch_open_time = packet.timestamp;
+      source.batch_open_time = effective->timestamp;
     }
     source.open_batch.items.push_back(std::move(message));
     source.last_row = std::move(row);
     ++source.packets;
     if (source.last_punct_time > 0 &&
-        packet.timestamp >= source.last_punct_time) {
-      source.punct_lag.Record(
-          static_cast<uint64_t>(packet.timestamp - source.last_punct_time));
+        effective->timestamp >= source.last_punct_time) {
+      source.punct_lag.Record(static_cast<uint64_t>(effective->timestamp -
+                                                    source.last_punct_time));
     }
     bool flush = source.open_batch.items.size() >= options_.batch_max_size;
     if (options_.punctuation_interval > 0 &&
@@ -661,12 +744,12 @@ Status Engine::InjectPacket(const std::string& interface_name,
         punct_message.trace_id = trace_id;
         punct_message.trace_ns = trace_ns;
         source.open_batch.items.push_back(std::move(punct_message));
-        source.last_punct_time = packet.timestamp;
+        source.last_punct_time = effective->timestamp;
         flush = true;
       }
     }
     if (!flush && options_.batch_max_delay > 0 &&
-        packet.timestamp - source.batch_open_time >=
+        effective->timestamp - source.batch_open_time >=
             options_.batch_max_delay) {
       flush = true;
     }
@@ -684,6 +767,7 @@ Status Engine::InjectPacket(const std::string& interface_name,
     last_input_time_ = packet.timestamp;
   }
   MaybeEmitStats(packet.timestamp);
+  MaybeRunShedCheck(packet.timestamp);
   // Threaded mode: LFTAs run next to the capture loop (§4), so drive them
   // here when this packet published anything; their outputs wake the HFTA
   // workers.
@@ -731,6 +815,7 @@ Status Engine::InjectHeartbeat(const std::string& interface_name,
   ++heartbeats_;
   if (now > last_input_time_) last_input_time_ = now;
   MaybeEmitStats(now);
+  MaybeRunShedCheck(now);
   if (threads_running_) {
     PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
   }
@@ -787,6 +872,33 @@ void Engine::MaybeEmitStats(SimTime now) {
   if (now - last_stats_emit_ < options_.stats_period) return;
   stats_source_->EmitSnapshot(now);
   last_stats_emit_ = now;
+}
+
+void Engine::MaybeRunShedCheck(SimTime now) {
+  if (shed_controller_ == nullptr) return;
+  if (last_shed_check_ != 0 &&
+      now - last_shed_check_ < options_.shed.check_period) {
+    return;
+  }
+  last_shed_check_ = now;
+  PressureSignals signals;
+  signals.max_ring_occupancy = registry_.MaxOccupancyFraction();
+  signals.total_drops = registry_.TotalDropsAll();
+  for (const auto& [name, source] : protocol_sources_) {
+    if (source.last_punct_time > 0 && now > source.last_punct_time) {
+      signals.max_punct_lag =
+          std::max(signals.max_punct_lag, now - source.last_punct_time);
+    }
+  }
+  for (const ops::LftaAggregateNode* node : lfta_agg_nodes_) {
+    const size_t slots = node->table().num_slots();
+    if (slots == 0) continue;
+    signals.max_lfta_occupancy =
+        std::max(signals.max_lfta_occupancy,
+                 static_cast<double>(node->table().occupied()) /
+                     static_cast<double>(slots));
+  }
+  shed_controller_->Check(signals);
 }
 
 Status Engine::AddNode(std::unique_ptr<rts::QueryNode> node) {

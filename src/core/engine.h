@@ -8,17 +8,23 @@
 #include <thread>
 #include <vector>
 
+#include "core/shedding.h"
 #include "gsql/catalog.h"
 #include "net/packet.h"
 #include "plan/splitter.h"
 #include "rts/node.h"
 #include "rts/registry.h"
+#include "rts/shed_state.h"
 #include "rts/tuple.h"
 #include "telemetry/histogram.h"
 #include "telemetry/registry.h"
 #include "telemetry/stats_source.h"
 #include "telemetry/tracer.h"
 #include "udf/registry.h"
+
+namespace gigascope::ops {
+class LftaAggregateNode;
+}  // namespace gigascope::ops
 
 namespace gigascope::core {
 
@@ -82,6 +88,14 @@ struct EngineOptions {
   /// Seed of the tracer's sampling RNG; same seed + same injection
   /// sequence = same packets traced.
   uint64_t trace_seed = 42;
+  /// Closed-loop overload management (§3 graceful degradation): with
+  /// shed.enabled the engine periodically evaluates its own telemetry
+  /// (ring occupancy, drops, punctuation lag, LFTA table occupancy)
+  /// against shed's thresholds and walks a shedding ladder — L1 1-in-k
+  /// source sampling with unbiased COUNT/SUM scaling, L2 coarser LFTA
+  /// epochs, L3 bounded LFTA occupancy — stepping back down with
+  /// hysteresis once pressure subsides.
+  ShedConfig shed;
 };
 
 /// Precompiled packet-interpretation plan for one schema: which built-in
@@ -314,6 +328,11 @@ class Engine {
     /// Sim-time distance from each packet to the source's previous
     /// punctuation — the distribution behind the e4 heartbeat story.
     telemetry::Histogram punct_lag;
+    /// Packets whose bytes failed to decode even at the Ethernet layer.
+    telemetry::Counter parse_errors;
+    /// Packets whose timestamp regressed behind the last punctuation:
+    /// clamped to the bound (never violating emitted ordering promises).
+    telemetry::Counter time_regressions;
     SimTime last_punct_time = 0;
     rts::Row last_row;
     /// Inject-side batch under construction: packets append here and the
@@ -357,6 +376,11 @@ class Engine {
   /// Emits a `gs_stats` snapshot when injected time has advanced past
   /// options_.stats_period since the previous one.
   void MaybeEmitStats(SimTime now);
+  /// Runs one overload-controller pressure check when injected time has
+  /// advanced past options_.shed.check_period since the previous one.
+  /// Inject thread only — the controller and every actuated path (source
+  /// sampling, LFTA-stage nodes) live on this thread.
+  void MaybeRunShedCheck(SimTime now);
 
   EngineOptions options_;
   gsql::Catalog catalog_;
@@ -379,6 +403,19 @@ class Engine {
   size_t telemetry_registered_nodes_ = 0;
   uint64_t subscriber_seq_ = 0;
   telemetry::Counter heartbeats_;
+  /// Shared shedding knobs: written by the controller, read (relaxed) by
+  /// the inject path and LFTA-stage nodes — all on the inject thread.
+  rts::ShedState shed_state_;
+  std::unique_ptr<OverloadController> shed_controller_;
+  SimTime last_shed_check_ = 0;
+  /// Packets shed at the source by L1 sampling (per bound protocol stream).
+  telemetry::Counter shed_tuples_;
+  /// Packets offered to InjectPacket, shed or not: the deterministic
+  /// 1-in-k sampling phase.
+  uint64_t inject_seq_ = 0;
+  /// LFTA-table nodes, cached at registration so pressure checks read
+  /// their table occupancy without a per-check scan-and-cast.
+  std::vector<const ops::LftaAggregateNode*> lfta_agg_nodes_;
   std::vector<std::unique_ptr<rts::QueryNode>> nodes_;
   std::vector<QueryInfo> query_infos_;
   /// Per-query parameter blocks and name->slot maps.
@@ -403,6 +440,12 @@ class Engine {
 /// decode, then a switch per field — no name lookups on the hot path.
 rts::Row InterpretPacket(const InterpretPlan& plan,
                          const net::Packet& packet);
+
+/// Same, reporting whether the packet failed to decode (fields then
+/// interpret as type defaults — malformed input never crashes the
+/// interpreter, it is counted via the source's parse_errors metric).
+rts::Row InterpretPacket(const InterpretPlan& plan, const net::Packet& packet,
+                         bool* malformed);
 
 /// Convenience overload: resolves `schema` (time, timestamp, srcIP,
 /// destIP, srcPort, destPort, protocol, ipVersion, len, tcpFlags, tcpSeq,

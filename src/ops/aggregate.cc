@@ -17,24 +17,30 @@ GroupAccumulator::GroupAccumulator(const std::vector<AggregateSpec>* specs)
     : specs_(specs), cells_(specs->size()) {}
 
 void GroupAccumulator::Update(
-    const std::vector<std::optional<Value>>& args) {
-  ++rows_;
+    const std::vector<std::optional<Value>>& args, uint64_t weight) {
+  rows_ += weight;
   for (size_t i = 0; i < specs_->size(); ++i) {
     const AggregateSpec& spec = (*specs_)[i];
     Cell& cell = cells_[i];
     switch (spec.fn) {
       case AggFn::kCount:
-        ++cell.count;
+        cell.count += weight;
         break;
       case AggFn::kSum: {
         GS_CHECK(args[i].has_value());
         const Value& v = *args[i];
         switch (v.type()) {
-          case DataType::kInt: cell.sum_int += v.int_value(); break;
-          case DataType::kUint: cell.sum_uint += v.uint_value(); break;
-          case DataType::kFloat: cell.sum_float += v.float_value(); break;
+          case DataType::kInt:
+            cell.sum_int += v.int_value() * static_cast<int64_t>(weight);
+            break;
+          case DataType::kUint:
+            cell.sum_uint += v.uint_value() * weight;
+            break;
+          case DataType::kFloat:
+            cell.sum_float += v.float_value() * static_cast<double>(weight);
+            break;
           default:
-            cell.sum_uint += v.uint_value();
+            cell.sum_uint += v.uint_value() * weight;
             break;
         }
         break;
@@ -188,7 +194,7 @@ size_t OrderedAggregateNode::Poll(size_t budget) {
       ++processed;
       BeginMessage(message);
       if (message.kind == rts::StreamMessage::Kind::kTuple) {
-        ProcessTuple(message.payload);
+        ProcessTuple(message.payload, message.weight);
       } else {
         ProcessPunctuation(message.payload);
       }
@@ -199,7 +205,8 @@ size_t OrderedAggregateNode::Poll(size_t budget) {
   return processed;
 }
 
-void OrderedAggregateNode::ProcessTuple(const ByteBuffer& payload) {
+void OrderedAggregateNode::ProcessTuple(const ByteBuffer& payload,
+                                        uint32_t weight) {
   ++tuples_in_;
   auto row = input_codec_.Decode(ByteSpan(payload.data(), payload.size()));
   if (!row.ok()) {
@@ -262,7 +269,10 @@ void OrderedAggregateNode::ProcessTuple(const ByteBuffer& payload) {
                          GroupAccumulator(&spec_.agg_specs)).first;
     open_groups_.Set(groups_.size());
   }
-  it->second.Update(args);
+  // HFTA inputs are LFTA partials or operator output (weight 1); only a
+  // raw source stream under L1 sampling carries a larger weight, and a
+  // non-split aggregate must scale by it just like the LFTA table does.
+  it->second.Update(args, weight);
 }
 
 void OrderedAggregateNode::ProcessPunctuation(const ByteBuffer& payload) {

@@ -21,8 +21,13 @@ class GroupAccumulator {
   explicit GroupAccumulator(const std::vector<expr::AggregateSpec>* specs);
 
   /// Folds one input tuple in. `args[i]` is the evaluated argument of
-  /// spec i (nullopt for COUNT(*)).
-  void Update(const std::vector<std::optional<expr::Value>>& args);
+  /// spec i (nullopt for COUNT(*)). `weight` is the number of input tuples
+  /// this one stands for (Horvitz-Thompson): under 1-in-k source sampling
+  /// the LFTA folds survivors with weight k, so COUNT adds k and SUM adds
+  /// k*v — unbiased estimates of the unsampled aggregate. MIN/MAX are
+  /// order statistics and take the value unweighted.
+  void Update(const std::vector<std::optional<expr::Value>>& args,
+              uint64_t weight = 1);
 
   /// Merges another accumulator of the same spec list (superaggregation).
   void Merge(const GroupAccumulator& other);
@@ -98,7 +103,7 @@ class OrderedAggregateNode : public rts::QueryNode {
   uint64_t groups_flushed() const { return groups_flushed_.value(); }
 
  private:
-  void ProcessTuple(const ByteBuffer& payload);
+  void ProcessTuple(const ByteBuffer& payload, uint32_t weight);
   void ProcessPunctuation(const ByteBuffer& payload);
   /// Flushes groups whose ordered key is strictly below `bound` (all groups
   /// when bound is nullopt), in key order.

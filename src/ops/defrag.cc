@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "telemetry/metric_names.h"
 
 namespace gigascope::ops {
 
@@ -104,11 +105,33 @@ void IpDefragNode::ProcessTuple(const ByteBuffer& payload) {
     return;
   }
 
+  // IPv4 bounds, enforced before any state is touched: the wire format
+  // cannot produce an offset beyond 13 bits, and no fragment may carry
+  // data past the 64 KiB datagram limit. Rows arriving through InjectRow
+  // are not wire-constrained, so a header that lies is dropped and
+  // counted, never trusted into the reassembly arithmetic.
+  if (frag_offset > kMaxFragOffsetUnits) {
+    ++parse_errors_;
+    return;
+  }
+  const uint64_t byte_offset = frag_offset * 8;
+  const std::string& frag_bytes = tuple[slots_.payload].string_value();
+  if (byte_offset + frag_bytes.size() > kMaxDatagramLen) {
+    ++parse_errors_;
+    return;
+  }
+
   Assembly& assembly = assemblies_[key];
   if (assembly.fragments.empty()) assembly.first_seen_time = time_now;
+  if (assembly.fragments.size() >= kMaxFragmentsPerAssembly) {
+    // Fragment flood on one key: abandon the assembly rather than grow it.
+    ++parse_errors_;
+    assemblies_.erase(key);
+    return;
+  }
   Fragment fragment;
-  fragment.offset = frag_offset * 8;  // the IP field counts 8-byte units
-  fragment.bytes = tuple[slots_.payload].string_value();
+  fragment.offset = byte_offset;  // the IP field counts 8-byte units
+  fragment.bytes = frag_bytes;
   if (more_frags == 0) {
     assembly.have_last = true;
     assembly.total_len = fragment.offset + fragment.bytes.size();
@@ -148,11 +171,13 @@ bool IpDefragNode::TryComplete(const AssemblyKey& key, Assembly& assembly,
 
   std::string datagram(assembly.total_len, '\0');
   for (const Fragment& fragment : assembly.fragments) {
+    // Fragments lying beyond total_len exist when a fragment after the
+    // MF=0 one claimed a larger span than the declared end: their bytes
+    // fall outside the datagram and are dropped (replace would throw on
+    // an offset past the string end).
+    if (fragment.offset >= assembly.total_len) continue;
     size_t copy_len = std::min<uint64_t>(
-        fragment.bytes.size(),
-        assembly.total_len > fragment.offset
-            ? assembly.total_len - fragment.offset
-            : 0);
+        fragment.bytes.size(), assembly.total_len - fragment.offset);
     datagram.replace(fragment.offset, copy_len, fragment.bytes, 0, copy_len);
   }
   Emit(time_now, key, datagram);
@@ -190,6 +215,11 @@ void IpDefragNode::Flush() {
   // Incomplete assemblies cannot produce correct datagrams; drop them.
   timeouts_ += assemblies_.size();
   assemblies_.clear();
+}
+
+void IpDefragNode::RegisterTelemetry(telemetry::Registry* metrics) const {
+  QueryNode::RegisterTelemetry(metrics);
+  metrics->Register(name(), telemetry::metric::kParseErrors, &parse_errors_);
 }
 
 }  // namespace gigascope::ops

@@ -51,10 +51,23 @@ class IpDefragNode : public rts::QueryNode {
 
   size_t Poll(size_t budget) override;
   void Flush() override;
+  void RegisterTelemetry(telemetry::Registry* metrics) const override;
 
   uint64_t datagrams_out() const { return tuples_out(); }
   uint64_t timeouts() const { return timeouts_; }
+  /// Fragments rejected as impossible under IPv4 (offset beyond the 13-bit
+  /// field, data past the 64 KiB datagram bound, fragment-flood assemblies)
+  /// — header-lying input dropped instead of trusted.
+  uint64_t parse_errors() const { return parse_errors_.value(); }
   size_t open_assemblies() const { return assemblies_.size(); }
+
+  /// IPv4 bounds enforced on every fragment: the fragment-offset field is
+  /// 13 bits of 8-byte units and a datagram never exceeds 64 KiB.
+  static constexpr uint64_t kMaxFragOffsetUnits = 0x1FFF;
+  static constexpr uint64_t kMaxDatagramLen = 65535;
+  /// Fragments one assembly may hold (a legitimate 64 KiB datagram of
+  /// minimal 8-byte fragments); beyond this the assembly is a flood.
+  static constexpr size_t kMaxFragmentsPerAssembly = 8192;
 
  private:
   struct FieldSlots {
@@ -100,6 +113,7 @@ class IpDefragNode : public rts::QueryNode {
   rts::TupleCodec output_codec_;
   std::map<AssemblyKey, Assembly> assemblies_;
   uint64_t timeouts_ = 0;
+  telemetry::Counter parse_errors_;
 };
 
 }  // namespace gigascope::ops

@@ -1,5 +1,7 @@
 #include "ops/lfta_agg.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "expr/vm.h"
 #include "telemetry/metric_names.h"
@@ -17,7 +19,8 @@ DirectMappedAggTable::DirectMappedAggTable(
 }
 
 std::optional<std::pair<rts::Row, rts::Row>> DirectMappedAggTable::Upsert(
-    rts::Row keys, const std::vector<std::optional<Value>>& args) {
+    rts::Row keys, const std::vector<std::optional<Value>>& args,
+    uint64_t weight) {
   ++updates_;
   size_t slot_index = RowHash{}(keys) & mask_;
   Slot& slot = slots_[slot_index];
@@ -36,7 +39,8 @@ std::optional<std::pair<rts::Row, rts::Row>> DirectMappedAggTable::Upsert(
     slot.acc.emplace(specs_);
     ++occupied_;
   }
-  slot.acc->Update(args);
+  slot.last_touch = ++tick_;
+  slot.acc->Update(args, weight);
   return ejected;
 }
 
@@ -53,10 +57,40 @@ std::vector<std::pair<rts::Row, rts::Row>> DirectMappedAggTable::DrainAll() {
   return out;
 }
 
+std::vector<std::pair<rts::Row, rts::Row>> DirectMappedAggTable::EvictColdest(
+    size_t target) {
+  std::vector<std::pair<rts::Row, rts::Row>> out;
+  if (occupied() <= target) return out;
+  size_t to_evict = occupied() - target;
+  // Collect used slots ordered by last_touch and evict the oldest. The scan
+  // is O(slots); callers amortize it by evicting a chunk below the cap.
+  std::vector<size_t> used;
+  used.reserve(occupied());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].used) used.push_back(i);
+  }
+  std::partial_sort(used.begin(), used.begin() + to_evict, used.end(),
+                    [this](size_t a, size_t b) {
+                      return slots_[a].last_touch < slots_[b].last_touch;
+                    });
+  out.reserve(to_evict);
+  for (size_t i = 0; i < to_evict; ++i) {
+    Slot& slot = slots_[used[i]];
+    out.emplace_back(std::move(slot.keys), slot.acc->Finalize());
+    slot.used = false;
+    slot.acc.reset();
+    ++evictions_;
+    ++shed_evictions_;
+    --occupied_;
+  }
+  return out;
+}
+
 LftaAggregateNode::LftaAggregateNode(Spec spec, int log2_slots,
                                      rts::Subscription input,
                                      rts::StreamRegistry* registry,
-                                     rts::ParamBlock params)
+                                     rts::ParamBlock params,
+                                     const rts::ShedState* shed)
     : QueryNode(spec.name),
       spec_(std::move(spec)),
       input_(std::move(input)),
@@ -65,7 +99,8 @@ LftaAggregateNode::LftaAggregateNode(Spec spec, int log2_slots,
       input_codec_(spec_.input_schema),
       output_codec_(spec_.output_schema),
       writer_(registry, spec_.name, spec_.output_batch),
-      table_(log2_slots, &spec_.agg_specs) {
+      table_(log2_slots, &spec_.agg_specs),
+      shed_(shed) {
   RegisterInput(input_);
 }
 
@@ -79,7 +114,7 @@ size_t LftaAggregateNode::Poll(size_t budget) {
       ++processed;
       BeginMessage(message);
       if (message.kind == rts::StreamMessage::Kind::kTuple) {
-        ProcessTuple(message.payload);
+        ProcessTuple(message.payload, message.weight);
       } else {
         ProcessPunctuation(message.payload);
       }
@@ -90,7 +125,8 @@ size_t LftaAggregateNode::Poll(size_t budget) {
   return processed;
 }
 
-void LftaAggregateNode::ProcessTuple(const ByteBuffer& payload) {
+void LftaAggregateNode::ProcessTuple(const ByteBuffer& payload,
+                                     uint32_t weight) {
   ++tuples_in_;
   auto row = input_codec_.Decode(ByteSpan(payload.data(), payload.size()));
   if (!row.ok()) {
@@ -116,7 +152,7 @@ void LftaAggregateNode::ProcessTuple(const ByteBuffer& payload) {
   if (spec_.ordered_key >= 0) {
     const Value& ordered = keys[static_cast<size_t>(spec_.ordered_key)];
     if (epoch_.has_value() && ordered.Compare(*epoch_) > 0) {
-      DrainEpoch(ordered);
+      MaybeDrainEpoch(ordered);
     }
     if (!epoch_.has_value() || ordered.Compare(*epoch_) > 0) {
       epoch_ = ordered;
@@ -135,10 +171,14 @@ void LftaAggregateNode::ProcessTuple(const ByteBuffer& payload) {
     args[i] = std::move(out.value);
   }
 
-  auto ejected = table_.Upsert(std::move(keys), args);
+  // Under L1 sampling each surviving tuple stands for `weight` offered
+  // ones (stamped on the message at the sampling decision); fold with it
+  // so COUNT/SUM stay unbiased.
+  auto ejected = table_.Upsert(std::move(keys), args, weight);
   if (ejected.has_value()) {
     EmitPartial(ejected->first, ejected->second);
   }
+  EnforceTableCap();
 }
 
 void LftaAggregateNode::ProcessPunctuation(const ByteBuffer& payload) {
@@ -168,8 +208,32 @@ void LftaAggregateNode::ProcessPunctuation(const ByteBuffer& payload) {
     return;
   }
   if (!epoch_.has_value() || out.value.Compare(*epoch_) > 0) {
-    DrainEpoch(out.value);
+    MaybeDrainEpoch(out.value);
     epoch_ = out.value;
+  }
+}
+
+void LftaAggregateNode::MaybeDrainEpoch(const Value& new_epoch) {
+  // L2 shedding: batch several ordered-key advances into one drain, cutting
+  // per-epoch drain + punctuation cost. Coarsening delays window closes but
+  // never loses them — every coarsen-th advance still drains everything and
+  // emits the punctuation for the newest bound.
+  uint32_t coarsen = shed_ ? shed_->EpochCoarsen() : 1;
+  if (coarsen > 1 && ++epoch_advances_ < coarsen) return;
+  epoch_advances_ = 0;
+  DrainEpoch(new_epoch);
+}
+
+void LftaAggregateNode::EnforceTableCap() {
+  uint32_t cap_pct = shed_ ? shed_->TableCapPct() : 100;
+  if (cap_pct >= 100) return;
+  size_t cap = table_.num_slots() * cap_pct / 100;
+  if (table_.occupied() <= cap) return;
+  // Evict a chunk below the cap (not just one) so the O(slots) coldness
+  // scan amortizes over many upserts.
+  size_t target = cap - cap / 8;
+  for (const auto& [keys, aggs] : table_.EvictColdest(target)) {
+    EmitPartial(keys, aggs);
   }
 }
 
@@ -221,6 +285,8 @@ void LftaAggregateNode::RegisterTelemetry(
   metrics->RegisterReader(name(), telemetry::metric::kLftaOccupied, [this] {
     return static_cast<uint64_t>(table_.occupied());
   });
+  metrics->RegisterReader(name(), telemetry::metric::kLftaShedEvictions,
+                          [this] { return table_.shed_evictions(); });
 }
 
 }  // namespace gigascope::ops

@@ -87,7 +87,7 @@ void MergeNode::Absorb(InputState& input, rts::StreamMessage& message) {
     // Banded inputs arrive slightly out of order; keep the buffer
     // sorted on the merge key so the head is always the minimum.
     BufferedRow decoded{std::move(row).value(), message.trace_id,
-                        message.trace_ns};
+                        message.trace_ns, message.weight};
     if (spec_.band > 0 && !input.buffer.empty() &&
         input.buffer.back().row[spec_.merge_field].Compare(
             decoded.row[spec_.merge_field]) > 0) {
@@ -154,6 +154,7 @@ void MergeNode::EmitReady() {
 void MergeNode::EmitRow(const BufferedRow& buffered) {
   rts::StreamMessage message;
   message.kind = rts::StreamMessage::Kind::kTuple;
+  message.weight = buffered.weight;
   codec_.Encode(buffered.row, &message.payload);
   // Restore the context carried through the buffer: the merged tuple keeps
   // the trace of the input message it came from, not whichever message the

@@ -51,6 +51,7 @@ class MergeNode : public rts::QueryNode {
     rts::Row row;
     uint64_t trace_id = 0;
     int64_t trace_ns = 0;
+    uint32_t weight = 1;  // sampling weight carried through the buffer
   };
 
   struct InputState {

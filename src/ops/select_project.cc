@@ -208,6 +208,7 @@ void SelectProjectNode::ProcessTuple(const ByteBuffer& payload,
 
   rts::StreamMessage out_message;
   out_message.kind = rts::StreamMessage::Kind::kTuple;
+  out_message.weight = active_weight();  // sampling weight rides through
   output_codec_.Encode(out_row, &out_message.payload);
   StampOutput(&out_message);
   writer_.Write(std::move(out_message));

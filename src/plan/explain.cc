@@ -1,6 +1,8 @@
 #include "plan/explain.h"
 
 #include <cstdio>
+#include <string_view>
+#include <vector>
 
 #include "expr/cost.h"
 
@@ -89,8 +91,26 @@ std::string OrderingLine(const gsql::StreamSchema& schema) {
   return out;
 }
 
-void ExplainNodeText(const PlanNode& node, const char* placement, int indent,
-                     std::string* out) {
+/// Shedding-ladder knobs that can act on this node when the overload
+/// controller escalates (DESIGN.md §13): packet sources feel L1 1-in-k
+/// sampling; LFTA-table aggregates feel L2 epoch coarsening and the L3
+/// occupancy cap. Empty for HFTA-placed nodes — shedding happens at the
+/// low layer, where data reduction is cheapest.
+std::vector<const char*> ShedEligible(const PlanNode& node,
+                                      const char* placement,
+                                      bool lfta_table) {
+  std::vector<const char*> knobs;
+  if (std::string_view(placement) != "lfta") return knobs;
+  if (node.kind == PlanKind::kSource) knobs.push_back("source-sampling");
+  if (node.kind == PlanKind::kAggregate && lfta_table) {
+    knobs.push_back("epoch-coarsen");
+    knobs.push_back("table-cap");
+  }
+  return knobs;
+}
+
+void ExplainNodeText(const PlanNode& node, const char* placement,
+                     bool lfta_table, int indent, std::string* out) {
   const std::string pad(static_cast<size_t>(indent) * 2, ' ');
   const std::string pad2 = pad + "  ";
   *out += pad;
@@ -166,14 +186,24 @@ void ExplainNodeText(const PlanNode& node, const char* placement, int indent,
     *out += pad2 + "cost: " + FormatCost(NodeCost(node)) + " (lfta budget " +
             FormatCost(expr::kLftaCostBudget) + ")\n";
   }
+  const std::vector<const char*> shed =
+      ShedEligible(node, placement, lfta_table);
+  if (!shed.empty()) {
+    *out += pad2 + "shed-eligible: ";
+    for (size_t i = 0; i < shed.size(); ++i) {
+      if (i > 0) *out += ", ";
+      *out += shed[i];
+    }
+    *out += "\n";
+  }
   *out += pad2 + "output: " + OrderingLine(node.output_schema) + "\n";
   for (const PlanPtr& child : node.children) {
-    ExplainNodeText(*child, placement, indent + 1, out);
+    ExplainNodeText(*child, placement, lfta_table, indent + 1, out);
   }
 }
 
 void ExplainNodeJson(const PlanNode& node, const char* placement,
-                     std::string* out) {
+                     bool lfta_table, std::string* out) {
   *out += "{\"op\":";
   *out += JsonEscape(PlanKindName(node.kind));
   *out += ",\"placement\":";
@@ -231,6 +261,16 @@ void ExplainNodeJson(const PlanNode& node, const char* placement,
       break;
   }
   *out += ",\"cost\":" + FormatCost(NodeCost(node));
+  const std::vector<const char*> shed =
+      ShedEligible(node, placement, lfta_table);
+  if (!shed.empty()) {
+    *out += ",\"shed_eligible\":[";
+    for (size_t i = 0; i < shed.size(); ++i) {
+      if (i > 0) *out += ",";
+      *out += JsonEscape(shed[i]);
+    }
+    *out += "]";
+  }
   *out += ",\"output\":[";
   for (size_t i = 0; i < node.output_schema.num_fields(); ++i) {
     const gsql::FieldDef& field = node.output_schema.field(i);
@@ -242,7 +282,7 @@ void ExplainNodeJson(const PlanNode& node, const char* placement,
   *out += "],\"children\":[";
   for (size_t i = 0; i < node.children.size(); ++i) {
     if (i > 0) *out += ",";
-    ExplainNodeJson(*node.children[i], placement, out);
+    ExplainNodeJson(*node.children[i], placement, lfta_table, out);
   }
   *out += "]}";
 }
@@ -266,7 +306,7 @@ std::string ExplainText(const PlannedQuery& planned,
   }
   if (split.hfta != nullptr) {
     out += "hfta:\n";
-    ExplainNodeText(*split.hfta, "hfta", 1, &out);
+    ExplainNodeText(*split.hfta, "hfta", false, 1, &out);
   }
   if (split.lfta != nullptr) {
     if (split.hfta != nullptr) {
@@ -274,7 +314,7 @@ std::string ExplainText(const PlannedQuery& planned,
     } else {
       out += "lfta:\n";
     }
-    ExplainNodeText(*split.lfta, "lfta", 1, &out);
+    ExplainNodeText(*split.lfta, "lfta", split.split_aggregation, 1, &out);
   }
   return out;
 }
@@ -292,7 +332,7 @@ std::string ExplainJson(const PlannedQuery& planned,
   out += ",\"snap_len\":" + std::to_string(split.snap_len);
   if (split.hfta != nullptr) {
     out += ",\"hfta\":";
-    ExplainNodeJson(*split.hfta, "hfta", &out);
+    ExplainNodeJson(*split.hfta, "hfta", false, &out);
   } else {
     out += ",\"hfta\":null";
   }
@@ -300,7 +340,7 @@ std::string ExplainJson(const PlannedQuery& planned,
     out += ",\"lfta_stream\":" +
            JsonEscape(split.hfta != nullptr ? split.lfta_name : split.name);
     out += ",\"lfta\":";
-    ExplainNodeJson(*split.lfta, "lfta", &out);
+    ExplainNodeJson(*split.lfta, "lfta", split.split_aggregation, &out);
   } else {
     out += ",\"lfta\":null";
   }

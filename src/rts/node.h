@@ -111,6 +111,7 @@ class QueryNode {
   /// Starts the span for a dequeued message, if it carries a trace.
   void BeginMessage(const StreamMessage& message) {
     active_trace_id_ = message.trace_id;
+    active_weight_ = message.weight;
     if (tracer_ == nullptr || message.trace_id == 0) return;
     active_trace_ns_ = message.trace_ns;
     span_start_ns_ = tracer_->NowNs();
@@ -123,7 +124,15 @@ class QueryNode {
                           tracer_->NowNs());
     }
     active_trace_id_ = 0;
+    active_weight_ = 1;
   }
+
+  /// Horvitz-Thompson weight of the message being processed. Row-passthrough
+  /// operators (select/project, merge) copy it onto each output derived 1:1
+  /// from the input so sampling weights survive to a downstream aggregate.
+  /// Aggregates must NOT stamp it on their own emissions — group totals and
+  /// ejected partials are already scaled.
+  uint32_t active_weight() const { return active_weight_; }
 
   /// Propagates the active trace context onto an outgoing message; on a
   /// terminal node, additionally records the inject→emit latency and an
@@ -172,6 +181,8 @@ class QueryNode {
   uint64_t active_trace_id_ = 0;
   int64_t active_trace_ns_ = 0;
   int64_t span_start_ns_ = 0;
+  // Sampling weight of the message currently being processed.
+  uint32_t active_weight_ = 1;
 };
 
 }  // namespace gigascope::rts

@@ -94,4 +94,27 @@ uint64_t StreamRegistry::TotalDrops(const std::string& name) const {
   return drops;
 }
 
+uint64_t StreamRegistry::TotalDropsAll() const {
+  uint64_t drops = 0;
+  for (const auto& [name, entry] : streams_) {
+    for (const Subscription& subscriber : entry.subscribers) {
+      drops += subscriber->dropped();
+    }
+  }
+  return drops;
+}
+
+double StreamRegistry::MaxOccupancyFraction() const {
+  double max_fraction = 0;
+  for (const auto& [name, entry] : streams_) {
+    for (const Subscription& subscriber : entry.subscribers) {
+      if (subscriber->capacity() == 0) continue;
+      double fraction = static_cast<double>(subscriber->size()) /
+                        static_cast<double>(subscriber->capacity());
+      if (fraction > max_fraction) max_fraction = fraction;
+    }
+  }
+  return max_fraction;
+}
+
 }  // namespace gigascope::rts

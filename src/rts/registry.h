@@ -56,6 +56,15 @@ class StreamRegistry {
   /// Total drops across all subscriber channels of `name`.
   uint64_t TotalDrops(const std::string& name) const;
 
+  /// Total drops across every subscriber channel of every stream. Safe to
+  /// call concurrently with publishes (reads atomic ring counters; streams
+  /// themselves are only added during setup).
+  uint64_t TotalDropsAll() const;
+
+  /// Occupancy (size/capacity) of the fullest subscriber channel across all
+  /// streams, in [0, 1]. The overload controller's ring-pressure signal.
+  double MaxOccupancyFraction() const;
+
  private:
   struct StreamEntry {
     gsql::StreamSchema schema;

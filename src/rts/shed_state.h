@@ -1,0 +1,49 @@
+#ifndef GIGASCOPE_RTS_SHED_STATE_H_
+#define GIGASCOPE_RTS_SHED_STATE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gigascope::rts {
+
+/// Shared actuator state of the overload controller (core/shedding.h).
+///
+/// The controller (running on the inject thread) writes the knobs; the
+/// inject path and LFTA-stage operators read them per tuple. All fields
+/// are relaxed atomics: a reader acting on a knob one tuple late is
+/// harmless — the ladder only changes fidelity, never correctness — and
+/// the hot path must not pay for ordering it does not need. Lives in the
+/// rts layer so gs_ops can read it without a link dependency on core.
+struct ShedState {
+  /// Current rung of the shedding ladder (0 = exact processing).
+  std::atomic<uint32_t> level{0};
+
+  /// L1: deterministic 1-in-k source sampling. 1 = keep every packet.
+  /// LFTA aggregates scale COUNT/SUM by the k in force at fold time
+  /// (Horvitz-Thompson), so estimates stay unbiased while sampling holds.
+  std::atomic<uint32_t> sample_k{1};
+
+  /// L2: LFTA epoch coarsening — drain the pre-aggregation table only
+  /// every this many ordered-key advances (wider windows, fewer flushes).
+  /// 1 = drain on every advance (exact behaviour).
+  std::atomic<uint32_t> epoch_coarsen{1};
+
+  /// L3: LFTA table occupancy cap, in percent of slots; beyond it the
+  /// coldest groups are force-evicted as partials. 100 = uncapped.
+  std::atomic<uint32_t> table_cap_pct{100};
+
+  uint32_t Level() const { return level.load(std::memory_order_relaxed); }
+  uint32_t SampleK() const {
+    return sample_k.load(std::memory_order_relaxed);
+  }
+  uint32_t EpochCoarsen() const {
+    return epoch_coarsen.load(std::memory_order_relaxed);
+  }
+  uint32_t TableCapPct() const {
+    return table_cap_pct.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace gigascope::rts
+
+#endif  // GIGASCOPE_RTS_SHED_STATE_H_

@@ -64,6 +64,13 @@ struct StreamMessage {
   ByteBuffer payload;
   uint64_t trace_id = 0;
   int64_t trace_ns = 0;  // inject time, in the tracer's epoch
+  /// How many offered tuples this message stands for. 1 normally; under
+  /// L1 load shedding a surviving source tuple carries the sampling rate
+  /// in force when it was injected (its Horvitz-Thompson weight), and
+  /// aggregation folds COUNT/SUM with it. Stamped at the sampling
+  /// decision — not read at fold time — so a backlog of pre-shed tuples
+  /// is never retroactively scaled.
+  uint32_t weight = 1;
 };
 
 /// The unit a ring slot carries: zero or more tuples followed by at most

@@ -40,6 +40,28 @@ inline constexpr char kPackets[] = "packets";
 inline constexpr char kLastPunctSec[] = "last_punct_sec";
 /// Sim-time gap between a packet and the last punctuation on its source.
 inline constexpr char kPunctLagNs[] = "punct_lag_ns";
+/// Packets whose bytes could not be decoded even at the Ethernet layer
+/// (truncated/corrupt captures); interpreted as type defaults, never
+/// crashed on.
+inline constexpr char kParseErrors[] = "parse_errors";
+/// Packets whose timestamp regressed behind the source's last emitted
+/// punctuation; clamped to the punctuation bound instead of violating it.
+inline constexpr char kTimeRegressions[] = "time_regressions";
+
+// -- Overload controller (writer: the inject thread) -------------------------
+/// Current rung of the shedding ladder (0 = exact processing).
+inline constexpr char kShedLevel[] = "shed_level";
+/// Percent of offered packets currently being shed by L1 sampling
+/// ((k-1)*100/k; 0 when not sampling).
+inline constexpr char kShedRate[] = "shed_rate";
+/// Packets deterministically shed at the source (accounted, not lost:
+/// surviving tuples are scaled to cover them).
+inline constexpr char kShedTuples[] = "shed_tuples";
+/// Pressure evaluations the controller has run.
+inline constexpr char kShedChecks[] = "shed_checks";
+/// LFTA groups force-evicted by the L3 occupancy cap (also counted in
+/// lfta_evictions; partials, re-merged by the HFTA).
+inline constexpr char kLftaShedEvictions[] = "lfta_shed_evictions";
 
 // -- Engine-level ------------------------------------------------------------
 inline constexpr char kHeartbeats[] = "heartbeats";

@@ -924,6 +924,67 @@ TEST(EngineThreadedTest, StartStopRestartDrainsEverything) {
   EXPECT_EQ(total, 500u);
 }
 
+TEST(EngineTest, NonMonotoneTimestampClampedAndCounted) {
+  // A source that emits a timestamp older than its last punctuation would
+  // violate the ordering contract the punctuation already promised
+  // downstream. The engine clamps the tuple to the punctuation bound and
+  // counts the regression instead of propagating the violation.
+  EngineOptions options;
+  options.punctuation_interval = 4;
+  options.batch_max_size = 1;
+  Engine engine(options);
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name mono; } "
+                            "SELECT time, destPort FROM eth0.PKT")
+                  .ok());
+  auto sub = engine.Subscribe("mono");
+  ASSERT_TRUE(sub.ok());
+
+  // Four in-order packets emit a punctuation with bound time=4.
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(engine
+                    .InjectPacket("eth0",
+                                  MakeTcpPacket(i * kNanosPerSecond,
+                                                0x0a000001, 80, "x"))
+                    .ok());
+  }
+  // This packet claims second 2 — before the bound already published.
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0", MakeTcpPacket(2 * kNanosPerSecond,
+                                                      0x0a000001, 81, "x"))
+                  .ok());
+  // And a healthy in-order packet afterwards: no further regression.
+  ASSERT_TRUE(engine
+                  .InjectPacket("eth0", MakeTcpPacket(6 * kNanosPerSecond,
+                                                      0x0a000001, 82, "x"))
+                  .ok());
+  engine.FlushAll();
+
+  uint64_t regressions = 0;
+  for (const auto& sample : engine.telemetry().Snapshot()) {
+    if (sample.entity == "eth0.PKT" && sample.metric == "time_regressions") {
+      regressions = sample.value;
+    }
+  }
+  EXPECT_EQ(regressions, 1u);
+
+  // The regressed tuple surfaces clamped to the punctuation bound: time
+  // never runs backwards in the output.
+  uint64_t last_time = 0;
+  bool saw_clamped = false;
+  while (auto row = (*sub)->NextRow()) {
+    uint64_t time = (*row)[0].uint_value();
+    EXPECT_GE(time, last_time);
+    last_time = time;
+    if ((*row)[1].uint_value() == 81) {
+      EXPECT_EQ(time, 4u);  // clamped from 2 to the bound
+      saw_clamped = true;
+    }
+  }
+  EXPECT_TRUE(saw_clamped);
+}
+
 TEST(EngineTest, QueryInfoCarriesNicProgram) {
   Engine engine;
   engine.AddInterface("eth0");

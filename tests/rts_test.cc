@@ -114,6 +114,47 @@ TEST(RingTest, DropAccounting) {
   EXPECT_EQ(channel.pushed(), 1u);
 }
 
+TEST(RingTest, BatchDropAccountingIsMessageGranular) {
+  // Overload accounting depends on `dropped()` counting *messages*, not
+  // ring slots: a dropped 5-tuple batch is 5 lost tuples, and the shed
+  // controller's drops-per-check threshold reads this counter.
+  RingChannel channel(1);
+  StreamBatch filler;
+  filler.items.emplace_back();
+  ASSERT_TRUE(channel.PushOrDrop(std::move(filler)));
+
+  StreamBatch batch;
+  for (int i = 0; i < 5; ++i) {
+    StreamMessage message;
+    message.payload = {static_cast<uint8_t>(i)};
+    batch.items.push_back(std::move(message));
+  }
+  EXPECT_FALSE(channel.PushOrDrop(std::move(batch)));
+  EXPECT_EQ(channel.dropped(), 5u);
+
+  // A punctuation riding the batch parks instead of dropping: only the
+  // tuple messages count.
+  StreamBatch with_punct;
+  for (int i = 0; i < 3; ++i) with_punct.items.emplace_back();
+  StreamMessage punct;
+  punct.kind = StreamMessage::Kind::kPunctuation;
+  with_punct.items.push_back(std::move(punct));
+  EXPECT_FALSE(channel.PushOrDrop(std::move(with_punct)));
+  EXPECT_EQ(channel.dropped(), 8u);  // 5 + 3; the punctuation parked
+  // The parked punctuation rides out on the next successful push after
+  // the ring drains.
+  StreamMessage out;
+  ASSERT_TRUE(channel.TryPop(&out));
+  StreamBatch next;
+  next.items.emplace_back();
+  ASSERT_TRUE(channel.PushOrDrop(std::move(next)));
+  StreamBatch popped;
+  ASSERT_TRUE(channel.TryPop(&popped));
+  ASSERT_EQ(popped.items.size(), 2u);
+  EXPECT_EQ(popped.items.back().kind, StreamMessage::Kind::kPunctuation);
+  EXPECT_EQ(channel.dropped(), 8u);
+}
+
 TEST(RingTest, HighWaterMark) {
   RingChannel channel(16);
   StreamMessage message;

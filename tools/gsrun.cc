@@ -68,6 +68,20 @@ int Usage() {
       "                    JSON to FILE after the run; load it in Perfetto\n"
       "                    or chrome://tracing (implies --trace-sample=128\n"
       "                    unless given)\n"
+      "  --shed            enable closed-loop overload management: the\n"
+      "                    engine reads its own telemetry and walks the\n"
+      "                    shedding ladder (1-in-k source sampling with\n"
+      "                    unbiased COUNT/SUM scaling, coarser LFTA epochs,\n"
+      "                    bounded LFTA tables) under pressure, stepping\n"
+      "                    back down with hysteresis once load subsides;\n"
+      "                    shed_level/shed_rate/shed_tuples appear in\n"
+      "                    gs_stats (default: off)\n"
+      "  --shed-thresholds=RING,LAG,OCC\n"
+      "                    escalation thresholds: RING = fraction of the\n"
+      "                    fullest ring occupied, LAG = punctuation\n"
+      "                    staleness in seconds (fractional ok), OCC =\n"
+      "                    fraction of LFTA table slots open (default:\n"
+      "                    0.5,2,0.9; implies --shed)\n"
       "  --help            this text\n");
   return 2;
 }
@@ -91,6 +105,29 @@ bool ParseNumericFlag(const char* arg, const char* prefix, double* out) {
   return true;
 }
 
+/// Parses "--shed-thresholds=RING,LAG,OCC": exactly three clean
+/// non-negative numbers, comma-separated.
+bool ParseShedThresholds(const char* arg, double* ring, double* lag,
+                         double* occ) {
+  constexpr const char kPrefix[] = "--shed-thresholds=";
+  size_t len = sizeof(kPrefix) - 1;
+  if (std::strncmp(arg, kPrefix, len) != 0) return false;
+  const char* value = arg + len;
+  double* slots[] = {ring, lag, occ};
+  for (size_t i = 0; i < 3; ++i) {
+    char* end = nullptr;
+    double parsed = std::strtod(value, &end);
+    if (end == value || parsed < 0) return false;
+    *slots[i] = parsed;
+    value = end;
+    if (i < 2) {
+      if (*value != ',') return false;
+      ++value;
+    }
+  }
+  return *value == '\0';
+}
+
 void PrintHeader(const gigascope::gsql::StreamSchema& schema) {
   std::printf("== %s (", schema.name().c_str());
   for (size_t f = 0; f < schema.num_fields(); ++f) {
@@ -110,6 +147,10 @@ int main(int argc, char** argv) {
   bool stats_dump = false;
   size_t trace_sample = 0;
   std::string trace_out;
+  bool shed = false;
+  double shed_ring = 0.5;
+  double shed_lag_seconds = 2.0;
+  double shed_occ = 0.9;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) == 0) {
@@ -135,6 +176,11 @@ int main(int argc, char** argv) {
         if (trace_out.empty()) return UnknownFlag(argv[i]);
       } else if (std::strcmp(argv[i], "--stats-dump") == 0) {
         stats_dump = true;
+      } else if (std::strcmp(argv[i], "--shed") == 0) {
+        shed = true;
+      } else if (ParseShedThresholds(argv[i], &shed_ring, &shed_lag_seconds,
+                                     &shed_occ)) {
+        shed = true;
       } else if (std::strcmp(argv[i], "--help") == 0) {
         return Usage();
       } else {
@@ -171,6 +217,12 @@ int main(int argc, char** argv) {
   // rate light enough to leave the hot path alone on real captures.
   if (!trace_out.empty() && trace_sample == 0) trace_sample = 128;
   options.trace_sample = trace_sample;
+  if (shed) {
+    options.shed.enabled = true;
+    options.shed.ring_occupancy = shed_ring;
+    options.shed.punct_lag = gigascope::SecondsToSimTime(shed_lag_seconds);
+    options.shed.lfta_occupancy = shed_occ;
+  }
   Engine engine(options);
   engine.AddInterface(interface_name);
 
