@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds the tree with ThreadSanitizer and runs the concurrency-labelled
+# suites (pass a different ctest -L label to narrow further, or "all" for
+# the whole suite). The threaded pump mode and the supervisor's monitor
+# thread — which races worker death, heartbeat publication, and shm ring
+# handoff — are written to be TSan-clean.
+#
+# Usage: scripts/check_tsan.sh [label|all]
+#   scripts/check_tsan.sh              # concurrency-labelled suites
+#   scripts/check_tsan.sh robustness   # the fault/hostile-input suites
+#   scripts/check_tsan.sh all          # entire test suite under TSan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-tsan
+LABEL="${1:-concurrency}"
+
+cmake -B "${BUILD_DIR}" -S . -DGS_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+
+# halt_on_error: fail the test, not just print the race report.
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+cd "${BUILD_DIR}"
+if [[ "${LABEL}" == "all" ]]; then
+  ctest --output-on-failure
+else
+  ctest -L "${LABEL}" --output-on-failure
+fi

@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 
@@ -64,15 +66,43 @@ Engine::Engine(EngineOptions options) : options_(options) {
     shed_controller_->RegisterTelemetry(&telemetry_, "engine");
     telemetry_.Register("engine", metric::kShedTuples, &shed_tuples_);
   }
+  if (options_.process.enabled) {
+    // Every subscription created from here on gets a shm-backed ring, so
+    // the rings forked worker processes inherit are shared, not copied.
+    rts::ShmRingOptions shm;
+    shm.enabled = true;
+    shm.max_slots = options_.process.shm_max_slots;
+    shm.slot_bytes = options_.process.shm_slot_bytes;
+    registry_.SetChannelOptions(shm);
+    // Ring-health counters live in the shm control blocks, so the parent's
+    // aggregate readers see child-side progress.
+    telemetry_.RegisterReader("engine", metric::kTornSlots,
+                              [this] { return registry_.TotalTornAll(); });
+    telemetry_.RegisterReader("engine", metric::kResyncDropped, [this] {
+      return registry_.TotalResyncDroppedAll();
+    });
+    telemetry_.RegisterReader("engine", metric::kOversizeDropped, [this] {
+      return registry_.TotalOversizeDroppedAll();
+    });
+  }
 }
 
-Engine::~Engine() { StopThreads(); }
+Engine::~Engine() {
+  StopProcesses();
+  StopThreads();
+}
 
 Status Engine::CheckMutable(const char* operation) const {
   if (threads_running_) {
     return Status::FailedPrecondition(
         std::string(operation) +
         ": the worker pool is running; call StopThreads first");
+  }
+  if (processes_running_) {
+    return Status::FailedPrecondition(
+        std::string(operation) +
+        ": worker processes are running; they fork-share the structures "
+        "this call mutates");
   }
   return Status::Ok();
 }
@@ -358,9 +388,16 @@ Result<QueryInfo> Engine::AddQuery(
     GS_RETURN_IF_ERROR(EnsureSources(split.lfta));
     MarkProtocolFieldUses(split.lfta);
     ctx.use_lfta_table = split.split_aggregation;
+    // LFTA-stage nodes run on the inject thread even in multi-process
+    // mode, and the splitter guarantees their inputs are protocol sources
+    // or streams internal to this same plan — all produced in the parent.
+    // Keep those rings heap-backed: the per-packet source traffic must
+    // not pay shm serialization for a process boundary it never crosses.
+    ctx.parent_local = true;
     std::string lfta_output =
         split.hfta == nullptr ? split.name : split.lfta_name;
     GS_RETURN_IF_ERROR(InstantiatePlan(split.lfta, lfta_output, &ctx));
+    ctx.parent_local = false;
   }
   // Nodes instantiated so far belong to the LFTA plan and stay on the
   // inject thread in threaded mode; everything after runs on workers.
@@ -771,8 +808,12 @@ Status Engine::InjectPacket(const std::string& interface_name,
   // Threaded mode: LFTAs run next to the capture loop (§4), so drive them
   // here when this packet published anything; their outputs wake the HFTA
   // workers.
-  if (threads_running_ && published) {
-    PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
+  if (published) {
+    if (threads_running_) {
+      PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
+    } else if (processes_running_) {
+      PumpProcessRound(options_.worker_poll_budget);
+    }
   }
   return Status::Ok();
 }
@@ -818,6 +859,8 @@ Status Engine::InjectHeartbeat(const std::string& interface_name,
   MaybeRunShedCheck(now);
   if (threads_running_) {
     PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
+  } else if (processes_running_) {
+    PumpProcessRound(options_.worker_poll_budget);
   }
   return Status::Ok();
 }
@@ -834,6 +877,8 @@ Status Engine::InjectRow(const std::string& stream_name,
   registry_.Publish(stream_name, message);
   if (threads_running_) {
     PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
+  } else if (processes_running_) {
+    PumpProcessRound(options_.worker_poll_budget);
   }
   return Status::Ok();
 }
@@ -852,6 +897,8 @@ Status Engine::InjectPunctuation(const std::string& stream_name, size_t field,
                     rts::MakePunctuationMessage(punctuation, schema));
   if (threads_running_) {
     PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
+  } else if (processes_running_) {
+    PumpProcessRound(options_.worker_poll_budget);
   }
   return Status::Ok();
 }
@@ -863,6 +910,8 @@ Status Engine::EmitStatsSnapshot(SimTime now) {
   if (now > last_input_time_) last_input_time_ = now;
   if (threads_running_) {
     PumpStage(NodeStage::kLfta, options_.worker_poll_budget);
+  } else if (processes_running_) {
+    PumpProcessRound(options_.worker_poll_budget);
   }
   return Status::Ok();
 }
@@ -959,6 +1008,7 @@ size_t Engine::Pump(size_t budget_per_node) {
     // consumer to their SPSC channels.
     return PumpStage(NodeStage::kLfta, budget_per_node);
   }
+  if (processes_running_) return PumpProcessRound(budget_per_node);
   size_t processed = 0;
   for (auto& node : nodes_) {
     processed += node->PollCounted(budget_per_node);
@@ -973,7 +1023,18 @@ void Engine::PumpUntilIdle() {
     // so windows close without waiting for the seal. Parked punctuations
     // may only be retried from their producing thread; with workers
     // running the producers of intermediate rings are the workers, so this
-    // is deferred to FlushAll (which stops them first).
+    // is deferred to FlushAll (which stops them first). In process mode
+    // the parent retries only the rings it produces into (sources, LFTA
+    // outputs, adopted nodes) — worker-produced rings' parked state lives
+    // in the worker's address space.
+    if (processes_running_) {
+      size_t flushed = 0;
+      for (const std::string& stream : parent_streams_) {
+        flushed += registry_.FlushParkedPunctuations(stream);
+      }
+      if (flushed > 0) continue;
+      break;
+    }
     if (!threads_running_ && registry_.FlushParkedPunctuations() > 0) {
       continue;
     }
@@ -983,6 +1044,11 @@ void Engine::PumpUntilIdle() {
 
 void Engine::FlushAll() {
   if (flushed_) return;  // idempotent: the engine is already sealed
+  if (processes_running_) {
+    FlushAllProcesses();
+    flushed_ = true;
+    return;
+  }
   // Barrier: take the worker pool down first, then drain everything from
   // this thread — deterministic regardless of worker scheduling, because
   // channels hand over their remaining contents in FIFO order.
@@ -1015,6 +1081,11 @@ void Engine::FlushAll() {
 Status Engine::StartThreads(size_t workers) {
   if (threads_running_) {
     return Status::FailedPrecondition("worker pool is already running");
+  }
+  if (processes_running_) {
+    return Status::FailedPrecondition(
+        "StartThreads: worker processes are running; the two pump modes "
+        "are exclusive");
   }
   GS_RETURN_IF_ERROR(CheckAcceptingInput("StartThreads"));
   if (workers == 0) {
@@ -1101,6 +1172,326 @@ void Engine::WorkerLoop(Worker* worker) {
     worker->park_ns->Record(
         static_cast<uint64_t>(telemetry::MonotonicNowNs() - park_start));
   }
+}
+
+Status Engine::StartProcesses(size_t workers) {
+  if (processes_running_) {
+    return Status::FailedPrecondition("worker processes are already running");
+  }
+  if (threads_running_) {
+    return Status::FailedPrecondition(
+        "StartProcesses: the threaded worker pool is running; call "
+        "StopThreads first");
+  }
+  GS_RETURN_IF_ERROR(CheckAcceptingInput("StartProcesses"));
+  if (!options_.process.enabled) {
+    return Status::FailedPrecondition(
+        "StartProcesses needs EngineOptions::process.enabled at "
+        "construction — inter-node rings must be shm-backed before queries "
+        "are added");
+  }
+  if (workers == 0) {
+    return Status::InvalidArgument(
+        "StartProcesses needs at least one worker");
+  }
+  node_stages_.resize(nodes_.size(), NodeStage::kHfta);
+  std::vector<size_t> hfta;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (node_stages_[i] == NodeStage::kHfta) hfta.push_back(i);
+  }
+  processes_running_ = true;
+  node_adopted_.assign(nodes_.size(), 0);
+  process_groups_.clear();
+  worker_adopted_.clear();
+  worker_output_streams_.clear();
+  adopted_resync_.store(0, std::memory_order_relaxed);
+  parent_streams_ = registry_.StreamNames();
+  if (hfta.empty()) return Status::Ok();  // everything is LFTA-stage
+
+  const size_t pool = std::min(workers, hfta.size());
+  process_groups_.assign(pool, {});
+  for (size_t i = 0; i < hfta.size(); ++i) {
+    process_groups_[i % pool].push_back(hfta[i]);
+  }
+  worker_adopted_.assign(pool, 0);
+  worker_output_streams_.assign(pool, {});
+  for (size_t w = 0; w < pool; ++w) {
+    for (size_t idx : process_groups_[w]) {
+      worker_output_streams_[w].push_back(nodes_[idx]->name());
+    }
+  }
+  // The parent retries parked punctuations only on streams it produces
+  // into; strip worker-owned outputs from the starting set.
+  {
+    std::vector<std::string> parent;
+    for (const std::string& name : parent_streams_) {
+      bool worker_owned = false;
+      for (const auto& outputs : worker_output_streams_) {
+        for (const std::string& output : outputs) {
+          if (output == name) worker_owned = true;
+        }
+      }
+      if (!worker_owned) parent.push_back(name);
+    }
+    parent_streams_ = std::move(parent);
+  }
+  // Tracer spans recorded in a child would die with its heap (and the
+  // tracer's mutex must not be shared across fork); HFTA nodes run
+  // untraced in process mode.
+  if (tracer_ != nullptr) {
+    for (size_t idx : hfta) nodes_[idx]->SetTracer(nullptr, 0);
+  }
+  // Torn-slot fault: arm the producer side of every subscriber ring before
+  // forking, so whichever process publishes into the stream inherits the
+  // armed flag.
+  if (options_.fault.kind == FaultConfig::Kind::kTorn) {
+    for (const rts::Subscription& channel :
+         registry_.Subscribers(options_.fault.stream)) {
+      channel->ArmTornFault(options_.fault.nth);
+    }
+  }
+  supervisor_ = std::make_unique<Supervisor>(
+      options_.process.supervisor, pool,
+      [this](size_t w, uint32_t generation) {
+        WorkerProcessLoop(w, generation);
+      });
+  if (!process_telemetry_registered_) {
+    process_telemetry_registered_ = true;
+    telemetry_.RegisterReader("engine", metric::kWorkerRestarts, [this] {
+      return supervisor_ != nullptr ? supervisor_->restarts() : 0;
+    });
+    telemetry_.RegisterReader("engine", metric::kHeartbeatMisses, [this] {
+      return supervisor_ != nullptr ? supervisor_->heartbeat_misses() : 0;
+    });
+    telemetry_.RegisterReader("engine", metric::kWorkersDegraded, [this] {
+      return supervisor_ != nullptr ? supervisor_->degraded_count() : 0;
+    });
+    // Every restart and every degraded-worker adoption opens exactly one
+    // punctuation-bounded recovery gap.
+    telemetry_.RegisterReader("engine", metric::kResyncGaps, [this] {
+      return (supervisor_ != nullptr ? supervisor_->restarts() : 0) +
+             adopted_resync_.load(std::memory_order_relaxed);
+    });
+  }
+  return supervisor_->Start();
+}
+
+void Engine::StopProcesses() {
+  if (!processes_running_) return;
+  if (supervisor_ != nullptr) supervisor_->StopAll();
+  processes_running_ = false;
+  // The children's operator state died with them; adopt every group with a
+  // resync so in-process pumping resumes at a punctuation boundary.
+  for (size_t w = 0; w < process_groups_.size(); ++w) {
+    AdoptWorkerNodes(w, /*resync=*/true);
+  }
+}
+
+void Engine::AdoptWorkerNodes(size_t worker, bool resync) {
+  if (worker_adopted_[worker]) return;
+  worker_adopted_[worker] = 1;
+  for (size_t idx : process_groups_[worker]) {
+    node_adopted_[idx] = 1;
+    if (resync) {
+      for (const rts::Subscription& input : nodes_[idx]->inputs()) {
+        input->BeginResync();
+      }
+    }
+    // The parent produces into the adopted node's output rings now.
+    parent_streams_.push_back(nodes_[idx]->name());
+  }
+  if (resync) adopted_resync_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Engine::AdoptDegradedWorkers() {
+  if (supervisor_ == nullptr) return;
+  for (size_t w = 0; w < process_groups_.size(); ++w) {
+    if (worker_adopted_[w]) continue;
+    if (supervisor_->state(w) == Supervisor::WorkerState::kDegraded) {
+      AdoptWorkerNodes(w, /*resync=*/true);
+    }
+  }
+}
+
+size_t Engine::PumpProcessRound(size_t budget_per_node) {
+  AdoptDegradedWorkers();
+  size_t processed = PumpStage(NodeStage::kLfta, budget_per_node);
+  for (size_t i = 0; i < node_adopted_.size(); ++i) {
+    if (node_adopted_[i]) processed += nodes_[i]->PollCounted(budget_per_node);
+  }
+  return processed;
+}
+
+void Engine::DrainProcessesUntilIdle() {
+  for (;;) {
+    // Pump() covers source batches, the LFTA stage, and adopted nodes.
+    size_t progress = Pump(options_.worker_poll_budget);
+    for (const std::string& stream : parent_streams_) {
+      progress += registry_.FlushParkedPunctuations(stream);
+    }
+    if (supervisor_ != nullptr) {
+      for (size_t w = 0; w < process_groups_.size(); ++w) {
+        if (worker_adopted_[w]) continue;
+        uint64_t acked = 0;
+        if (supervisor_->SendCommand(w, WorkerCommand::kDrain, 0, &acked)) {
+          progress += static_cast<size_t>(acked);
+        } else {
+          // Died or hung while draining: fail over and run one more round
+          // so the adopted nodes consume what their process left behind.
+          AdoptWorkerNodes(w, /*resync=*/true);
+          progress += 1;
+        }
+      }
+    }
+    if (progress == 0) return;
+  }
+}
+
+void Engine::FlushAllProcesses() {
+  // Seal first: from here a dying worker degrades instead of restarting,
+  // so the flush protocol below never waits on a respawn.
+  if (supervisor_ != nullptr) supervisor_->BeginSeal();
+  AdoptDegradedWorkers();
+  PumpUntilIdle();
+  if (options_.stats_period > 0) {
+    stats_source_->EmitSnapshot(last_input_time_);
+    last_stats_emit_ = last_input_time_;
+    PumpUntilIdle();
+  }
+  // Flush node-by-node in global upstream-first order (nodes_ order), so
+  // flushed state propagates down the chain exactly as in the
+  // single-process seal. Worker-owned nodes flush by command inside their
+  // owning process; a worker that died or hangs mid-seal fails over — the
+  // parent adopts its pristine node copies, resynchronizes their inputs,
+  // and flushes locally.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    size_t owner = 0;
+    size_t local = 0;
+    bool parent_owned = true;
+    if (node_stages_[i] == NodeStage::kHfta && !node_adopted_[i]) {
+      for (size_t w = 0; w < process_groups_.size() && parent_owned; ++w) {
+        for (size_t l = 0; l < process_groups_[w].size(); ++l) {
+          if (process_groups_[w][l] == i) {
+            owner = w;
+            local = l;
+            parent_owned = false;
+            break;
+          }
+        }
+      }
+    }
+    if (parent_owned) {
+      nodes_[i]->Flush();
+    } else if (!supervisor_->SendCommand(owner, WorkerCommand::kFlushNode,
+                                         local, nullptr)) {
+      AdoptWorkerNodes(owner, /*resync=*/true);
+      nodes_[i]->Flush();
+    }
+    DrainProcessesUntilIdle();
+  }
+  if (supervisor_ != nullptr) supervisor_->StopAll();
+  processes_running_ = false;
+  // Anything still in the rings (a dead worker's unconsumed input,
+  // stragglers) drains in-process now. Cleanly sealed workers left their
+  // rings empty, so adopting without a resync changes nothing for them.
+  for (size_t w = 0; w < process_groups_.size(); ++w) {
+    AdoptWorkerNodes(w, /*resync=*/false);
+  }
+  PumpUntilIdle();
+  while (registry_.FlushParkedPunctuations() > 0) PumpUntilIdle();
+}
+
+void Engine::WorkerProcessLoop(size_t worker, uint32_t generation) {
+  WorkerControl* ctrl = supervisor_->control(worker);
+  const std::vector<size_t>& group = process_groups_[worker];
+  // A restarted incarnation forked from the parent's pristine operator
+  // state: the dead incarnation's partial groups are gone, so discard
+  // mid-window input until the next punctuation boundary re-anchors the
+  // stream. The ring's read position itself lives in shm and carries over.
+  if (generation > 1) {
+    for (size_t idx : group) {
+      for (const rts::Subscription& input : nodes_[idx]->inputs()) {
+        input->BeginResync();
+      }
+    }
+  }
+  FaultInjector injector(options_.fault, worker, &ctrl->fault_fired);
+  uint64_t processed_total =
+      ctrl->msgs_processed.load(std::memory_order_relaxed);
+  int idle_rounds = 0;
+  for (;;) {
+    if (injector.MaybeFire(processed_total)) {
+      // Stalled by fault injection: alive but silent — no heartbeat, no
+      // work, exactly what a hung worker looks like from outside.
+      usleep(1000);
+      continue;
+    }
+    ctrl->heartbeat.store(
+        ctrl->heartbeat.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    uint64_t arg = 0;
+    uint64_t seq = 0;
+    switch (Supervisor::PendingCommand(ctrl, &arg, &seq)) {
+      case WorkerCommand::kFlushNode:
+        if (arg < group.size()) nodes_[group[arg]]->Flush();
+        Supervisor::Ack(ctrl, seq,
+                        DrainWorkerNodes(worker, ctrl, &processed_total));
+        continue;
+      case WorkerCommand::kDrain:
+        Supervisor::Ack(ctrl, seq,
+                        DrainWorkerNodes(worker, ctrl, &processed_total));
+        continue;
+      case WorkerCommand::kExit:
+        Supervisor::Ack(ctrl, seq, 0);
+        _exit(0);
+      case WorkerCommand::kNone:
+        break;
+    }
+    size_t processed = 0;
+    for (size_t idx : group) {
+      processed += nodes_[idx]->PollCounted(options_.worker_poll_budget);
+    }
+    if (processed > 0) {
+      processed_total += processed;
+      ctrl->msgs_processed.store(processed_total, std::memory_order_relaxed);
+      idle_rounds = 0;
+      continue;
+    }
+    // Idle: retry punctuations parked on rings this worker produces into
+    // (parked state is producer-side and lives in this address space).
+    for (size_t idx : group) {
+      registry_.FlushParkedPunctuations(nodes_[idx]->name());
+    }
+    if (++idle_rounds < 64) {
+      std::this_thread::yield();
+    } else {
+      idle_rounds = 64;  // keep heartbeating at a bounded idle cost
+      usleep(200);
+    }
+  }
+}
+
+size_t Engine::DrainWorkerNodes(size_t worker, WorkerControl* control,
+                                uint64_t* processed_total) {
+  size_t total = 0;
+  for (;;) {
+    size_t round = 0;
+    for (size_t idx : process_groups_[worker]) {
+      round += nodes_[idx]->PollCounted(options_.worker_poll_budget);
+    }
+    for (size_t idx : process_groups_[worker]) {
+      round += registry_.FlushParkedPunctuations(nodes_[idx]->name());
+    }
+    // A long drain must not read as a hang.
+    control->heartbeat.store(
+        control->heartbeat.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    if (round == 0) break;
+    total += round;
+  }
+  *processed_total += total;
+  control->msgs_processed.store(*processed_total, std::memory_order_relaxed);
+  return total;
 }
 
 std::vector<Engine::NodeStats> Engine::GetNodeStats() const {

@@ -8,7 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/fault.h"
 #include "core/shedding.h"
+#include "core/supervisor.h"
 #include "gsql/catalog.h"
 #include "net/packet.h"
 #include "plan/splitter.h"
@@ -45,6 +47,22 @@ class TupleSubscription {
  private:
   rts::Subscription channel_;
   rts::TupleCodec codec_;
+};
+
+/// Multi-process HFTA execution (the paper's §4 model: HFTAs are
+/// application processes fed through shared memory). Enabled at engine
+/// construction so every inter-node ring created while queries are added
+/// is shm-backed and fork-shareable.
+struct ProcessOptions {
+  bool enabled = false;
+  /// Shm ring geometry: slot count per ring (subscription capacities are
+  /// clamped to this) and payload bytes per slot (larger batches split
+  /// across slots; a single message over this limit is dropped and
+  /// counted).
+  size_t shm_max_slots = 32768;
+  size_t shm_slot_bytes = 16 * 1024;
+  /// Heartbeat cadence, restart budget/backoff, command timeouts.
+  SupervisorOptions supervisor;
 };
 
 /// Engine construction knobs.
@@ -96,6 +114,11 @@ struct EngineOptions {
   /// epochs, L3 bounded LFTA occupancy — stepping back down with
   /// hysteresis once pressure subsides.
   ShedConfig shed;
+  /// Supervised multi-process HFTA mode (StartProcesses).
+  ProcessOptions process;
+  /// One deterministic injected fault, armed when worker processes start
+  /// (gsrun --fault=SPEC; see core/fault.h for the grammar). Testing only.
+  FaultConfig fault;
 };
 
 /// Precompiled packet-interpretation plan for one schema: which built-in
@@ -275,6 +298,29 @@ class Engine {
 
   bool threads_running() const { return threads_running_; }
 
+  // -- Multi-process pump mode -------------------------------------------------
+
+  /// Starts supervised HFTA worker processes (requires
+  /// EngineOptions::process.enabled at construction, so inter-node rings
+  /// are shm-backed). Like StartThreads, HFTA nodes are partitioned
+  /// round-robin over min(workers, hfta-node-count) forked processes;
+  /// LFTA-stage nodes stay on the inject thread. Each worker heartbeats
+  /// through shared memory; the supervisor restarts crashed or hung
+  /// workers under exponential backoff, and a worker that exhausts its
+  /// restart budget degrades — the parent adopts its nodes in-process,
+  /// resynchronizing their inputs at the next punctuation boundary.
+  Status StartProcesses(size_t workers);
+
+  /// Kills the worker processes without draining (FlushAll does both, in
+  /// order). Their in-flight operator state is lost; every group is
+  /// adopted in-process with a resync so later pumping stays consistent.
+  void StopProcesses();
+
+  bool processes_running() const { return processes_running_; }
+
+  /// The process supervisor, or null unless StartProcesses ran.
+  const Supervisor* supervisor() const { return supervisor_.get(); }
+
   // -- Introspection ---------------------------------------------------------
 
   rts::StreamRegistry& registry() { return registry_; }
@@ -365,6 +411,32 @@ class Engine {
   size_t PumpStage(NodeStage stage, size_t budget_per_node);
   void WorkerLoop(Worker* worker);
 
+  // -- Multi-process internals ----------------------------------------------
+
+  /// The child process's pump loop: heartbeat, command mailbox, node
+  /// polling, parked-punctuation retries. Never returns (the child _exits
+  /// on kExit or dies by fault/crash).
+  void WorkerProcessLoop(size_t worker, uint32_t generation);
+  /// Child-side: pumps the worker's own nodes until idle (used for the
+  /// kFlushNode/kDrain commands); keeps heartbeating while it runs.
+  size_t DrainWorkerNodes(size_t worker, WorkerControl* control,
+                          uint64_t* processed_total);
+  /// Parent-side failover: marks worker `w`'s nodes parent-owned; with
+  /// `resync` their inputs discard until the next punctuation boundary
+  /// (the dead process's partial state is unrecoverable).
+  void AdoptWorkerNodes(size_t worker, bool resync);
+  /// Adopts every worker the supervisor has declared degraded.
+  void AdoptDegradedWorkers();
+  /// One parent-side pump round in process mode: LFTA stage plus any
+  /// adopted nodes.
+  size_t PumpProcessRound(size_t budget_per_node);
+  /// FlushAll's process-mode body: seal, drain, per-node flush commands in
+  /// global upstream order (failing over to adoption), stop, final drain.
+  void FlushAllProcesses();
+  /// Drives parent pumping and per-worker kDrain commands until no process
+  /// makes progress.
+  void DrainProcessesUntilIdle();
+
   /// Publishes every source's open batch (Pump and FlushAll call this so
   /// no injected tuple waits on the batch-size threshold once the engine
   /// is asked to make progress). Returns whether anything was published.
@@ -430,6 +502,24 @@ class Engine {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stop_workers_{false};
   bool threads_running_ = false;
+  // -- Multi-process mode state ---------------------------------------------
+  std::unique_ptr<Supervisor> supervisor_;
+  bool processes_running_ = false;
+  bool process_telemetry_registered_ = false;
+  /// nodes_ indices owned by each worker process.
+  std::vector<std::vector<size_t>> process_groups_;
+  /// Output stream names per worker (= its nodes' names): each process
+  /// retries parked punctuations only on rings it produces into.
+  std::vector<std::vector<std::string>> worker_output_streams_;
+  /// Streams the parent produces into (sources, LFTA outputs, gs_stats);
+  /// adopted nodes' outputs are appended as workers fail over.
+  std::vector<std::string> parent_streams_;
+  std::vector<char> worker_adopted_;
+  std::vector<char> node_adopted_;
+  /// Degraded-worker adoptions (each one opens a resync gap, like a
+  /// restart does); atomic because the gs_stats reader may run while the
+  /// engine thread adopts.
+  std::atomic<uint64_t> adopted_resync_{0};
   bool flushed_ = false;
   /// Once a user node exists, sources created later also materialize every
   /// field — the node may subscribe to them through registry().

@@ -1,0 +1,166 @@
+#include "core/fault.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "telemetry/histogram.h"
+
+namespace gigascope::core {
+
+namespace {
+
+/// splitmix64: the standard seed-expansion mixer — one multiply-xor chain,
+/// fully deterministic, good enough to spread a jitter window.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Status ParseError(std::string_view spec, const std::string& why) {
+  return Status::InvalidArgument("bad --fault spec '" + std::string(spec) +
+                                 "': " + why);
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+uint64_t FaultConfig::effective_after() const {
+  if (jitter == 0) return after_msgs;
+  return after_msgs + SplitMix64(seed) % jitter;
+}
+
+Result<FaultConfig> ParseFaultSpec(std::string_view spec) {
+  FaultConfig config;
+  const size_t colon = spec.find(':');
+  const std::string_view kind =
+      colon == std::string_view::npos ? spec : spec.substr(0, colon);
+  if (kind == "abort") {
+    config.kind = FaultConfig::Kind::kAbort;
+  } else if (kind == "stall") {
+    config.kind = FaultConfig::Kind::kStall;
+  } else if (kind == "torn") {
+    config.kind = FaultConfig::Kind::kTorn;
+  } else {
+    return ParseError(spec, "kind must be abort, stall, or torn");
+  }
+  std::string_view rest =
+      colon == std::string_view::npos ? std::string_view{} : spec.substr(colon + 1);
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    std::string_view pair =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return ParseError(spec, "expected key=value, got '" + std::string(pair) +
+                                  "'");
+    }
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+    uint64_t number = 0;
+    if (key == "stream") {
+      config.stream = std::string(value);
+      continue;
+    }
+    if (!ParseU64(value, &number)) {
+      return ParseError(spec, "'" + std::string(key) +
+                                  "' needs a non-negative integer, got '" +
+                                  std::string(value) + "'");
+    }
+    if (key == "worker") {
+      config.worker = static_cast<size_t>(number);
+    } else if (key == "after") {
+      config.after_msgs = number;
+    } else if (key == "jitter") {
+      config.jitter = number;
+    } else if (key == "seed") {
+      config.seed = number;
+    } else if (key == "ms") {
+      config.stall_ms = number;
+    } else if (key == "nth") {
+      config.nth = number == 0 ? 1 : number;
+    } else if (key == "every") {
+      config.every_incarnation = number != 0;
+    } else {
+      return ParseError(spec, "unknown key '" + std::string(key) + "'");
+    }
+  }
+  if (config.kind == FaultConfig::Kind::kTorn && config.stream.empty()) {
+    return ParseError(spec, "torn needs stream=NAME");
+  }
+  return config;
+}
+
+std::string FaultSpecToString(const FaultConfig& config) {
+  switch (config.kind) {
+    case FaultConfig::Kind::kNone:
+      return "none";
+    case FaultConfig::Kind::kAbort:
+      return "abort:worker=" + std::to_string(config.worker) +
+             ",after=" + std::to_string(config.effective_after());
+    case FaultConfig::Kind::kStall:
+      return "stall:worker=" + std::to_string(config.worker) +
+             ",after=" + std::to_string(config.effective_after()) +
+             ",ms=" + std::to_string(config.stall_ms);
+    case FaultConfig::Kind::kTorn:
+      return "torn:stream=" + config.stream +
+             ",nth=" + std::to_string(config.nth);
+  }
+  return "none";
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config, size_t worker,
+                             std::atomic<uint32_t>* fired_latch)
+    : config_(config), fired_latch_(fired_latch) {
+  armed_ = config_.enabled() && config_.kind != FaultConfig::Kind::kTorn &&
+           config_.worker == worker;
+  if (armed_ && !config_.every_incarnation && fired_latch_ != nullptr &&
+      fired_latch_->load(std::memory_order_relaxed) != 0) {
+    armed_ = false;  // fired in a previous incarnation of this worker
+  }
+}
+
+bool FaultInjector::MaybeFire(uint64_t processed_msgs) {
+  if (stalling_) {
+    if (config_.stall_ms == 0 ||
+        telemetry::MonotonicNowNs() < stall_until_ns_) {
+      return true;  // keep suppressing the heartbeat
+    }
+    stalling_ = false;
+    return false;
+  }
+  if (!armed_ || processed_msgs < config_.effective_after()) return false;
+  armed_ = false;
+  if (fired_latch_ != nullptr) {
+    fired_latch_->store(1, std::memory_order_relaxed);
+  }
+  if (config_.kind == FaultConfig::Kind::kAbort) {
+    // SIGKILL, not exit(): no atexit handlers, no flush, no unwinding —
+    // indistinguishable from a real crash to the supervisor.
+    kill(getpid(), SIGKILL);
+    _exit(127);  // unreachable
+  }
+  stalling_ = true;
+  if (config_.stall_ms > 0) {
+    stall_until_ns_ = telemetry::MonotonicNowNs() +
+                      static_cast<int64_t>(config_.stall_ms) * 1000 * 1000;
+  }
+  return true;
+}
+
+}  // namespace gigascope::core

@@ -1,0 +1,98 @@
+#ifndef GIGASCOPE_CORE_FAULT_H_
+#define GIGASCOPE_CORE_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace gigascope::core {
+
+/// Deterministic fault-injection configuration for the multi-process
+/// engine: one fault, armed at engine start, fired by the worker (abort /
+/// stall) or the ring producer (torn) at an exactly reproducible point.
+/// Driven by `gsrun --fault=SPEC` and by tests, so the recovery paths —
+/// crash detection, heartbeat-stall detection, torn-slot skipping — are
+/// exercised on every CI run rather than trusted.
+///
+/// Spec grammar (kind, then comma-separated key=value options):
+///   abort:worker=W,after=N[,jitter=J,seed=S][,every=1]
+///       Worker W SIGKILLs itself after processing N messages. With
+///       jitter, N += seed-derived offset in [0, J) — deterministic for a
+///       fixed seed, varied across seeds. Fires once per run by default
+///       (the restarted incarnation survives); every=1 re-arms each
+///       incarnation, which exhausts the restart budget.
+///   stall:worker=W,after=N[,ms=D][,jitter=J,seed=S][,every=1]
+///       Worker W stops heartbeating (but keeps its process alive) after
+///       N messages, for D ms (0 = forever, until the supervisor kills
+///       it). Exercises hung-worker detection as distinct from death.
+///   torn:stream=NAME[,nth=K]
+///       Corrupts the sequence stamp of the Kth slot (default 1st)
+///       published into each subscriber ring of stream NAME, so the
+///       consumer's validation path must detect and skip it.
+struct FaultConfig {
+  enum class Kind : uint8_t { kNone, kAbort, kStall, kTorn };
+  Kind kind = Kind::kNone;
+  /// Target worker index (abort/stall).
+  size_t worker = 0;
+  /// Fire once the worker's cumulative processed-message count reaches
+  /// this (post-jitter value in `effective_after`).
+  uint64_t after_msgs = 0;
+  /// Deterministic spread added to after_msgs: seed-derived offset in
+  /// [0, jitter). 0 disables.
+  uint64_t jitter = 0;
+  uint64_t seed = 0;
+  /// Stall duration in wall ms; 0 stalls forever (supervisor kills it).
+  uint64_t stall_ms = 0;
+  /// Re-arm in every restarted incarnation (default: fire once per run).
+  bool every_incarnation = false;
+  /// Torn-slot target stream and 1-based slot-publication ordinal.
+  std::string stream;
+  uint64_t nth = 1;
+
+  bool enabled() const { return kind != Kind::kNone; }
+
+  /// after_msgs with the seeded jitter applied (splitmix64 over seed).
+  uint64_t effective_after() const;
+};
+
+/// Parses the --fault spec grammar above.
+Result<FaultConfig> ParseFaultSpec(std::string_view spec);
+
+/// Renders a FaultConfig back to its spec form (diagnostics, EXPLAIN).
+std::string FaultSpecToString(const FaultConfig& config);
+
+/// The worker-side injector: a child process calls MaybeFire after each
+/// pump round with its cumulative processed count; at the configured
+/// point it either SIGKILLs itself (abort — indistinguishable from a real
+/// crash, no atexit, no flush) or suppresses its heartbeat (stall).
+///
+/// `fired_latch` lives in shared memory (WorkerControl::fault_fired) so
+/// "fire once per run" survives the restart: the new incarnation sees the
+/// latch set and does not re-fire unless every_incarnation is set.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& config, size_t worker,
+                std::atomic<uint32_t>* fired_latch);
+
+  /// Checks the trigger; may not return (abort). Returns true while a
+  /// stall is in force — the caller must skip its heartbeat for this
+  /// round.
+  bool MaybeFire(uint64_t processed_msgs);
+
+  /// Whether a stall window is currently suppressing heartbeats.
+  bool stalling() const { return stalling_; }
+
+ private:
+  FaultConfig config_;
+  bool armed_ = false;
+  bool stalling_ = false;
+  int64_t stall_until_ns_ = 0;
+  std::atomic<uint32_t>* fired_latch_;
+};
+
+}  // namespace gigascope::core
+
+#endif  // GIGASCOPE_CORE_FAULT_H_

@@ -1,0 +1,256 @@
+#include "core/supervisor.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.h"
+#include "telemetry/histogram.h"
+
+namespace gigascope::core {
+
+namespace {
+
+constexpr int64_t kMilli = 1000 * 1000;
+
+/// Reaps `pid` without blocking. Returns true when the child is gone
+/// (exited, signalled, or already reaped elsewhere — ECHILD).
+bool TryReap(pid_t pid) {
+  int status = 0;
+  const pid_t r = waitpid(pid, &status, WNOHANG);
+  return r == pid || (r < 0 && errno == ECHILD);
+}
+
+}  // namespace
+
+Supervisor::Supervisor(const SupervisorOptions& options, size_t workers,
+                       ChildMain child_main)
+    : options_(options), child_main_(std::move(child_main)) {
+  GS_CHECK(workers > 0);
+  shm_ = rts::ShmSegment::Create(workers * sizeof(WorkerControl));
+  controls_ = shm_->As<WorkerControl>(0);
+  for (size_t w = 0; w < workers; ++w) new (&controls_[w]) WorkerControl();
+  slots_.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+Supervisor::~Supervisor() { StopAll(); }
+
+Status Supervisor::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("Supervisor::Start called twice");
+  }
+  started_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t w = 0; w < slots_.size(); ++w) SpawnLocked(w);
+  }
+  monitor_ = std::thread([this] { MonitorLoop(); });
+  return Status::Ok();
+}
+
+void Supervisor::SpawnLocked(size_t w) {
+  WorkerControl* ctrl = &controls_[w];
+  const uint32_t generation =
+      ctrl->generation.load(std::memory_order_relaxed) + 1;
+  ctrl->generation.store(generation, std::memory_order_relaxed);
+  Slot& slot = *slots_[w];
+  slot.last_beat = ctrl->heartbeat.load(std::memory_order_relaxed);
+  slot.stale_ticks = 0;
+  const pid_t pid = fork();
+  if (pid == 0) {
+    // Child. Run the pump loop and leave via _exit: no atexit handlers, no
+    // static destructors — the parent owns every shared resource, and the
+    // child's heap copies just vanish with the address space.
+    child_main_(w, generation);
+    _exit(0);
+  }
+  GS_CHECK(pid > 0);  // fork failure is unrecoverable here
+  slot.pid.store(pid, std::memory_order_relaxed);
+  slot.state.store(WorkerState::kRunning, std::memory_order_release);
+}
+
+void Supervisor::HandleDeathLocked(size_t w) {
+  Slot& slot = *slots_[w];
+  slot.pid.store(-1, std::memory_order_relaxed);
+  if (sealing_.load(std::memory_order_relaxed) ||
+      slot.restarts_used >= options_.restart_budget) {
+    slot.state.store(WorkerState::kDegraded, std::memory_order_release);
+    degraded_count_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.restarts_used++;
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  slot.backoff_ms = slot.backoff_ms == 0
+                        ? options_.backoff_initial_ms
+                        : std::min(slot.backoff_ms * 2, options_.backoff_max_ms);
+  slot.restart_at_ns = telemetry::MonotonicNowNs() +
+                       static_cast<int64_t>(slot.backoff_ms) * kMilli;
+  slot.state.store(WorkerState::kBackoff, std::memory_order_release);
+}
+
+void Supervisor::MonitorLoop() {
+  while (!stop_monitor_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const int64_t now = telemetry::MonotonicNowNs();
+      for (size_t w = 0; w < slots_.size(); ++w) {
+        Slot& slot = *slots_[w];
+        const WorkerState state =
+            slot.state.load(std::memory_order_relaxed);
+        if (state == WorkerState::kRunning) {
+          const pid_t pid = slot.pid.load(std::memory_order_relaxed);
+          if (TryReap(pid)) {
+            HandleDeathLocked(w);
+            continue;
+          }
+          const uint64_t beat =
+              controls_[w].heartbeat.load(std::memory_order_relaxed);
+          if (beat != slot.last_beat) {
+            slot.last_beat = beat;
+            slot.stale_ticks = 0;
+            continue;
+          }
+          slot.stale_ticks++;
+          heartbeat_misses_.fetch_add(1, std::memory_order_relaxed);
+          if (slot.stale_ticks >= options_.miss_threshold) {
+            // Alive but silent: hung, stalled, or spinning uselessly. Kill
+            // it and take the crash path — restart is the same recovery.
+            kill(pid, SIGKILL);
+            waitpid(pid, nullptr, 0);
+            HandleDeathLocked(w);
+          }
+        } else if (state == WorkerState::kBackoff) {
+          if (sealing_.load(std::memory_order_relaxed)) {
+            slot.state.store(WorkerState::kDegraded,
+                             std::memory_order_release);
+            degraded_count_.fetch_add(1, std::memory_order_relaxed);
+          } else if (now >= slot.restart_at_ns) {
+            SpawnLocked(w);
+          }
+        }
+      }
+    }
+    usleep(static_cast<useconds_t>(options_.heartbeat_period_ms * 1000));
+  }
+}
+
+void Supervisor::BeginSeal() {
+  sealing_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& slot_ptr : slots_) {
+    Slot& slot = *slot_ptr;
+    if (slot.state.load(std::memory_order_relaxed) == WorkerState::kBackoff) {
+      slot.state.store(WorkerState::kDegraded, std::memory_order_release);
+      degraded_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool Supervisor::SendCommand(size_t worker, WorkerCommand command,
+                             uint64_t arg, uint64_t* ack_value) {
+  GS_CHECK(worker < slots_.size());
+  WorkerControl* ctrl = &controls_[worker];
+  const uint64_t seq = ctrl->cmd_seq.load(std::memory_order_relaxed) + 1;
+  ctrl->cmd_code.store(static_cast<uint32_t>(command),
+                       std::memory_order_relaxed);
+  ctrl->cmd_arg.store(arg, std::memory_order_relaxed);
+  ctrl->cmd_seq.store(seq, std::memory_order_release);
+  const int64_t deadline =
+      telemetry::MonotonicNowNs() +
+      static_cast<int64_t>(options_.command_timeout_ms) * kMilli;
+  for (int spins = 0;; ++spins) {
+    if (ctrl->ack_seq.load(std::memory_order_acquire) >= seq) {
+      if (ack_value != nullptr) {
+        *ack_value = ctrl->ack_value.load(std::memory_order_relaxed);
+      }
+      return true;
+    }
+    const WorkerState st = state(worker);
+    if (st == WorkerState::kDegraded || st == WorkerState::kStopped) {
+      return false;
+    }
+    if (telemetry::MonotonicNowNs() > deadline) return false;
+    // A healthy worker acks within one loop iteration; yielding hands it
+    // the CPU on single-core boxes, so most round trips resolve in
+    // microseconds. Sleep only once the fast path clearly missed (the
+    // worker was mid-poll or mid-sleep).
+    if (spins < 256) {
+      std::this_thread::yield();
+    } else {
+      usleep(200);
+    }
+  }
+}
+
+void Supervisor::StopAll() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stop_monitor_.store(true, std::memory_order_relaxed);
+  if (monitor_.joinable()) monitor_.join();
+  // Fire-and-forget exit commands; a healthy worker acks and _exits within
+  // one loop iteration.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t w = 0; w < slots_.size(); ++w) {
+    if (slots_[w]->pid.load(std::memory_order_relaxed) <= 0) continue;
+    WorkerControl* ctrl = &controls_[w];
+    const uint64_t seq = ctrl->cmd_seq.load(std::memory_order_relaxed) + 1;
+    ctrl->cmd_code.store(static_cast<uint32_t>(WorkerCommand::kExit),
+                         std::memory_order_relaxed);
+    ctrl->cmd_arg.store(0, std::memory_order_relaxed);
+    ctrl->cmd_seq.store(seq, std::memory_order_release);
+  }
+  const int64_t deadline = telemetry::MonotonicNowNs() + 2000 * kMilli;
+  for (size_t w = 0; w < slots_.size(); ++w) {
+    Slot& slot = *slots_[w];
+    pid_t pid = slot.pid.load(std::memory_order_relaxed);
+    if (pid > 0) {
+      bool reaped = false;
+      while (telemetry::MonotonicNowNs() < deadline) {
+        if (TryReap(pid)) {
+          reaped = true;
+          break;
+        }
+        usleep(1000);
+      }
+      if (!reaped) {
+        kill(pid, SIGKILL);
+        waitpid(pid, nullptr, 0);
+      }
+      slot.pid.store(-1, std::memory_order_relaxed);
+    }
+    if (slot.state.load(std::memory_order_relaxed) != WorkerState::kDegraded) {
+      slot.state.store(WorkerState::kStopped, std::memory_order_release);
+    }
+  }
+}
+
+WorkerCommand Supervisor::PendingCommand(WorkerControl* control, uint64_t* arg,
+                                         uint64_t* seq) {
+  const uint64_t cmd_seq = control->cmd_seq.load(std::memory_order_acquire);
+  if (cmd_seq == control->ack_seq.load(std::memory_order_relaxed)) {
+    return WorkerCommand::kNone;
+  }
+  *seq = cmd_seq;
+  *arg = control->cmd_arg.load(std::memory_order_relaxed);
+  const uint32_t code = control->cmd_code.load(std::memory_order_relaxed);
+  if (code == 0 || code > static_cast<uint32_t>(WorkerCommand::kExit)) {
+    // Unknown command (version skew can't really happen in-process, but
+    // never leave the mailbox wedged): ack it as a no-op.
+    Ack(control, cmd_seq, 0);
+    return WorkerCommand::kNone;
+  }
+  return static_cast<WorkerCommand>(code);
+}
+
+void Supervisor::Ack(WorkerControl* control, uint64_t seq, uint64_t value) {
+  control->ack_value.store(value, std::memory_order_relaxed);
+  control->ack_seq.store(seq, std::memory_order_release);
+}
+
+}  // namespace gigascope::core

@@ -1,0 +1,195 @@
+#ifndef GIGASCOPE_CORE_SUPERVISOR_H_
+#define GIGASCOPE_CORE_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "rts/shm.h"
+
+namespace gigascope::core {
+
+/// Supervision knobs for the multi-process HFTA mode.
+struct SupervisorOptions {
+  /// Monitor tick period and expected heartbeat cadence, wall-clock ms.
+  uint64_t heartbeat_period_ms = 20;
+  /// Consecutive stale monitor ticks before a live-but-silent worker is
+  /// declared hung and SIGKILLed (then restarted like a crash).
+  uint32_t miss_threshold = 5;
+  /// Restarts allowed per worker before it is declared degraded and its
+  /// nodes are adopted by the parent. 0 = never restart.
+  uint32_t restart_budget = 3;
+  /// Exponential-backoff window before each restart: initial delay, then
+  /// x2 per consecutive restart, capped at backoff_max_ms.
+  uint64_t backoff_initial_ms = 10;
+  uint64_t backoff_max_ms = 1000;
+  /// How long SendCommand waits for a worker's ack before giving up (the
+  /// worker is usually declared dead/hung by the monitor well before this
+  /// expires — the wait also aborts as soon as the worker degrades).
+  uint64_t command_timeout_ms = 10000;
+};
+
+/// Parent -> child requests carried through the shm mailbox.
+enum class WorkerCommand : uint32_t {
+  kNone = 0,
+  /// Flush the worker-local node at index `arg` of the worker's group and
+  /// drain; ack_value = messages processed while draining.
+  kFlushNode = 1,
+  /// Pump the worker's nodes until idle; ack_value = messages processed.
+  kDrain = 2,
+  /// Acknowledge and _exit(0).
+  kExit = 3,
+};
+
+/// One worker's shared-memory control block, mapped before any fork so
+/// parent and every child incarnation address the same cache lines.
+///
+/// Single-writer disciplines: `heartbeat`, `msgs_processed`, `fault_fired`,
+/// `ack_seq`, and `ack_value` are written only by the (one live) child;
+/// `generation`, `cmd_seq`, `cmd_code`, and `cmd_arg` only by the parent.
+/// Mailbox protocol: the parent writes cmd_code/cmd_arg then publishes by
+/// storing cmd_seq (release); the child observes cmd_seq != ack_seq,
+/// executes, writes ack_value, and publishes by storing ack_seq = cmd_seq
+/// (release). A command posted to a worker that dies before acking is
+/// re-observed by the restarted incarnation — or failed over by the parent
+/// once the worker degrades.
+struct WorkerControl {
+  alignas(64) std::atomic<uint64_t> heartbeat{0};
+  std::atomic<uint64_t> msgs_processed{0};
+  std::atomic<uint32_t> generation{0};
+  /// FaultInjector's fire-once-per-run latch (survives restarts).
+  std::atomic<uint32_t> fault_fired{0};
+  alignas(64) std::atomic<uint64_t> cmd_seq{0};
+  std::atomic<uint32_t> cmd_code{0};
+  std::atomic<uint64_t> cmd_arg{0};
+  alignas(64) std::atomic<uint64_t> ack_seq{0};
+  std::atomic<uint64_t> ack_value{0};
+};
+
+/// Forks and babysits the HFTA worker processes (the paper's §4 model: each
+/// HFTA is "an application process" fed through shared memory). Liveness is
+/// watched two ways — waitpid for death, a shm heartbeat counter for hangs —
+/// and a failed worker is re-forked under exponential backoff until its
+/// restart budget runs out, at which point it is declared degraded and the
+/// engine adopts its nodes in-process.
+///
+/// Because the parent never runs HFTA operator code, a re-fork inherits the
+/// operators' pristine copy-on-write state: restart *is* recovery, and the
+/// restarted incarnation resynchronizes its input rings at the next
+/// punctuation boundary (RingChannel::BeginResync).
+class Supervisor {
+ public:
+  enum class WorkerState : uint32_t {
+    kStopped = 0,   // never started, or StopAll completed
+    kRunning,       // child process alive (as far as the monitor knows)
+    kBackoff,       // died; restart scheduled after the backoff window
+    kDegraded,      // restart budget exhausted (or died while sealing)
+  };
+
+  /// Runs the worker's pump loop inside the child; must not return state
+  /// through memory (the child is a separate process) and must not throw.
+  /// The child _exits(0) when this returns.
+  using ChildMain = std::function<void(size_t worker, uint32_t generation)>;
+
+  Supervisor(const SupervisorOptions& options, size_t workers,
+             ChildMain child_main);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Forks every worker and starts the monitor thread. Call once, from the
+  /// thread that owns engine setup, before any data flows.
+  Status Start();
+
+  /// Enters the drain phase: no further restarts. Workers already waiting
+  /// in backoff degrade immediately; a worker that dies after this call
+  /// degrades instead of restarting, so FlushAll never waits on a respawn.
+  void BeginSeal();
+
+  /// Posts a command and waits for the ack. Returns false — without
+  /// blocking for the full timeout — when the worker is (or becomes)
+  /// degraded or stopped, so the caller can fail over to in-process
+  /// execution of that worker's nodes.
+  bool SendCommand(size_t worker, WorkerCommand command, uint64_t arg,
+                   uint64_t* ack_value);
+
+  /// Stops everything: best-effort kExit commands, SIGKILL for stragglers,
+  /// reaps all children, joins the monitor thread. Idempotent; degraded
+  /// workers stay marked degraded for introspection.
+  void StopAll();
+
+  size_t workers() const { return slots_.size(); }
+  WorkerState state(size_t worker) const {
+    return slots_[worker]->state.load(std::memory_order_acquire);
+  }
+  WorkerControl* control(size_t worker) const { return &controls_[worker]; }
+  pid_t pid(size_t worker) const {
+    return slots_[worker]->pid.load(std::memory_order_relaxed);
+  }
+
+  uint64_t restarts() const {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+  uint64_t heartbeat_misses() const {
+    return heartbeat_misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t degraded_count() const {
+    return degraded_count_.load(std::memory_order_relaxed);
+  }
+
+  // -- Child-side mailbox helpers -------------------------------------------
+
+  /// Child side: the pending command, or kNone. On a command, *arg and
+  /// *seq are filled; the child must Ack(seq) exactly once after executing.
+  static WorkerCommand PendingCommand(WorkerControl* control, uint64_t* arg,
+                                      uint64_t* seq);
+  static void Ack(WorkerControl* control, uint64_t seq, uint64_t value);
+
+ private:
+  struct Slot {
+    std::atomic<pid_t> pid{-1};
+    std::atomic<WorkerState> state{WorkerState::kStopped};
+    // Monitor-thread bookkeeping (mutated under mutex_).
+    uint32_t restarts_used = 0;
+    uint64_t backoff_ms = 0;
+    int64_t restart_at_ns = 0;
+    uint64_t last_beat = 0;
+    uint32_t stale_ticks = 0;
+  };
+
+  /// Forks worker `w` (mutex_ held). The child never returns.
+  void SpawnLocked(size_t w);
+  /// Books one worker death: schedules a backoff restart, or degrades it
+  /// when the budget is spent / the supervisor is sealing (mutex_ held).
+  void HandleDeathLocked(size_t w);
+  void MonitorLoop();
+
+  SupervisorOptions options_;
+  ChildMain child_main_;
+  std::unique_ptr<rts::ShmSegment> shm_;
+  WorkerControl* controls_ = nullptr;
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  std::mutex mutex_;  // guards state transitions + spawn/reap
+  std::thread monitor_;
+  std::atomic<bool> stop_monitor_{false};
+  std::atomic<bool> sealing_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::atomic<uint64_t> restarts_{0};
+  std::atomic<uint64_t> heartbeat_misses_{0};
+  std::atomic<uint64_t> degraded_count_{0};
+};
+
+}  // namespace gigascope::core
+
+#endif  // GIGASCOPE_CORE_SUPERVISOR_H_

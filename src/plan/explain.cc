@@ -76,6 +76,20 @@ std::string PlacementName(const SplitQuery& split) {
   return "hfta-only";
 }
 
+/// Which OS process each half executes in under the paper's §4 process
+/// model: the LFTA runs inside the RTS next to the capture loop, the HFTA
+/// in a supervised worker process (engine --processes mode; a worker
+/// thread or the inject thread stand in for it in the other pump modes).
+std::string ProcessLine(const SplitQuery& split) {
+  std::string out;
+  if (split.lfta != nullptr) out += "lfta=rts";
+  if (split.hfta != nullptr) {
+    if (!out.empty()) out += " ";
+    out += "hfta=worker-process";
+  }
+  return out;
+}
+
 std::string OrderingLine(const gsql::StreamSchema& schema) {
   std::string out;
   for (size_t i = 0; i < schema.num_fields(); ++i) {
@@ -294,6 +308,7 @@ std::string ExplainText(const PlannedQuery& planned,
   std::string out;
   out += "query: " + split.name + "\n";
   out += "placement: " + PlacementName(split) + "\n";
+  out += "process: " + ProcessLine(split) + "\n";
   out += std::string("split-aggregation: ") +
          (split.split_aggregation ? "yes" : "no") + "\n";
   out += std::string("unbounded-aggregation: ") +
@@ -323,6 +338,11 @@ std::string ExplainJson(const PlannedQuery& planned,
                         const SplitQuery& split) {
   std::string out = "{\"query\":" + JsonEscape(split.name);
   out += ",\"placement\":" + JsonEscape(PlacementName(split));
+  out += ",\"process\":{\"lfta\":";
+  out += split.lfta != nullptr ? "\"rts\"" : "null";
+  out += ",\"hfta\":";
+  out += split.hfta != nullptr ? "\"worker-process\"" : "null";
+  out += "}";
   out += std::string(",\"split_aggregation\":") +
          (split.split_aggregation ? "true" : "false");
   out += std::string(",\"unbounded_aggregation\":") +

@@ -30,13 +30,14 @@ Result<gsql::StreamSchema> StreamRegistry::GetSchema(
 }
 
 Result<Subscription> StreamRegistry::Subscribe(const std::string& name,
-                                               size_t capacity) {
+                                               size_t capacity, bool local) {
   auto it = streams_.find(name);
   if (it == streams_.end()) {
     return Status::NotFound("cannot subscribe: no stream named '" + name +
                             "'");
   }
-  auto channel = std::make_shared<RingChannel>(capacity);
+  auto channel = std::make_shared<RingChannel>(
+      capacity, local ? ShmRingOptions{} : channel_options_);
   it->second.subscribers.push_back(channel);
   return channel;
 }
@@ -77,6 +78,23 @@ size_t StreamRegistry::FlushParkedPunctuations() {
   return flushed;
 }
 
+size_t StreamRegistry::FlushParkedPunctuations(const std::string& name) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return 0;
+  size_t flushed = 0;
+  for (const Subscription& subscriber : it->second.subscribers) {
+    if (subscriber->has_parked() && subscriber->FlushParked()) ++flushed;
+  }
+  return flushed;
+}
+
+std::vector<Subscription> StreamRegistry::Subscribers(
+    const std::string& name) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return {};
+  return it->second.subscribers;
+}
+
 std::vector<std::string> StreamRegistry::StreamNames() const {
   std::vector<std::string> names;
   names.reserve(streams_.size());
@@ -102,6 +120,36 @@ uint64_t StreamRegistry::TotalDropsAll() const {
     }
   }
   return drops;
+}
+
+uint64_t StreamRegistry::TotalTornAll() const {
+  uint64_t torn = 0;
+  for (const auto& [name, entry] : streams_) {
+    for (const Subscription& subscriber : entry.subscribers) {
+      torn += subscriber->torn();
+    }
+  }
+  return torn;
+}
+
+uint64_t StreamRegistry::TotalResyncDroppedAll() const {
+  uint64_t dropped = 0;
+  for (const auto& [name, entry] : streams_) {
+    for (const Subscription& subscriber : entry.subscribers) {
+      dropped += subscriber->resync_dropped();
+    }
+  }
+  return dropped;
+}
+
+uint64_t StreamRegistry::TotalOversizeDroppedAll() const {
+  uint64_t dropped = 0;
+  for (const auto& [name, entry] : streams_) {
+    for (const Subscription& subscriber : entry.subscribers) {
+      dropped += subscriber->oversize_dropped();
+    }
+  }
+  return dropped;
 }
 
 double StreamRegistry::MaxOccupancyFraction() const {

@@ -23,6 +23,16 @@ class StreamRegistry {
  public:
   StreamRegistry() = default;
 
+  /// Channel backend for every subscription created after this call: with
+  /// options.enabled, Subscribe hands out shm-backed rings whose slots
+  /// live in fork-inherited shared memory (multi-process HFTA mode). Set
+  /// once, before queries are added — rings created earlier keep their
+  /// backend.
+  void SetChannelOptions(const ShmRingOptions& options) {
+    channel_options_ = options;
+  }
+  const ShmRingOptions& channel_options() const { return channel_options_; }
+
   /// Declares (or re-declares) a stream and its schema.
   Status DeclareStream(const gsql::StreamSchema& schema);
 
@@ -32,7 +42,12 @@ class StreamRegistry {
 
   /// Subscribes to a stream; the returned channel receives every message
   /// published after this call. `capacity` bounds the subscriber's buffer.
-  Result<Subscription> Subscribe(const std::string& name, size_t capacity);
+  /// `local` forces a heap-backed ring even when SetChannelOptions chose
+  /// shm — for subscriptions whose producer and consumer provably share
+  /// the parent process (e.g. source→LFTA rings in multi-process mode),
+  /// which would otherwise pay serialization for a boundary never crossed.
+  Result<Subscription> Subscribe(const std::string& name, size_t capacity,
+                                 bool local = false);
 
   /// Publishes a message to all subscribers. Returns the number of
   /// subscribers that accepted it (others counted drops).
@@ -51,6 +66,18 @@ class StreamRegistry {
   /// message is producer-side state), i.e. single-threaded pump only.
   size_t FlushParkedPunctuations();
 
+  /// Same, restricted to the subscriber channels of one stream — the
+  /// multi-process engine uses this so each process only retries parked
+  /// punctuations on rings it produces into (parked messages are
+  /// producer-side heap state; touching another process's rings would
+  /// add a second producer).
+  size_t FlushParkedPunctuations(const std::string& name);
+
+  /// The subscriber channels of `name` (empty when unknown). Setup-time
+  /// and fault-injection plumbing; the channels themselves remain
+  /// single-producer/single-consumer.
+  std::vector<Subscription> Subscribers(const std::string& name) const;
+
   std::vector<std::string> StreamNames() const;
 
   /// Total drops across all subscriber channels of `name`.
@@ -65,12 +92,20 @@ class StreamRegistry {
   /// streams, in [0, 1]. The overload controller's ring-pressure signal.
   double MaxOccupancyFraction() const;
 
+  /// Shm-ring health counters summed across every subscriber channel
+  /// (all zero for heap rings). Safe concurrent with pushes, like
+  /// TotalDropsAll.
+  uint64_t TotalTornAll() const;
+  uint64_t TotalResyncDroppedAll() const;
+  uint64_t TotalOversizeDroppedAll() const;
+
  private:
   struct StreamEntry {
     gsql::StreamSchema schema;
     std::vector<Subscription> subscribers;
   };
   std::map<std::string, StreamEntry> streams_;
+  ShmRingOptions channel_options_;
 };
 
 /// Producer-side accumulator for a node's output stream: operators append

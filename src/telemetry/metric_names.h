@@ -63,6 +63,26 @@ inline constexpr char kShedChecks[] = "shed_checks";
 /// lfta_evictions; partials, re-merged by the HFTA).
 inline constexpr char kLftaShedEvictions[] = "lfta_shed_evictions";
 
+// -- Multi-process supervision (writer: supervisor monitor thread) -----------
+/// Worker processes re-forked after a crash or a hung-heartbeat kill.
+inline constexpr char kWorkerRestarts[] = "worker_restarts";
+/// Monitor ticks that found a live worker's heartbeat counter unchanged.
+inline constexpr char kHeartbeatMisses[] = "heartbeat_misses";
+/// Workers whose restart budget is exhausted (their nodes run in-process).
+inline constexpr char kWorkersDegraded[] = "workers_degraded";
+/// Punctuation-bounded recovery gaps: every worker restart plus every
+/// degraded-worker adoption begins one (tuples inside it are discarded and
+/// counted in resync_dropped).
+inline constexpr char kResyncGaps[] = "resync_gaps";
+/// Shm ring slots whose sequence/bounds validation failed at the consumer
+/// (torn writes — injected or from a producer dying mid-publish).
+inline constexpr char kTornSlots[] = "torn_slots";
+/// Tuples discarded while a resynchronizing consumer waited for the next
+/// punctuation boundary.
+inline constexpr char kResyncDropped[] = "resync_dropped";
+/// Messages too large for one shm ring slot, dropped at the producer.
+inline constexpr char kOversizeDropped[] = "oversize_dropped";
+
 // -- Engine-level ------------------------------------------------------------
 inline constexpr char kHeartbeats[] = "heartbeats";
 inline constexpr char kStatsSnapshots[] = "stats_snapshots";

@@ -15,6 +15,7 @@
 // `gs_stats` stream every S seconds of capture time, so queries in the
 // program can aggregate the engine's own health feed.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +37,17 @@ using gigascope::core::Engine;
 using gigascope::core::EngineOptions;
 using gigascope::core::TupleSubscription;
 
+/// SIGINT/SIGTERM request a graceful stop: the replay loop breaks, then
+/// the normal epilogue runs — FlushAll, row printing, a final stats dump,
+/// and a properly closed trace JSON (a hard exit used to truncate it into
+/// an unloadable file). A second signal takes the default action (die).
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int sig) {
+  g_stop_requested = 1;
+  std::signal(sig, SIG_DFL);
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -50,6 +62,15 @@ int Usage() {
       "  --threads=N       run HFTA nodes on N worker threads; the replay\n"
       "                    thread keeps interpretation and the LFTAs\n"
       "                    (default: 0, fully single-threaded)\n"
+      "  --processes=N     run HFTA nodes in N supervised worker\n"
+      "                    processes over shared-memory rings; crashed or\n"
+      "                    hung workers are restarted with backoff and\n"
+      "                    resynchronize at the next punctuation (default:\n"
+      "                    0, no extra processes)\n"
+      "  --fault=SPEC      inject one deterministic fault (testing):\n"
+      "                    abort:worker=W,after=N[,jitter=J,seed=S]\n"
+      "                    stall:worker=W,after=N[,ms=D]\n"
+      "                    torn:stream=NAME[,nth=K]\n"
       "  --stats-period=S  emit engine telemetry on the built-in gs_stats\n"
       "                    stream every S seconds of capture time (S may\n"
       "                    be fractional); queries can SELECT ... FROM\n"
@@ -141,6 +162,8 @@ void PrintHeader(const gigascope::gsql::StreamSchema& schema) {
 
 int main(int argc, char** argv) {
   size_t threads = 0;
+  size_t processes = 0;
+  std::string fault_spec;
   double stats_period_seconds = 0;
   size_t batch_size = 64;
   double batch_delay_seconds = 0;
@@ -160,6 +183,13 @@ int main(int argc, char** argv) {
       if (ParseNumericFlag(argv[i], "--threads=", &parsed) &&
           parsed == static_cast<size_t>(parsed)) {
         threads = static_cast<size_t>(parsed);
+      } else if (ParseNumericFlag(argv[i], "--processes=", &parsed) &&
+                 parsed == static_cast<size_t>(parsed)) {
+        processes = static_cast<size_t>(parsed);
+      } else if (std::strncmp(argv[i], "--fault=",
+                              sizeof("--fault=") - 1) == 0) {
+        fault_spec = argv[i] + sizeof("--fault=") - 1;
+        if (fault_spec.empty()) return UnknownFlag(argv[i]);
       } else if (ParseNumericFlag(argv[i], "--stats-period=", &parsed)) {
         stats_period_seconds = parsed;
       } else if (ParseNumericFlag(argv[i], "--batch-size=", &parsed) &&
@@ -222,6 +252,25 @@ int main(int argc, char** argv) {
     options.shed.ring_occupancy = shed_ring;
     options.shed.punct_lag = gigascope::SecondsToSimTime(shed_lag_seconds);
     options.shed.lfta_occupancy = shed_occ;
+  }
+  if (threads > 0 && processes > 0) {
+    std::fprintf(stderr,
+                 "gsrun: --threads and --processes are exclusive pump "
+                 "modes\n");
+    return 1;
+  }
+  options.process.enabled = processes > 0;
+  if (!fault_spec.empty()) {
+    auto fault = gigascope::core::ParseFaultSpec(fault_spec);
+    if (!fault.ok()) {
+      std::fprintf(stderr, "gsrun: %s\n", fault.status().ToString().c_str());
+      return 1;
+    }
+    if (processes == 0) {
+      std::fprintf(stderr, "gsrun: --fault needs --processes=N\n");
+      return 1;
+    }
+    options.fault = std::move(fault).value();
   }
   Engine engine(options);
   engine.AddInterface(interface_name);
@@ -310,14 +359,28 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (processes > 0) {
+    gigascope::Status started = engine.StartProcesses(processes);
+    if (!started.ok()) {
+      std::fprintf(stderr, "gsrun: %s\n", started.ToString().c_str());
+      return 1;
+    }
+  }
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
 
   gigascope::net::Packet packet;
   bool eof = false;
   uint64_t replayed = 0;
-  while (reader.Next(&packet, &eof).ok() && !eof) {
+  while (!g_stop_requested && reader.Next(&packet, &eof).ok() && !eof) {
     engine.InjectPacket(interface_name, packet).ok();
     ++replayed;
     if (replayed % 1024 == 0) engine.PumpUntilIdle();
+  }
+  if (g_stop_requested) {
+    std::fprintf(stderr,
+                 "gsrun: interrupted — stopping workers, flushing, and "
+                 "writing final output\n");
   }
   engine.PumpUntilIdle();
   engine.FlushAll();
