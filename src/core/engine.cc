@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "core/compiled_query.h"
@@ -65,6 +66,25 @@ Engine::Engine(EngineOptions options) : options_(options) {
         std::make_unique<OverloadController>(options_.shed, &shed_state_);
     shed_controller_->RegisterTelemetry(&telemetry_, "engine");
     telemetry_.Register("engine", metric::kShedTuples, &shed_tuples_);
+  }
+  {
+    // Native tier: environment overrides beat the options struct so test
+    // suites and CI can force a mode without plumbing flags everywhere.
+    jit::JitOptions jit_options = options_.jit;
+    if (const char* force = std::getenv("GS_JIT_FORCE")) {
+      std::optional<jit::JitMode> mode = jit::ParseJitMode(force);
+      if (mode.has_value()) {
+        jit_options.mode = *mode;
+      } else {
+        GS_LOG(Warning) << "ignoring GS_JIT_FORCE=" << force
+                        << " (want off|sync|async)";
+      }
+    }
+    if (const char* dir = std::getenv("GS_JIT_CACHE_DIR")) {
+      if (*dir != '\0') jit_options.cache_dir = dir;
+    }
+    jit_ = std::make_unique<jit::JitEngine>(std::move(jit_options));
+    jit_->RegisterTelemetry(&telemetry_);
   }
   if (options_.process.enabled) {
     // Every subscription created from here on gets a shm-backed ring, so
@@ -421,6 +441,16 @@ Result<QueryInfo> Engine::AddQuery(
   // e2e_latency_ns histogram is registered for it.
   for (size_t i = first_new_node; i < nodes_.size(); ++i) {
     if (nodes_[i]->name() == split.name) nodes_[i]->set_terminal(true);
+  }
+  // Native tier: collect this query's kernel requests in one batch and
+  // hand it to the jit engine — compiled inline (sync) or on the worker
+  // with a later hot swap (async). A no-op when the tier is off.
+  if (jit_->enabled()) {
+    std::unique_ptr<jit::QueryJit> batch = jit_->BeginQuery();
+    for (size_t i = first_new_node; i < nodes_.size(); ++i) {
+      nodes_[i]->AttachJit(batch.get());
+    }
+    jit_->Submit(std::move(batch));
   }
   RegisterNewNodeTelemetry();
   return info;
@@ -1194,6 +1224,10 @@ Status Engine::StartProcesses(size_t workers) {
     return Status::InvalidArgument(
         "StartProcesses needs at least one worker");
   }
+  // Drain pending async jit compiles before forking: the children inherit
+  // the already-published kernel pointers, and the compile worker thread
+  // (which does not survive fork) must not hold the jit mutex mid-fork.
+  jit_->WaitIdle();
   node_stages_.resize(nodes_.size(), NodeStage::kHfta);
   std::vector<size_t> hfta;
   for (size_t i = 0; i < nodes_.size(); ++i) {

@@ -1,0 +1,39 @@
+#ifndef GIGASCOPE_EXPR_NATIVE_H_
+#define GIGASCOPE_EXPR_NATIVE_H_
+
+#include <atomic>
+
+#include "expr/vm.h"
+
+namespace gigascope::expr {
+
+/// A natively compiled expression kernel, the second evaluation tier beside
+/// the bytecode VM (DESIGN.md §15). Implementations wrap a function loaded
+/// from a per-query shared object; the contract is exactly `Eval()` in
+/// expr/vm.h — same result values bit for bit, same error outcomes.
+///
+/// Threading: like `Evaluator`, a kernel instance may keep scratch state and
+/// must only be called from one thread at a time. Each kernel is attached to
+/// exactly one operator's expression, which is polled by a single worker.
+class NativeKernel {
+ public:
+  virtual ~NativeKernel() = default;
+
+  virtual Status Eval(const EvalContext& ctx, EvalOutput* out) = 0;
+};
+
+/// A natively compiled packed-byte filter: the jit counterpart of the
+/// columnar raw-byte predicate pass in ops/select_project (PR 6). Takes the
+/// undecoded payload bytes and returns nonzero when the tuple passes. The
+/// caller is responsible for the minimum-payload-length guard.
+using ByteFilterFn = int (*)(const unsigned char* data,
+                             unsigned long long len);
+
+/// Publication slot for a byte filter, hot-swapped like KernelSlot.
+struct ByteFilterSlot {
+  std::atomic<ByteFilterFn> fn{nullptr};
+};
+
+}  // namespace gigascope::expr
+
+#endif  // GIGASCOPE_EXPR_NATIVE_H_

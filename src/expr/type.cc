@@ -160,6 +160,22 @@ Result<DataType> PromoteNumeric(DataType left, DataType right) {
   return DataType::kInt;
 }
 
+int64_t SaturatingDoubleToInt64(double v) {
+  // `v != v` instead of std::isnan so the native tier can emit the exact
+  // same expression without pulling <cmath> into generated code.
+  if (v != v) return 0;
+  if (v >= 9223372036854775808.0) return INT64_MAX;   // 2^63
+  if (v < -9223372036854775808.0) return INT64_MIN;   // -2^63 is exact
+  return static_cast<int64_t>(v);
+}
+
+uint64_t SaturatingDoubleToUint64(double v) {
+  if (v != v) return 0;
+  if (v >= 18446744073709551616.0) return UINT64_MAX;  // 2^64
+  if (v < 0) return 0;
+  return static_cast<uint64_t>(v);
+}
+
 Result<Value> CastValue(const Value& value, DataType target) {
   if (value.type() == target) return value;
   switch (target) {
@@ -169,7 +185,7 @@ Result<Value> CastValue(const Value& value, DataType target) {
         case DataType::kIp:
           return Value::Int(static_cast<int64_t>(value.uint_value()));
         case DataType::kFloat:
-          return Value::Int(static_cast<int64_t>(value.float_value()));
+          return Value::Int(SaturatingDoubleToInt64(value.float_value()));
         case DataType::kBool:
           return Value::Int(value.bool_value() ? 1 : 0);
         default:
@@ -183,7 +199,7 @@ Result<Value> CastValue(const Value& value, DataType target) {
         case DataType::kIp:
           return Value::Uint(value.uint_value());
         case DataType::kFloat:
-          return Value::Uint(static_cast<uint64_t>(value.float_value()));
+          return Value::Uint(SaturatingDoubleToUint64(value.float_value()));
         case DataType::kBool:
           return Value::Uint(value.bool_value() ? 1 : 0);
         default:

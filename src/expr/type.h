@@ -77,6 +77,13 @@ Result<DataType> PromoteNumeric(DataType left, DataType right);
 /// (numeric widenings, IP<->UINT). Fails for string<->numeric.
 Result<Value> CastValue(const Value& value, DataType target);
 
+/// Saturating double→integer conversions: NaN maps to 0, values outside the
+/// target range clamp to its limits, everything else truncates toward zero.
+/// Shared contract between CastValue and the native tier's generated code —
+/// both sides must produce bit-identical results (see DESIGN.md §15).
+int64_t SaturatingDoubleToInt64(double v);
+uint64_t SaturatingDoubleToUint64(double v);
+
 }  // namespace gigascope::expr
 
 #endif  // GIGASCOPE_EXPR_TYPE_H_

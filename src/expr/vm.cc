@@ -1,6 +1,7 @@
 #include "expr/vm.h"
 
 #include "common/logging.h"
+#include "expr/native.h"
 
 namespace gigascope::expr {
 
@@ -13,16 +14,35 @@ Status ArithmeticOp(ByteOp op, const Value& left, const Value& right,
     case DataType::kInt: {
       int64_t a = left.int_value();
       int64_t b = right.int_value();
+      // Signed add/sub/mul wrap two's-complement (via the uint64 round-trip,
+      // defined behavior) and INT64_MIN / -1 is a counted eval error rather
+      // than a SIGFPE. The native tier's generated code mirrors these
+      // semantics instruction for instruction (DESIGN.md §15); change them
+      // only in both places at once.
+      uint64_t ua = static_cast<uint64_t>(a);
+      uint64_t ub = static_cast<uint64_t>(b);
       switch (op) {
-        case ByteOp::kAdd: *out = Value::Int(a + b); return Status::Ok();
-        case ByteOp::kSub: *out = Value::Int(a - b); return Status::Ok();
-        case ByteOp::kMul: *out = Value::Int(a * b); return Status::Ok();
+        case ByteOp::kAdd:
+          *out = Value::Int(static_cast<int64_t>(ua + ub));
+          return Status::Ok();
+        case ByteOp::kSub:
+          *out = Value::Int(static_cast<int64_t>(ua - ub));
+          return Status::Ok();
+        case ByteOp::kMul:
+          *out = Value::Int(static_cast<int64_t>(ua * ub));
+          return Status::Ok();
         case ByteOp::kDiv:
           if (b == 0) return Status::InvalidArgument("division by zero");
+          if (a == INT64_MIN && b == -1) {
+            return Status::InvalidArgument("integer division overflow");
+          }
           *out = Value::Int(a / b);
           return Status::Ok();
         case ByteOp::kMod:
           if (b == 0) return Status::InvalidArgument("modulo by zero");
+          if (a == INT64_MIN && b == -1) {
+            return Status::InvalidArgument("integer modulo overflow");
+          }
           *out = Value::Int(a % b);
           return Status::Ok();
         case ByteOp::kBitAnd: *out = Value::Int(a & b); return Status::Ok();
@@ -147,7 +167,9 @@ Status EvalWithStack(const CompiledExpr& expr, const EvalContext& ctx,
       case ByteOp::kNeg: {
         Value& top = stack.back();
         if (top.type() == DataType::kInt) {
-          top = Value::Int(-top.int_value());
+          // Wrapping negation: -INT64_MIN stays INT64_MIN, no UB.
+          top = Value::Int(
+              static_cast<int64_t>(-static_cast<uint64_t>(top.int_value())));
         } else if (top.type() == DataType::kFloat) {
           top = Value::Float(-top.float_value());
         } else {
@@ -225,13 +247,21 @@ bool EvalPredicate(const CompiledExpr& expr, const EvalContext& ctx) {
 
 Status Evaluator::Eval(const CompiledExpr& expr, const EvalContext& ctx,
                        EvalOutput* out) {
+  // Native-tier fast path: the jit engine publishes a kernel into the slot
+  // with a release store; operators observe it here mid-run (async mode
+  // hot-swap). Falls through to the VM until (and unless) a kernel lands.
+  if (expr.native != nullptr) {
+    NativeKernel* kernel =
+        expr.native->kernel.load(std::memory_order_acquire);
+    if (kernel != nullptr) return kernel->Eval(ctx, out);
+  }
   return EvalWithStack(expr, ctx, out, stack_);
 }
 
 bool Evaluator::EvalPredicate(const CompiledExpr& expr,
                               const EvalContext& ctx) {
   EvalOutput out;
-  Status status = EvalWithStack(expr, ctx, &out, stack_);
+  Status status = Eval(expr, ctx, &out);
   if (!status.ok() || !out.has_value) return false;
   return out.value.bool_value();
 }

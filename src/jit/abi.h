@@ -1,0 +1,46 @@
+#ifndef GIGASCOPE_JIT_ABI_H_
+#define GIGASCOPE_JIT_ABI_H_
+
+#include <cstdint>
+
+namespace gigascope::jit {
+
+/// ABI between the engine and generated shared objects. The generated
+/// translation unit is self-contained (no repo headers), so this union is
+/// *textually duplicated* in the module preamble (emit.cc) — bump
+/// kAbiVersion whenever either side changes. The version is baked into both
+/// the entry-symbol names and the content hash, so a stale cached .so from
+/// an older ABI can never be dlopen'd into a newer engine.
+union AbiValue {
+  long long i;           // DataType::kInt
+  unsigned long long u;  // DataType::kUint / kIp (kIp stores the u32 value)
+  double f;              // DataType::kFloat
+  unsigned char b;       // DataType::kBool (0 or 1)
+};
+static_assert(sizeof(AbiValue) == 8, "generated code assumes 8-byte slots");
+
+/// Row-expression kernel: `r0`/`r1`/`pp` are dense arrays indexed by
+/// field/param slot (only the slots the kernel reads need to be valid).
+/// Returns 0 on success with `*out` set, or a JitEvalError code.
+using EvalFn = int (*)(const AbiValue* r0, const AbiValue* r1,
+                       const AbiValue* pp, AbiValue* out);
+
+/// Packed-byte filter kernel (mirror of select_project's RawFilterPass):
+/// nonzero return means the tuple passes. The caller enforces the
+/// minimum-payload-length precondition.
+using FilterFn = int (*)(const unsigned char* data, unsigned long long len);
+
+/// Nonzero EvalFn returns; the wrapper maps these to the exact Status the
+/// VM would have produced (see MapEvalError in engine.cc).
+enum JitEvalError : int {
+  kErrDivByZero = 1,
+  kErrModByZero = 2,
+  kErrDivOverflow = 3,
+  kErrModOverflow = 4,
+};
+
+inline constexpr int kAbiVersion = 1;
+
+}  // namespace gigascope::jit
+
+#endif  // GIGASCOPE_JIT_ABI_H_

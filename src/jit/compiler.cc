@@ -1,0 +1,221 @@
+#include "jit/compiler.h"
+
+#include <dirent.h>
+#include <dlfcn.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.h"
+#include "jit/abi.h"
+
+namespace gigascope::jit {
+
+namespace {
+
+int64_t MonotonicNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+/// Flags handed to the toolchain; part of the cache key.
+const char* const kCompileFlags[] = {"-std=c++17", "-O2", "-fPIC", "-shared"};
+
+/// fork/execvp with stdout+stderr sent to `log_path` (or /dev/null).
+/// Returns the child's exit code, or -1 when it did not exit normally.
+int RunCommand(const std::vector<std::string>& args,
+               const std::string& log_path) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& arg : args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  pid_t pid = fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    const char* sink = log_path.empty() ? "/dev/null" : log_path.c_str();
+    int fd = open(sink, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      dup2(fd, STDOUT_FILENO);
+      dup2(fd, STDERR_FILENO);
+      close(fd);
+    }
+    execvp(argv[0], argv.data());
+    _exit(127);
+  }
+  int status = 0;
+  while (waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) return -1;
+  }
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// The probed compiler command, empty when no toolchain is usable.
+const std::string& DetectedCompiler() {
+  static const std::string detected = [] {
+    std::vector<std::string> candidates;
+    const char* forced = std::getenv("GS_JIT_CXX");
+    if (forced != nullptr && forced[0] != '\0') {
+      candidates.push_back(forced);
+    } else {
+      candidates = {"c++", "g++", "clang++"};
+    }
+    for (const std::string& candidate : candidates) {
+      if (RunCommand({candidate, "--version"}, "") == 0) return candidate;
+    }
+    return std::string();
+  }();
+  return detected;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  std::string tmp = path + ".tmp." + std::to_string(getpid());
+  FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("jit: cannot write " + tmp);
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  int close_err = std::fclose(f);
+  if (written != content.size() || close_err != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("jit: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("jit: cannot rename into " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LoadedModule>> JitCompiler::OpenModule(
+    const std::string& so_path) {
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* err = dlerror();
+    return Status::Internal("jit: dlopen(" + so_path +
+                            ") failed: " + (err != nullptr ? err : "?"));
+  }
+  return std::unique_ptr<LoadedModule>(new LoadedModule(handle));
+}
+
+LoadedModule::~LoadedModule() {
+  if (handle_ != nullptr) dlclose(handle_);
+}
+
+void* LoadedModule::Resolve(const std::string& symbol) const {
+  return dlsym(handle_, symbol.c_str());
+}
+
+JitCompiler::JitCompiler(std::string cache_dir)
+    : cache_dir_(std::move(cache_dir)) {}
+
+bool JitCompiler::ToolchainAvailable() { return !DetectedCompiler().empty(); }
+
+Result<std::unique_ptr<LoadedModule>> JitCompiler::CompileModule(
+    const std::string& source, CompileStats* stats) {
+  *stats = CompileStats();
+
+  // Content hash over the TU plus everything else that shapes the binary.
+  uint64_t hash = Fnv1a64(source.data(), source.size());
+  hash ^= static_cast<uint64_t>(kAbiVersion) * 0x9e3779b97f4a7c15ULL;
+  for (const char* flag : kCompileFlags) {
+    hash = hash * 1099511628211ULL ^ Fnv1a64(flag, std::strlen(flag));
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(hash));
+  std::string base = cache_dir_ + "/gs_mod_" + hex;
+  std::string so_path = base + ".so";
+
+  if (FileExists(so_path)) {
+    auto cached = OpenModule(so_path);
+    if (cached.ok()) {
+      stats->cache_hit = true;
+      return cached;
+    }
+    // A stale or corrupt cache entry falls through to a fresh compile.
+  }
+
+  if (!ToolchainAvailable()) {
+    return Status::FailedPrecondition("jit: no usable C++ compiler found");
+  }
+
+  std::string cc_path = base + ".cc";
+  GS_RETURN_IF_ERROR(WriteFileAtomic(cc_path, source));
+
+  std::vector<std::string> args = {DetectedCompiler()};
+  for (const char* flag : kCompileFlags) args.push_back(flag);
+  std::string so_tmp = so_path + ".tmp." + std::to_string(getpid());
+  args.push_back("-o");
+  args.push_back(so_tmp);
+  args.push_back(cc_path);
+
+  std::string log_path = base + ".err";
+  int64_t start = MonotonicNs();
+  int exit_code = RunCommand(args, log_path);
+  stats->compile_ns = static_cast<uint64_t>(MonotonicNs() - start);
+  if (exit_code != 0) {
+    std::remove(so_tmp.c_str());
+    return Status::Internal("jit: compile failed (exit " +
+                            std::to_string(exit_code) + "), see " + log_path);
+  }
+  if (std::rename(so_tmp.c_str(), so_path.c_str()) != 0) {
+    std::remove(so_tmp.c_str());
+    return Status::Internal("jit: cannot rename module into " + so_path);
+  }
+  std::remove(log_path.c_str());
+  return OpenModule(so_path);
+}
+
+Result<std::string> MakeEphemeralCacheDir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string pattern =
+      std::string(tmp != nullptr && tmp[0] != '\0' ? tmp : "/tmp") +
+      "/gs-jit-XXXXXX";
+  std::vector<char> buf(pattern.begin(), pattern.end());
+  buf.push_back('\0');
+  if (mkdtemp(buf.data()) == nullptr) {
+    return Status::Internal("jit: mkdtemp failed for " + pattern);
+  }
+  return std::string(buf.data());
+}
+
+void RemoveCacheDir(const std::string& dir) {
+  if (dir.empty()) return;
+  DIR* d = opendir(dir.c_str());
+  if (d != nullptr) {
+    while (dirent* entry = readdir(d)) {
+      if (std::strcmp(entry->d_name, ".") == 0 ||
+          std::strcmp(entry->d_name, "..") == 0) {
+        continue;
+      }
+      std::string path = dir + "/" + entry->d_name;
+      struct stat st;
+      if (stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+        std::remove(path.c_str());
+      }
+    }
+    closedir(d);
+  }
+  rmdir(dir.c_str());
+}
+
+}  // namespace gigascope::jit

@@ -1,0 +1,73 @@
+#ifndef GIGASCOPE_JIT_COMPILER_H_
+#define GIGASCOPE_JIT_COMPILER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace gigascope::jit {
+
+/// A dlopen'd generated module. Closes the handle on destruction, so every
+/// kernel pointer resolved from it must be unpublished (or its readers
+/// gone) first — the JitEngine keeps modules alive for its own lifetime.
+class LoadedModule {
+ public:
+  ~LoadedModule();
+  LoadedModule(const LoadedModule&) = delete;
+  LoadedModule& operator=(const LoadedModule&) = delete;
+
+  /// Resolves an entry symbol; nullptr when absent.
+  void* Resolve(const std::string& symbol) const;
+
+ private:
+  friend class JitCompiler;
+  explicit LoadedModule(void* handle) : handle_(handle) {}
+  void* handle_;
+};
+
+struct CompileStats {
+  bool cache_hit = false;   // dlopen'd a previously compiled .so
+  uint64_t compile_ns = 0;  // toolchain wall time (0 on a cache hit)
+};
+
+/// Drives the system toolchain: content-hashes generated source into the
+/// on-disk cache (`gs_mod_<hash>.{cc,so}`), fork/execs the compiler on a
+/// miss, and dlopens the result. The hash covers the full translation unit
+/// plus the ABI version and compile flags, so a cache entry is valid iff
+/// its file exists.
+class JitCompiler {
+ public:
+  explicit JitCompiler(std::string cache_dir);
+
+  /// Probes for a usable C++ compiler exactly once per process (honors
+  /// GS_JIT_CXX, else tries c++ / g++ / clang++). All compiles fail fast
+  /// when none is found — the caller logs once and stays on the VM.
+  static bool ToolchainAvailable();
+
+  /// Compiles (or cache-loads) one generated translation unit.
+  Result<std::unique_ptr<LoadedModule>> CompileModule(
+      const std::string& source, CompileStats* stats);
+
+  const std::string& cache_dir() const { return cache_dir_; }
+
+ private:
+  /// dlopens a built shared object (cache hit or fresh compile).
+  static Result<std::unique_ptr<LoadedModule>> OpenModule(
+      const std::string& so_path);
+
+  std::string cache_dir_;
+};
+
+/// Creates a fresh private cache directory under TMPDIR (mkdtemp).
+Result<std::string> MakeEphemeralCacheDir();
+
+/// Removes a cache directory and the regular files directly inside it
+/// (generated sources, shared objects, compiler logs). Non-recursive past
+/// one level by design — cache dirs have a flat layout.
+void RemoveCacheDir(const std::string& dir);
+
+}  // namespace gigascope::jit
+
+#endif  // GIGASCOPE_JIT_COMPILER_H_

@@ -1,0 +1,613 @@
+#include "jit/emit.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <set>
+
+namespace gigascope::jit {
+
+namespace {
+
+using expr::ByteOp;
+using expr::CompiledExpr;
+using expr::Instr;
+using expr::IrKind;
+using expr::IrPtr;
+using expr::Value;
+using gsql::DataType;
+
+/// C++ spelling of a stack slot of this type; null for unsupported types.
+const char* CType(DataType type) {
+  switch (type) {
+    case DataType::kBool: return "bool";
+    case DataType::kInt: return "long long";
+    case DataType::kUint:
+    case DataType::kIp: return "unsigned long long";
+    case DataType::kFloat: return "double";
+    case DataType::kString: return nullptr;
+  }
+  return nullptr;
+}
+
+std::string IntLiteral(int64_t v) {
+  // INT64_MIN has no literal of its own type.
+  if (v == std::numeric_limits<int64_t>::min()) {
+    return "(-9223372036854775807LL - 1)";
+  }
+  return std::to_string(v) + "LL";
+}
+
+std::string UintLiteral(uint64_t v) { return std::to_string(v) + "ULL"; }
+
+std::string FloatLiteral(double v) {
+  if (v != v) return "__builtin_nan(\"\")";
+  if (v == std::numeric_limits<double>::infinity()) return "__builtin_inf()";
+  if (v == -std::numeric_limits<double>::infinity()) {
+    return "(-__builtin_inf())";
+  }
+  // Hexfloat round-trips every finite double exactly.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// `<cmp3 result> <suffix>` forms the boolean, e.g. `gs_cmp3_u(a,b) <= 0`.
+const char* CmpSuffix(ByteOp op) {
+  switch (op) {
+    case ByteOp::kCmpEq: return "== 0";
+    case ByteOp::kCmpNe: return "!= 0";
+    case ByteOp::kCmpLt: return "< 0";
+    case ByteOp::kCmpLe: return "<= 0";
+    case ByteOp::kCmpGt: return "> 0";
+    case ByteOp::kCmpGe: return ">= 0";
+    default: return nullptr;
+  }
+}
+
+const char* Cmp3Fn(DataType type) {
+  switch (type) {
+    case DataType::kBool:  // compared as 0/1 ints, like Value::Compare
+    case DataType::kInt: return "gs_cmp3_i";
+    case DataType::kUint:
+    case DataType::kIp: return "gs_cmp3_u";
+    case DataType::kFloat: return "gs_cmp3_f";
+    case DataType::kString: return nullptr;
+  }
+  return nullptr;
+}
+
+/// Walks the bytecode with a symbolic stack of typed C++ temporaries and
+/// emits one statement per instruction, so the division / modulo guards can
+/// `return <error>` mid-function exactly where the VM would fail. Stack
+/// discipline guarantees each temp is consumed once, keeping output linear.
+class ExprEmitter {
+ public:
+  explicit ExprEmitter(const CompiledExpr& expr) : expr_(expr) {}
+
+  std::optional<std::string> Run(const std::string& symbol, KernelMeta* meta) {
+    // load_types must cover every load in `code`; older or hand-built
+    // bytecode without the side table cannot be transpiled.
+    size_t loads = 0;
+    for (const Instr& instr : expr_.code) {
+      if (instr.op == ByteOp::kLoadField || instr.op == ByteOp::kLoadParam) {
+        ++loads;
+      }
+    }
+    if (loads != expr_.load_types.size()) return std::nullopt;
+
+    for (const Instr& instr : expr_.code) {
+      if (!Emit(instr)) return std::nullopt;
+    }
+    if (stack_.size() != 1) return std::nullopt;
+    const Slot& top = stack_.back();
+    if (top.type != expr_.result_type) return std::nullopt;
+
+    std::string out;
+    out += "extern \"C\" int " + symbol +
+           "(const gs_value* r0, const gs_value* r1, const gs_value* pp, "
+           "gs_value* out) {\n";
+    out += "  (void)r0; (void)r1; (void)pp;\n";
+    out += body_;
+    switch (top.type) {
+      case DataType::kBool:
+        out += "  out->b = (unsigned char)(" + top.name + " ? 1 : 0);\n";
+        break;
+      case DataType::kInt:
+        out += "  out->i = " + top.name + ";\n";
+        break;
+      case DataType::kUint:
+      case DataType::kIp:
+        out += "  out->u = " + top.name + ";\n";
+        break;
+      case DataType::kFloat:
+        out += "  out->f = " + top.name + ";\n";
+        break;
+      case DataType::kString:
+        return std::nullopt;
+    }
+    out += "  return 0;\n}\n";
+
+    meta->symbol = symbol;
+    meta->result_type = expr_.result_type;
+    meta->fields0.assign(fields0_.begin(), fields0_.end());
+    meta->fields1.assign(fields1_.begin(), fields1_.end());
+    meta->params.assign(params_.begin(), params_.end());
+    return out;
+  }
+
+ private:
+  struct Slot {
+    DataType type;
+    std::string name;
+  };
+
+  /// Emits `const <T> t<N> = <init>;` and pushes the temp.
+  bool PushTemp(DataType type, const std::string& init) {
+    const char* ctype = CType(type);
+    if (ctype == nullptr) return false;
+    std::string name = "t" + std::to_string(next_temp_++);
+    body_ += "  const " + std::string(ctype) + " " + name + " = " + init +
+             ";\n";
+    stack_.push_back({type, name});
+    return true;
+  }
+
+  bool Pop(Slot* slot) {
+    if (stack_.empty()) return false;
+    *slot = std::move(stack_.back());
+    stack_.pop_back();
+    return true;
+  }
+
+  bool Emit(const Instr& instr) {
+    switch (instr.op) {
+      case ByteOp::kPushConst: {
+        if (instr.a >= expr_.constants.size()) return false;
+        const Value& c = expr_.constants[instr.a];
+        switch (c.type()) {
+          case DataType::kBool:
+            return PushTemp(c.type(), c.bool_value() ? "true" : "false");
+          case DataType::kInt:
+            return PushTemp(c.type(), IntLiteral(c.int_value()));
+          case DataType::kUint:
+          case DataType::kIp:
+            return PushTemp(c.type(), UintLiteral(c.uint_value()));
+          case DataType::kFloat:
+            return PushTemp(c.type(), FloatLiteral(c.float_value()));
+          case DataType::kString:
+            return false;
+        }
+        return false;
+      }
+
+      case ByteOp::kLoadField:
+      case ByteOp::kLoadParam: {
+        DataType type = expr_.load_types[load_cursor_++];
+        std::string base;
+        if (instr.op == ByteOp::kLoadParam) {
+          base = "pp[" + std::to_string(instr.a) + "]";
+          params_.insert(instr.a);
+        } else if (instr.a == 0) {
+          base = "r0[" + std::to_string(instr.b) + "]";
+          fields0_.insert(instr.b);
+        } else {
+          base = "r1[" + std::to_string(instr.b) + "]";
+          fields1_.insert(instr.b);
+        }
+        switch (type) {
+          case DataType::kBool:
+            return PushTemp(type, "(" + base + ".b != 0)");
+          case DataType::kInt:
+            return PushTemp(type, base + ".i");
+          case DataType::kUint:
+          case DataType::kIp:
+            return PushTemp(type, base + ".u");
+          case DataType::kFloat:
+            return PushTemp(type, base + ".f");
+          case DataType::kString:
+            return false;
+        }
+        return false;
+      }
+
+      case ByteOp::kCall:
+        return false;  // UDF call sites stay on the VM
+
+      case ByteOp::kNeg: {
+        Slot a;
+        if (!Pop(&a)) return false;
+        if (a.type == DataType::kInt) {
+          // Wrapping negation, mirroring the hardened VM.
+          return PushTemp(a.type, "(long long)(0ULL - (unsigned long long)" +
+                                      a.name + ")");
+        }
+        if (a.type == DataType::kFloat) {
+          return PushTemp(a.type, "(-" + a.name + ")");
+        }
+        return false;
+      }
+
+      case ByteOp::kNot: {
+        Slot a;
+        if (!Pop(&a)) return false;
+        if (a.type != DataType::kBool) return false;
+        return PushTemp(a.type, "(!" + a.name + ")");
+      }
+
+      case ByteOp::kAnd:
+      case ByteOp::kOr: {
+        Slot b, a;
+        if (!Pop(&b) || !Pop(&a)) return false;
+        if (a.type != DataType::kBool || b.type != DataType::kBool) {
+          return false;
+        }
+        // Both operands are already-computed temps, so && / || here cannot
+        // short-circuit anything — matching the VM, which always executes
+        // both subexpressions (and surfaces their errors) before the logic
+        // op.
+        const char* op = instr.op == ByteOp::kAnd ? " && " : " || ";
+        return PushTemp(DataType::kBool,
+                        "(" + a.name + op + b.name + ")");
+      }
+
+      case ByteOp::kCmpEq:
+      case ByteOp::kCmpNe:
+      case ByteOp::kCmpLt:
+      case ByteOp::kCmpLe:
+      case ByteOp::kCmpGt:
+      case ByteOp::kCmpGe: {
+        Slot b, a;
+        if (!Pop(&b) || !Pop(&a)) return false;
+        if (a.type != b.type) return false;
+        const char* cmp3 = Cmp3Fn(a.type);
+        if (cmp3 == nullptr) return false;
+        std::string lhs = a.name;
+        std::string rhs = b.name;
+        if (a.type == DataType::kBool) {
+          lhs = "(long long)" + lhs;
+          rhs = "(long long)" + rhs;
+        }
+        return PushTemp(DataType::kBool, "(" + std::string(cmp3) + "(" + lhs +
+                                             ", " + rhs + ") " +
+                                             CmpSuffix(instr.op) + ")");
+      }
+
+      case ByteOp::kCast:
+        return EmitCast(static_cast<DataType>(instr.a));
+
+      case ByteOp::kAdd:
+      case ByteOp::kSub:
+      case ByteOp::kMul:
+      case ByteOp::kDiv:
+      case ByteOp::kMod:
+      case ByteOp::kBitAnd:
+      case ByteOp::kBitOr:
+        return EmitArithmetic(instr.op);
+    }
+    return false;
+  }
+
+  bool EmitArithmetic(ByteOp op) {
+    Slot b, a;
+    if (!Pop(&b) || !Pop(&a)) return false;
+    if (a.type != b.type) return false;
+    switch (a.type) {
+      case DataType::kInt:
+        switch (op) {
+          // Signed add/sub/mul wrap via the uint64 round-trip, exactly like
+          // the hardened ArithmeticOp in expr/vm.cc.
+          case ByteOp::kAdd:
+          case ByteOp::kSub:
+          case ByteOp::kMul: {
+            const char* sym = op == ByteOp::kAdd   ? " + "
+                              : op == ByteOp::kSub ? " - "
+                                                   : " * ";
+            return PushTemp(a.type, "(long long)((unsigned long long)" +
+                                        a.name + sym +
+                                        "(unsigned long long)" + b.name +
+                                        ")");
+          }
+          case ByteOp::kDiv:
+            body_ += "  if (" + b.name + " == 0) return 1;\n";
+            body_ += "  if (" + a.name +
+                     " == (-9223372036854775807LL - 1) && " + b.name +
+                     " == -1) return 3;\n";
+            return PushTemp(a.type, a.name + " / " + b.name);
+          case ByteOp::kMod:
+            body_ += "  if (" + b.name + " == 0) return 2;\n";
+            body_ += "  if (" + a.name +
+                     " == (-9223372036854775807LL - 1) && " + b.name +
+                     " == -1) return 4;\n";
+            return PushTemp(a.type, a.name + " % " + b.name);
+          case ByteOp::kBitAnd:
+            return PushTemp(a.type, "(" + a.name + " & " + b.name + ")");
+          case ByteOp::kBitOr:
+            return PushTemp(a.type, "(" + a.name + " | " + b.name + ")");
+          default:
+            return false;
+        }
+      case DataType::kUint:
+        switch (op) {
+          case ByteOp::kAdd:
+            return PushTemp(a.type, "(" + a.name + " + " + b.name + ")");
+          case ByteOp::kSub:
+            return PushTemp(a.type, "(" + a.name + " - " + b.name + ")");
+          case ByteOp::kMul:
+            return PushTemp(a.type, "(" + a.name + " * " + b.name + ")");
+          case ByteOp::kDiv:
+            body_ += "  if (" + b.name + " == 0ULL) return 1;\n";
+            return PushTemp(a.type, a.name + " / " + b.name);
+          case ByteOp::kMod:
+            body_ += "  if (" + b.name + " == 0ULL) return 2;\n";
+            return PushTemp(a.type, a.name + " % " + b.name);
+          case ByteOp::kBitAnd:
+            return PushTemp(a.type, "(" + a.name + " & " + b.name + ")");
+          case ByteOp::kBitOr:
+            return PushTemp(a.type, "(" + a.name + " | " + b.name + ")");
+          default:
+            return false;
+        }
+      case DataType::kFloat:
+        switch (op) {
+          case ByteOp::kAdd:
+            return PushTemp(a.type, "(" + a.name + " + " + b.name + ")");
+          case ByteOp::kSub:
+            return PushTemp(a.type, "(" + a.name + " - " + b.name + ")");
+          case ByteOp::kMul:
+            return PushTemp(a.type, "(" + a.name + " * " + b.name + ")");
+          case ByteOp::kDiv:
+            // The VM rejects float division by (either-signed) zero too.
+            body_ += "  if (" + b.name + " == 0.0) return 1;\n";
+            return PushTemp(a.type, a.name + " / " + b.name);
+          default:
+            return false;  // float mod / bit ops are VM runtime errors
+        }
+      default:
+        return false;  // bool/ip/string arithmetic is a VM runtime error
+    }
+  }
+
+  bool EmitCast(DataType target) {
+    Slot a;
+    if (!Pop(&a)) return false;
+    if (a.type == target) {
+      stack_.push_back(std::move(a));  // CastValue is the identity here
+      return true;
+    }
+    switch (target) {
+      case DataType::kInt:
+        switch (a.type) {
+          case DataType::kUint:
+          case DataType::kIp:
+            return PushTemp(target, "(long long)" + a.name);
+          case DataType::kFloat:
+            return PushTemp(target, "gs_d2i(" + a.name + ")");
+          case DataType::kBool:
+            return PushTemp(target, "(" + a.name + " ? 1LL : 0LL)");
+          default:
+            return false;
+        }
+      case DataType::kUint:
+        switch (a.type) {
+          case DataType::kInt:
+            return PushTemp(target, "(unsigned long long)" + a.name);
+          case DataType::kIp:
+            return PushTemp(target, a.name);  // same 64-bit storage
+          case DataType::kFloat:
+            return PushTemp(target, "gs_d2u(" + a.name + ")");
+          case DataType::kBool:
+            return PushTemp(target, "(" + a.name + " ? 1ULL : 0ULL)");
+          default:
+            return false;
+        }
+      case DataType::kFloat:
+        switch (a.type) {
+          case DataType::kBool:
+            return PushTemp(target, "(" + a.name + " ? 1.0 : 0.0)");
+          case DataType::kInt:
+          case DataType::kUint:
+          case DataType::kIp:
+            return PushTemp(target, "(double)" + a.name);
+          default:
+            return false;
+        }
+      case DataType::kIp:
+        switch (a.type) {
+          case DataType::kUint:
+          case DataType::kInt:
+            // CastValue truncates to u32 (defined modulo-2^32 wrap).
+            return PushTemp(target,
+                            "(unsigned long long)(unsigned int)" + a.name);
+          default:
+            return false;
+        }
+      case DataType::kBool:
+        // CastValue: numeric-to-bool goes through AsDouble() != 0; NaN is
+        // truthy. Mirror the double round-trip literally.
+        switch (a.type) {
+          case DataType::kFloat:
+            return PushTemp(target, "(" + a.name + " != 0.0)");
+          case DataType::kInt:
+          case DataType::kUint:
+          case DataType::kIp:
+            return PushTemp(target, "((double)" + a.name + " != 0.0)");
+          default:
+            return false;
+        }
+      case DataType::kString:
+        return false;
+    }
+    return false;
+  }
+
+  const CompiledExpr& expr_;
+  std::string body_;
+  std::vector<Slot> stack_;
+  std::set<uint16_t> fields0_, fields1_, params_;
+  size_t load_cursor_ = 0;
+  int next_temp_ = 0;
+};
+
+bool CanEmitCast(DataType from, DataType to) {
+  if (from == to) return true;
+  if (from == DataType::kString || to == DataType::kString) return false;
+  switch (to) {
+    case DataType::kIp:
+      return from == DataType::kUint || from == DataType::kInt;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+std::string ModulePreamble() {
+  return R"(// Generated by the gigascope native query tier. Do not edit.
+// abi v1 -- layout and helper semantics must match src/jit/abi.h and the
+// expression VM (src/expr/vm.cc) exactly; see DESIGN.md section 15.
+typedef union {
+  long long i;
+  unsigned long long u;
+  double f;
+  unsigned char b;
+} gs_value;
+static_assert(sizeof(gs_value) == 8, "abi slot size");
+
+namespace {
+inline int gs_cmp3_i(long long a, long long b) {
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+inline int gs_cmp3_u(unsigned long long a, unsigned long long b) {
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+// NaN compares "equal" to everything -- identical to Value::Compare.
+inline int gs_cmp3_f(double a, double b) {
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+inline long long gs_d2i(double v) {
+  if (v != v) return 0;
+  if (v >= 9223372036854775808.0) return 9223372036854775807LL;
+  if (v < -9223372036854775808.0) return -9223372036854775807LL - 1;
+  return (long long)v;
+}
+inline unsigned long long gs_d2u(double v) {
+  if (v != v) return 0;
+  if (v >= 18446744073709551616.0) return 18446744073709551615ULL;
+  if (v < 0) return 0;
+  return (unsigned long long)v;
+}
+// Little-endian packed-tuple reads, identical to ops/select_project.
+inline unsigned long long gs_rd64(const unsigned char* p) {
+  unsigned long long v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+inline unsigned long long gs_rd32(const unsigned char* p) {
+  return (unsigned long long)p[0] | ((unsigned long long)p[1] << 8) |
+         ((unsigned long long)p[2] << 16) | ((unsigned long long)p[3] << 24);
+}
+inline double gs_rdf(const unsigned char* p) {
+  unsigned long long u = gs_rd64(p);
+  double d;
+  __builtin_memcpy(&d, &u, 8);
+  return d;
+}
+}  // namespace
+)";
+}
+
+std::optional<std::string> EmitExprKernel(const CompiledExpr& expr,
+                                          const std::string& symbol,
+                                          KernelMeta* meta) {
+  ExprEmitter emitter(expr);
+  return emitter.Run(symbol, meta);
+}
+
+std::string EmitFilterKernel(const std::vector<RawFilterTerm>& terms,
+                             const std::string& symbol) {
+  std::string out = "extern \"C\" int " + symbol +
+                    "(const unsigned char* p, unsigned long long len) {\n"
+                    "  (void)len;\n";
+  for (const RawFilterTerm& term : terms) {
+    std::string lhs;
+    std::string rhs;
+    const char* cmp3 = "gs_cmp3_u";
+    std::string off = std::to_string(term.offset);
+    switch (term.type) {
+      case DataType::kUint:
+        lhs = "gs_rd64(p + " + off + ")";
+        rhs = UintLiteral(term.u);
+        break;
+      case DataType::kIp:
+        lhs = "gs_rd32(p + " + off + ")";
+        rhs = UintLiteral(term.u);
+        break;
+      case DataType::kBool:
+        lhs = "(unsigned long long)(p[" + off + "] != 0 ? 1 : 0)";
+        rhs = UintLiteral(term.u);
+        break;
+      case DataType::kInt:
+        lhs = "(long long)gs_rd64(p + " + off + ")";
+        rhs = IntLiteral(term.i);
+        cmp3 = "gs_cmp3_i";
+        break;
+      case DataType::kFloat:
+        lhs = "gs_rdf(p + " + off + ")";
+        rhs = FloatLiteral(term.f);
+        cmp3 = "gs_cmp3_f";
+        break;
+      case DataType::kString:
+        // Never built by BuildRawFilter; keep the kernel well-defined.
+        out += "  return 0;\n}\n";
+        return out;
+    }
+    out += "  if (!(" + std::string(cmp3) + "(" + lhs + ", " + rhs + ") " +
+           CmpSuffix(term.cmp) + ")) return 0;\n";
+  }
+  out += "  return 1;\n}\n";
+  return out;
+}
+
+bool CanEmitIr(const IrPtr& ir) {
+  if (ir == nullptr) return false;
+  if (ir->type == DataType::kString) return false;
+  switch (ir->kind) {
+    case IrKind::kCall:
+      return false;
+    case IrKind::kConst:
+    case IrKind::kField:
+    case IrKind::kParam:
+      return true;
+    case IrKind::kCast:
+      if (!CanEmitCast(ir->children[0]->type, ir->type)) return false;
+      break;
+    case IrKind::kUnary:
+      if (ir->unary_op == gsql::UnaryOp::kNeg
+              ? (ir->type != DataType::kInt && ir->type != DataType::kFloat)
+              : ir->type != DataType::kBool) {
+        return false;
+      }
+      break;
+    case IrKind::kBinary: {
+      DataType child = ir->children[0]->type;
+      switch (ir->binary_op) {
+        case gsql::BinaryOp::kMod:
+        case gsql::BinaryOp::kBitAnd:
+        case gsql::BinaryOp::kBitOr:
+          if (child == DataType::kFloat) return false;
+          break;
+        default:
+          break;
+      }
+      break;
+    }
+  }
+  for (const IrPtr& child : ir->children) {
+    if (!CanEmitIr(child)) return false;
+  }
+  return true;
+}
+
+}  // namespace gigascope::jit

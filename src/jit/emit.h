@@ -1,0 +1,65 @@
+#ifndef GIGASCOPE_JIT_EMIT_H_
+#define GIGASCOPE_JIT_EMIT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/codegen.h"
+#include "expr/ir.h"
+
+namespace gigascope::jit {
+
+/// Per-kernel metadata the runtime wrapper needs: result type plus the
+/// field/param slots the generated code actually reads (the wrapper
+/// converts only those, and bounds-checks their maxima eagerly — which is
+/// equivalent to the VM's lazy per-load check because bytecode is
+/// straight-line).
+struct KernelMeta {
+  std::string symbol;
+  gsql::DataType result_type = gsql::DataType::kInt;
+  std::vector<uint16_t> fields0;  // distinct row0 field indices, ascending
+  std::vector<uint16_t> fields1;  // distinct row1 field indices, ascending
+  std::vector<uint16_t> params;   // distinct param slots, ascending
+};
+
+/// One conjunct of a packed-byte filter; mirror of select_project's
+/// RawTerm (that one is private to the node, so ops copy into this).
+struct RawFilterTerm {
+  size_t offset = 0;
+  gsql::DataType type = gsql::DataType::kUint;
+  expr::ByteOp cmp = expr::ByteOp::kCmpEq;
+  uint64_t u = 0;
+  int64_t i = 0;
+  double f = 0;
+};
+
+/// Shared helpers + the textual AbiValue definition every module needs;
+/// emitted once per generated translation unit.
+std::string ModulePreamble();
+
+/// Transpiles a compiled expression to a C++ function definition named
+/// `symbol` with the abi.h EvalFn signature, mirroring the VM's semantics
+/// instruction for instruction (including wrap-around integer arithmetic,
+/// counted division errors, NaN-compares-equal, and saturating casts).
+/// Returns nullopt on an emission gap — UDF call-sites, string operands, or
+/// any op/type pairing the VM itself would reject at runtime — in which
+/// case the expression stays on the VM.
+std::optional<std::string> EmitExprKernel(const expr::CompiledExpr& expr,
+                                          const std::string& symbol,
+                                          KernelMeta* meta);
+
+/// Emits a packed-byte filter kernel (abi.h FilterFn) with the comparison
+/// constants baked in. Filter terms are always emittable.
+std::string EmitFilterKernel(const std::vector<RawFilterTerm>& terms,
+                             const std::string& symbol);
+
+/// IR-level emittability check, used by the planner's EXPLAIN tier
+/// annotation before bytecode even exists. Mirrors EmitExprKernel's gaps:
+/// false on any call site or string-typed node.
+bool CanEmitIr(const expr::IrPtr& ir);
+
+}  // namespace gigascope::jit
+
+#endif  // GIGASCOPE_JIT_EMIT_H_

@@ -1,0 +1,340 @@
+#include "jit/engine.h"
+
+#include <sys/stat.h>
+
+#include "common/logging.h"
+#include "jit/abi.h"
+#include "telemetry/metric_names.h"
+
+namespace gigascope::jit {
+
+using expr::Value;
+using gsql::DataType;
+
+namespace {
+
+Status MapEvalError(int code) {
+  // Exactly the Status the VM's ArithmeticOp would have produced — the
+  // differential suite compares error outcomes, not just values.
+  switch (code) {
+    case kErrDivByZero:
+      return Status::InvalidArgument("division by zero");
+    case kErrModByZero:
+      return Status::InvalidArgument("modulo by zero");
+    case kErrDivOverflow:
+      return Status::InvalidArgument("integer division overflow");
+    case kErrModOverflow:
+      return Status::InvalidArgument("integer modulo overflow");
+    default:
+      return Status::Internal("jit kernel returned unknown error " +
+                              std::to_string(code));
+  }
+}
+
+}  // namespace
+
+std::optional<JitMode> ParseJitMode(const std::string& text) {
+  if (text == "off") return JitMode::kOff;
+  if (text == "sync") return JitMode::kSync;
+  if (text == "async") return JitMode::kAsync;
+  return std::nullopt;
+}
+
+const char* JitModeName(JitMode mode) {
+  switch (mode) {
+    case JitMode::kOff: return "off";
+    case JitMode::kSync: return "sync";
+    case JitMode::kAsync: return "async";
+  }
+  return "?";
+}
+
+/// Bridges one resolved EvalFn to the expr::NativeKernel contract: converts
+/// the referenced field/param slots into ABI scratch arrays, calls through,
+/// and maps the result (or error code) back. The eager bounds checks on the
+/// maximum referenced indices are equivalent to the VM's per-load check
+/// because bytecode is straight-line: the VM would hit the same load before
+/// producing any result.
+class JitEngine::ModuleKernel : public expr::NativeKernel {
+ public:
+  ModuleKernel(EvalFn fn, KernelMeta meta) : fn_(fn), meta_(std::move(meta)) {
+    row0_.resize(meta_.fields0.empty() ? 0 : meta_.fields0.back() + 1);
+    row1_.resize(meta_.fields1.empty() ? 0 : meta_.fields1.back() + 1);
+    params_.resize(meta_.params.empty() ? 0 : meta_.params.back() + 1);
+  }
+
+  Status Eval(const expr::EvalContext& ctx, expr::EvalOutput* out) override {
+    if (!meta_.fields0.empty()) {
+      if (ctx.row0 == nullptr || meta_.fields0.back() >= ctx.row0->size()) {
+        return Status::Internal("field load outside the input row");
+      }
+      Convert(*ctx.row0, meta_.fields0, row0_.data());
+    }
+    if (!meta_.fields1.empty()) {
+      if (ctx.row1 == nullptr || meta_.fields1.back() >= ctx.row1->size()) {
+        return Status::Internal("field load outside the input row");
+      }
+      Convert(*ctx.row1, meta_.fields1, row1_.data());
+    }
+    if (!meta_.params.empty()) {
+      if (ctx.params == nullptr || meta_.params.back() >= ctx.params->size()) {
+        return Status::Internal("parameter slot out of range");
+      }
+      Convert(*ctx.params, meta_.params, params_.data());
+    }
+    AbiValue result;
+    result.u = 0;
+    int rc = fn_(row0_.data(), row1_.data(), params_.data(), &result);
+    if (rc != 0) return MapEvalError(rc);
+    // Kernels contain no partial-function calls (those are emission gaps),
+    // so a successful return always carries a value.
+    out->has_value = true;
+    switch (meta_.result_type) {
+      case DataType::kBool:
+        out->value = Value::Bool(result.b != 0);
+        break;
+      case DataType::kInt:
+        out->value = Value::Int(result.i);
+        break;
+      case DataType::kUint:
+        out->value = Value::Uint(result.u);
+        break;
+      case DataType::kFloat:
+        out->value = Value::Float(result.f);
+        break;
+      case DataType::kIp:
+        out->value = Value::Ip(static_cast<uint32_t>(result.u));
+        break;
+      case DataType::kString:
+        return Status::Internal("jit kernel with string result");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static void Convert(const std::vector<Value>& src,
+                      const std::vector<uint16_t>& slots, AbiValue* dst) {
+    for (uint16_t idx : slots) {
+      const Value& v = src[idx];
+      switch (v.type()) {
+        case DataType::kBool:
+          dst[idx].b = v.bool_value() ? 1 : 0;
+          break;
+        case DataType::kInt:
+          dst[idx].i = v.int_value();
+          break;
+        case DataType::kUint:
+        case DataType::kIp:
+          dst[idx].u = v.uint_value();
+          break;
+        case DataType::kFloat:
+          dst[idx].f = v.float_value();
+          break;
+        case DataType::kString:
+          dst[idx].u = 0;  // unreachable: string loads are emission gaps
+          break;
+      }
+    }
+  }
+
+  EvalFn fn_;
+  KernelMeta meta_;
+  // Scratch conversion buffers: a kernel belongs to one operator polled by
+  // one thread (same contract as expr::Evaluator).
+  std::vector<AbiValue> row0_, row1_, params_;
+};
+
+void QueryJit::RequestExpr(expr::CompiledExpr* expr) {
+  if (engine_ == nullptr || !engine_->enabled()) return;
+  if (expr == nullptr || expr->code.size() < kMinInstrs) return;
+  std::string symbol = "gs_jit_v" + std::to_string(kAbiVersion) + "_k" +
+                       std::to_string(next_symbol_);
+  KernelMeta meta;
+  std::optional<std::string> body = EmitExprKernel(*expr, symbol, &meta);
+  if (!body.has_value()) {
+    engine_->request_fallbacks_.Add(1);
+    return;
+  }
+  ++next_symbol_;
+  kernels_source_ += "\n" + *body;
+  ExprRequest request;
+  request.slot = std::make_shared<expr::KernelSlot>();
+  request.meta = std::move(meta);
+  expr->native = request.slot;
+  exprs_.push_back(std::move(request));
+}
+
+std::shared_ptr<expr::ByteFilterSlot> QueryJit::RequestFilter(
+    const std::vector<RawFilterTerm>& terms) {
+  if (engine_ == nullptr || !engine_->enabled() || terms.empty()) {
+    return nullptr;
+  }
+  std::string symbol = "gs_jit_v" + std::to_string(kAbiVersion) + "_k" +
+                       std::to_string(next_symbol_);
+  ++next_symbol_;
+  kernels_source_ += "\n" + EmitFilterKernel(terms, symbol);
+  FilterRequest request;
+  request.slot = std::make_shared<expr::ByteFilterSlot>();
+  request.symbol = std::move(symbol);
+  filters_.push_back(request);
+  return request.slot;
+}
+
+JitEngine::JitEngine(JitOptions options)
+    : options_(std::move(options)), compiler_("") {
+  if (!enabled()) return;
+  if (options_.cache_dir.empty()) {
+    Result<std::string> dir = MakeEphemeralCacheDir();
+    if (!dir.ok()) {
+      GS_LOG(Warning) << "jit: disabled, " << dir.status().message();
+      options_.mode = JitMode::kOff;
+      return;
+    }
+    cache_dir_ = std::move(dir.value());
+    ephemeral_cache_ = true;
+  } else {
+    cache_dir_ = options_.cache_dir;
+    mkdir(cache_dir_.c_str(), 0755);  // best effort; may already exist
+  }
+  compiler_ = JitCompiler(cache_dir_);
+  if (options_.mode == JitMode::kAsync) {
+    worker_ = std::thread(&JitEngine::WorkerLoop, this);
+  }
+}
+
+JitEngine::~JitEngine() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+  // Unpublish before dlclose. Defensive: operators reading these slots must
+  // already be gone (the core engine destroys nodes first).
+  for (const auto& slot : expr_slots_) {
+    slot->kernel.store(nullptr, std::memory_order_release);
+  }
+  for (const auto& slot : filter_slots_) {
+    slot->fn.store(nullptr, std::memory_order_release);
+  }
+  kernels_.clear();
+  modules_.clear();
+  if (ephemeral_cache_) RemoveCacheDir(cache_dir_);
+}
+
+std::unique_ptr<QueryJit> JitEngine::BeginQuery() {
+  return std::unique_ptr<QueryJit>(new QueryJit(this));
+}
+
+void JitEngine::Submit(std::unique_ptr<QueryJit> batch) {
+  if (batch == nullptr || !enabled()) return;
+  if (batch->exprs_.empty() && batch->filters_.empty()) return;
+  if (options_.mode == JitMode::kSync) {
+    ProcessBatch(batch.get());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(batch));
+    ++in_flight_;
+  }
+  cv_.notify_all();
+}
+
+void JitEngine::WaitIdle() {
+  if (options_.mode != JitMode::kAsync) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return in_flight_ == 0 || stop_; });
+}
+
+void JitEngine::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;  // shutdown abandons whatever is still queued
+    std::unique_ptr<QueryJit> batch = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    ProcessBatch(batch.get());
+    lock.lock();
+    --in_flight_;
+    cv_.notify_all();
+  }
+}
+
+void JitEngine::ProcessBatch(QueryJit* batch) {
+  const size_t requested = batch->exprs_.size() + batch->filters_.size();
+  if (!JitCompiler::ToolchainAvailable()) {
+    if (!toolchain_logged_) {
+      toolchain_logged_ = true;
+      GS_LOG(Warning)
+          << "jit: no usable C++ compiler (set GS_JIT_CXX?); all queries "
+             "stay on the bytecode VM";
+    }
+    compile_fallbacks_.Add(requested);
+    return;
+  }
+
+  std::string source = ModulePreamble() + batch->kernels_source_;
+  CompileStats stats;
+  Result<std::unique_ptr<LoadedModule>> module =
+      compiler_.CompileModule(source, &stats);
+  if (!module.ok()) {
+    GS_LOG(Warning) << "jit: " << module.status().message()
+                    << "; falling back to the VM";
+    compile_fallbacks_.Add(requested);
+    return;
+  }
+  if (stats.cache_hit) {
+    cache_hits_.Add(1);
+  } else {
+    compiles_.Add(1);
+    compile_ns_.Add(stats.compile_ns);
+  }
+
+  size_t published = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (QueryJit::ExprRequest& request : batch->exprs_) {
+    void* sym = module.value()->Resolve(request.meta.symbol);
+    if (sym == nullptr) {
+      compile_fallbacks_.Add(1);
+      continue;
+    }
+    auto kernel = std::make_unique<ModuleKernel>(
+        reinterpret_cast<EvalFn>(sym), std::move(request.meta));
+    // The release store publishes the fully constructed kernel; operators
+    // pick it up with an acquire load mid-run (async hot swap).
+    request.slot->kernel.store(kernel.get(), std::memory_order_release);
+    kernels_.push_back(std::move(kernel));
+    expr_slots_.push_back(std::move(request.slot));
+    ++published;
+  }
+  for (QueryJit::FilterRequest& request : batch->filters_) {
+    void* sym = module.value()->Resolve(request.symbol);
+    if (sym == nullptr) {
+      compile_fallbacks_.Add(1);
+      continue;
+    }
+    request.slot->fn.store(reinterpret_cast<FilterFn>(sym),
+                           std::memory_order_release);
+    filter_slots_.push_back(std::move(request.slot));
+    ++published;
+  }
+  active_kernels_.Add(published);
+  modules_.push_back(std::move(module.value()));
+}
+
+void JitEngine::RegisterTelemetry(telemetry::Registry* registry) {
+  if (!enabled()) return;
+  namespace metric = telemetry::metric;
+  registry->Register("jit", metric::kJitCompiles, &compiles_);
+  registry->Register("jit", metric::kJitCompileNs, &compile_ns_);
+  registry->Register("jit", metric::kJitCacheHits, &cache_hits_);
+  registry->RegisterReader("jit", metric::kJitFallbacks,
+                           [this] { return fallbacks(); });
+  registry->Register("jit", metric::kJitActiveKernels, &active_kernels_);
+}
+
+}  // namespace gigascope::jit

@@ -1,0 +1,178 @@
+#ifndef GIGASCOPE_JIT_ENGINE_H_
+#define GIGASCOPE_JIT_ENGINE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "expr/codegen.h"
+#include "expr/native.h"
+#include "jit/compiler.h"
+#include "jit/emit.h"
+#include "telemetry/counter.h"
+#include "telemetry/registry.h"
+
+namespace gigascope::jit {
+
+enum class JitMode : uint8_t {
+  kOff,    // VM only (default)
+  kSync,   // compile during query setup; queries start native
+  kAsync,  // start on the VM, hot-swap when the compile lands
+};
+
+/// Parses "off" / "sync" / "async"; nullopt otherwise.
+std::optional<JitMode> ParseJitMode(const std::string& text);
+const char* JitModeName(JitMode mode);
+
+struct JitOptions {
+  JitMode mode = JitMode::kOff;
+  /// On-disk cache directory for generated sources and shared objects.
+  /// Empty: a private mkdtemp directory, removed when the engine dies.
+  /// Set it to persist modules across restarts — a warm start dlopens the
+  /// content-addressed .so without ever invoking the compiler.
+  std::string cache_dir;
+};
+
+class JitEngine;
+
+/// Kernel requests for one query, collected across its nodes via
+/// rts::QueryNode::AttachJit so the whole query becomes a single generated
+/// translation unit and one compiler invocation. Obtained from
+/// JitEngine::BeginQuery and handed back to JitEngine::Submit.
+class QueryJit {
+ public:
+  /// Below this bytecode length the VM's dispatch cost is already trivial
+  /// and the wrapper's row conversion would eat the win, so e.g. a bare
+  /// field-load projection stays on the VM. Three instructions — load,
+  /// constant, compare — is the smallest filter term worth compiling.
+  /// EXPLAIN's tier annotation mirrors this as an IR cost >= 2
+  /// (plan/explain.cc); keep the two in sync.
+  static constexpr size_t kMinInstrs = 3;
+
+  /// Requests a native kernel for `*expr`, which must stay alive (at a
+  /// stable address for the slot attach, though the slot itself is shared
+  /// through copies) until the engine shuts down. Emission gaps — UDF
+  /// calls, string operands — are counted as jit_fallbacks and leave the
+  /// expression on the VM; sub-kMinInstrs expressions are skipped silently.
+  void RequestExpr(expr::CompiledExpr* expr);
+
+  /// Requests a packed-byte filter kernel (select_project's raw conjunct
+  /// pass); always emittable. The caller keeps the returned slot and calls
+  /// through it once the kernel is published.
+  std::shared_ptr<expr::ByteFilterSlot> RequestFilter(
+      const std::vector<RawFilterTerm>& terms);
+
+  /// Number of kernels requested so far (introspection for tests).
+  size_t num_requests() const { return exprs_.size() + filters_.size(); }
+
+ private:
+  friend class JitEngine;
+
+  struct ExprRequest {
+    std::shared_ptr<expr::KernelSlot> slot;
+    KernelMeta meta;
+  };
+  struct FilterRequest {
+    std::shared_ptr<expr::ByteFilterSlot> slot;
+    std::string symbol;
+  };
+
+  explicit QueryJit(JitEngine* engine) : engine_(engine) {}
+
+  JitEngine* engine_;
+  std::string kernels_source_;  // emitted definitions, preamble excluded
+  std::vector<ExprRequest> exprs_;
+  std::vector<FilterRequest> filters_;
+  size_t next_symbol_ = 0;
+};
+
+/// The native-tier driver owned by the engine: emits per-query modules,
+/// compiles them (inline in sync mode, on a background thread in async
+/// mode), keeps every loaded module and kernel wrapper alive, and publishes
+/// kernels into the expression slots with release stores. Destroy it only
+/// after every node that might evaluate through a published slot is gone.
+class JitEngine {
+ public:
+  explicit JitEngine(JitOptions options);
+  ~JitEngine();
+
+  JitMode mode() const { return options_.mode; }
+  bool enabled() const { return options_.mode != JitMode::kOff; }
+  const std::string& cache_dir() const { return cache_dir_; }
+
+  std::unique_ptr<QueryJit> BeginQuery();
+
+  /// Hands a query's requests to the tier. Sync mode compiles before
+  /// returning (queries start native); async mode enqueues and returns —
+  /// operators run on the VM until the swap. Never fails: any error is a
+  /// counted fallback to the VM.
+  void Submit(std::unique_ptr<QueryJit> batch);
+
+  /// Blocks until the async queue is drained. Called before fork
+  /// (StartProcesses) so worker processes inherit the dlopen'd kernels
+  /// rather than racing a post-fork swap, and by tests.
+  void WaitIdle();
+
+  /// Registers the tier's counters under entity "jit" (gs_stats catalog:
+  /// jit_compiles, jit_compile_ns, jit_cache_hits, jit_fallbacks,
+  /// jit_active_kernels).
+  void RegisterTelemetry(telemetry::Registry* registry);
+
+  // Introspection (tests, logs).
+  uint64_t compiles() const { return compiles_.value(); }
+  uint64_t cache_hits() const { return cache_hits_.value(); }
+  uint64_t active_kernels() const { return active_kernels_.value(); }
+  uint64_t fallbacks() const {
+    return request_fallbacks_.value() + compile_fallbacks_.value();
+  }
+
+ private:
+  friend class QueryJit;
+
+  /// expr::NativeKernel implementation wrapping one resolved EvalFn.
+  class ModuleKernel;
+
+  void ProcessBatch(QueryJit* batch);
+  void WorkerLoop();
+
+  JitOptions options_;
+  std::string cache_dir_;
+  bool ephemeral_cache_ = false;
+  bool toolchain_logged_ = false;  // "no compiler" is logged exactly once
+  JitCompiler compiler_;
+
+  // Loaded modules and kernel wrappers live as long as the engine: a
+  // published kernel pointer must stay valid for every operator that might
+  // still read its slot.
+  std::vector<std::unique_ptr<LoadedModule>> modules_;
+  std::vector<std::unique_ptr<ModuleKernel>> kernels_;
+  std::vector<std::shared_ptr<expr::KernelSlot>> expr_slots_;
+  std::vector<std::shared_ptr<expr::ByteFilterSlot>> filter_slots_;
+
+  // Async compile queue.
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<QueryJit>> queue_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::thread worker_;
+
+  // Counters. Single-writer each: request_fallbacks_ on the setup thread
+  // (emission gaps), the rest on whichever thread runs ProcessBatch (fixed
+  // per mode). Telemetry exposes the two fallback counters summed.
+  telemetry::Counter compiles_;
+  telemetry::Counter compile_ns_;
+  telemetry::Counter cache_hits_;
+  telemetry::Counter active_kernels_;
+  telemetry::Counter request_fallbacks_;
+  telemetry::Counter compile_fallbacks_;
+};
+
+}  // namespace gigascope::jit
+
+#endif  // GIGASCOPE_JIT_ENGINE_H_

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "expr/vm.h"
+#include "jit/engine.h"
 #include "telemetry/metric_names.h"
 
 namespace gigascope::ops {
@@ -365,6 +366,19 @@ void OrderedAggregateNode::RegisterTelemetry(
   metrics->Register(name(), telemetry::metric::kOpenGroups, &open_groups_);
   metrics->Register(name(), telemetry::metric::kGroupsFlushed,
                     &groups_flushed_);
+}
+
+void OrderedAggregateNode::AttachJit(jit::QueryJit* jit) {
+  RequestAggKernels(&spec_, jit);
+}
+
+void RequestAggKernels(OrderedAggregateNode::Spec* spec, jit::QueryJit* jit) {
+  for (expr::CompiledExpr& key : spec->keys) {
+    jit->RequestExpr(&key);
+  }
+  for (std::optional<expr::CompiledExpr>& arg : spec->agg_args) {
+    if (arg.has_value()) jit->RequestExpr(&*arg);
+  }
 }
 
 }  // namespace gigascope::ops

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "expr/vm.h"
+#include "jit/engine.h"
 
 namespace gigascope::ops {
 
@@ -253,6 +254,10 @@ void WindowJoinNode::Flush() {
   for (const auto& [key, row] : pending_) Publish(row);
   pending_.clear();
   writer_.Flush();  // Flush runs outside any Poll round
+}
+
+void WindowJoinNode::AttachJit(jit::QueryJit* jit) {
+  if (spec_.predicate.has_value()) jit->RequestExpr(&*spec_.predicate);
 }
 
 }  // namespace gigascope::ops

@@ -289,4 +289,8 @@ void LftaAggregateNode::RegisterTelemetry(
                           [this] { return table_.shed_evictions(); });
 }
 
+void LftaAggregateNode::AttachJit(jit::QueryJit* jit) {
+  RequestAggKernels(&spec_, jit);
+}
+
 }  // namespace gigascope::ops

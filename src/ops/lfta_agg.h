@@ -84,6 +84,7 @@ class LftaAggregateNode : public rts::QueryNode {
   size_t Poll(size_t budget) override;
   void Flush() override;
   void RegisterTelemetry(telemetry::Registry* metrics) const override;
+  void AttachJit(jit::QueryJit* jit) override;
 
   const DirectMappedAggTable& table() const { return table_; }
 

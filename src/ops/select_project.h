@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "expr/codegen.h"
+#include "expr/native.h"
 #include "expr/vm.h"
 #include "rts/node.h"
 #include "rts/punctuation.h"
@@ -47,6 +48,11 @@ class SelectProjectNode : public rts::QueryNode {
 
   size_t Poll(size_t budget) override;
 
+  /// Requests native kernels: the raw byte filter as one baked-constant
+  /// FilterFn (or the general predicate when the raw path didn't match),
+  /// plus each projection.
+  void AttachJit(jit::QueryJit* jit) override;
+
   /// Whether the predicate compiled to the raw byte-comparing fast path
   /// (introspection for tests and EXPLAIN).
   bool has_raw_filter() const { return !raw_terms_.empty(); }
@@ -78,6 +84,8 @@ class SelectProjectNode : public rts::QueryNode {
   expr::Evaluator vm_;
   std::vector<RawTerm> raw_terms_;  // empty: use the general VM
   size_t raw_min_payload_ = 0;      // shorter payloads take the slow path
+  /// Native byte-filter slot; null until AttachJit ran with the tier on.
+  std::shared_ptr<expr::ByteFilterSlot> raw_filter_slot_;
 };
 
 }  // namespace gigascope::ops

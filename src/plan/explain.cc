@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "expr/cost.h"
+#include "jit/emit.h"
 
 namespace gigascope::plan {
 namespace {
@@ -70,6 +71,46 @@ double NodeCost(const PlanNode& node) {
   return cost;
 }
 
+/// Whether the native tier would compile at least one of this node's
+/// expressions: emittable C++ (no UDF calls, no string operands) and past
+/// the minimum-size threshold — trivial expressions stay on the VM, whose
+/// dispatch they cannot outrun (the IR-cost cutoff mirrors the runtime's
+/// bytecode-length cutoff QueryJit::kMinInstrs).
+bool NodeTierNative(const PlanNode& node) {
+  auto eligible = [](const expr::IrPtr& ir) {
+    return ir != nullptr && jit::CanEmitIr(ir) && expr::EstimateCost(ir) >= 2;
+  };
+  switch (node.kind) {
+    case PlanKind::kSelectProject:
+      if (eligible(node.predicate)) return true;
+      for (const expr::IrPtr& p : node.projections) {
+        if (eligible(p)) return true;
+      }
+      return false;
+    case PlanKind::kAggregate:
+      for (const expr::IrPtr& k : node.group_keys) {
+        if (eligible(k)) return true;
+      }
+      for (const expr::AggregateSpec& agg : node.aggregates) {
+        if (eligible(agg.arg)) return true;
+      }
+      return false;
+    case PlanKind::kJoin:
+      return eligible(node.join_predicate);
+    case PlanKind::kSource:
+    case PlanKind::kMerge:
+      return false;
+  }
+  return false;
+}
+
+/// Expression-bearing operators get a tier line; sources and merges
+/// evaluate nothing, so the annotation would be noise.
+bool NodeHasExprs(const PlanNode& node) {
+  return node.kind == PlanKind::kSelectProject ||
+         node.kind == PlanKind::kAggregate || node.kind == PlanKind::kJoin;
+}
+
 std::string PlacementName(const SplitQuery& split) {
   if (split.lfta != nullptr && split.hfta != nullptr) return "split";
   if (split.lfta != nullptr) return "lfta-only";
@@ -124,7 +165,8 @@ std::vector<const char*> ShedEligible(const PlanNode& node,
 }
 
 void ExplainNodeText(const PlanNode& node, const char* placement,
-                     bool lfta_table, int indent, std::string* out) {
+                     bool lfta_table, const ExplainOptions& opts, int indent,
+                     std::string* out) {
   const std::string pad(static_cast<size_t>(indent) * 2, ' ');
   const std::string pad2 = pad + "  ";
   *out += pad;
@@ -200,6 +242,11 @@ void ExplainNodeText(const PlanNode& node, const char* placement,
     *out += pad2 + "cost: " + FormatCost(NodeCost(node)) + " (lfta budget " +
             FormatCost(expr::kLftaCostBudget) + ")\n";
   }
+  if (opts.jit && NodeHasExprs(node)) {
+    *out += pad2 + "tier: ";
+    *out += NodeTierNative(node) ? "native" : "vm";
+    *out += "\n";
+  }
   const std::vector<const char*> shed =
       ShedEligible(node, placement, lfta_table);
   if (!shed.empty()) {
@@ -212,12 +259,13 @@ void ExplainNodeText(const PlanNode& node, const char* placement,
   }
   *out += pad2 + "output: " + OrderingLine(node.output_schema) + "\n";
   for (const PlanPtr& child : node.children) {
-    ExplainNodeText(*child, placement, lfta_table, indent + 1, out);
+    ExplainNodeText(*child, placement, lfta_table, opts, indent + 1, out);
   }
 }
 
 void ExplainNodeJson(const PlanNode& node, const char* placement,
-                     bool lfta_table, std::string* out) {
+                     bool lfta_table, const ExplainOptions& opts,
+                     std::string* out) {
   *out += "{\"op\":";
   *out += JsonEscape(PlanKindName(node.kind));
   *out += ",\"placement\":";
@@ -275,6 +323,10 @@ void ExplainNodeJson(const PlanNode& node, const char* placement,
       break;
   }
   *out += ",\"cost\":" + FormatCost(NodeCost(node));
+  if (opts.jit && NodeHasExprs(node)) {
+    *out += ",\"tier\":";
+    *out += NodeTierNative(node) ? "\"native\"" : "\"vm\"";
+  }
   const std::vector<const char*> shed =
       ShedEligible(node, placement, lfta_table);
   if (!shed.empty()) {
@@ -296,15 +348,15 @@ void ExplainNodeJson(const PlanNode& node, const char* placement,
   *out += "],\"children\":[";
   for (size_t i = 0; i < node.children.size(); ++i) {
     if (i > 0) *out += ",";
-    ExplainNodeJson(*node.children[i], placement, lfta_table, out);
+    ExplainNodeJson(*node.children[i], placement, lfta_table, opts, out);
   }
   *out += "]}";
 }
 
 }  // namespace
 
-std::string ExplainText(const PlannedQuery& planned,
-                        const SplitQuery& split) {
+std::string ExplainText(const PlannedQuery& planned, const SplitQuery& split,
+                        const ExplainOptions& opts) {
   std::string out;
   out += "query: " + split.name + "\n";
   out += "placement: " + PlacementName(split) + "\n";
@@ -321,7 +373,7 @@ std::string ExplainText(const PlannedQuery& planned,
   }
   if (split.hfta != nullptr) {
     out += "hfta:\n";
-    ExplainNodeText(*split.hfta, "hfta", false, 1, &out);
+    ExplainNodeText(*split.hfta, "hfta", false, opts, 1, &out);
   }
   if (split.lfta != nullptr) {
     if (split.hfta != nullptr) {
@@ -329,13 +381,14 @@ std::string ExplainText(const PlannedQuery& planned,
     } else {
       out += "lfta:\n";
     }
-    ExplainNodeText(*split.lfta, "lfta", split.split_aggregation, 1, &out);
+    ExplainNodeText(*split.lfta, "lfta", split.split_aggregation, opts, 1,
+                    &out);
   }
   return out;
 }
 
-std::string ExplainJson(const PlannedQuery& planned,
-                        const SplitQuery& split) {
+std::string ExplainJson(const PlannedQuery& planned, const SplitQuery& split,
+                        const ExplainOptions& opts) {
   std::string out = "{\"query\":" + JsonEscape(split.name);
   out += ",\"placement\":" + JsonEscape(PlacementName(split));
   out += ",\"process\":{\"lfta\":";
@@ -352,7 +405,7 @@ std::string ExplainJson(const PlannedQuery& planned,
   out += ",\"snap_len\":" + std::to_string(split.snap_len);
   if (split.hfta != nullptr) {
     out += ",\"hfta\":";
-    ExplainNodeJson(*split.hfta, "hfta", false, &out);
+    ExplainNodeJson(*split.hfta, "hfta", false, opts, &out);
   } else {
     out += ",\"hfta\":null";
   }
@@ -360,7 +413,7 @@ std::string ExplainJson(const PlannedQuery& planned,
     out += ",\"lfta_stream\":" +
            JsonEscape(split.hfta != nullptr ? split.lfta_name : split.name);
     out += ",\"lfta\":";
-    ExplainNodeJson(*split.lfta, "lfta", split.split_aggregation, &out);
+    ExplainNodeJson(*split.lfta, "lfta", split.split_aggregation, opts, &out);
   } else {
     out += ",\"lfta\":null";
   }

@@ -19,11 +19,22 @@ namespace gigascope::plan {
 /// splitter: a split regression shows up as a placement diff, a lost
 /// ordering property as an `order:` diff.
 
+struct ExplainOptions {
+  /// Annotates each expression-bearing operator with the evaluation tier
+  /// the native compiled-query layer would choose for it (`tier: native`
+  /// when at least one of its expressions is emittable as C++ and clears
+  /// the minimum-size threshold, else `tier: vm`; DESIGN.md §15). Off by
+  /// default so the pre-existing golden surfaces are byte-identical.
+  bool jit = false;
+};
+
 /// Human-readable form, used by `gsqlc --explain`.
-std::string ExplainText(const PlannedQuery& planned, const SplitQuery& split);
+std::string ExplainText(const PlannedQuery& planned, const SplitQuery& split,
+                        const ExplainOptions& opts = {});
 
 /// Machine-readable form (one JSON object), used by `gsqlc --explain=json`.
-std::string ExplainJson(const PlannedQuery& planned, const SplitQuery& split);
+std::string ExplainJson(const PlannedQuery& planned, const SplitQuery& split,
+                        const ExplainOptions& opts = {});
 
 }  // namespace gigascope::plan
 

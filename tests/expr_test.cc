@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+
 #include "expr/cost.h"
 #include "expr/fold.h"
 #include "expr/typecheck.h"
@@ -179,6 +182,70 @@ TEST(EvalTest, DivisionByZeroIsRuntimeError) {
   ExprHarness harness;
   auto v = harness.EvalOn("t / (i + 3)", SampleRow());  // i+3 == 0
   EXPECT_FALSE(v.ok());
+}
+
+std::vector<Value> RowWithInt(int64_t i) {
+  std::vector<Value> row = SampleRow();
+  row[1] = Value::Int(i);
+  return row;
+}
+
+// Evaluation semantics the native tier's generated C++ must mirror exactly
+// (DESIGN.md §15): division edge cases are counted runtime errors, never
+// UB, and signed overflow wraps two's-complement.
+
+TEST(EvalTest, ModuloByZeroIsRuntimeError) {
+  ExprHarness harness;
+  auto v = harness.EvalOn("i % (i + 3)", RowWithInt(-3));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().message(), "modulo by zero");
+}
+
+TEST(EvalTest, IntMinDividedByMinusOneIsRuntimeError) {
+  // INT64_MIN / -1 overflows (the quotient is INT64_MAX + 1); on most CPUs
+  // the raw instruction traps, so the VM must catch it as an eval error.
+  ExprHarness harness;
+  auto v = harness.EvalOn("i / (0 - 1)", RowWithInt(INT64_MIN));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().message(), "integer division overflow");
+  v = harness.EvalOn("i % (0 - 1)", RowWithInt(INT64_MIN));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().message(), "integer modulo overflow");
+}
+
+TEST(EvalTest, SignedOverflowWrapsTwosComplement) {
+  ExprHarness harness;
+  auto v = harness.EvalOn("i + 1", RowWithInt(INT64_MAX));
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->int_value(), INT64_MIN);
+  v = harness.EvalOn("i * 2", RowWithInt(INT64_MAX));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int_value(), -2);
+  v = harness.EvalOn("i - 2", RowWithInt(INT64_MIN));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int_value(), INT64_MAX - 1);
+  // Negating INT64_MIN wraps back to itself.
+  v = harness.EvalOn("0 - i", RowWithInt(INT64_MIN));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int_value(), INT64_MIN);
+}
+
+TEST(ValueTest, SaturatingFloatToIntCasts) {
+  EXPECT_EQ(SaturatingDoubleToInt64(std::nan("")), 0);
+  EXPECT_EQ(SaturatingDoubleToInt64(1e300), INT64_MAX);
+  EXPECT_EQ(SaturatingDoubleToInt64(-1e300), INT64_MIN);
+  EXPECT_EQ(SaturatingDoubleToInt64(9.75), 9);
+  EXPECT_EQ(SaturatingDoubleToInt64(-9.75), -9);
+  EXPECT_EQ(SaturatingDoubleToUint64(std::nan("")), 0u);
+  EXPECT_EQ(SaturatingDoubleToUint64(-1.0), 0u);
+  EXPECT_EQ(SaturatingDoubleToUint64(1e300), UINT64_MAX);
+  EXPECT_EQ(SaturatingDoubleToUint64(9.75), 9u);
+  auto casted = CastValue(Value::Float(1e300), DataType::kInt);
+  ASSERT_TRUE(casted.ok());
+  EXPECT_EQ(casted->int_value(), INT64_MAX);
+  casted = CastValue(Value::Float(-1.0), DataType::kUint);
+  ASSERT_TRUE(casted.ok());
+  EXPECT_EQ(casted->uint_value(), 0u);
 }
 
 TEST(EvalTest, ComparisonAndLogic) {

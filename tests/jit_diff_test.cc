@@ -1,0 +1,226 @@
+// Differential fuzzing of the native compiled-query tier against the
+// bytecode VM (DESIGN.md §15): a deterministic corpus of randomly generated
+// GSQL expressions is compiled through both tiers and evaluated over random
+// rows (including INT64_MIN, wraparound products, zero divisors, NaN and
+// overflowing floats). The VM is the oracle; the native kernel must match
+// byte for byte — same status, same error message, same has_value, same
+// value bits.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "expr/fold.h"
+#include "expr/typecheck.h"
+#include "expr/vm.h"
+#include "gsql/parser.h"
+#include "jit/compiler.h"
+#include "jit/engine.h"
+#include "udf/registry.h"
+
+namespace gigascope::jit {
+namespace {
+
+using expr::CompiledExpr;
+using expr::EvalContext;
+using expr::EvalOutput;
+using expr::Value;
+using gsql::DataType;
+using gsql::FieldDef;
+using gsql::OrderSpec;
+using gsql::StreamKind;
+using gsql::StreamSchema;
+
+StreamSchema TestSchema() {
+  std::vector<FieldDef> fields;
+  fields.push_back({"t", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"i", DataType::kInt, OrderSpec::None()});
+  fields.push_back({"f", DataType::kFloat, OrderSpec::None()});
+  fields.push_back({"b", DataType::kBool, OrderSpec::None()});
+  return StreamSchema("T", StreamKind::kStream, fields);
+}
+
+Result<CompiledExpr> TryCompileExpr(const std::string& expression) {
+  gsql::Catalog catalog;
+  catalog.PutStreamSchema(TestSchema());
+  auto stmt = gsql::ParseStatement("SELECT " + expression + " FROM T");
+  GS_RETURN_IF_ERROR(stmt.status());
+  auto* select = std::get_if<gsql::SelectStmt>(&stmt.value());
+  auto resolved = gsql::AnalyzeSelect(*select, catalog);
+  GS_RETURN_IF_ERROR(resolved.status());
+  expr::TypeCheckContext ctx;
+  ctx.resolver = udf::FunctionRegistry::Default();
+  ctx.inputs = {TestSchema()};
+  ctx.bindings = &resolved->bindings;
+  GS_ASSIGN_OR_RETURN(expr::IrPtr ir,
+                      expr::TypeCheck(resolved->stmt.items[0].expr, ctx));
+  return expr::Compile(expr::FoldConstants(ir), {});
+}
+
+// -- Expression grammar ------------------------------------------------------
+
+/// Random arithmetic expression string. Leaves are the numeric fields and
+/// small literals; interior nodes are the five integer/float operators, so
+/// the corpus hits promotion casts (t + i, i + f), wraparound, and the
+/// division/modulo error paths.
+std::string GenNumeric(Rng* rng, int depth) {
+  if (depth <= 0 || rng->NextBelow(3) == 0) {
+    switch (rng->NextBelow(6)) {
+      case 0: return "t";
+      case 1: return "i";
+      case 2: return "f";
+      case 3: return std::to_string(rng->NextBelow(100));
+      case 4: return "(0 - " + std::to_string(rng->NextBelow(100)) + ")";
+      default: return std::to_string(rng->NextBelow(8)) + ".5";
+    }
+  }
+  static const char* kOps[] = {"+", "-", "*", "/", "%"};
+  const char* op = kOps[rng->NextBelow(5)];
+  return "(" + GenNumeric(rng, depth - 1) + " " + op + " " +
+         GenNumeric(rng, depth - 1) + ")";
+}
+
+std::string GenBool(Rng* rng, int depth) {
+  if (depth <= 0 || rng->NextBelow(3) == 0) {
+    static const char* kCmps[] = {"=", "<>", "<", "<=", ">", ">="};
+    const char* cmp = kCmps[rng->NextBelow(6)];
+    return "(" + GenNumeric(rng, 1) + " " + cmp + " " + GenNumeric(rng, 1) +
+           ")";
+  }
+  const char* op = rng->NextBool(0.5) ? "AND" : "OR";
+  return "(" + GenBool(rng, depth - 1) + " " + op + " " +
+         GenBool(rng, depth - 1) + ")";
+}
+
+std::string GenExpr(Rng* rng) {
+  return rng->NextBool(0.3) ? GenBool(rng, 2) : GenNumeric(rng, 3);
+}
+
+// -- Row generation ----------------------------------------------------------
+
+Value GenUint(Rng* rng) {
+  switch (rng->NextBelow(5)) {
+    case 0: return Value::Uint(0);
+    case 1: return Value::Uint(1);
+    case 2: return Value::Uint(UINT64_MAX);
+    case 3: return Value::Uint(rng->NextBelow(1000));
+    default: return Value::Uint(rng->Next());
+  }
+}
+
+Value GenInt(Rng* rng) {
+  switch (rng->NextBelow(6)) {
+    case 0: return Value::Int(0);
+    case 1: return Value::Int(-1);
+    case 2: return Value::Int(INT64_MIN);
+    case 3: return Value::Int(INT64_MAX);
+    case 4: return Value::Int(int64_t(rng->NextBelow(200)) - 100);
+    default: return Value::Int(static_cast<int64_t>(rng->Next()));
+  }
+}
+
+Value GenFloat(Rng* rng) {
+  switch (rng->NextBelow(6)) {
+    case 0: return Value::Float(0.0);
+    case 1: return Value::Float(-1.5);
+    case 2: return Value::Float(1e300);
+    case 3: return Value::Float(-1e300);
+    case 4: return Value::Float(std::nan(""));
+    default: return Value::Float(rng->NextDouble() * 1000.0 - 500.0);
+  }
+}
+
+std::vector<Value> GenRow(Rng* rng) {
+  return {GenUint(rng), GenInt(rng), GenFloat(rng),
+          Value::Bool(rng->NextBool(0.5))};
+}
+
+/// Bit-exact value equality: floats compare by representation (so both-NaN
+/// passes and -0.0 vs 0.0 fails), everything else through Value::Compare.
+bool BitEqual(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  if (a.type() == DataType::kFloat) {
+    double da = a.float_value(), db = b.float_value();
+    return std::memcmp(&da, &db, sizeof(da)) == 0;
+  }
+  return a.Compare(b) == 0;
+}
+
+TEST(JitDiffTest, RandomExpressionsMatchVmExactly) {
+  if (!JitCompiler::ToolchainAvailable()) {
+    GTEST_SKIP() << "no C++ toolchain in this environment";
+  }
+  JitOptions options;
+  options.mode = JitMode::kSync;
+  JitEngine engine(options);
+  Rng rng(0x9e3779b97f4a7c15ull);
+
+  constexpr int kExpressions = 160;
+  constexpr int kRowsPerExpr = 24;
+  size_t native_kernels = 0;
+  size_t error_cases = 0;
+
+  std::vector<std::string> texts;
+  std::vector<CompiledExpr> exprs;
+  texts.reserve(kExpressions);
+  exprs.reserve(kExpressions);  // stable addresses for the kernel slots
+  for (int n = 0; n < kExpressions; ++n) {
+    std::string text = GenExpr(&rng);
+    auto compiled = TryCompileExpr(text);
+    if (!compiled.ok()) continue;  // e.g. float modulo: rejected at typecheck
+    texts.push_back(text);
+    exprs.push_back(std::move(compiled).value());
+  }
+  ASSERT_GE(exprs.size(), 40u) << "grammar generates too few valid exprs";
+
+  // One generated module for the whole corpus: exactly how a query's nodes
+  // batch their requests through QueryJit.
+  auto batch = engine.BeginQuery();
+  for (CompiledExpr& expr : exprs) batch->RequestExpr(&expr);
+  engine.Submit(std::move(batch));
+
+  expr::Evaluator evaluator;
+  for (size_t k = 0; k < exprs.size(); ++k) {
+    const CompiledExpr& expr = exprs[k];
+    bool has_kernel =
+        expr.native != nullptr && expr.native->kernel.load() != nullptr;
+    native_kernels += has_kernel ? 1 : 0;
+    for (int r = 0; r < kRowsPerExpr; ++r) {
+      std::vector<Value> row = GenRow(&rng);
+      EvalContext ctx;
+      ctx.row0 = &row;
+      EvalOutput vm_out, native_out;
+      Status vm_status = expr::Eval(expr, ctx, &vm_out);   // VM oracle
+      Status native_status = evaluator.Eval(expr, ctx, &native_out);
+      std::string what = texts[k] + " on row {" + row[0].ToString() + ", " +
+                         row[1].ToString() + ", " + row[2].ToString() + ", " +
+                         row[3].ToString() + "}";
+      ASSERT_EQ(vm_status.ok(), native_status.ok()) << what;
+      if (!vm_status.ok()) {
+        ++error_cases;
+        EXPECT_EQ(native_status.message(), vm_status.message()) << what;
+        continue;
+      }
+      ASSERT_EQ(vm_out.has_value, native_out.has_value) << what;
+      if (!vm_out.has_value) continue;
+      EXPECT_TRUE(BitEqual(vm_out.value, native_out.value))
+          << what << ": vm=" << vm_out.value.ToString()
+          << " native=" << native_out.value.ToString();
+    }
+  }
+
+  // The corpus must actually exercise the native tier, not silently fall
+  // back everywhere, and must hit the runtime-error paths.
+  EXPECT_GE(native_kernels, 30u);
+  EXPECT_GE(error_cases, 1u);
+  EXPECT_EQ(engine.fallbacks(), 0u);
+}
+
+}  // namespace
+}  // namespace gigascope::jit

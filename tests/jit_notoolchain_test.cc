@@ -1,0 +1,109 @@
+// Native-tier degradation without a C++ toolchain (DESIGN.md §15): when no
+// compiler exists, --jit=sync must behave exactly like --jit=off — correct
+// rows, zero compiles, counted fallbacks, no crash.
+//
+// This lives in its own test binary because JitCompiler::ToolchainAvailable
+// probes for a compiler exactly once per process: GS_JIT_CXX must point at a
+// nonexistent binary *before* the first probe, which would already have
+// happened in any binary whose other tests touch the tier.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "jit/compiler.h"
+#include "jit/engine.h"
+
+namespace gigascope::jit {
+namespace {
+
+using expr::Value;
+using gsql::DataType;
+using gsql::FieldDef;
+using gsql::OrderSpec;
+using gsql::StreamKind;
+using gsql::StreamSchema;
+
+/// Poisons the toolchain probe before anything in the process can run it.
+/// GS_JIT_FORCE is cleared so a CI leg exporting it (the --jit=sync suite
+/// run) cannot turn the engines below back into a mode this test does not
+/// mean to exercise.
+struct PoisonToolchain {
+  PoisonToolchain() {
+    setenv("GS_JIT_CXX", "/nonexistent/no-such-compiler", 1);
+    unsetenv("GS_JIT_FORCE");
+  }
+};
+PoisonToolchain poison_at_static_init;
+
+StreamSchema InputSchema() {
+  std::vector<FieldDef> fields;
+  fields.push_back({"ts", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"v", DataType::kInt, OrderSpec::None()});
+  return StreamSchema("S", StreamKind::kStream, fields);
+}
+
+std::vector<std::string> RunQuery(JitMode mode, const core::Engine** out) {
+  static std::vector<std::unique_ptr<core::Engine>> engines;
+  core::EngineOptions options;
+  options.jit.mode = mode;
+  engines.push_back(std::make_unique<core::Engine>(options));
+  core::Engine& engine = *engines.back();
+  GS_CHECK(engine.DeclareStream(InputSchema()).ok());
+  auto info = engine.AddQuery(
+      "DEFINE { query_name q; } "
+      "SELECT ts / 60, v * 3 + 1 FROM S WHERE v % 5 != 0");
+  GS_CHECK(info.ok());
+  auto sub = engine.Subscribe("q", 4096);
+  GS_CHECK(sub.ok());
+  for (uint64_t n = 0; n < 100; ++n) {
+    GS_CHECK(engine
+                 .InjectRow("S", {Value::Uint(n * 7),
+                                  Value::Int(int64_t(n) - 50)})
+                 .ok());
+  }
+  engine.PumpUntilIdle();
+  engine.FlushAll();
+  std::vector<std::string> rows;
+  while (auto row = (*sub)->NextRow()) {
+    std::string line;
+    for (const Value& v : *row) line += v.ToString() + "\t";
+    rows.push_back(line);
+  }
+  if (out != nullptr) *out = &engine;
+  return rows;
+}
+
+TEST(JitNoToolchainTest, ProbeFails) {
+  EXPECT_FALSE(JitCompiler::ToolchainAvailable());
+}
+
+TEST(JitNoToolchainTest, SyncModeDegradesToVm) {
+  const core::Engine* off_engine = nullptr;
+  const core::Engine* sync_engine = nullptr;
+  std::vector<std::string> off_rows = RunQuery(JitMode::kOff, &off_engine);
+  std::vector<std::string> sync_rows = RunQuery(JitMode::kSync, &sync_engine);
+  ASSERT_FALSE(off_rows.empty());
+  EXPECT_EQ(off_rows, sync_rows);  // identical behavior to --jit=off
+  EXPECT_EQ(off_engine->jit().compiles(), 0u);
+  EXPECT_EQ(sync_engine->jit().compiles(), 0u);
+  EXPECT_EQ(sync_engine->jit().active_kernels(), 0u);
+  EXPECT_GE(sync_engine->jit().fallbacks(), 1u);  // counted, not fatal
+}
+
+TEST(JitNoToolchainTest, AsyncModeDegradesToVm) {
+  const core::Engine* async_engine = nullptr;
+  std::vector<std::string> off_rows = RunQuery(JitMode::kOff, nullptr);
+  std::vector<std::string> async_rows =
+      RunQuery(JitMode::kAsync, &async_engine);
+  EXPECT_EQ(off_rows, async_rows);
+  EXPECT_EQ(async_engine->jit().compiles(), 0u);
+}
+
+}  // namespace
+}  // namespace gigascope::jit

@@ -1,0 +1,391 @@
+// Native compiled-query tier (DESIGN.md §15): emission, the toolchain
+// driver, kernel hot-swap, the content-hash cache, and engine-level
+// equivalence between --jit=off and --jit=sync.
+//
+// Every test that actually invokes the system compiler skips cleanly when
+// no toolchain is present — the tier itself must degrade the same way
+// (covered by jit_notoolchain_test, which poisons GS_JIT_CXX).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "expr/fold.h"
+#include "expr/typecheck.h"
+#include "expr/vm.h"
+#include "gsql/parser.h"
+#include "jit/abi.h"
+#include "jit/compiler.h"
+#include "jit/emit.h"
+#include "jit/engine.h"
+#include "udf/registry.h"
+
+namespace gigascope::jit {
+namespace {
+
+using expr::CompiledExpr;
+using expr::EvalContext;
+using expr::EvalOutput;
+using expr::Value;
+using gsql::DataType;
+using gsql::FieldDef;
+using gsql::OrderSpec;
+using gsql::StreamKind;
+using gsql::StreamSchema;
+
+StreamSchema TestSchema() {
+  std::vector<FieldDef> fields;
+  fields.push_back({"t", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"i", DataType::kInt, OrderSpec::None()});
+  fields.push_back({"f", DataType::kFloat, OrderSpec::None()});
+  fields.push_back({"b", DataType::kBool, OrderSpec::None()});
+  return StreamSchema("T", StreamKind::kStream, fields);
+}
+
+/// Compiles one GSQL expression over TestSchema to bytecode.
+CompiledExpr CompileExpr(const std::string& expression) {
+  gsql::Catalog catalog;
+  catalog.PutStreamSchema(TestSchema());
+  auto stmt = gsql::ParseStatement("SELECT " + expression + " FROM T");
+  GS_CHECK(stmt.ok());
+  auto* select = std::get_if<gsql::SelectStmt>(&stmt.value());
+  auto resolved = gsql::AnalyzeSelect(*select, catalog);
+  GS_CHECK(resolved.ok());
+  expr::TypeCheckContext ctx;
+  ctx.resolver = udf::FunctionRegistry::Default();
+  ctx.inputs = {TestSchema()};
+  ctx.bindings = &resolved->bindings;
+  auto ir = expr::TypeCheck(resolved->stmt.items[0].expr, ctx);
+  GS_CHECK(ir.ok());
+  auto compiled = expr::Compile(expr::FoldConstants(*ir), {});
+  GS_CHECK(compiled.ok());
+  return std::move(compiled).value();
+}
+
+std::vector<Value> SampleRow() {
+  return {Value::Uint(120), Value::Int(-3), Value::Float(2.5),
+          Value::Bool(true)};
+}
+
+TEST(JitModeTest, ParseAndName) {
+  EXPECT_EQ(ParseJitMode("off"), JitMode::kOff);
+  EXPECT_EQ(ParseJitMode("sync"), JitMode::kSync);
+  EXPECT_EQ(ParseJitMode("async"), JitMode::kAsync);
+  EXPECT_FALSE(ParseJitMode("turbo").has_value());
+  EXPECT_STREQ(JitModeName(JitMode::kAsync), "async");
+}
+
+TEST(EmitTest, UdfCallIsAnEmissionGap) {
+  CompiledExpr expr = CompileExpr("hash64(t) + 1");
+  KernelMeta meta;
+  EXPECT_FALSE(EmitExprKernel(expr, "gs_test_k0", &meta).has_value());
+}
+
+TEST(EmitTest, ArithmeticEmits) {
+  CompiledExpr expr = CompileExpr("t / 60 + 1");
+  KernelMeta meta;
+  auto body = EmitExprKernel(expr, "gs_test_k0", &meta);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(meta.result_type, DataType::kUint);
+  ASSERT_EQ(meta.fields0.size(), 1u);
+  EXPECT_EQ(meta.fields0[0], 0);  // only `t` is read
+  EXPECT_NE(body->find("gs_test_k0"), std::string::npos);
+}
+
+TEST(EmitTest, RequestGapCountsFallback) {
+  JitOptions options;
+  options.mode = JitMode::kSync;
+  JitEngine engine(options);
+  CompiledExpr gap = CompileExpr("hash64(t) + 1");
+  auto batch = engine.BeginQuery();
+  batch->RequestExpr(&gap);
+  EXPECT_EQ(gap.native, nullptr);  // stays on the VM
+  EXPECT_EQ(engine.fallbacks(), 1u);
+  EXPECT_EQ(batch->num_requests(), 0u);
+}
+
+TEST(EmitTest, TrivialExpressionSkipsTier) {
+  JitOptions options;
+  options.mode = JitMode::kSync;
+  JitEngine engine(options);
+  CompiledExpr trivial = CompileExpr("t");  // 1 instruction
+  auto batch = engine.BeginQuery();
+  batch->RequestExpr(&trivial);
+  EXPECT_EQ(trivial.native, nullptr);
+  EXPECT_EQ(engine.fallbacks(), 0u);  // a skip, not a failure
+}
+
+/// Compiles `expressions` through one sync JitEngine batch; returns the
+/// kernels' sources attached (each expr's slot publishes on return).
+void CompileBatch(JitEngine* engine, std::vector<CompiledExpr*> exprs) {
+  auto batch = engine->BeginQuery();
+  for (CompiledExpr* e : exprs) batch->RequestExpr(e);
+  engine->Submit(std::move(batch));
+}
+
+#define SKIP_WITHOUT_TOOLCHAIN()                                  \
+  do {                                                            \
+    if (!JitCompiler::ToolchainAvailable()) {                     \
+      GTEST_SKIP() << "no C++ toolchain in this environment";     \
+    }                                                             \
+  } while (0)
+
+TEST(KernelTest, SyncCompileMatchesVm) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  JitOptions options;
+  options.mode = JitMode::kSync;
+  JitEngine engine(options);
+  const char* cases[] = {
+      "t * 2 + 10",
+      "t / 60",
+      "i * 2 - 7",
+      "f * 4.0 + 0.5",
+      "t >= 100 AND i < 0",
+      "(i + t) % 7",
+      "b AND t > 5",
+  };
+  for (const char* text : cases) {
+    CompiledExpr expr = CompileExpr(text);
+    CompileBatch(&engine, {&expr});
+    ASSERT_NE(expr.native, nullptr) << text;
+    ASSERT_NE(expr.native->kernel.load(), nullptr) << text;
+    std::vector<Value> row = SampleRow();
+    EvalContext ctx;
+    ctx.row0 = &row;
+    EvalOutput vm_out, native_out;
+    Status vm_status = expr::Eval(expr, ctx, &vm_out);  // free fn: VM only
+    expr::Evaluator evaluator;                          // routes to kernel
+    Status native_status = evaluator.Eval(expr, ctx, &native_out);
+    ASSERT_EQ(vm_status.ok(), native_status.ok()) << text;
+    ASSERT_TRUE(vm_status.ok()) << text << ": " << vm_status.ToString();
+    EXPECT_EQ(vm_out.value.type(), native_out.value.type()) << text;
+    EXPECT_EQ(vm_out.value.Compare(native_out.value), 0) << text;
+  }
+  EXPECT_GE(engine.compiles(), 1u);
+  EXPECT_EQ(engine.fallbacks(), 0u);
+  EXPECT_GE(engine.active_kernels(), 7u);
+}
+
+TEST(KernelTest, DivisionErrorsMatchVmExactly) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  JitOptions options;
+  options.mode = JitMode::kSync;
+  JitEngine engine(options);
+  struct Case {
+    const char* text;
+    int64_t i;
+    const char* message;
+  } cases[] = {
+      {"i / (i + 3)", -3, "division by zero"},
+      {"i % (i + 3)", -3, "modulo by zero"},
+      {"i / (0 - 1)", INT64_MIN, "integer division overflow"},
+      {"i % (0 - 1)", INT64_MIN, "integer modulo overflow"},
+  };
+  for (const Case& c : cases) {
+    CompiledExpr expr = CompileExpr(c.text);
+    CompileBatch(&engine, {&expr});
+    ASSERT_NE(expr.native, nullptr) << c.text;
+    std::vector<Value> row = SampleRow();
+    row[1] = Value::Int(c.i);
+    EvalContext ctx;
+    ctx.row0 = &row;
+    EvalOutput vm_out, native_out;
+    Status vm_status = expr::Eval(expr, ctx, &vm_out);
+    expr::Evaluator evaluator;
+    Status native_status = evaluator.Eval(expr, ctx, &native_out);
+    EXPECT_FALSE(vm_status.ok()) << c.text;
+    EXPECT_FALSE(native_status.ok()) << c.text;
+    EXPECT_EQ(vm_status.message(), c.message) << c.text;
+    EXPECT_EQ(native_status.message(), vm_status.message()) << c.text;
+  }
+}
+
+TEST(KernelTest, AsyncHotSwapPublishes) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  JitOptions options;
+  options.mode = JitMode::kAsync;
+  JitEngine engine(options);
+  CompiledExpr expr = CompileExpr("t * 3 + 1");
+  auto batch = engine.BeginQuery();
+  batch->RequestExpr(&expr);
+  ASSERT_NE(expr.native, nullptr);
+  // Until the worker finishes, the slot is empty and the VM serves.
+  engine.Submit(std::move(batch));
+  engine.WaitIdle();
+  ASSERT_NE(expr.native->kernel.load(), nullptr);
+  std::vector<Value> row = SampleRow();
+  EvalContext ctx;
+  ctx.row0 = &row;
+  EvalOutput out;
+  expr::Evaluator evaluator;
+  ASSERT_TRUE(evaluator.Eval(expr, ctx, &out).ok());
+  EXPECT_EQ(out.value.uint_value(), 361u);
+}
+
+TEST(KernelTest, CacheHitAcrossEngines) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  auto dir = MakeEphemeralCacheDir();
+  ASSERT_TRUE(dir.ok());
+  {
+    JitOptions options;
+    options.mode = JitMode::kSync;
+    options.cache_dir = dir.value();
+    JitEngine first(options);
+    CompiledExpr expr = CompileExpr("t * 2 + 1");
+    CompileBatch(&first, {&expr});
+    EXPECT_EQ(first.compiles(), 1u);
+    EXPECT_EQ(first.cache_hits(), 0u);
+  }
+  {
+    JitOptions options;
+    options.mode = JitMode::kSync;
+    options.cache_dir = dir.value();
+    JitEngine second(options);
+    CompiledExpr expr = CompileExpr("t * 2 + 1");
+    CompileBatch(&second, {&expr});
+    EXPECT_EQ(second.compiles(), 0u);  // identical source: dlopen the .so
+    EXPECT_EQ(second.cache_hits(), 1u);
+    ASSERT_NE(expr.native, nullptr);
+    EXPECT_NE(expr.native->kernel.load(), nullptr);
+  }
+  RemoveCacheDir(dir.value());
+}
+
+TEST(FilterKernelTest, MatchesPackedByteSemantics) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  JitOptions options;
+  options.mode = JitMode::kSync;
+  JitEngine engine(options);
+  // protocol (uint at offset 0) = 6 AND port (uint at offset 8) > 1000
+  std::vector<RawFilterTerm> terms(2);
+  terms[0].offset = 0;
+  terms[0].type = DataType::kUint;
+  terms[0].cmp = expr::ByteOp::kCmpEq;
+  terms[0].u = 6;
+  terms[1].offset = 8;
+  terms[1].type = DataType::kUint;
+  terms[1].cmp = expr::ByteOp::kCmpGt;
+  terms[1].u = 1000;
+  auto batch = engine.BeginQuery();
+  auto slot = batch->RequestFilter(terms);
+  ASSERT_NE(slot, nullptr);
+  engine.Submit(std::move(batch));
+  expr::ByteFilterFn fn = slot->fn.load();
+  ASSERT_NE(fn, nullptr);
+
+  auto pack = [](uint64_t a, uint64_t b) {
+    std::vector<unsigned char> data(16);
+    for (int k = 0; k < 8; ++k) {
+      data[k] = static_cast<unsigned char>(a >> (8 * k));
+      data[8 + k] = static_cast<unsigned char>(b >> (8 * k));
+    }
+    return data;
+  };
+  std::vector<unsigned char> pass = pack(6, 8080);
+  std::vector<unsigned char> wrong_proto = pack(17, 8080);
+  std::vector<unsigned char> low_port = pack(6, 80);
+  EXPECT_EQ(fn(pass.data(), pass.size()), 1);
+  EXPECT_EQ(fn(wrong_proto.data(), wrong_proto.size()), 0);
+  EXPECT_EQ(fn(low_port.data(), low_port.size()), 0);
+}
+
+// -- Engine-level equivalence -------------------------------------------------
+
+/// These tests construct Engines with explicit jit modes and assert exact
+/// telemetry, so the process-wide overrides must not leak in: GS_JIT_FORCE
+/// would flip the off-engine to sync, and a shared GS_JIT_CACHE_DIR (the
+/// CI --jit=sync leg exports both) would turn every compile into a cache
+/// hit. Each engine then uses its private mkdtemp cache, removed on
+/// destruction.
+class EngineJitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    unsetenv("GS_JIT_FORCE");
+    unsetenv("GS_JIT_CACHE_DIR");
+  }
+};
+
+StreamSchema InputSchema() {
+  std::vector<FieldDef> fields;
+  fields.push_back({"ts", DataType::kUint, OrderSpec::Increasing()});
+  fields.push_back({"v", DataType::kInt, OrderSpec::None()});
+  fields.push_back({"load", DataType::kFloat, OrderSpec::None()});
+  return StreamSchema("S", StreamKind::kStream, fields);
+}
+
+/// Runs the same query + injected rows through an engine with the given
+/// jit mode; returns the printed output rows.
+std::vector<std::string> RunQuery(JitMode mode, uint64_t* compiles) {
+  core::EngineOptions options;
+  options.jit.mode = mode;
+  core::Engine engine(options);
+  GS_CHECK(engine.DeclareStream(InputSchema()).ok());
+  auto info = engine.AddQuery(
+      "DEFINE { query_name shaped; } "
+      "SELECT ts / 60, v * 3 + 1, load * 2.0 FROM S "
+      "WHERE v % 5 != 0 AND ts > 10");
+  GS_CHECK(info.ok());
+  auto sub = engine.Subscribe("shaped", 4096);
+  GS_CHECK(sub.ok());
+  for (uint64_t n = 0; n < 200; ++n) {
+    std::vector<Value> row = {Value::Uint(n * 7), Value::Int(int64_t(n) - 100),
+                              Value::Float(0.25 * double(n))};
+    GS_CHECK(engine.InjectRow("S", row).ok());
+  }
+  engine.PumpUntilIdle();
+  engine.FlushAll();
+  std::vector<std::string> rows;
+  while (auto row = (*sub)->NextRow()) {
+    std::string line;
+    for (const Value& v : *row) line += v.ToString() + "\t";
+    rows.push_back(line);
+  }
+  if (compiles != nullptr) *compiles = engine.jit().compiles();
+  return rows;
+}
+
+TEST_F(EngineJitTest, OffAndSyncProduceIdenticalRows) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  uint64_t off_compiles = 0, sync_compiles = 0;
+  std::vector<std::string> off_rows = RunQuery(JitMode::kOff, &off_compiles);
+  std::vector<std::string> sync_rows =
+      RunQuery(JitMode::kSync, &sync_compiles);
+  EXPECT_EQ(off_compiles, 0u);
+  EXPECT_GE(sync_compiles, 1u);
+  ASSERT_FALSE(off_rows.empty());
+  EXPECT_EQ(off_rows, sync_rows);
+}
+
+TEST_F(EngineJitTest, AsyncProducesIdenticalRows) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  std::vector<std::string> off_rows = RunQuery(JitMode::kOff, nullptr);
+  std::vector<std::string> async_rows =
+      RunQuery(JitMode::kAsync, nullptr);
+  EXPECT_EQ(off_rows, async_rows);
+}
+
+TEST_F(EngineJitTest, TelemetryAppearsInRegistry) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  core::EngineOptions options;
+  options.jit.mode = JitMode::kSync;
+  core::Engine engine(options);
+  GS_CHECK(engine.DeclareStream(InputSchema()).ok());
+  auto info = engine.AddQuery(
+      "DEFINE { query_name q; } SELECT ts / 60 + 1 FROM S WHERE v > 3");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  bool found = false;
+  for (const auto& sample : engine.telemetry().Snapshot()) {
+    if (sample.entity == "jit" && sample.metric == "jit_compiles") {
+      found = true;
+      EXPECT_GE(sample.value, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace gigascope::jit

@@ -28,6 +28,7 @@
 #include "common/clock.h"
 #include "core/engine.h"
 #include "gsql/parser.h"
+#include "jit/engine.h"
 #include "net/pcap.h"
 #include "telemetry/registry.h"
 
@@ -97,6 +98,18 @@ int Usage() {
       "                    back down with hysteresis once load subsides;\n"
       "                    shed_level/shed_rate/shed_tuples appear in\n"
       "                    gs_stats (default: off)\n"
+      "  --jit=MODE        native compiled-query tier (DESIGN.md §15):\n"
+      "                    off = bytecode VM only (default); sync =\n"
+      "                    compile each query's kernels to C++ before it\n"
+      "                    runs; async = start on the VM and hot-swap\n"
+      "                    compiled kernels in when the build lands. The\n"
+      "                    VM remains the fallback for expressions the\n"
+      "                    tier cannot compile (UDF calls, strings) and\n"
+      "                    when no C++ toolchain is found\n"
+      "  --jit-cache-dir=DIR\n"
+      "                    persistent content-hash cache for compiled\n"
+      "                    kernels, reused across runs (default: a private\n"
+      "                    temp dir removed on exit)\n"
       "  --shed-thresholds=RING,LAG,OCC\n"
       "                    escalation thresholds: RING = fraction of the\n"
       "                    fullest ring occupied, LAG = punctuation\n"
@@ -170,6 +183,7 @@ int main(int argc, char** argv) {
   bool stats_dump = false;
   size_t trace_sample = 0;
   std::string trace_out;
+  gigascope::jit::JitOptions jit;
   bool shed = false;
   double shed_ring = 0.5;
   double shed_lag_seconds = 2.0;
@@ -204,6 +218,16 @@ int main(int argc, char** argv) {
                               sizeof("--trace-out=") - 1) == 0) {
         trace_out = argv[i] + sizeof("--trace-out=") - 1;
         if (trace_out.empty()) return UnknownFlag(argv[i]);
+      } else if (std::strncmp(argv[i], "--jit=", sizeof("--jit=") - 1) ==
+                 0) {
+        auto mode =
+            gigascope::jit::ParseJitMode(argv[i] + sizeof("--jit=") - 1);
+        if (!mode.has_value()) return UnknownFlag(argv[i]);
+        jit.mode = *mode;
+      } else if (std::strncmp(argv[i], "--jit-cache-dir=",
+                              sizeof("--jit-cache-dir=") - 1) == 0) {
+        jit.cache_dir = argv[i] + sizeof("--jit-cache-dir=") - 1;
+        if (jit.cache_dir.empty()) return UnknownFlag(argv[i]);
       } else if (std::strcmp(argv[i], "--stats-dump") == 0) {
         stats_dump = true;
       } else if (std::strcmp(argv[i], "--shed") == 0) {
@@ -247,6 +271,7 @@ int main(int argc, char** argv) {
   // rate light enough to leave the hot path alone on real captures.
   if (!trace_out.empty() && trace_sample == 0) trace_sample = 128;
   options.trace_sample = trace_sample;
+  options.jit = jit;
   if (shed) {
     options.shed.enabled = true;
     options.shed.ring_occupancy = shed_ring;
