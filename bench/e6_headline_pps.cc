@@ -10,7 +10,13 @@
 //
 // Usage: e6_headline_pps [--threads=N] [--packets=N]
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +28,7 @@
 
 #include "common/clock.h"
 #include "core/engine.h"
+#include "telemetry/http_export.h"
 #include "workload/traffic_gen.h"
 
 namespace {
@@ -49,10 +56,14 @@ std::unique_ptr<Engine> MakeEngine(
     const std::string& query, int packets,
     gigascope::SimTime stats_period = 0, size_t trace_sample = 0,
     size_t batch_size = 0, bool processes = false,
-    gigascope::jit::JitMode jit_mode = gigascope::jit::JitMode::kOff) {
+    gigascope::jit::JitMode jit_mode = gigascope::jit::JitMode::kOff,
+    size_t metrics_arena_slots = static_cast<size_t>(-1)) {
   EngineOptions options;
   // Shm-backed inter-node rings must be chosen before queries are added.
   options.process.enabled = processes;
+  if (metrics_arena_slots != static_cast<size_t>(-1)) {
+    options.process.metrics_arena_slots = metrics_arena_slots;
+  }
   options.jit.mode = jit_mode;
   // Size channels so a full run fits without drops: the comparison should
   // measure operator and handoff cost, not loss policy.
@@ -118,9 +129,12 @@ double MeasurePpsThreaded(const std::string& query,
 /// split). Same drive pattern as the threaded mode; the parent pumps the
 /// supervisor between injections via FlushAll's drain at the end.
 double MeasurePpsProcesses(const std::string& query,
-                           const std::vector<Packet>& batch, size_t workers) {
+                           const std::vector<Packet>& batch, size_t workers,
+                           size_t metrics_arena_slots =
+                               static_cast<size_t>(-1)) {
   std::unique_ptr<Engine> owned = MakeEngine(
-      query, static_cast<int>(batch.size()), 0, 0, 0, /*processes=*/true);
+      query, static_cast<int>(batch.size()), 0, 0, 0, /*processes=*/true,
+      gigascope::jit::JitMode::kOff, metrics_arena_slots);
   Engine& engine = *owned;
   auto start = Clock::now();
   if (!engine.StartProcesses(workers).ok()) std::exit(1);
@@ -129,6 +143,66 @@ double MeasurePpsProcesses(const std::string& query,
   }
   engine.FlushAll();
   auto end = Clock::now();
+  return static_cast<double>(batch.size()) /
+         std::chrono::duration<double>(end - start).count();
+}
+
+/// One blocking GET against the local metrics endpoint; drains and
+/// discards the response (a scraper's cost profile, minus parsing).
+void ScrapeOnce(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const char request[] =
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+    (void)!write(fd, request, sizeof(request) - 1);
+    char buf[4096];
+    while (read(fd, buf, sizeof(buf)) > 0) {
+    }
+  }
+  close(fd);
+}
+
+/// Single-threaded pump with the HTTP metrics endpoint live and a scraper
+/// thread hitting /metrics every `scrape_interval_ms` — the overhead of
+/// `gsrun --metrics-port=N` under an aggressive Prometheus schedule (real
+/// deployments scrape every few seconds, not every few milliseconds).
+double MeasurePpsScraped(const std::string& query,
+                         const std::vector<Packet>& batch,
+                         int scrape_interval_ms) {
+  std::unique_ptr<Engine> owned =
+      MakeEngine(query, static_cast<int>(batch.size()));
+  Engine& engine = *owned;
+  gigascope::telemetry::MetricsHttpServer server;
+  gigascope::telemetry::MetricsHttpServer::Handlers handlers;
+  handlers.metrics = [&engine] {
+    return gigascope::telemetry::FormatPrometheus(
+        engine.telemetry().Snapshot());
+  };
+  handlers.analyze = [&engine] { return engine.AnalyzeJson(); };
+  if (!server.Start(0, handlers).ok()) std::exit(1);
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ScrapeOnce(server.port());
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(scrape_interval_ms));
+    }
+  });
+  auto start = Clock::now();
+  for (const Packet& packet : batch) {
+    engine.InjectPacket("eth0", packet).ok();
+    if ((&packet - batch.data()) % 4096 == 4095) engine.PumpUntilIdle();
+  }
+  engine.FlushAll();
+  auto end = Clock::now();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  server.Stop();
   return static_cast<double>(batch.size()) /
          std::chrono::duration<double>(end - start).count();
 }
@@ -306,6 +380,47 @@ int main(int argc, char** argv) {
     }
     std::printf("%-22s %16.0f %16.0f %7.3fx\n", workload.label, vm, native,
                 native / vm);
+  }
+
+  // Shm metrics arena overhead (DESIGN.md §16): in process mode every
+  // worker-owned counter/histogram cell lives in the shared-memory arena
+  // instead of the child heap — same relaxed atomics, different cache
+  // lines. Ablate with metrics_arena_slots=0 (workers keep private
+  // counters the parent cannot see) to price the aggregation plane.
+  std::printf(
+      "\nshm metrics arena overhead (1 supervised worker; arena off = "
+      "workers\nkeep invisible private counters):\n%-22s %16s %16s %8s\n",
+      "workload", "arena-off pps", "arena-on pps", "ratio");
+  for (size_t i : {size_t{2}, size_t{3}}) {
+    double off = 0;
+    double on = 0;
+    for (int repetition = 0; repetition < 5; ++repetition) {
+      off = std::max(off, MeasurePpsProcesses(workloads[i].query, batch, 1,
+                                              /*metrics_arena_slots=*/0));
+      on = std::max(on, MeasurePpsProcesses(workloads[i].query, batch, 1));
+    }
+    std::printf("%-22s %16.0f %16.0f %7.3fx\n", workloads[i].label, off, on,
+                on / off);
+  }
+
+  // Metrics endpoint overhead: the accept thread snapshots the registry
+  // and renders Prometheus text per scrape. 50ms is ~100x more aggressive
+  // than a real Prometheus schedule; the hot path only pays if the
+  // snapshot mutex collides with a registration (never, mid-run) — the
+  // expected cost is scraper CPU competing for this container's core.
+  std::printf(
+      "\nmetrics endpoint overhead (--metrics-port, /metrics scraped "
+      "every 50ms):\n%-22s %16s %16s %8s\n",
+      "workload", "endpoint-off pps", "scraped pps", "ratio");
+  for (const Workload& workload : workloads) {
+    double off = 0;
+    double on = 0;
+    for (int repetition = 0; repetition < 5; ++repetition) {
+      off = std::max(off, MeasurePps(workload.query, batch));
+      on = std::max(on, MeasurePpsScraped(workload.query, batch, 50));
+    }
+    std::printf("%-22s %16.0f %16.0f %7.3fx\n", workload.label, off, on,
+                on / off);
   }
 
   // Self-telemetry overhead: the counters are single-writer relaxed

@@ -1,0 +1,150 @@
+// EXPLAIN ANALYZE assembly: resolves each retained query plan's operators
+// to their instantiated nodes and hands plan/explain.h's renderers a lookup
+// over live runtime counters. Counter values come from one registry
+// snapshot — the same folded (restart-monotone, proc-tagged) read path that
+// feeds gs_stats — so ANALYZE never disagrees with the stats stream.
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "core/engine.h"
+#include "telemetry/metric_names.h"
+
+namespace gigascope::core {
+
+namespace metric = telemetry::metric;
+
+namespace {
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const std::string suf(suffix);
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+}  // namespace
+
+void Engine::AssembleAnalyze(
+    std::map<std::string, plan::AnalyzeNodeStats>* by_node,
+    plan::AnalyzeSummary* summary) const {
+  // Snapshot once, index by (entity, metric). There is exactly one row per
+  // (entity, metric) — proc is an owner tag, not a second series.
+  const std::vector<telemetry::MetricSample> samples = telemetry_.Snapshot();
+  std::map<std::pair<std::string, std::string>, uint64_t> values;
+  for (const telemetry::MetricSample& sample : samples) {
+    values[{sample.entity, sample.metric}] = sample.value;
+  }
+  auto value_of = [&values](const std::string& entity,
+                            const std::string& name) -> uint64_t {
+    auto it = values.find({entity, name});
+    return it == values.end() ? 0 : it->second;
+  };
+  // Node index -> owning worker process (relevant while un-adopted).
+  std::map<size_t, size_t> owner;
+  for (size_t w = 0; w < process_groups_.size(); ++w) {
+    for (size_t idx : process_groups_[w]) owner[idx] = w;
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const rts::QueryNode* node = nodes_[i].get();
+    const std::string& name = node->name();
+    plan::AnalyzeNodeStats s;
+    s.proc = telemetry_.EntityProc(name);
+    auto it = owner.find(i);
+    if (it != owner.end() && supervisor_ != nullptr &&
+        i < node_adopted_.size() && !node_adopted_[i]) {
+      s.restarts = supervisor_->restarts_used(it->second);
+    }
+    s.tuples_in = value_of(name, metric::kTuplesIn);
+    s.tuples_out = value_of(name, metric::kTuplesOut);
+    s.eval_errors = value_of(name, metric::kEvalErrors);
+    s.poll_ns_p50 =
+        value_of(name, std::string(metric::kPollNs) + metric::kP50Suffix);
+    s.poll_ns_p99 =
+        value_of(name, std::string(metric::kPollNs) + metric::kP99Suffix);
+    s.tuple_ns_p50 =
+        value_of(name, std::string(metric::kTupleNs) + metric::kP50Suffix);
+    s.tuple_ns_p99 =
+        value_of(name, std::string(metric::kTupleNs) + metric::kP99Suffix);
+    // Ring health, summed over the node's input channels ("ring_*" with
+    // one input, "ring<i>_*" with several). "_size" must not swallow the
+    // ring_batch_size histogram stats ("..._p50" etc. never match, but be
+    // explicit about the one real prefix collision).
+    for (const telemetry::MetricSample& sample : samples) {
+      if (sample.entity != name) continue;
+      if (!StartsWith(sample.metric, metric::kRingPrefix)) continue;
+      if (EndsWith(sample.metric, metric::kRingPushedSuffix)) {
+        s.ring_pushed += sample.value;
+      } else if (EndsWith(sample.metric, metric::kRingPoppedSuffix)) {
+        s.ring_popped += sample.value;
+      } else if (EndsWith(sample.metric, metric::kRingDroppedSuffix)) {
+        s.ring_dropped += sample.value;
+      } else if (EndsWith(sample.metric, metric::kRingHighWaterSuffix)) {
+        s.ring_high_water += sample.value;
+      } else if (EndsWith(sample.metric, metric::kRingSizeSuffix) &&
+                 !EndsWith(sample.metric, metric::kRingBatchSizeSuffix)) {
+        s.ring_size += sample.value;
+      }
+    }
+    size_t native = 0;
+    size_t total = 0;
+    node->CountJitKernels(&native, &total);
+    s.jit_native = native;
+    s.jit_total = total;
+    summary->trace_truncated += node->trace_truncated();
+    by_node->emplace(name, std::move(s));
+  }
+  summary->pump_mode = pump_mode_;
+  summary->shed_level = value_of("engine", metric::kShedLevel);
+  summary->worker_restarts =
+      supervisor_ != nullptr ? supervisor_->restarts() : 0;
+  summary->workers_degraded =
+      supervisor_ != nullptr ? supervisor_->degraded_count() : 0;
+}
+
+std::string Engine::AnalyzeText(bool mask_volatile) const {
+  std::map<std::string, plan::AnalyzeNodeStats> by_node;
+  plan::AnalyzeSummary summary;
+  AssembleAnalyze(&by_node, &summary);
+  plan::AnalyzeOptions opts;
+  opts.mask_volatile = mask_volatile;
+  plan::AnalyzeLookup lookup =
+      [&by_node](const std::string& name) -> const plan::AnalyzeNodeStats* {
+    auto it = by_node.find(name);
+    return it == by_node.end() ? nullptr : &it->second;
+  };
+  std::string out;
+  for (const AnalyzePlan& p : analyze_plans_) {
+    if (!out.empty()) out += "\n";
+    out += plan::ExplainAnalyzeText(p.planned, p.split, lookup, summary, opts);
+  }
+  return out;
+}
+
+std::string Engine::AnalyzeJson(bool mask_volatile) const {
+  std::map<std::string, plan::AnalyzeNodeStats> by_node;
+  plan::AnalyzeSummary summary;
+  AssembleAnalyze(&by_node, &summary);
+  plan::AnalyzeOptions opts;
+  opts.mask_volatile = mask_volatile;
+  plan::AnalyzeLookup lookup =
+      [&by_node](const std::string& name) -> const plan::AnalyzeNodeStats* {
+    auto it = by_node.find(name);
+    return it == by_node.end() ? nullptr : &it->second;
+  };
+  std::string out = "{\"queries\":[";
+  for (size_t i = 0; i < analyze_plans_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += plan::ExplainAnalyzeJson(analyze_plans_[i].planned,
+                                    analyze_plans_[i].split, lookup, summary,
+                                    opts);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace gigascope::core

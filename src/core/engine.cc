@@ -86,6 +86,13 @@ Engine::Engine(EngineOptions options) : options_(options) {
     jit_ = std::make_unique<jit::JitEngine>(std::move(jit_options));
     jit_->RegisterTelemetry(&telemetry_);
   }
+  // Like GS_JIT_FORCE: lets a CI leg run an existing test binary in
+  // process mode (shm-backed rings + StartProcesses eligibility) without
+  // plumbing a flag through every harness.
+  if (const char* force = std::getenv("GS_PROCESS_FORCE")) {
+    const std::string_view v(force);
+    if (!v.empty() && v != "0" && v != "off") options_.process.enabled = true;
+  }
   if (options_.process.enabled) {
     // Every subscription created from here on gets a shm-backed ring, so
     // the rings forked worker processes inherit are shared, not copied.
@@ -435,6 +442,9 @@ Result<QueryInfo> Engine::AddQuery(
   catalog_.PutStreamSchema(planned.output_schema);
   query_params_.emplace(info.name, std::move(query_params));
   query_infos_.push_back(info);
+  // Retained for EXPLAIN ANALYZE (plan trees are shared_ptr-backed, so
+  // this is a cheap handle copy, not a deep clone).
+  analyze_plans_.push_back({planned, split});
   // The node publishing under the query's public name is its terminal:
   // tuples it emits while processing a traced message record the
   // inject→emit latency. Marked before telemetry registration so the
@@ -1131,6 +1141,7 @@ Status Engine::StartThreads(size_t workers) {
   }
   stop_workers_.store(false, std::memory_order_relaxed);
   threads_running_ = true;
+  pump_mode_ = "threads";
   if (hfta_nodes.empty()) return Status::Ok();  // everything is LFTA-stage
 
   const size_t pool = std::min(workers, hfta_nodes.size());
@@ -1234,6 +1245,7 @@ Status Engine::StartProcesses(size_t workers) {
     if (node_stages_[i] == NodeStage::kHfta) hfta.push_back(i);
   }
   processes_running_ = true;
+  pump_mode_ = "processes";
   node_adopted_.assign(nodes_.size(), 0);
   process_groups_.clear();
   worker_adopted_.clear();
@@ -1274,6 +1286,31 @@ Status Engine::StartProcesses(size_t workers) {
   // untraced in process mode.
   if (tracer_ != nullptr) {
     for (size_t idx : hfta) nodes_[idx]->SetTracer(nullptr, 0);
+  }
+  // Shm metrics arena: bind every worker-owned node's counters and
+  // histograms into shared fixed slots *before* the fork, so the children
+  // inherit cells the parent's registry can read live. Each worker gets a
+  // contiguous slot range; its restarted incarnations reset that range
+  // under a new epoch and the parent's fold keeps aggregates monotone.
+  worker_arena_ranges_.assign(pool, {});
+  if (options_.process.metrics_arena_slots > 0) {
+    if (metrics_arena_ == nullptr) {
+      metrics_shm_ = rts::ShmSegment::Create(telemetry::MetricsArena::
+          BytesForSlots(options_.process.metrics_arena_slots));
+      metrics_arena_ = std::make_unique<telemetry::MetricsArena>(
+          metrics_shm_->data(), metrics_shm_->size());
+      telemetry_.Register("engine", metric::kMetricsArenaExhausted,
+                          metrics_arena_->exhausted_counter());
+    }
+    for (size_t w = 0; w < pool; ++w) {
+      const size_t begin = metrics_arena_->allocated();
+      const std::string proc = "w" + std::to_string(w);
+      for (size_t idx : process_groups_[w]) {
+        telemetry_.BindEntityToArena(nodes_[idx]->name(),
+                                     metrics_arena_.get(), proc);
+      }
+      worker_arena_ranges_[w] = {begin, metrics_arena_->allocated() - begin};
+    }
   }
   // Torn-slot fault: arm the producer side of every subscriber ring before
   // forking, so whichever process publishes into the stream inherits the
@@ -1326,6 +1363,11 @@ void Engine::AdoptWorkerNodes(size_t worker, bool resync) {
   worker_adopted_[worker] = 1;
   for (size_t idx : process_groups_[worker]) {
     node_adopted_[idx] = 1;
+    // The parent is the node's polling thread now; its metrics rows move
+    // under the parent's proc tag. The counters stay arena-bound (single
+    // writer again, just a different process), so the fold path still
+    // serves the reads.
+    telemetry_.SetEntityProc(nodes_[idx]->name(), telemetry::kProcRts);
     if (resync) {
       for (const rts::Subscription& input : nodes_[idx]->inputs()) {
         input->BeginResync();
@@ -1443,6 +1485,15 @@ void Engine::WorkerProcessLoop(size_t worker, uint32_t generation) {
   // mid-window input until the next punctuation boundary re-anchors the
   // stream. The ring's read position itself lives in shm and carries over.
   if (generation > 1) {
+    // Re-zero this worker's metric slots under the new generation's epoch:
+    // the fresh incarnation's counters restart from the fork-time heap
+    // values otherwise, and the parent's fold needs the epoch bump to bank
+    // the dead incarnation's progress instead of seeing a regression.
+    if (metrics_arena_ != nullptr && worker_arena_ranges_[worker].count > 0) {
+      metrics_arena_->ResetRange(worker_arena_ranges_[worker].begin,
+                                 worker_arena_ranges_[worker].count,
+                                 generation);
+    }
     for (size_t idx : group) {
       for (const rts::Subscription& input : nodes_[idx]->inputs()) {
         input->BeginResync();

@@ -14,6 +14,7 @@
 #include "gsql/catalog.h"
 #include "jit/engine.h"
 #include "net/packet.h"
+#include "plan/explain.h"
 #include "plan/splitter.h"
 #include "rts/node.h"
 #include "rts/registry.h"
@@ -62,6 +63,12 @@ struct ProcessOptions {
   /// counted).
   size_t shm_max_slots = 32768;
   size_t shm_slot_bytes = 16 * 1024;
+  /// Shm metrics arena capacity, in metric slots (16 bytes each). Worker
+  /// node counters and histograms bind into the arena before the fork, so
+  /// the parent's registry folds live child-side values (monotone across
+  /// restarts) instead of reading its own stale copy-on-write copies.
+  /// 0 disables the arena: worker metrics degrade to parent-stale values.
+  size_t metrics_arena_slots = 16384;
   /// Heartbeat cadence, restart budget/backoff, command timeouts.
   SupervisorOptions supervisor;
 };
@@ -357,6 +364,17 @@ class Engine {
   };
   std::vector<NodeStats> GetNodeStats() const;
 
+  /// EXPLAIN ANALYZE (gsrun --analyze): every running query's compiled
+  /// plan annotated with live runtime counters — actual tuples in/out,
+  /// poll/tuple timing percentiles, input-ring health, the jit tier
+  /// actually active vs. predicted, process placement with restart counts.
+  /// Safe while workers pump (counter reads are the same folded-snapshot
+  /// path gs_stats uses). `mask_volatile` omits wall-clock and occupancy
+  /// fields so the output is run-to-run stable (golden tests).
+  std::string AnalyzeText(bool mask_volatile = false) const;
+  /// Same as one JSON object: {"queries":[<per-query object>, ...]}.
+  std::string AnalyzeJson(bool mask_volatile = false) const;
+
  private:
   /// Which pump stage a node belongs to in threaded mode: LFTA-stage nodes
   /// run on the inject thread, HFTA-stage nodes on the worker pool.
@@ -453,6 +471,11 @@ class Engine {
   /// is asked to make progress). Returns whether anything was published.
   bool FlushSourceBatches();
 
+  /// EXPLAIN ANALYZE assembly (core/analyze.cc): one registry snapshot
+  /// folded into per-node stats plus the engine-level summary header.
+  void AssembleAnalyze(std::map<std::string, plan::AnalyzeNodeStats>* by_node,
+                       plan::AnalyzeSummary* summary) const;
+
   /// Registers telemetry for nodes added since the last call (watermark
   /// telemetry_registered_nodes_).
   void RegisterNewNodeTelemetry();
@@ -512,6 +535,16 @@ class Engine {
   };
   std::map<std::string, QueryParams> query_params_;
   std::map<std::string, ProtocolSource> protocol_sources_;
+  /// Compiled plans retained per query (parallel to query_infos_) so
+  /// EXPLAIN ANALYZE can re-render them against live runtime counters.
+  struct AnalyzePlan {
+    plan::PlannedQuery planned;
+    plan::SplitQuery split;
+  };
+  std::vector<AnalyzePlan> analyze_plans_;
+  /// Last pump mode started, for the ANALYZE header ("single" until a
+  /// StartThreads/StartProcesses call).
+  const char* pump_mode_ = "single";
   /// Parallel to nodes_: each node's pump stage.
   std::vector<NodeStage> node_stages_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -521,6 +554,19 @@ class Engine {
   std::unique_ptr<Supervisor> supervisor_;
   bool processes_running_ = false;
   bool process_telemetry_registered_ = false;
+  /// Shm metrics arena (process mode): created by the parent before any
+  /// fork so children inherit counters bound into shared slots; the
+  /// parent's registry reads fold the live child-side values.
+  std::unique_ptr<rts::ShmSegment> metrics_shm_;
+  std::unique_ptr<telemetry::MetricsArena> metrics_arena_;
+  /// Contiguous arena slot range bound for each worker's node entities; a
+  /// restarted incarnation resets its range (new epoch) so the parent's
+  /// monotone fold never regresses.
+  struct ArenaRange {
+    size_t begin = 0;
+    size_t count = 0;
+  };
+  std::vector<ArenaRange> worker_arena_ranges_;
   /// nodes_ indices owned by each worker process.
   std::vector<std::vector<size_t>> process_groups_;
   /// Output stream names per worker (= its nodes' names): each process

@@ -79,12 +79,13 @@ void Supervisor::HandleDeathLocked(size_t w) {
   Slot& slot = *slots_[w];
   slot.pid.store(-1, std::memory_order_relaxed);
   if (sealing_.load(std::memory_order_relaxed) ||
-      slot.restarts_used >= options_.restart_budget) {
+      slot.restarts_used.load(std::memory_order_relaxed) >=
+          options_.restart_budget) {
     slot.state.store(WorkerState::kDegraded, std::memory_order_release);
     degraded_count_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  slot.restarts_used++;
+  slot.restarts_used.fetch_add(1, std::memory_order_relaxed);
   restarts_.fetch_add(1, std::memory_order_relaxed);
   slot.backoff_ms = slot.backoff_ms == 0
                         ? options_.backoff_initial_ms

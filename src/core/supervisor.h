@@ -138,6 +138,10 @@ class Supervisor {
   uint64_t restarts() const {
     return restarts_.load(std::memory_order_relaxed);
   }
+  /// Restarts consumed by one worker (for ANALYZE process placement).
+  uint32_t restarts_used(size_t worker) const {
+    return slots_[worker]->restarts_used.load(std::memory_order_relaxed);
+  }
   uint64_t heartbeat_misses() const {
     return heartbeat_misses_.load(std::memory_order_relaxed);
   }
@@ -157,8 +161,10 @@ class Supervisor {
   struct Slot {
     std::atomic<pid_t> pid{-1};
     std::atomic<WorkerState> state{WorkerState::kStopped};
-    // Monitor-thread bookkeeping (mutated under mutex_).
-    uint32_t restarts_used = 0;
+    // Monitor-thread bookkeeping (mutated under mutex_; restarts_used is
+    // atomic so the ANALYZE path can read it without taking the monitor's
+    // mutex).
+    std::atomic<uint32_t> restarts_used{0};
     uint64_t backoff_ms = 0;
     int64_t restart_at_ns = 0;
     uint64_t last_beat = 0;

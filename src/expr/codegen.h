@@ -76,6 +76,19 @@ struct CompiledExpr {
   std::string Disassemble() const;
 };
 
+/// Counts a compiled expression toward EXPLAIN ANALYZE's actual-tier
+/// numbers: `total` += 1 when the jit tier requested a kernel slot for it,
+/// `native` += 1 when a compiled kernel is currently published into that
+/// slot. Safe from any thread (acquire load on the slot).
+inline void CountKernelSlot(const CompiledExpr& expr, size_t* native,
+                            size_t* total) {
+  if (expr.native == nullptr) return;
+  ++*total;
+  if (expr.native->kernel.load(std::memory_order_acquire) != nullptr) {
+    ++*native;
+  }
+}
+
 /// Compiles typed IR to bytecode. `param_values` supplies instantiation-time
 /// parameter values, needed only to build handles for pass-by-handle
 /// arguments that are query parameters.

@@ -94,6 +94,9 @@ StreamSchema Catalog::BuiltinStatsSchema() {
   fields.push_back({"node", DataType::kString, OrderSpec::None()});
   fields.push_back({"metric", DataType::kString, OrderSpec::None()});
   fields.push_back({"value", DataType::kUint, OrderSpec::None()});
+  // Appended last so positional consumers of the original five fields
+  // keep working; "rts" is the parent process, workers are "w0", "w1"...
+  fields.push_back({"proc", DataType::kString, OrderSpec::None()});
   return StreamSchema(StatsStreamName(), StreamKind::kStream,
                       std::move(fields));
 }

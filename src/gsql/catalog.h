@@ -63,7 +63,8 @@ class Catalog {
   ///   ts UINT INCREASING     -- snapshot time, nanoseconds
   ///   node STRING            -- owning entity (query node, source, channel)
   ///   metric STRING          -- counter name (tuples_in, ring_dropped, ...)
-  ///   value UINT
+  ///   value UINT             -- aggregated (cross-process folded) reading
+  ///   proc STRING            -- owning process ("rts", or worker "w0"...)
   static StreamSchema BuiltinStatsSchema();
 
   /// Name of the built-in self-telemetry stream ("gs_stats").

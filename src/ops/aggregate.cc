@@ -372,6 +372,16 @@ void OrderedAggregateNode::AttachJit(jit::QueryJit* jit) {
   RequestAggKernels(&spec_, jit);
 }
 
+void OrderedAggregateNode::CountJitKernels(size_t* native,
+                                           size_t* total) const {
+  for (const expr::CompiledExpr& key : spec_.keys) {
+    expr::CountKernelSlot(key, native, total);
+  }
+  for (const std::optional<expr::CompiledExpr>& arg : spec_.agg_args) {
+    if (arg.has_value()) expr::CountKernelSlot(*arg, native, total);
+  }
+}
+
 void RequestAggKernels(OrderedAggregateNode::Spec* spec, jit::QueryJit* jit) {
   for (expr::CompiledExpr& key : spec->keys) {
     jit->RequestExpr(&key);

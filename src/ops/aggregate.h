@@ -99,6 +99,7 @@ class OrderedAggregateNode : public rts::QueryNode {
   void Flush() override;
   void RegisterTelemetry(telemetry::Registry* metrics) const override;
   void AttachJit(jit::QueryJit* jit) override;
+  void CountJitKernels(size_t* native, size_t* total) const override;
 
   size_t open_groups() const { return groups_.size(); }
   uint64_t groups_flushed() const { return groups_flushed_.value(); }

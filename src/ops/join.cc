@@ -260,4 +260,10 @@ void WindowJoinNode::AttachJit(jit::QueryJit* jit) {
   if (spec_.predicate.has_value()) jit->RequestExpr(&*spec_.predicate);
 }
 
+void WindowJoinNode::CountJitKernels(size_t* native, size_t* total) const {
+  if (spec_.predicate.has_value()) {
+    expr::CountKernelSlot(*spec_.predicate, native, total);
+  }
+}
+
 }  // namespace gigascope::ops

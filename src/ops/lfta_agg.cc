@@ -293,4 +293,13 @@ void LftaAggregateNode::AttachJit(jit::QueryJit* jit) {
   RequestAggKernels(&spec_, jit);
 }
 
+void LftaAggregateNode::CountJitKernels(size_t* native, size_t* total) const {
+  for (const expr::CompiledExpr& key : spec_.keys) {
+    expr::CountKernelSlot(key, native, total);
+  }
+  for (const std::optional<expr::CompiledExpr>& arg : spec_.agg_args) {
+    if (arg.has_value()) expr::CountKernelSlot(*arg, native, total);
+  }
+}
+
 }  // namespace gigascope::ops

@@ -85,6 +85,7 @@ class LftaAggregateNode : public rts::QueryNode {
   void Flush() override;
   void RegisterTelemetry(telemetry::Registry* metrics) const override;
   void AttachJit(jit::QueryJit* jit) override;
+  void CountJitKernels(size_t* native, size_t* total) const override;
 
   const DirectMappedAggTable& table() const { return table_; }
 

@@ -119,6 +119,20 @@ void SelectProjectNode::AttachJit(jit::QueryJit* jit) {
   }
 }
 
+void SelectProjectNode::CountJitKernels(size_t* native, size_t* total) const {
+  if (raw_filter_slot_ != nullptr) {
+    ++*total;
+    if (raw_filter_slot_->fn.load(std::memory_order_acquire) != nullptr) {
+      ++*native;
+    }
+  } else if (spec_.predicate.has_value()) {
+    expr::CountKernelSlot(*spec_.predicate, native, total);
+  }
+  for (const expr::CompiledExpr& projection : spec_.projections) {
+    expr::CountKernelSlot(projection, native, total);
+  }
+}
+
 bool SelectProjectNode::RawFilterPass(const ByteBuffer& payload) const {
   const uint8_t* data = payload.data();
   if (raw_filter_slot_ != nullptr) {

@@ -57,6 +57,8 @@ class SelectProjectNode : public rts::QueryNode {
   /// (introspection for tests and EXPLAIN).
   bool has_raw_filter() const { return !raw_terms_.empty(); }
 
+  void CountJitKernels(size_t* native, size_t* total) const override;
+
  private:
   /// One predicate conjunct evaluated on packed bytes: the field at a
   /// fixed offset compared against a pre-extracted constant.

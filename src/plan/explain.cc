@@ -164,8 +164,63 @@ std::vector<const char*> ShedEligible(const PlanNode& node,
   return knobs;
 }
 
+/// ANALYZE rendering state: the lookup resolving runtime node names to live
+/// stats, and the masking options. Null when rendering plain EXPLAIN.
+struct AnalyzeContext {
+  const AnalyzeLookup* lookup;
+  const AnalyzeOptions* opts;
+};
+
+/// The stream name a Source leaf reads at runtime (mirrors the engine's
+/// ProtocolStreamName convention).
+std::string SourceRuntimeName(const PlanNode& node) {
+  if (node.source_is_protocol && !node.interface_name.empty()) {
+    return node.interface_name + "." + node.source_stream;
+  }
+  return node.source_stream;
+}
+
+void AnalyzeNodeText(const AnalyzeContext& analyze,
+                     const std::string& runtime_name, const std::string& pad2,
+                     std::string* out) {
+  const AnalyzeNodeStats* stats = (*analyze.lookup)(runtime_name);
+  if (stats == nullptr) return;
+  *out += pad2 + "actual: in=" + std::to_string(stats->tuples_in) +
+          " out=" + std::to_string(stats->tuples_out) +
+          " errors=" + std::to_string(stats->eval_errors) + "\n";
+  *out += pad2 + "proc: " + stats->proc;
+  if (stats->restarts > 0) {
+    *out += " (restarts " + std::to_string(stats->restarts) + ")";
+  }
+  *out += "\n";
+  *out += pad2 + "jit-active: ";
+  if (stats->jit_total == 0) {
+    *out += "none";
+  } else {
+    *out += std::to_string(stats->jit_native) + "/" +
+            std::to_string(stats->jit_total) + " native";
+  }
+  *out += "\n";
+  *out += pad2 + "ring: pushed=" + std::to_string(stats->ring_pushed) +
+          " popped=" + std::to_string(stats->ring_popped) +
+          " dropped=" + std::to_string(stats->ring_dropped);
+  if (!analyze.opts->mask_volatile) {
+    *out += " size=" + std::to_string(stats->ring_size) +
+            " high-water=" + std::to_string(stats->ring_high_water);
+  }
+  *out += "\n";
+  if (!analyze.opts->mask_volatile) {
+    *out += pad2 + "timing: poll p50=" + std::to_string(stats->poll_ns_p50) +
+            "ns p99=" + std::to_string(stats->poll_ns_p99) +
+            "ns, per-tuple p50=" + std::to_string(stats->tuple_ns_p50) +
+            "ns p99=" + std::to_string(stats->tuple_ns_p99) + "ns\n";
+  }
+}
+
 void ExplainNodeText(const PlanNode& node, const char* placement,
-                     bool lfta_table, const ExplainOptions& opts, int indent,
+                     bool lfta_table, const ExplainOptions& opts,
+                     const std::string& runtime_name,
+                     const AnalyzeContext* analyze, int indent,
                      std::string* out) {
   const std::string pad(static_cast<size_t>(indent) * 2, ' ');
   const std::string pad2 = pad + "  ";
@@ -258,14 +313,54 @@ void ExplainNodeText(const PlanNode& node, const char* placement,
     *out += "\n";
   }
   *out += pad2 + "output: " + OrderingLine(node.output_schema) + "\n";
-  for (const PlanPtr& child : node.children) {
-    ExplainNodeText(*child, placement, lfta_table, opts, indent + 1, out);
+  if (analyze != nullptr) {
+    AnalyzeNodeText(*analyze, runtime_name, pad2, out);
   }
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const PlanPtr& child = node.children[i];
+    const std::string child_name =
+        child->kind == PlanKind::kSource
+            ? SourceRuntimeName(*child)
+            : runtime_name + "#" + std::to_string(i);
+    ExplainNodeText(*child, placement, lfta_table, opts, child_name, analyze,
+                    indent + 1, out);
+  }
+}
+
+void AnalyzeNodeJson(const AnalyzeContext& analyze,
+                     const std::string& runtime_name, std::string* out) {
+  const AnalyzeNodeStats* stats = (*analyze.lookup)(runtime_name);
+  if (stats == nullptr) return;
+  *out += ",\"actual\":{\"node\":" + JsonEscape(runtime_name);
+  *out += ",\"proc\":" + JsonEscape(stats->proc);
+  *out += ",\"restarts\":" + std::to_string(stats->restarts);
+  *out += ",\"tuples_in\":" + std::to_string(stats->tuples_in);
+  *out += ",\"tuples_out\":" + std::to_string(stats->tuples_out);
+  *out += ",\"eval_errors\":" + std::to_string(stats->eval_errors);
+  *out += ",\"jit_native\":" + std::to_string(stats->jit_native);
+  *out += ",\"jit_total\":" + std::to_string(stats->jit_total);
+  *out += ",\"ring\":{\"pushed\":" + std::to_string(stats->ring_pushed) +
+          ",\"popped\":" + std::to_string(stats->ring_popped) +
+          ",\"dropped\":" + std::to_string(stats->ring_dropped);
+  if (!analyze.opts->mask_volatile) {
+    *out += ",\"size\":" + std::to_string(stats->ring_size) +
+            ",\"high_water\":" + std::to_string(stats->ring_high_water);
+  }
+  *out += "}";
+  if (!analyze.opts->mask_volatile) {
+    *out += ",\"timing\":{\"poll_ns_p50\":" +
+            std::to_string(stats->poll_ns_p50) + ",\"poll_ns_p99\":" +
+            std::to_string(stats->poll_ns_p99) + ",\"tuple_ns_p50\":" +
+            std::to_string(stats->tuple_ns_p50) + ",\"tuple_ns_p99\":" +
+            std::to_string(stats->tuple_ns_p99) + "}";
+  }
+  *out += "}";
 }
 
 void ExplainNodeJson(const PlanNode& node, const char* placement,
                      bool lfta_table, const ExplainOptions& opts,
-                     std::string* out) {
+                     const std::string& runtime_name,
+                     const AnalyzeContext* analyze, std::string* out) {
   *out += "{\"op\":";
   *out += JsonEscape(PlanKindName(node.kind));
   *out += ",\"placement\":";
@@ -345,18 +440,35 @@ void ExplainNodeJson(const PlanNode& node, const char* placement,
             JsonEscape(gsql::DataTypeName(field.type)) + ",\"order\":" +
             JsonEscape(field.order.ToString()) + "}";
   }
-  *out += "],\"children\":[";
+  *out += "]";
+  if (analyze != nullptr) {
+    AnalyzeNodeJson(*analyze, runtime_name, out);
+  }
+  *out += ",\"children\":[";
   for (size_t i = 0; i < node.children.size(); ++i) {
     if (i > 0) *out += ",";
-    ExplainNodeJson(*node.children[i], placement, lfta_table, opts, out);
+    const PlanPtr& child = node.children[i];
+    const std::string child_name =
+        child->kind == PlanKind::kSource
+            ? SourceRuntimeName(*child)
+            : runtime_name + "#" + std::to_string(i);
+    ExplainNodeJson(*child, placement, lfta_table, opts, child_name, analyze,
+                    out);
   }
   *out += "]}";
 }
 
-}  // namespace
+/// The runtime name of the LFTA plan's root node: the query's public name
+/// when the whole query is the LFTA, else the mangled LFTA stream name.
+std::string LftaRootName(const SplitQuery& split) {
+  return split.hfta != nullptr ? split.lfta_name : split.name;
+}
 
-std::string ExplainText(const PlannedQuery& planned, const SplitQuery& split,
-                        const ExplainOptions& opts) {
+std::string ExplainTextImpl(const PlannedQuery& planned,
+                            const SplitQuery& split,
+                            const ExplainOptions& opts,
+                            const AnalyzeContext* analyze,
+                            const AnalyzeSummary* summary) {
   std::string out;
   out += "query: " + split.name + "\n";
   out += "placement: " + PlacementName(split) + "\n";
@@ -371,9 +483,18 @@ std::string ExplainText(const PlannedQuery& planned, const SplitQuery& split,
   } else {
     out += "nic-filter: no\n";
   }
+  if (summary != nullptr) {
+    out += "analyze: pump=" + summary->pump_mode +
+           " shed-level=" + std::to_string(summary->shed_level) +
+           " worker-restarts=" + std::to_string(summary->worker_restarts) +
+           " workers-degraded=" + std::to_string(summary->workers_degraded) +
+           " trace-truncated=" + std::to_string(summary->trace_truncated) +
+           "\n";
+  }
   if (split.hfta != nullptr) {
     out += "hfta:\n";
-    ExplainNodeText(*split.hfta, "hfta", false, opts, 1, &out);
+    ExplainNodeText(*split.hfta, "hfta", false, opts, split.name, analyze, 1,
+                    &out);
   }
   if (split.lfta != nullptr) {
     if (split.hfta != nullptr) {
@@ -381,14 +502,17 @@ std::string ExplainText(const PlannedQuery& planned, const SplitQuery& split,
     } else {
       out += "lfta:\n";
     }
-    ExplainNodeText(*split.lfta, "lfta", split.split_aggregation, opts, 1,
-                    &out);
+    ExplainNodeText(*split.lfta, "lfta", split.split_aggregation, opts,
+                    LftaRootName(split), analyze, 1, &out);
   }
   return out;
 }
 
-std::string ExplainJson(const PlannedQuery& planned, const SplitQuery& split,
-                        const ExplainOptions& opts) {
+std::string ExplainJsonImpl(const PlannedQuery& planned,
+                            const SplitQuery& split,
+                            const ExplainOptions& opts,
+                            const AnalyzeContext* analyze,
+                            const AnalyzeSummary* summary) {
   std::string out = "{\"query\":" + JsonEscape(split.name);
   out += ",\"placement\":" + JsonEscape(PlacementName(split));
   out += ",\"process\":{\"lfta\":";
@@ -403,9 +527,19 @@ std::string ExplainJson(const PlannedQuery& planned, const SplitQuery& split,
   out += std::string(",\"nic_filter\":") +
          (split.has_nic_program ? "true" : "false");
   out += ",\"snap_len\":" + std::to_string(split.snap_len);
+  if (summary != nullptr) {
+    out += ",\"analyze\":{\"pump\":" + JsonEscape(summary->pump_mode);
+    out += ",\"shed_level\":" + std::to_string(summary->shed_level);
+    out += ",\"worker_restarts\":" + std::to_string(summary->worker_restarts);
+    out +=
+        ",\"workers_degraded\":" + std::to_string(summary->workers_degraded);
+    out += ",\"trace_truncated\":" + std::to_string(summary->trace_truncated);
+    out += "}";
+  }
   if (split.hfta != nullptr) {
     out += ",\"hfta\":";
-    ExplainNodeJson(*split.hfta, "hfta", false, opts, &out);
+    ExplainNodeJson(*split.hfta, "hfta", false, opts, split.name, analyze,
+                    &out);
   } else {
     out += ",\"hfta\":null";
   }
@@ -413,12 +547,47 @@ std::string ExplainJson(const PlannedQuery& planned, const SplitQuery& split,
     out += ",\"lfta_stream\":" +
            JsonEscape(split.hfta != nullptr ? split.lfta_name : split.name);
     out += ",\"lfta\":";
-    ExplainNodeJson(*split.lfta, "lfta", split.split_aggregation, opts, &out);
+    ExplainNodeJson(*split.lfta, "lfta", split.split_aggregation, opts,
+                    LftaRootName(split), analyze, &out);
   } else {
     out += ",\"lfta\":null";
   }
   out += "}";
   return out;
+}
+
+}  // namespace
+
+std::string ExplainText(const PlannedQuery& planned, const SplitQuery& split,
+                        const ExplainOptions& opts) {
+  return ExplainTextImpl(planned, split, opts, nullptr, nullptr);
+}
+
+std::string ExplainJson(const PlannedQuery& planned, const SplitQuery& split,
+                        const ExplainOptions& opts) {
+  return ExplainJsonImpl(planned, split, opts, nullptr, nullptr);
+}
+
+std::string ExplainAnalyzeText(const PlannedQuery& planned,
+                               const SplitQuery& split,
+                               const AnalyzeLookup& lookup,
+                               const AnalyzeSummary& summary,
+                               const AnalyzeOptions& opts) {
+  ExplainOptions explain_opts;
+  explain_opts.jit = true;  // render predicted tier next to jit-active
+  AnalyzeContext analyze{&lookup, &opts};
+  return ExplainTextImpl(planned, split, explain_opts, &analyze, &summary);
+}
+
+std::string ExplainAnalyzeJson(const PlannedQuery& planned,
+                               const SplitQuery& split,
+                               const AnalyzeLookup& lookup,
+                               const AnalyzeSummary& summary,
+                               const AnalyzeOptions& opts) {
+  ExplainOptions explain_opts;
+  explain_opts.jit = true;
+  AnalyzeContext analyze{&lookup, &opts};
+  return ExplainJsonImpl(planned, split, explain_opts, &analyze, &summary);
 }
 
 }  // namespace gigascope::plan

@@ -25,6 +25,7 @@ void QueryNode::RegisterTelemetry(telemetry::Registry* metrics) const {
   metrics->Register(name_, metric::kTuplesOut, &tuples_out_);
   metrics->Register(name_, metric::kEvalErrors, &eval_errors_);
   metrics->Register(name_, metric::kBusyPolls, &busy_polls_);
+  metrics->Register(name_, metric::kTraceTruncated, &trace_truncated_);
   metrics->RegisterHistogram(name_, metric::kPollNs, &poll_ns_);
   metrics->RegisterHistogram(name_, metric::kTupleNs, &tuple_ns_);
   if (terminal_) {

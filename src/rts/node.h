@@ -60,6 +60,11 @@ class QueryNode {
   uint64_t eval_errors() const { return eval_errors_.value(); }
   /// Polls that consumed at least one message (busy-time proxy).
   uint64_t busy_polls() const { return busy_polls_.value(); }
+  /// Sampled (traced) messages that reached this node with no tracer
+  /// attached — their span is lost here. Nonzero on worker-process nodes:
+  /// the trace context crosses the shm ring but the worker records no
+  /// spans, so the truncation is counted instead of silent.
+  uint64_t trace_truncated() const { return trace_truncated_.value(); }
 
   /// Registers this node's counters with the telemetry registry under the
   /// node's name: the base tuples_in/tuples_out/eval_errors, plus the
@@ -76,6 +81,15 @@ class QueryNode {
   /// collected here, compiled once per query, and hot-swapped into the
   /// expressions' kernel slots later. Default: nothing to compile.
   virtual void AttachJit(jit::QueryJit* jit) { (void)jit; }
+
+  /// Reports the JIT tier actually active right now (for EXPLAIN ANALYZE,
+  /// vs the predicted `tier:`): `native` += kernel slots holding a
+  /// hot-swapped native kernel, `total` += compilable expression slots.
+  /// Default: no expressions. Safe from any thread (atomic slot loads).
+  virtual void CountJitKernels(size_t* native, size_t* total) const {
+    (void)native;
+    (void)total;
+  }
 
   /// The input channels this node consumes (registered by subclasses at
   /// construction). The threaded engine uses these to wire consumer
@@ -123,7 +137,11 @@ class QueryNode {
   void BeginMessage(const StreamMessage& message) {
     active_trace_id_ = message.trace_id;
     active_weight_ = message.weight;
-    if (tracer_ == nullptr || message.trace_id == 0) return;
+    if (tracer_ == nullptr) {
+      if (message.trace_id != 0) ++trace_truncated_;
+      return;
+    }
+    if (message.trace_id == 0) return;
     active_trace_ns_ = message.trace_ns;
     span_start_ns_ = tracer_->NowNs();
   }
@@ -175,6 +193,7 @@ class QueryNode {
   telemetry::Counter tuples_out_;
   telemetry::Counter eval_errors_;
   telemetry::Counter busy_polls_;
+  telemetry::Counter trace_truncated_;
 
  private:
   std::string name_;

@@ -14,6 +14,12 @@ namespace gigascope::telemetry {
 /// single-writer contract the increment is a relaxed load + relaxed store —
 /// no RMW, so the hot path pays one plain store and never a bus-locked
 /// instruction. Readers see a possibly slightly stale but torn-free value.
+///
+/// The backing cell is indirect: it defaults to the counter's own storage,
+/// but `BindCell` can redirect it — e.g. into a shared-memory metrics
+/// arena slot (telemetry/shm_arena.h), so a forked worker's updates land
+/// where the parent process can read them. Binding is a control-plane
+/// operation: it must happen while no thread is writing the counter.
 class Counter {
  public:
   Counter() = default;
@@ -22,19 +28,25 @@ class Counter {
 
   /// Writer side. Single writer only — concurrent Add calls lose updates.
   void Add(uint64_t n) {
-    value_.store(value_.load(std::memory_order_relaxed) + n,
-                 std::memory_order_relaxed);
+    std::atomic<uint64_t>* cell = cell_.load(std::memory_order_relaxed);
+    cell->store(cell->load(std::memory_order_relaxed) + n,
+                std::memory_order_relaxed);
   }
   void Sub(uint64_t n) {
-    value_.store(value_.load(std::memory_order_relaxed) - n,
-                 std::memory_order_relaxed);
+    std::atomic<uint64_t>* cell = cell_.load(std::memory_order_relaxed);
+    cell->store(cell->load(std::memory_order_relaxed) - n,
+                std::memory_order_relaxed);
   }
   /// Writer side: gauge semantics (last value wins).
-  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Set(uint64_t v) {
+    cell_.load(std::memory_order_relaxed)
+        ->store(v, std::memory_order_relaxed);
+  }
   /// Writer side: monotone running maximum (high-water marks).
   void Max(uint64_t v) {
-    if (v > value_.load(std::memory_order_relaxed)) {
-      value_.store(v, std::memory_order_relaxed);
+    std::atomic<uint64_t>* cell = cell_.load(std::memory_order_relaxed);
+    if (v > cell->load(std::memory_order_relaxed)) {
+      cell->store(v, std::memory_order_relaxed);
     }
   }
 
@@ -52,10 +64,24 @@ class Counter {
   }
 
   /// Reader side: any thread.
-  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  uint64_t value() const {
+    return cell_.load(std::memory_order_relaxed)
+        ->load(std::memory_order_relaxed);
+  }
+
+  /// Redirects the backing storage to `cell`, carrying the current value
+  /// over so the reading is continuous. Control plane only: no concurrent
+  /// writer may be running. `cell` must outlive the counter (or the next
+  /// rebind). Const because registries hold `const Counter*` — binding
+  /// moves storage, it does not change the observable value.
+  void BindCell(std::atomic<uint64_t>* cell) const {
+    cell->store(value(), std::memory_order_relaxed);
+    cell_.store(cell, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<uint64_t> value_{0};
+  mutable std::atomic<std::atomic<uint64_t>*> cell_{&value_};
 };
 
 }  // namespace gigascope::telemetry

@@ -1,8 +1,10 @@
 #ifndef GIGASCOPE_TELEMETRY_HISTOGRAM_H_
 #define GIGASCOPE_TELEMETRY_HISTOGRAM_H_
 
+#include <atomic>
 #include <bit>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 
 #include "telemetry/counter.h"
@@ -67,6 +69,17 @@ class Histogram {
 
   uint64_t count() const { return count_.value(); }
   uint64_t max() const { return max_.value(); }
+
+  /// Cells a bound histogram occupies: 64 buckets, count, sum, max.
+  static constexpr size_t kCells = kBuckets + 3;
+
+  /// Redirects all kCells internal counters into caller-provided atomic
+  /// storage (cell i at `first_cell + i * stride_bytes` — the stride lets
+  /// the cells live inside larger structs, e.g. shm-arena MetricSlots).
+  /// Same contract as Counter::BindCell: control plane only, current
+  /// values carry over.
+  void BindCells(std::atomic<uint64_t>* first_cell,
+                 size_t stride_bytes) const;
 
   /// Bucket index of `value` (0..63).
   static int BucketIndex(uint64_t value) {

@@ -1,0 +1,69 @@
+#ifndef GIGASCOPE_TELEMETRY_HTTP_EXPORT_H_
+#define GIGASCOPE_TELEMETRY_HTTP_EXPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/registry.h"
+
+namespace gigascope::telemetry {
+
+/// Renders samples in the Prometheus text exposition format (version
+/// 0.0.4): metric names prefixed `gigascope_`, the owning entity and
+/// process as `node`/`proc` labels, samples grouped under one `# TYPE`
+/// line per metric family. Histogram-derived stats (`*_p50` ... `*_max`)
+/// and instantaneous values expose as gauges, cumulative metrics as
+/// counters.
+std::string FormatPrometheus(const std::vector<MetricSample>& samples);
+
+/// A minimal dependency-free HTTP/1.1 listener serving the engine's
+/// observability plane (gsrun --metrics-port=N, DESIGN.md §16):
+///
+///   GET /metrics   Prometheus text exposition of the aggregated registry
+///   GET /analyze   EXPLAIN ANALYZE as JSON
+///
+/// One accept thread handles requests serially — a scrape every few
+/// seconds, not a web server. Handlers run on that thread and must be
+/// safe against the engine's data plane (the registry and analyze paths
+/// are: atomic counter reads plus control-plane mutexes).
+class MetricsHttpServer {
+ public:
+  struct Handlers {
+    std::function<std::string()> metrics;  // body for GET /metrics
+    std::function<std::string()> analyze;  // body for GET /analyze
+  };
+
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — see port()) and
+  /// starts the accept thread.
+  Status Start(uint16_t port, Handlers handlers);
+
+  /// Stops the accept thread and closes the socket. Idempotent; the
+  /// destructor calls it.
+  void Stop();
+
+  /// The actually bound port (resolves port 0), 0 before Start.
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve();
+
+  Handlers handlers_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace gigascope::telemetry
+
+#endif  // GIGASCOPE_TELEMETRY_HTTP_EXPORT_H_

@@ -1,0 +1,118 @@
+#include "telemetry/shm_arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "telemetry/metric_names.h"
+
+namespace gigascope::telemetry {
+
+namespace {
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+FoldKind FoldKindForMetric(const std::string& metric) {
+  if (metric == metric::kOpenGroups || metric == metric::kLftaOccupied ||
+      metric == metric::kShedLevel || metric == metric::kShedRate ||
+      metric == metric::kLastPunctSec ||
+      EndsWith(metric, metric::kRingSizeSuffix)) {
+    return FoldKind::kGauge;
+  }
+  if (EndsWith(metric, metric::kRingHighWaterSuffix) ||
+      EndsWith(metric, metric::kMaxSuffix)) {
+    return FoldKind::kMax;
+  }
+  return FoldKind::kSum;
+}
+
+MetricsArena::MetricsArena(void* base, size_t bytes)
+    : slots_(static_cast<MetricSlot*>(base)),
+      capacity_(bytes / sizeof(MetricSlot)) {
+  GS_CHECK(base != nullptr || capacity_ == 0);
+  folds_.resize(capacity_);
+}
+
+size_t MetricsArena::Allocate(size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count == 0) return kInvalidIndex;
+  if (capacity_ - allocated_ < count) {
+    exhausted_.Add(1);
+    return kInvalidIndex;
+  }
+  const size_t begin = allocated_;
+  allocated_ += count;
+  return begin;
+}
+
+void MetricsArena::ResetRange(size_t begin, size_t count, uint64_t epoch) {
+  GS_CHECK(begin + count <= capacity_);
+  // Zero first, then publish the epoch with release order: a reader that
+  // observes the new epoch (acquire) is guaranteed to observe the zeroed
+  // value too, so a fresh incarnation can never replay the dead one's
+  // totals under its own epoch.
+  for (size_t i = begin; i < begin + count; ++i) {
+    slots_[i].value.store(0, std::memory_order_relaxed);
+  }
+  for (size_t i = begin; i < begin + count; ++i) {
+    slots_[i].epoch.store(epoch, std::memory_order_release);
+  }
+}
+
+uint64_t MetricsArena::FoldValueLocked(size_t index, FoldKind kind) const {
+  const MetricSlot& slot = slots_[index];
+  const uint64_t epoch = slot.epoch.load(std::memory_order_acquire);
+  const uint64_t value = slot.value.load(std::memory_order_relaxed);
+  SlotFold& fold = folds_[index];
+  if (kind == FoldKind::kGauge) return value;
+  if (epoch != fold.epoch) {
+    // The incarnation changed: bank the previous one's contribution.
+    if (kind == FoldKind::kSum) {
+      fold.base += fold.last;
+    } else {
+      fold.base = std::max(fold.base, fold.last);
+    }
+    fold.last = 0;
+    fold.epoch = epoch;
+  }
+  // Within one incarnation a counter only grows; taking the max guards the
+  // one-read transient where a stale epoch pairs with a freshly zeroed
+  // value, keeping every read monotone.
+  fold.last = std::max(fold.last, value);
+  return kind == FoldKind::kSum ? fold.base + fold.last
+                                : std::max(fold.base, fold.last);
+}
+
+uint64_t MetricsArena::FoldValue(size_t index, FoldKind kind) const {
+  GS_CHECK(index < capacity_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FoldValueLocked(index, kind);
+}
+
+HistogramSnapshot MetricsArena::FoldHistogram(size_t base_index) const {
+  GS_CHECK(base_index + kHistogramSlots <= capacity_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot snapshot;
+  for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    snapshot.buckets[b] = FoldValueLocked(base_index + b, FoldKind::kSum);
+  }
+  snapshot.count =
+      FoldValueLocked(base_index + Histogram::kBuckets, FoldKind::kSum);
+  snapshot.sum =
+      FoldValueLocked(base_index + Histogram::kBuckets + 1, FoldKind::kSum);
+  snapshot.max =
+      FoldValueLocked(base_index + Histogram::kBuckets + 2, FoldKind::kMax);
+  return snapshot;
+}
+
+size_t MetricsArena::allocated() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocated_;
+}
+
+}  // namespace gigascope::telemetry

@@ -1,0 +1,134 @@
+#ifndef GIGASCOPE_TELEMETRY_SHM_ARENA_H_
+#define GIGASCOPE_TELEMETRY_SHM_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/histogram.h"
+
+namespace gigascope::telemetry {
+
+/// One metric cell in the cross-process arena. The writer side keeps the
+/// Counter discipline (exactly one writer, relaxed load+store, no RMW);
+/// `epoch` tags which worker incarnation the value belongs to so the
+/// parent's folded reads stay monotone across restarts: a restarted worker
+/// zeroes its values and then publishes the new epoch with release order,
+/// so an acquire reader that observes the new epoch also observes the
+/// zeroed value.
+struct MetricSlot {
+  std::atomic<uint64_t> value{0};
+  std::atomic<uint64_t> epoch{0};
+};
+
+/// How a slot's per-incarnation values combine into the aggregate the
+/// parent reports.
+enum class FoldKind {
+  kSum,    // cumulative counter: sum over incarnations
+  kMax,    // running maximum: max over incarnations
+  kGauge,  // instantaneous value: current incarnation wins
+};
+
+/// Picks the fold for a metric name: gauges (open_groups, lfta_occupied,
+/// shed_level/rate, *_size) report the live incarnation, high-water marks
+/// fold as max, everything else is a cumulative sum.
+FoldKind FoldKindForMetric(const std::string& metric);
+
+/// A fixed-slot metrics arena over caller-provided memory — the Engine
+/// hands it a `rts::ShmSegment` mapping so forked workers write metrics
+/// the parent registry reads live (DESIGN.md §16).
+///
+/// Memory-agnostic by design: the telemetry layer sits below rts in the
+/// library graph, so the arena never touches shm APIs itself; it only
+/// requires the region to be zero-initialized and, for cross-process use,
+/// MAP_SHARED.
+///
+/// Roles:
+///  - Allocation (parent, control plane, pre-fork): `Allocate` hands out
+///    contiguous slot ranges; `Counter::BindCell` / `Histogram::BindCells`
+///    then redirect the owners' storage into the slots.
+///  - Writing (one worker per slot): through the bound Counter — the
+///    arena itself is never on the write path.
+///  - Restart reset (the new child, before pumping): `ResetRange` zeroes
+///    the range and publishes the child's generation as the new epoch.
+///  - Folded reads (parent, any control thread): `FoldValue` /
+///    `FoldHistogram` merge incarnations so aggregated counters never go
+///    backwards when a restarted worker's zeroed cells come online.
+///
+/// The residual race: a reader can pair a not-yet-updated (stale) epoch
+/// with a new incarnation's value for one read. The fold treats that as
+/// more progress in the old incarnation — a bounded transient overcount,
+/// never a regression; the next read with the new epoch visible folds
+/// correctly. Monotonicity of kSum/kMax reads is unconditional.
+class MetricsArena {
+ public:
+  static constexpr size_t kInvalidIndex = static_cast<size_t>(-1);
+  /// Slots per bound histogram: 64 buckets, count, sum, max — in order.
+  static constexpr size_t kHistogramSlots = Histogram::kBuckets + 3;
+
+  /// Bytes a `slots`-slot arena needs from the caller.
+  static size_t BytesForSlots(size_t slots) {
+    return slots * sizeof(MetricSlot);
+  }
+
+  /// Attaches over `bytes` of zero-initialized memory at `base`. The
+  /// memory must outlive the arena.
+  MetricsArena(void* base, size_t bytes);
+  MetricsArena(const MetricsArena&) = delete;
+  MetricsArena& operator=(const MetricsArena&) = delete;
+
+  /// Control plane (parent, pre-fork): allocates `count` contiguous slots
+  /// and returns the first index, or kInvalidIndex when the arena is full
+  /// (the caller keeps its heap counters; `exhausted()` counts the misses).
+  size_t Allocate(size_t count);
+
+  MetricSlot* slot(size_t index) { return &slots_[index]; }
+
+  /// Restarted-worker reset: zeroes values in [begin, begin+count) with
+  /// relaxed stores, then publishes `epoch` per slot with release order.
+  /// Called by the new child before it pumps; the old writer is dead, so
+  /// the single-writer contract holds.
+  void ResetRange(size_t begin, size_t count, uint64_t epoch);
+
+  /// Parent-side folded read of one slot (see FoldKind). Thread-safe; the
+  /// per-slot fold state is guarded by the arena mutex. Workers never call
+  /// this — they only write through bound cells — so fork-while-locked
+  /// cannot wedge a child.
+  uint64_t FoldValue(size_t index, FoldKind kind) const;
+
+  /// Parent-side folded snapshot of a histogram bound at `base_index`
+  /// (kHistogramSlots consecutive slots): buckets/count/sum fold as sums,
+  /// max folds as max.
+  HistogramSnapshot FoldHistogram(size_t base_index) const;
+
+  size_t allocated() const;
+  size_t capacity() const { return capacity_; }
+  /// Allocation requests refused because the arena was full.
+  uint64_t exhausted() const { return exhausted_.value(); }
+  const Counter* exhausted_counter() const { return &exhausted_; }
+
+ private:
+  /// Fold memory for one slot: `base` holds the contribution of finished
+  /// incarnations, `last` the largest value seen from the current one
+  /// (the max guards the stale-epoch/new-value transient).
+  struct SlotFold {
+    uint64_t epoch = 0;
+    uint64_t base = 0;
+    uint64_t last = 0;
+  };
+
+  uint64_t FoldValueLocked(size_t index, FoldKind kind) const;
+
+  MetricSlot* slots_;
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  size_t allocated_ = 0;          // guarded by mutex_
+  mutable std::vector<SlotFold> folds_;  // guarded by mutex_
+  Counter exhausted_;
+};
+
+}  // namespace gigascope::telemetry
+
+#endif  // GIGASCOPE_TELEMETRY_SHM_ARENA_H_

@@ -20,7 +20,7 @@ void StatsSource::EmitSnapshot(SimTime now) {
   const uint64_t nanos = static_cast<uint64_t>(now);
   const std::string& stream = schema_.name();
 
-  rts::Row row(5);
+  rts::Row row(6);
   row[0] = Value::Uint(seconds);
   row[1] = Value::Uint(nanos);
   // One snapshot is one batch (plus the closing punctuation at its tail);
@@ -30,6 +30,7 @@ void StatsSource::EmitSnapshot(SimTime now) {
     row[2] = Value::String(sample.entity);
     row[3] = Value::String(sample.metric);
     row[4] = Value::Uint(sample.value);
+    row[5] = Value::String(sample.proc);
     rts::StreamMessage message;
     message.kind = rts::StreamMessage::Kind::kTuple;
     codec_.Encode(row, &message.payload);

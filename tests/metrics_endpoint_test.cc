@@ -1,0 +1,282 @@
+// Tests for the metrics export endpoint: Prometheus text-exposition
+// conformance of FormatPrometheus (family grouping, TYPE lines, label
+// syntax, name sanitization), the dependency-free HTTP listener's request
+// handling (/metrics, /analyze, 404, 405), and a TSan-checked scrape
+// while the worker pool pumps — the exact deployment shape of
+// `gsrun --metrics-port=N`.
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "net/headers.h"
+#include "telemetry/counter.h"
+#include "telemetry/histogram.h"
+#include "telemetry/http_export.h"
+#include "telemetry/registry.h"
+
+namespace gigascope::telemetry {
+namespace {
+
+using core::Engine;
+using core::EngineOptions;
+
+// Minimal blocking HTTP/1.0-style client: one request, read to EOF.
+std::string HttpRequest(uint16_t port, const std::string& request) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  return HttpRequest(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n"
+                           "Connection: close\r\n\r\n");
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_' &&
+      name[0] != ':') {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------- exposition format
+
+// Every line of the rendered exposition must be either a `# TYPE` comment
+// or a sample of the form name{node="...",proc="..."} value; families are
+// contiguous and announced by exactly one TYPE line each, names carry the
+// gigascope_ prefix and survive sanitization, and every registry sample
+// appears exactly once.
+TEST(PrometheusFormatTest, ExpositionConformance) {
+  Registry registry;
+  Counter tuples;
+  Counter weird;
+  Histogram lat;
+  tuples.Set(41);
+  weird.Set(7);
+  for (int i = 0; i < 100; ++i) lat.Record(63);
+  registry.Register("lfta#0", "tuples_in", &tuples);
+  registry.Register("node-b", "odd.metric", &weird);  // needs sanitizing
+  registry.RegisterHistogram("lfta#0", "poll_ns", &lat);
+  registry.RegisterReader("engine", "shed_level", [] { return uint64_t{2}; });
+
+  const std::vector<MetricSample> samples = registry.Snapshot();
+  const std::string text = FormatPrometheus(samples);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+
+  std::istringstream in(text);
+  std::string line;
+  std::map<std::string, int> type_lines;
+  std::string current_family;
+  size_t sample_lines = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(sizeof("# TYPE ") - 1));
+      std::string name;
+      std::string kind;
+      fields >> name >> kind;
+      EXPECT_TRUE(ValidMetricName(name)) << line;
+      EXPECT_EQ(name.rfind("gigascope_", 0), 0u) << line;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge") << line;
+      EXPECT_EQ(++type_lines[name], 1) << "family split: " << name;
+      current_family = name;
+      continue;
+    }
+    // name{node="...",proc="..."} value
+    size_t brace = line.find('{');
+    ASSERT_NE(brace, std::string::npos) << line;
+    const std::string name = line.substr(0, brace);
+    EXPECT_TRUE(ValidMetricName(name)) << line;
+    EXPECT_EQ(name, current_family) << "sample outside its family: " << line;
+    size_t close = line.find('}', brace);
+    ASSERT_NE(close, std::string::npos) << line;
+    const std::string labels = line.substr(brace + 1, close - brace - 1);
+    EXPECT_EQ(labels.rfind("node=\"", 0), 0u) << line;
+    EXPECT_NE(labels.find(",proc=\""), std::string::npos) << line;
+    ASSERT_GT(line.size(), close + 2) << line;
+    EXPECT_EQ(line[close + 1], ' ') << line;
+    for (size_t i = close + 2; i < line.size(); ++i) {
+      EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(line[i]))) << line;
+    }
+    ++sample_lines;
+  }
+  EXPECT_EQ(sample_lines, samples.size());
+
+  // Spot-check semantics: sanitized name, cumulative vs gauge typing, and
+  // the actual values.
+  EXPECT_NE(text.find("# TYPE gigascope_tuples_in counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gigascope_tuples_in{node=\"lfta#0\",proc=\"rts\"} 41\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gigascope_odd_metric{node=\"node-b\",proc=\"rts\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gigascope_poll_ns_p50 gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gigascope_shed_level gauge\n"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------ http server
+
+TEST(MetricsHttpServerTest, ServesMetricsAnalyzeAndErrors) {
+  MetricsHttpServer server;
+  MetricsHttpServer::Handlers handlers;
+  handlers.metrics = [] { return std::string("gigascope_up{} 1\n"); };
+  handlers.analyze = [] { return std::string("{\"queries\":[]}"); };
+  ASSERT_TRUE(server.Start(0, handlers).ok());
+  ASSERT_NE(server.port(), 0);
+
+  std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_EQ(metrics.rfind("HTTP/1.1 200", 0), 0u) << metrics;
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("gigascope_up{} 1\n"), std::string::npos);
+
+  std::string analyze = HttpGet(server.port(), "/analyze");
+  EXPECT_EQ(analyze.rfind("HTTP/1.1 200", 0), 0u) << analyze;
+  EXPECT_NE(analyze.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(analyze.find("{\"queries\":[]}"), std::string::npos);
+
+  std::string missing = HttpGet(server.port(), "/nope");
+  EXPECT_EQ(missing.rfind("HTTP/1.1 404", 0), 0u) << missing;
+
+  std::string post = HttpRequest(
+      server.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(post.rfind("HTTP/1.1 405", 0), 0u) << post;
+
+  server.Stop();
+  server.Stop();  // idempotent
+}
+
+TEST(MetricsHttpServerTest, StopWithoutStartAndPortCollision) {
+  MetricsHttpServer idle;
+  idle.Stop();  // never started: must be a no-op
+
+  MetricsHttpServer first;
+  MetricsHttpServer::Handlers handlers;
+  handlers.metrics = [] { return std::string("x\n"); };
+  ASSERT_TRUE(first.Start(0, handlers).ok());
+  MetricsHttpServer second;
+  EXPECT_FALSE(second.Start(first.port(), handlers).ok());
+  first.Stop();
+}
+
+// ---------------------------------------------- scrape while workers pump
+
+net::Packet MakeTcpPacket(SimTime timestamp, uint32_t dst_addr) {
+  net::TcpPacketSpec spec;
+  spec.src_addr = 0xac100001;
+  spec.dst_addr = dst_addr;
+  spec.src_port = 40000;
+  spec.dst_port = 80;
+  spec.flags = net::kTcpFlagAck;
+  spec.payload = "x";
+  net::Packet packet;
+  packet.bytes = net::BuildTcpPacket(spec);
+  packet.orig_len = static_cast<uint32_t>(packet.bytes.size());
+  packet.timestamp = timestamp;
+  return packet;
+}
+
+// TSan case: the gsrun deployment shape. The endpoint serves /metrics and
+// /analyze from its accept thread while the inject thread pumps packets
+// and the worker pool drains the HFTA stage. The handlers must only touch
+// thread-safe engine surfaces (registry snapshot, analyze assembly).
+TEST(MetricsHttpServerTest, ScrapeWhileWorkersPump) {
+  EngineOptions options;
+  options.stats_period = kNanosPerSecond / 10;
+  Engine engine(options);
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name agg; } "
+                            "SELECT tb, destIP, count(*) FROM eth0.PKT "
+                            "GROUP BY time AS tb, destIP")
+                  .ok());
+  auto sub = engine.Subscribe("agg", 1 << 16);
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(engine.StartThreads(2).ok());
+
+  MetricsHttpServer server;
+  MetricsHttpServer::Handlers handlers;
+  handlers.metrics = [&engine] {
+    return FormatPrometheus(engine.telemetry().Snapshot());
+  };
+  handlers.analyze = [&engine] { return engine.AnalyzeJson(); };
+  ASSERT_TRUE(server.Start(0, handlers).ok());
+
+  std::atomic<bool> done{false};
+  std::thread injector([&] {
+    for (int i = 0; i < 10000; ++i) {
+      SimTime timestamp =
+          kNanosPerSecond + (static_cast<SimTime>(i) * kNanosPerSecond) / 500;
+      engine
+          .InjectPacket("eth0",
+                        MakeTcpPacket(timestamp, 0x0a000000 + (i % 16)))
+          .ok();
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  size_t scrapes = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    std::string metrics = HttpGet(server.port(), "/metrics");
+    EXPECT_EQ(metrics.rfind("HTTP/1.1 200", 0), 0u);
+    EXPECT_NE(metrics.find("gigascope_tuples_in"), std::string::npos);
+    std::string analyze = HttpGet(server.port(), "/analyze");
+    EXPECT_EQ(analyze.rfind("HTTP/1.1 200", 0), 0u);
+    EXPECT_NE(analyze.find("\"analyze\":{\"pump\":\"threads\""),
+              std::string::npos);
+    ++scrapes;
+  }
+  injector.join();
+  engine.FlushAll();
+  server.Stop();
+  EXPECT_GT(scrapes, 0u);
+}
+
+}  // namespace
+}  // namespace gigascope::telemetry

@@ -754,6 +754,144 @@ TEST(EngineProcessTest, StopProcessesWithoutFlushIsSafe) {
   EXPECT_GT(rows, 0);
 }
 
+// Collects the cumulative (sum-folded) metrics from a snapshot keyed by
+// (entity, metric); used to pin monotonicity across worker restarts.
+std::map<std::pair<std::string, std::string>, uint64_t> CumulativeByKey(
+    const std::vector<telemetry::MetricSample>& samples) {
+  static const char* kCumulative[] = {"tuples_in", "tuples_out", "packets",
+                                      "ring_pushed", "ring_popped",
+                                      "eval_errors"};
+  std::map<std::pair<std::string, std::string>, uint64_t> out;
+  for (const auto& sample : samples) {
+    for (const char* metric : kCumulative) {
+      if (sample.metric == metric) out[{sample.entity, sample.metric}] =
+          sample.value;
+    }
+  }
+  return out;
+}
+
+TEST(EngineProcessTest, StatsMonotoneAcrossWorkerRestart) {
+  // Worker counters live in the shm metrics arena and are zeroed by each
+  // new incarnation; the parent's fold must bank the dead generation's
+  // progress so every aggregated cumulative counter stays monotone across
+  // an abort-fault restart — a reader polling gs_stats through the crash
+  // must never see a value go backwards.
+  std::vector<net::Packet> batch = MakeBatch(6000);
+  FaultConfig fault;
+  fault.kind = FaultConfig::Kind::kAbort;
+  fault.worker = 0;
+  fault.after_msgs = 10;
+  EngineOptions options;
+  options.punctuation_interval = 32;
+  options.process.enabled = true;
+  options.process.supervisor.heartbeat_period_ms = 5;
+  options.fault = fault;
+  Engine engine(options);
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine.AddQuery(kAggQuery).ok());
+  auto sub = engine.Subscribe("agg", 8192);
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(engine.StartProcesses(1).ok());
+
+  size_t half = batch.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(engine.InjectPacket("eth0", batch[i]).ok());
+  }
+  auto before = CumulativeByKey(engine.telemetry().Snapshot());
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (engine.supervisor()->restarts() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    engine.Pump();
+    usleep(1000);
+  }
+  ASSERT_GE(engine.supervisor()->restarts(), 1u) << "no restart observed";
+
+  // Right after the restart: the replacement worker's arena slots were
+  // reset, so an unfolded read would dip below `before` for every
+  // worker-owned entity. The folded snapshot must not.
+  auto after_restart = CumulativeByKey(engine.telemetry().Snapshot());
+  for (const auto& [key, value] : before) {
+    auto it = after_restart.find(key);
+    ASSERT_NE(it, after_restart.end()) << key.first << "/" << key.second;
+    EXPECT_GE(it->second, value)
+        << key.first << "/" << key.second << " went backwards across restart";
+  }
+  // Mid-run, the HFTA node is still worker-owned: its gs_stats row is
+  // tagged with the worker process, not the parent.
+  bool saw_worker_proc = false;
+  for (const auto& sample : engine.telemetry().Snapshot()) {
+    if (sample.entity == "agg" && sample.metric == "tuples_out") {
+      EXPECT_EQ(sample.proc, "w0");
+      saw_worker_proc = true;
+    }
+  }
+  EXPECT_TRUE(saw_worker_proc);
+
+  for (size_t i = half; i < batch.size(); ++i) {
+    ASSERT_TRUE(engine.InjectPacket("eth0", batch[i]).ok());
+  }
+  engine.FlushAll();
+  auto final_counts = CumulativeByKey(engine.telemetry().Snapshot());
+  for (const auto& [key, value] : after_restart) {
+    auto it = final_counts.find(key);
+    ASSERT_NE(it, final_counts.end());
+    EXPECT_GE(it->second, value)
+        << key.first << "/" << key.second << " went backwards at seal";
+  }
+  // After the seal adopted the worker's nodes, ownership reverts to the
+  // parent and every row reads as proc=rts again.
+  for (const auto& sample : engine.telemetry().Snapshot()) {
+    EXPECT_EQ(sample.proc, "rts") << sample.entity << "/" << sample.metric;
+  }
+  std::map<std::string, uint64_t> by_metric;
+  for (const auto& sample : engine.telemetry().Snapshot()) {
+    by_metric[sample.metric] += sample.value;
+  }
+  EXPECT_GE(by_metric["worker_restarts"], 1u);
+}
+
+TEST(EngineProcessTest, ProcessStatsTotalsMatchSingleProcess) {
+  // The acceptance bar for the telemetry plane: under --processes the
+  // aggregated per-node tuple counters must equal the single-process
+  // run's byte for byte — the process split changes where counters are
+  // written (shm arena vs heap), never what they count. Each (entity,
+  // metric) also appears exactly once, tagged with its owning process, so
+  // the per-proc rows trivially sum to the aggregate.
+  std::vector<net::Packet> batch = MakeBatch(4000);
+  Engine* single = nullptr;
+  ASSERT_FALSE(RunAgg(batch, 0, FaultConfig{}, &single).empty());
+  std::map<std::pair<std::string, std::string>, uint64_t> reference;
+  for (const auto& sample : single->telemetry().Snapshot()) {
+    if (sample.metric == "tuples_in" || sample.metric == "tuples_out") {
+      reference[{sample.entity, sample.metric}] = sample.value;
+    }
+  }
+  ASSERT_FALSE(reference.empty());
+
+  Engine* multi = nullptr;
+  ASSERT_FALSE(RunAgg(batch, 2, FaultConfig{}, &multi).empty());
+  std::map<std::pair<std::string, std::string>, uint64_t> seen;
+  for (const auto& sample : multi->telemetry().Snapshot()) {
+    if (sample.metric != "tuples_in" && sample.metric != "tuples_out") {
+      continue;
+    }
+    auto [it, inserted] = seen.emplace(
+        std::make_pair(sample.entity, sample.metric), sample.value);
+    EXPECT_TRUE(inserted) << "duplicate row for " << sample.entity << "/"
+                          << sample.metric
+                          << ": per-proc rows would double-count";
+    (void)it;
+  }
+  for (const auto& [key, value] : reference) {
+    auto it = seen.find(key);
+    ASSERT_NE(it, seen.end()) << key.first << "/" << key.second;
+    EXPECT_EQ(it->second, value)
+        << key.first << "/" << key.second
+        << " diverged between single-process and --processes runs";
+  }
+}
+
 TEST(EngineProcessTest, ThreadsAndProcessesAreExclusive) {
   EngineOptions options;
   options.process.enabled = true;

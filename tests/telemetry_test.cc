@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -111,6 +112,90 @@ TEST(RegistryTest, SnapshotAndFormat) {
   EXPECT_NE(table.find("nodeA"), std::string::npos);
   EXPECT_NE(table.find("tuples_out"), std::string::npos);
   EXPECT_NE(table.find("42"), std::string::npos);
+}
+
+// The --stats-dump wire format (DESIGN.md §11): one metric per line, each
+// line a self-contained JSON object with the fixed key order entity,
+// metric, proc, value; lines sorted by (entity, metric, proc). Consumers
+// get to `grep | jq` without a streaming JSON parser.
+TEST(RegistryTest, NdjsonFormat) {
+  Registry registry;
+  Counter a;
+  Counter b;
+  a.Set(3);
+  b.Set(7);
+  registry.Register("nodeB", "tuples_in", &a);
+  registry.Register("nodeA", "tuples_out", &b);
+  registry.RegisterReader("engine", "shed_level", [] { return uint64_t{1}; });
+
+  const std::string ndjson = FormatMetricsNdjson(registry.Snapshot());
+  EXPECT_EQ(ndjson,
+            "{\"entity\":\"engine\",\"metric\":\"shed_level\","
+            "\"proc\":\"rts\",\"value\":1}\n"
+            "{\"entity\":\"nodeA\",\"metric\":\"tuples_out\","
+            "\"proc\":\"rts\",\"value\":7}\n"
+            "{\"entity\":\"nodeB\",\"metric\":\"tuples_in\","
+            "\"proc\":\"rts\",\"value\":3}\n");
+
+  // Every line is balanced, standalone JSON (the NDJSON contract).
+  std::istringstream lines(ndjson);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    int depth = 0;
+    bool in_string = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+      char c = line[i];
+      if (c == '"' && (i == 0 || line[i - 1] != '\\')) in_string = !in_string;
+      if (in_string) continue;
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+    }
+    EXPECT_EQ(depth, 0) << line;
+  }
+}
+
+// gs_stats rows carry the owning process as their final field; in the
+// single-process engine everything belongs to the parent ("rts"), and the
+// schema places `proc` last so positional consumers of the original five
+// fields keep working.
+TEST(TelemetryEngineTest, StatsStreamCarriesProcColumn) {
+  gsql::StreamSchema schema = gsql::Catalog::BuiltinStatsSchema();
+  ASSERT_EQ(schema.num_fields(), 6u);
+  EXPECT_EQ(schema.field(5).name, "proc");
+  EXPECT_EQ(schema.field(5).type, DataType::kString);
+
+  Engine engine;
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name base; } "
+                            "SELECT time, len FROM eth0.PKT "
+                            "WHERE protocol = 6")
+                  .ok());
+  auto channel = engine.registry().Subscribe("gs_stats", 1 << 14);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(
+      engine.InjectPacket("eth0", MakeTcpPacket(kNanosPerSecond, 0x0a000001,
+                                                80, "x"))
+          .ok());
+  engine.PumpUntilIdle();
+  ASSERT_TRUE(engine.EmitStatsSnapshot(2 * kNanosPerSecond).ok());
+
+  rts::TupleCodec codec(schema);
+  size_t rows = 0;
+  rts::StreamMessage message;
+  while ((*channel)->TryPop(&message)) {
+    if (message.kind != rts::StreamMessage::Kind::kTuple) continue;
+    ByteSpan bytes(message.payload.data(), message.payload.size());
+    auto row = codec.Decode(bytes);
+    ASSERT_TRUE(row.ok());
+    ASSERT_EQ(row->size(), 6u);
+    EXPECT_EQ((*row)[5].string_value(), "rts");
+    ++rows;
+  }
+  EXPECT_GT(rows, 0u);
 }
 
 // A known workload must produce exact counts: 5 TCP + 3 UDP packets through

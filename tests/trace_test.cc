@@ -331,6 +331,69 @@ TEST(TraceEngineTest, ReproducibleAcrossRuns) {
   EXPECT_LT(count_a, 90u);
 }
 
+// Trace context does not survive the process boundary: worker processes
+// run without a tracer (the parent's event log is not in shared memory),
+// so a tagged message crossing an shm ring into a worker must be counted
+// as truncated — the observability plane reports the blind spot instead
+// of silently losing spans. The counter itself lives in the shm metrics
+// arena, so the parent's snapshot sees it.
+TEST(TraceEngineTest, ProcessModeCountsTruncatedTraces) {
+  EngineOptions options;
+  options.trace_sample = 1;  // tag everything: partials must carry ids
+  options.punctuation_interval = 32;
+  options.process.enabled = true;
+  Engine engine(options);
+  engine.AddInterface("eth0");
+  ASSERT_TRUE(engine
+                  .AddQuery("DEFINE { query_name persec; } "
+                            "SELECT tb, destIP, count(*) FROM eth0.PKT "
+                            "WHERE protocol = 6 GROUP BY time AS tb, destIP")
+                  .ok());
+  auto sub = engine.Subscribe("persec", 1 << 14);
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(engine.StartProcesses(1).ok());
+
+  for (int second = 1; second <= 20; ++second) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(engine
+                      .InjectPacket("eth0",
+                                    MakeTcpPacket(second * kNanosPerSecond,
+                                                  0x0a000000 + (i % 4)))
+                      .ok());
+    }
+    engine.Pump();
+  }
+  engine.FlushAll();
+
+  uint64_t truncated = 0;
+  std::string truncating_entities;
+  bool hfta_counts_truncation = false;
+  for (const MetricSample& sample : engine.telemetry().Snapshot()) {
+    if (sample.metric == metric::kTraceTruncated && sample.value > 0) {
+      truncated += sample.value;
+      truncating_entities += sample.entity + " ";
+      // Only the worker-side (HFTA) nodes lose their tracer; all their
+      // runtime names derive from the query name.
+      if (sample.entity.rfind("persec", 0) == 0 &&
+          sample.entity != "persec_lfta") {
+        hfta_counts_truncation = true;
+      }
+    }
+  }
+  EXPECT_GT(truncated, 0u) << "no truncation recorded: either trace "
+                              "context now propagates (update this test) "
+                              "or the blind spot went unreported";
+  EXPECT_TRUE(hfta_counts_truncation)
+      << "truncation counted outside the worker: " << truncating_entities;
+  // The parent-side nodes kept their tracer; spans still exist for the
+  // LFTA half of the split.
+  ASSERT_NE(engine.tracer(), nullptr);
+  EXPECT_GT(engine.tracer()->sampled(), 0u);
+  int rows = 0;
+  while ((*sub)->NextRow()) ++rows;
+  EXPECT_GT(rows, 0);
+}
+
 // ------------------------------------------------------------- concurrency
 
 // TSan coverage: histogram gauges (p50/p99 of poll/tuple/ring-occupancy

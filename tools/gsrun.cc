@@ -30,6 +30,7 @@
 #include "gsql/parser.h"
 #include "jit/engine.h"
 #include "net/pcap.h"
+#include "telemetry/http_export.h"
 #include "telemetry/registry.h"
 
 namespace {
@@ -77,7 +78,21 @@ int Usage() {
       "                    be fractional); queries can SELECT ... FROM\n"
       "                    gs_stats (default: off)\n"
       "  --stats-dump      after the run, print every telemetry counter\n"
-      "                    as a table on stderr\n"
+      "                    on stderr as NDJSON, one metric per line with\n"
+      "                    stable key order {\"entity\",\"metric\",\"proc\",\n"
+      "                    \"value\"} (schema: DESIGN.md §11)\n"
+      "  --analyze         after the run, print EXPLAIN ANALYZE on stderr:\n"
+      "                    each query's compiled plan annotated with actual\n"
+      "                    tuple counts, poll/tuple timings, ring health,\n"
+      "                    the jit tier actually active, and process\n"
+      "                    placement with restart counts\n"
+      "  --analyze-out=FILE\n"
+      "                    write EXPLAIN ANALYZE as JSON to FILE\n"
+      "  --metrics-port=N  serve live metrics over HTTP on 127.0.0.1:N\n"
+      "                    while the run replays: GET /metrics returns\n"
+      "                    Prometheus text exposition, GET /analyze the\n"
+      "                    EXPLAIN ANALYZE JSON (N=0 picks a free port,\n"
+      "                    printed on stderr)\n"
       "  --batch-size=N    accumulate up to N tuples per source batch\n"
       "                    before publishing into the data plane; 1\n"
       "                    restores per-tuple flow (default: 64)\n"
@@ -181,6 +196,9 @@ int main(int argc, char** argv) {
   size_t batch_size = 64;
   double batch_delay_seconds = 0;
   bool stats_dump = false;
+  bool analyze = false;
+  std::string analyze_out;
+  int metrics_port = -1;  // -1 = off; 0 = pick an ephemeral port
   size_t trace_sample = 0;
   std::string trace_out;
   gigascope::jit::JitOptions jit;
@@ -230,6 +248,15 @@ int main(int argc, char** argv) {
         if (jit.cache_dir.empty()) return UnknownFlag(argv[i]);
       } else if (std::strcmp(argv[i], "--stats-dump") == 0) {
         stats_dump = true;
+      } else if (std::strcmp(argv[i], "--analyze") == 0) {
+        analyze = true;
+      } else if (std::strncmp(argv[i], "--analyze-out=",
+                              sizeof("--analyze-out=") - 1) == 0) {
+        analyze_out = argv[i] + sizeof("--analyze-out=") - 1;
+        if (analyze_out.empty()) return UnknownFlag(argv[i]);
+      } else if (ParseNumericFlag(argv[i], "--metrics-port=", &parsed) &&
+                 parsed == static_cast<size_t>(parsed) && parsed <= 65535) {
+        metrics_port = static_cast<int>(parsed);
       } else if (std::strcmp(argv[i], "--shed") == 0) {
         shed = true;
       } else if (ParseShedThresholds(argv[i], &shed_ring, &shed_lag_seconds,
@@ -391,6 +418,26 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // Live observability endpoint: a scraper can hit /metrics (Prometheus
+  // text) and /analyze (EXPLAIN ANALYZE JSON) while the replay pumps.
+  // Started after the pump mode so the handlers see settled placement.
+  gigascope::telemetry::MetricsHttpServer metrics_server;
+  if (metrics_port >= 0) {
+    gigascope::telemetry::MetricsHttpServer::Handlers handlers;
+    handlers.metrics = [&engine]() {
+      return gigascope::telemetry::FormatPrometheus(
+          engine.telemetry().Snapshot());
+    };
+    handlers.analyze = [&engine]() { return engine.AnalyzeJson(); };
+    gigascope::Status started = metrics_server.Start(
+        static_cast<uint16_t>(metrics_port), handlers);
+    if (!started.ok()) {
+      std::fprintf(stderr, "gsrun: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "gsrun: metrics on http://127.0.0.1:%u/metrics\n",
+                 static_cast<unsigned>(metrics_server.port()));
+  }
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
 
@@ -428,10 +475,25 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(rows));
   }
   if (stats_dump) {
-    std::string table = gigascope::telemetry::FormatMetricsTable(
+    std::string ndjson = gigascope::telemetry::FormatMetricsNdjson(
         engine.telemetry().Snapshot());
-    std::fprintf(stderr, "%s", table.c_str());
+    std::fprintf(stderr, "%s", ndjson.c_str());
   }
+  if (analyze) {
+    std::string report = engine.AnalyzeText();
+    std::fprintf(stderr, "%s", report.c_str());
+  }
+  if (!analyze_out.empty()) {
+    std::ofstream analyze_file(analyze_out);
+    if (!analyze_file) {
+      std::fprintf(stderr, "gsrun: cannot write %s\n", analyze_out.c_str());
+      return 1;
+    }
+    analyze_file << engine.AnalyzeJson() << "\n";
+    std::fprintf(stderr, "gsrun: wrote EXPLAIN ANALYZE JSON to %s\n",
+                 analyze_out.c_str());
+  }
+  metrics_server.Stop();
   if (!trace_out.empty() && engine.tracer() != nullptr) {
     std::ofstream trace_file(trace_out);
     if (!trace_file) {
